@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the skyline kernels, the shared
+// evaluator, partitioning, and the region machinery.
+#include <benchmark/benchmark.h>
+
+#include "caqe/caqe.h"
+
+namespace caqe {
+namespace {
+
+PointSet RandomPoints(Distribution dist, int64_t n, int width,
+                      uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.num_rows = n;
+  cfg.num_attrs = width;
+  cfg.distribution = dist;
+  cfg.seed = seed;
+  const Table t = GenerateTable("P", cfg).value();
+  PointSet points(width);
+  std::vector<double> row(width);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int k = 0; k < width; ++k) row[k] = t.attr(i, k);
+    points.Append(row);
+  }
+  return points;
+}
+
+std::vector<int> AllDims(int d) {
+  std::vector<int> dims(d);
+  for (int k = 0; k < d; ++k) dims[k] = k;
+  return dims;
+}
+
+void BM_BnlSkyline(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(1));
+  const PointSet points =
+      RandomPoints(Distribution::kIndependent, state.range(0), d, 9);
+  const std::vector<int> dims = AllDims(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BnlSkyline(points, dims));
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_BnlSkyline)->Args({1000, 2})->Args({1000, 4})->Args({10000, 4});
+
+void BM_SfsSkyline(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(1));
+  const PointSet points =
+      RandomPoints(Distribution::kIndependent, state.range(0), d, 9);
+  const std::vector<int> dims = AllDims(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SfsSkyline(points, dims));
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_SfsSkyline)->Args({1000, 2})->Args({1000, 4})->Args({10000, 4});
+
+void BM_DivideConquerSkyline(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(1));
+  const PointSet points =
+      RandomPoints(Distribution::kIndependent, state.range(0), d, 9);
+  const std::vector<int> dims = AllDims(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DivideConquerSkyline(points, dims));
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_DivideConquerSkyline)
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Args({10000, 4});
+
+void BM_SfsSkylineAntiCorrelated(benchmark::State& state) {
+  const PointSet points =
+      RandomPoints(Distribution::kAntiCorrelated, state.range(0), 4, 9);
+  const std::vector<int> dims = AllDims(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SfsSkyline(points, dims));
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_SfsSkylineAntiCorrelated)->Arg(1000)->Arg(4000);
+
+void BM_IncrementalSkylineInsert(benchmark::State& state) {
+  const PointSet points =
+      RandomPoints(Distribution::kIndependent, state.range(0), 4, 9);
+  const std::vector<int> dims = AllDims(4);
+  for (auto _ : state) {
+    IncrementalSkyline inc(4, dims);
+    for (int64_t i = 0; i < points.size(); ++i) {
+      inc.Insert(points.row(i), i);
+    }
+    benchmark::DoNotOptimize(inc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_IncrementalSkylineInsert)->Arg(1000)->Arg(10000);
+
+void BM_SharedEvaluator(benchmark::State& state) {
+  const bool dva = state.range(1) != 0;
+  const PointSet points =
+      RandomPoints(Distribution::kIndependent, state.range(0), 4, 9);
+  const Workload wl =
+      MakeSubspaceWorkload(4, 0, 11, PriorityPolicy::kUniform).value();
+  std::vector<Subspace> prefs;
+  for (const SjQuery& q : wl.queries()) {
+    prefs.push_back(Subspace::FromDims(q.preference));
+  }
+  const MinMaxCuboid cuboid = MinMaxCuboid::Build(prefs).value();
+  for (auto _ : state) {
+    SharedSkylineEvaluator eval(4, &cuboid, dva);
+    for (int64_t i = 0; i < points.size(); ++i) {
+      eval.Insert(points.row(i), i);
+    }
+    benchmark::DoNotOptimize(eval.root_size());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+  state.SetLabel(dva ? "dva_gating" : "tie_safe");
+}
+BENCHMARK(BM_SharedEvaluator)->Args({2000, 1})->Args({2000, 0});
+
+void BM_PartitionTable(benchmark::State& state) {
+  GeneratorConfig cfg;
+  cfg.num_rows = state.range(0);
+  cfg.num_attrs = 4;
+  cfg.join_selectivities = {0.01};
+  const Table t = GenerateTable("T", cfg).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionTable(t, 2).value().num_cells());
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_rows);
+}
+BENCHMARK(BM_PartitionTable)->Arg(10000)->Arg(100000);
+
+void BM_BuildRegions(benchmark::State& state) {
+  GeneratorConfig cfg;
+  cfg.num_rows = state.range(0);
+  cfg.num_attrs = 4;
+  cfg.join_selectivities = {0.01};
+  cfg.seed = 1;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = 2;
+  const Table t = GenerateTable("T", cfg).value();
+  const PartitionedTable pr = PartitionTable(r, 2).value();
+  const PartitionedTable pt = PartitionTable(t, 2).value();
+  const Workload wl =
+      MakeSubspaceWorkload(4, 0, 11, PriorityPolicy::kUniform).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildRegions(pr, pt, wl).value().regions.size());
+  }
+}
+BENCHMARK(BM_BuildRegions)->Arg(10000)->Arg(50000);
+
+void BM_BuchtaEstimate(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int d = 2; d <= 6; ++d) {
+      benchmark::DoNotOptimize(BuchtaSkylineCardinality(1e6, d));
+    }
+  }
+}
+BENCHMARK(BM_BuchtaEstimate);
+
+}  // namespace
+}  // namespace caqe
+
+BENCHMARK_MAIN();

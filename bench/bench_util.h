@@ -1,0 +1,220 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// The paper's contract deadlines are wall-clock values on the authors'
+// hardware (e.g. t_C1 = 10s on correlated data, 30min on anti-correlated).
+// Our engines run on a deterministic virtual clock, so the harness first
+// measures the virtual completion time of the non-shared JFSL baseline and
+// then derives contract parameters as fractions of it — preserving the
+// *relative* strictness of each contract class across data scales.
+#ifndef CAQE_BENCH_BENCH_UTIL_H_
+#define CAQE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "caqe/caqe.h"
+
+namespace caqe {
+namespace bench {
+
+/// Minimal --key=value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const std::string body = arg.substr(2);
+      const size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        // emplace avoids a GCC 12 -Wrestrict false positive (PR105651)
+        // triggered by assigning a short literal through operator[].
+        values_.emplace(body, std::string("1"));
+      } else {
+        values_.insert_or_assign(body.substr(0, eq), body.substr(eq + 1));
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  std::string GetString(const std::string& key, const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One experiment configuration.
+struct BenchConfig {
+  int64_t rows = 4000;
+  int num_attrs = 4;
+  double selectivity = 0.01;
+  int num_queries = 11;
+  uint64_t seed = 2014;
+  Distribution distribution = Distribution::kIndependent;
+};
+
+inline Result<Distribution> ParseDistribution(const std::string& name) {
+  if (name == "independent") return Distribution::kIndependent;
+  if (name == "correlated") return Distribution::kCorrelated;
+  if (name == "anticorrelated") return Distribution::kAntiCorrelated;
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+/// Generates the (R, T) pair for a config.
+inline std::pair<Table, Table> MakeBenchTables(const BenchConfig& config) {
+  GeneratorConfig cfg;
+  cfg.num_rows = config.rows;
+  cfg.num_attrs = config.num_attrs;
+  cfg.join_selectivities = {config.selectivity};
+  cfg.distribution = config.distribution;
+  cfg.seed = config.seed;
+  Table r = GenerateTable("R", cfg).value();
+  cfg.seed = config.seed + 1;
+  Table t = GenerateTable("T", cfg).value();
+  return {std::move(r), std::move(t)};
+}
+
+/// Calibration data shared by all engines of one experiment: the contract
+/// timescale and the true per-query result cardinalities.
+struct Calibration {
+  /// Virtual completion time of one shared pass over the workload (the
+  /// S-JFSL strawman): the scale against which deadlines are set. The
+  /// paper's absolute deadlines (10s correlated / 40s independent / 30min
+  /// anti-correlated) play the same role on the authors' hardware.
+  double reference_seconds = 1.0;
+  /// Exact final result count per query (every engine is exact, so any
+  /// engine's counts serve; used as Table 2's N for C4/C5 scoring).
+  std::vector<double> result_counts;
+};
+
+/// Runs a throwaway S-JFSL pass to obtain the calibration.
+inline Calibration Calibrate(const Table& r, const Table& t,
+                             const Workload& workload) {
+  std::vector<Contract> contracts(workload.num_queries(),
+                                  MakeLogDecayContract());
+  std::unique_ptr<Engine> engine = MakeEngine("S-JFSL").value();
+  const ExecutionReport report =
+      engine->Execute(r, t, workload, contracts, ExecOptions{}).value();
+  Calibration calibration;
+  calibration.reference_seconds = report.stats.virtual_seconds;
+  for (const QueryReport& query : report.queries) {
+    calibration.result_counts.push_back(
+        static_cast<double>(query.results));
+  }
+  return calibration;
+}
+
+/// The five contract classes of Table 2, parameterized by the reference
+/// completion time. `index` is 0-based (0 => C1). Deadlines sit well below
+/// the serial (non-shared) completion time, so only engines that share
+/// work *and* order it by contract need can satisfy every query — the
+/// regime the paper's experiments probe.
+/// `tightness` scales the time-based deadlines relative to the reference.
+/// The paper used per-distribution absolute deadlines whose generosity
+/// differed by distribution (10s correlated, 40s independent, 30 *minutes*
+/// anti-correlated); DistributionTightness reproduces those proportions.
+inline Contract MakeTableTwoContract(int index, double reference_seconds,
+                                     double tightness = 0.6) {
+  const double ref = std::max(1e-9, reference_seconds);
+  const double t_hard = tightness * ref;          // C1 deadline.
+  const double t_soft = 0.4 * tightness * ref;    // C3 knee.
+  const double interval = ref / 10.0; // C4/C5 interval.
+  const double unit = ref / 10.0;     // Decay timescale for C2/C3/C5.
+  switch (index) {
+    case 0:
+      return MakeTimeStepContract(t_hard);
+    case 1:
+      return MakeLogDecayContract(unit / 5.0);
+    case 2:
+      return MakeHyperbolicDecayContract(t_soft, unit);
+    case 3:
+      return MakeCardinalityContract(0.1, interval);
+    case 4:
+      return MakeHybridContract(0.1, interval, unit);
+    default:
+      CAQE_CHECK(false);
+      return nullptr;
+  }
+}
+
+/// Deadline generosity per distribution, echoing the paper's parameter
+/// choices (anti-correlated runs got deadlines comparable to a full shared
+/// pass; the others substantially tighter ones).
+inline double DistributionTightness(Distribution dist) {
+  return dist == Distribution::kAntiCorrelated ? 1.1 : 0.6;
+}
+
+inline const char* ContractName(int index) {
+  static const char* kNames[] = {"C1", "C2", "C3", "C4", "C5"};
+  return kNames[index];
+}
+
+/// Priority policy the paper pairs with each contract class (Section 7.2):
+/// dim-increasing for C1/C2, dim-decreasing for C3/C4, uniform for C5.
+inline PriorityPolicy PolicyForContract(int index) {
+  switch (index) {
+    case 0:
+    case 1:
+      return PriorityPolicy::kDimIncreasing;
+    case 2:
+    case 3:
+      return PriorityPolicy::kDimDecreasing;
+    default:
+      return PriorityPolicy::kUniform;
+  }
+}
+
+/// Progressiveness-aware satisfaction: mean over queries of the normalized
+/// area under the cumulative-utility curve, evaluated against a common
+/// `horizon` (use the calibration reference so engines are compared on the
+/// same absolute timescale). 1.0 = every result delivered instantly at
+/// full utility.
+inline double ProgressiveScore(const ExecutionReport& report,
+                               double horizon) {
+  if (report.queries.empty() || horizon <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const QueryReport& query : report.queries) {
+    double area = 0.0;
+    for (const UtilityTracePoint& point : query.utility_trace) {
+      area += point.utility * std::max(0.0, 1.0 - point.time / horizon);
+    }
+    sum += area / std::max<int64_t>(1, query.results);
+  }
+  return sum / static_cast<double>(report.queries.size());
+}
+
+/// Runs `engine_name` and returns the report (aborts on error — benchmark
+/// configs are fixed and valid).
+inline ExecutionReport RunEngine(const std::string& engine_name,
+                                 const Table& r, const Table& t,
+                                 const Workload& workload,
+                                 const std::vector<Contract>& contracts,
+                                 const ExecOptions& options = {}) {
+  std::unique_ptr<Engine> engine = MakeEngine(engine_name).value();
+  Result<ExecutionReport> report =
+      engine->Execute(r, t, workload, contracts, options);
+  CAQE_CHECK(report.ok());
+  return std::move(report).value();
+}
+
+}  // namespace bench
+}  // namespace caqe
+
+#endif  // CAQE_BENCH_BENCH_UTIL_H_

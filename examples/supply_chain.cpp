@@ -1,0 +1,82 @@
+// Supply chain (paper Examples 14-15): RETAILERS and TRANSPORTERS join on
+// *different predicates per query* — country for Q1, part for Q2. The
+// coarse-level join signatures let CAQE discover, before touching a single
+// tuple, which cell pairs can serve which query; this example surfaces that
+// region bookkeeping alongside the final results.
+#include <cstdio>
+
+#include "caqe/caqe.h"
+
+int main() {
+  using namespace caqe;
+
+  // Retailers: {unit_cost, lead_time, defect_rate} with two key columns:
+  // country (20 values) and part family (200 values).
+  GeneratorConfig cfg;
+  cfg.num_rows = 3000;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.05, 0.005};
+  // Retailers ship particular parts from particular regions: keys cluster
+  // with attribute space, which is what makes signature pruning effective.
+  cfg.join_key_correlation = 0.98;
+  cfg.seed = 31;
+  Table retailers = GenerateTable("Retailers", cfg).value();
+  cfg.seed = 32;
+  Table transporters = GenerateTable("Transporters", cfg).value();
+
+  CaqeSession session(std::move(retailers), std::move(transporters));
+  const int total_cost = session.AddOutputDim({0, 0, 1.0, 1.0});
+  const int total_delay = session.AddOutputDim({1, 1, 1.0, 1.0});
+  const int risk = session.AddOutputDim({2, 2, 1.0, 1.0});
+
+  // Q1 joins on country (key column 0), Q2 and Q3 on part (key column 1).
+  session.AddQuery({"domestic", /*join_key=*/0, {total_cost, total_delay}, 0.8},
+                   MakeTimeStepContract(0.4));
+  session.AddQuery({"parts", /*join_key=*/1, {total_cost, risk}, 0.6},
+                   MakeLogDecayContract(0.05));
+  session.AddQuery({"audit", /*join_key=*/1, {total_cost, total_delay, risk},
+                    0.3},
+                   MakeCardinalityContract(0.1, 0.2));
+
+  // Show the coarse-level structures CAQE derives before execution.
+  const Table& r = session.table_r();
+  const Table& t = session.table_t();
+  const PartitionedTable pr = PartitionTable(r, 3).value();
+  const PartitionedTable pt = PartitionTable(t, 3).value();
+  const RegionCollection rc =
+      BuildRegions(pr, pt, session.workload()).value();
+  int country_only = 0;
+  int part_only = 0;
+  int both = 0;
+  for (const OutputRegion& region : rc.regions) {
+    const bool serves_country = region.rql.Contains(0);
+    const bool serves_part = region.rql.Contains(1) || region.rql.Contains(2);
+    if (serves_country && serves_part) {
+      ++both;
+    } else if (serves_country) {
+      ++country_only;
+    } else {
+      ++part_only;
+    }
+  }
+  std::printf("supply chain: %d regions from %d x %d cells\n",
+              static_cast<int>(rc.regions.size()), pr.num_cells(),
+              pt.num_cells());
+  std::printf(
+      "  signature analysis: %d regions serve only the country join, %d "
+      "only the part join, %d both\n\n",
+      country_only, part_only, both);
+
+  const ExecutionReport report = session.Run().value();
+  std::printf("CAQE execution (virtual %.3fs):\n",
+              report.stats.virtual_seconds);
+  for (const QueryReport& query : report.queries) {
+    std::printf("  %-9s %4lld results, satisfaction %.3f\n",
+                query.name.c_str(), static_cast<long long>(query.results),
+                query.satisfaction);
+  }
+  std::printf("\nregions processed: %lld, discarded without processing: %lld\n",
+              static_cast<long long>(report.stats.regions_processed),
+              static_cast<long long>(report.stats.regions_discarded));
+  return 0;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the reproduction and collects console
+# output plus CSV exports under the given output directory.
+#
+#   scripts/run_experiments.sh [OUT_DIR] [EXTRA_BENCH_FLAGS...]
+#
+# Example: scripts/run_experiments.sh results --rows=8000
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${1:-experiment_results}"
+shift || true
+EXTRA_FLAGS=("$@")
+
+mkdir -p "${OUT_DIR}"
+
+run() {
+  local name="$1"
+  shift
+  echo "== ${name} $*" | tee "${OUT_DIR}/${name}.txt"
+  "${BUILD_DIR}/bench/${name}" "$@" | tee -a "${OUT_DIR}/${name}.txt"
+}
+
+run bench_fig9 "${EXTRA_FLAGS[@]:-}"
+run bench_fig10 "${EXTRA_FLAGS[@]:-}"
+run bench_fig11 "${EXTRA_FLAGS[@]:-}"
+run bench_sweeps "${EXTRA_FLAGS[@]:-}"
+run bench_latency "${EXTRA_FLAGS[@]:-}"
+run bench_ablation_cuboid "${EXTRA_FLAGS[@]:-}"
+run bench_ablation_optimizer "${EXTRA_FLAGS[@]:-}"
+run bench_topk "${EXTRA_FLAGS[@]:-}"
+
+# CSV exports via the CLI, one per contract class.
+for contract in C1 C2 C3 C4 C5; do
+  "${BUILD_DIR}/tools/caqe_cli" --contract="${contract}" \
+    --out="${OUT_DIR}/cli_${contract}" "${EXTRA_FLAGS[@]:-}" \
+    > "${OUT_DIR}/cli_${contract}.txt"
+done
+
+echo "All experiment output written to ${OUT_DIR}/"

@@ -1,0 +1,33 @@
+// JFSL baseline: join-first, skyline-later, one query at a time.
+//
+// Models the non-progressive skyline-over-join processing of relaxed
+// join/selection queries (Koudas et al., VLDB 2006) as characterized in the
+// paper's evaluation: each query — in descending priority order — fully
+// materializes its join output, then computes the skyline with an unsorted
+// block-nested-loop filter, then reports every result. No work is shared
+// across queries, nothing is reported before a query's skyline is complete,
+// and the missing presort is what makes JFSL the comparison-count outlier
+// of Figure 10.b.
+#ifndef CAQE_BASELINES_JFSL_H_
+#define CAQE_BASELINES_JFSL_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace caqe {
+
+class JfslEngine : public Engine {
+ public:
+  std::string name() const override { return "JFSL"; }
+
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const Workload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_BASELINES_JFSL_H_

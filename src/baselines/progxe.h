@@ -1,0 +1,33 @@
+// ProgXe+ baseline: progressive result generation, one query at a time.
+//
+// Reimplements the output-space-driven progressive execution of Raghavan &
+// Rundensteiner ("Progressive result generation for multi-criteria decision
+// support queries", ICDE 2010), extended as in the paper's evaluation
+// (ProgXe+): the input is partitioned, output regions are derived and
+// pruned at the abstract level, and regions are scheduled *count-driven* —
+// maximizing early result throughput — rather than contract-driven. Each
+// query is processed separately (priority order, shared clock); no work is
+// shared across queries.
+#ifndef CAQE_BASELINES_PROGXE_H_
+#define CAQE_BASELINES_PROGXE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace caqe {
+
+class ProgXeEngine : public Engine {
+ public:
+  std::string name() const override { return "ProgXe+"; }
+
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const Workload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_BASELINES_PROGXE_H_

@@ -1,0 +1,48 @@
+// SSMJ baseline: skyline-sort-merge-join, one query at a time.
+//
+// Models the sort-based equi-join skyline processing of Jin et al.
+// ("Evaluating skylines in the presence of equijoins", ICDE 2010) as
+// characterized by the paper's measurements: the full join output is
+// materialized per query (Figure 10.a shows SSMJ generating as many join
+// tuples as JFSL), but the sort order makes the subsequent skyline filter
+// far cheaper than an unsorted scan. Results are reported when a query
+// completes; queries run in priority order with no cross-query sharing.
+#ifndef CAQE_BASELINES_SSMJ_H_
+#define CAQE_BASELINES_SSMJ_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace caqe {
+
+class SsmjEngine : public Engine {
+ public:
+  std::string name() const override { return "SSMJ"; }
+
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const Workload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+};
+
+/// Extension (not part of the paper's comparison): SSMJ with per-join-group
+/// *input* pruning. Within each key group, locally dominated R-tuples and
+/// T-tuples are discarded before the join — sound under strictly monotone
+/// mapping functions, and dramatically cheaper on independent/correlated
+/// data. Our reproduction found this strengthened baseline competitive
+/// with CAQE at small scales (see EXPERIMENTS.md).
+class SsmjPlusEngine : public Engine {
+ public:
+  std::string name() const override { return "SSMJ+"; }
+
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const Workload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_BASELINES_SSMJ_H_

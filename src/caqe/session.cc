@@ -1,0 +1,71 @@
+#include "caqe/session.h"
+
+#include "baselines/jfsl.h"
+#include "baselines/progxe.h"
+#include "baselines/ssmj.h"
+#include "exec/shared_plan_engine.h"
+
+namespace caqe {
+
+Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name) {
+  if (name == "CAQE") {
+    return std::unique_ptr<Engine>(new SharedPlanEngine(MakeCaqeEngine()));
+  }
+  if (name == "S-JFSL") {
+    return std::unique_ptr<Engine>(new SharedPlanEngine(MakeSJfslEngine()));
+  }
+  if (name == "JFSL") {
+    return std::unique_ptr<Engine>(new JfslEngine());
+  }
+  if (name == "SSMJ") {
+    return std::unique_ptr<Engine>(new SsmjEngine());
+  }
+  if (name == "SSMJ+") {
+    return std::unique_ptr<Engine>(new SsmjPlusEngine());
+  }
+  if (name == "ProgXe+") {
+    return std::unique_ptr<Engine>(new ProgXeEngine());
+  }
+  if (name == "CAQE-nofb") {
+    return std::unique_ptr<Engine>(
+        new SharedPlanEngine(MakeCaqeNoFeedbackEngine()));
+  }
+  if (name == "CAQE-noprune") {
+    return std::unique_ptr<Engine>(
+        new SharedPlanEngine(MakeCaqeNoPruneEngine()));
+  }
+  if (name == "CAQE-count") {
+    return std::unique_ptr<Engine>(
+        new SharedPlanEngine(MakeCaqeCountDrivenEngine()));
+  }
+  return Status::NotFound("unknown engine: " + name);
+}
+
+std::vector<std::unique_ptr<Engine>> MakePaperEngines() {
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (const char* name : {"CAQE", "S-JFSL", "JFSL", "ProgXe+", "SSMJ"}) {
+    engines.push_back(std::move(MakeEngine(name).value()));
+  }
+  return engines;
+}
+
+Result<ExecutionReport> CaqeSession::Run() { return RunWith("CAQE"); }
+
+Result<ExecutionReport> CaqeSession::RunWith(const std::string& engine_name) {
+  Result<std::unique_ptr<Engine>> engine = MakeEngine(engine_name);
+  CAQE_RETURN_NOT_OK(engine.status());
+  return (*engine)->Execute(r_, t_, workload_, contracts_, options_);
+}
+
+Result<std::vector<ExecutionReport>> CaqeSession::RunComparison() {
+  std::vector<ExecutionReport> reports;
+  for (const auto& engine : MakePaperEngines()) {
+    Result<ExecutionReport> report =
+        engine->Execute(r_, t_, workload_, contracts_, options_);
+    CAQE_RETURN_NOT_OK(report.status());
+    reports.push_back(std::move(report).value());
+  }
+  return reports;
+}
+
+}  // namespace caqe

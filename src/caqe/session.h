@@ -1,0 +1,79 @@
+// High-level session facade — the entry point used by the examples.
+#ifndef CAQE_CAQE_SESSION_H_
+#define CAQE_CAQE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contracts/utility.h"
+#include "data/table.h"
+#include "exec/engine.h"
+#include "exec/options.h"
+#include "metrics/report.h"
+#include "query/query.h"
+
+namespace caqe {
+
+/// Named engine factory. Recognized names: "CAQE", "S-JFSL", "JFSL",
+/// "SSMJ", "ProgXe+", plus the ablation variants "CAQE-nofb",
+/// "CAQE-noprune", "CAQE-count". Returns NotFound for anything else.
+Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name);
+
+/// The five engines compared throughout the paper's evaluation, in the
+/// order they appear in the figures: CAQE, S-JFSL, JFSL, ProgXe+, SSMJ.
+std::vector<std::unique_ptr<Engine>> MakePaperEngines();
+
+/// Builder-style API over one pair of base tables: register output
+/// dimensions, add queries with contracts, then execute with CAQE or any
+/// baseline.
+///
+///   CaqeSession session(std::move(hotels), std::move(tours));
+///   int price = session.AddOutputDim({0, 0, 1.0, 1.0});
+///   int rating = session.AddOutputDim({1, 1, 1.0, 1.0});
+///   session.AddQuery({"Q1", /*join_key=*/0, {price, rating}, 0.9},
+///                    MakeTimeStepContract(10.0));
+///   auto report = session.Run();
+class CaqeSession {
+ public:
+  /// Takes ownership of the base tables.
+  CaqeSession(Table r, Table t) : r_(std::move(r)), t_(std::move(t)) {}
+
+  /// Registers a global output dimension; returns its index.
+  int AddOutputDim(const MappingFunction& f) {
+    return workload_.AddOutputDim(f);
+  }
+
+  /// Adds a query with its progressiveness contract; returns its index.
+  int AddQuery(SjQuery query, Contract contract) {
+    contracts_.push_back(std::move(contract));
+    return workload_.AddQuery(std::move(query));
+  }
+
+  /// Execution knobs (cost model, partitioning granularity, capture).
+  ExecOptions& options() { return options_; }
+  const Workload& workload() const { return workload_; }
+  const Table& table_r() const { return r_; }
+  const Table& table_t() const { return t_; }
+
+  /// Runs the workload with the CAQE engine.
+  Result<ExecutionReport> Run();
+
+  /// Runs the workload with the named engine (see MakeEngine).
+  Result<ExecutionReport> RunWith(const std::string& engine_name);
+
+  /// Runs the workload with all five paper engines and returns their
+  /// reports in paper order.
+  Result<std::vector<ExecutionReport>> RunComparison();
+
+ private:
+  Table r_;
+  Table t_;
+  Workload workload_;
+  std::vector<Contract> contracts_;
+  ExecOptions options_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_CAQE_SESSION_H_

@@ -1,0 +1,29 @@
+// Assertion and utility macros shared across the CAQE library.
+#ifndef CAQE_COMMON_MACROS_H_
+#define CAQE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// CAQE_CHECK aborts (in all build modes) when `condition` is false. It guards
+// programmer errors that must never occur in a correct program; recoverable
+// errors use caqe::Status instead.
+#define CAQE_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CAQE_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// CAQE_DCHECK is compiled out in release (NDEBUG) builds.
+#ifdef NDEBUG
+#define CAQE_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#else
+#define CAQE_DCHECK(condition) CAQE_CHECK(condition)
+#endif
+
+#endif  // CAQE_COMMON_MACROS_H_

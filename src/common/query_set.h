@@ -1,0 +1,104 @@
+// Compact set of query indices, used for region/cell query lineage.
+#ifndef CAQE_COMMON_QUERY_SET_H_
+#define CAQE_COMMON_QUERY_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace caqe {
+
+/// A set of query indices in [0, 64), stored as a 64-bit mask.
+///
+/// CAQE workloads are small (the paper evaluates up to 11 concurrent
+/// queries), so a single machine word suffices. QuerySet is the
+/// representation behind region-query-lineage (RQL) and cell-query-lineage
+/// (CQL) bit vectors (paper Sections 5.2 and 6).
+class QuerySet {
+ public:
+  static constexpr int kMaxQueries = 64;
+
+  constexpr QuerySet() = default;
+
+  /// Singleton set {q}.
+  static QuerySet Of(int q) {
+    QuerySet s;
+    s.Add(q);
+    return s;
+  }
+
+  /// Set containing all indices in [0, n).
+  static QuerySet AllOf(int n) {
+    CAQE_DCHECK(n >= 0 && n <= kMaxQueries);
+    QuerySet s;
+    s.bits_ = (n == kMaxQueries) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  void Add(int q) {
+    CAQE_DCHECK(q >= 0 && q < kMaxQueries);
+    bits_ |= uint64_t{1} << q;
+  }
+  void Remove(int q) {
+    CAQE_DCHECK(q >= 0 && q < kMaxQueries);
+    bits_ &= ~(uint64_t{1} << q);
+  }
+  bool Contains(int q) const {
+    CAQE_DCHECK(q >= 0 && q < kMaxQueries);
+    return (bits_ >> q) & 1;
+  }
+
+  bool empty() const { return bits_ == 0; }
+  int size() const { return std::popcount(bits_); }
+
+  QuerySet Union(QuerySet other) const { return QuerySet(bits_ | other.bits_); }
+  QuerySet Intersect(QuerySet other) const {
+    return QuerySet(bits_ & other.bits_);
+  }
+  QuerySet Minus(QuerySet other) const { return QuerySet(bits_ & ~other.bits_); }
+
+  /// True when every element of this set is in `other`.
+  bool IsSubsetOf(QuerySet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  bool Intersects(QuerySet other) const { return (bits_ & other.bits_) != 0; }
+
+  uint64_t bits() const { return bits_; }
+
+  friend bool operator==(QuerySet a, QuerySet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(QuerySet a, QuerySet b) { return a.bits_ != b.bits_; }
+
+  /// Invokes fn(int query_index) for each member, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t rest = bits_;
+    while (rest != 0) {
+      int q = std::countr_zero(rest);
+      fn(q);
+      rest &= rest - 1;
+    }
+  }
+
+  /// Renders e.g. "{0,2,5}" for debugging.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    ForEach([&](int q) {
+      if (!first) out += ",";
+      out += std::to_string(q);
+      first = false;
+    });
+    out += "}";
+    return out;
+  }
+
+ private:
+  explicit constexpr QuerySet(uint64_t bits) : bits_(bits) {}
+  uint64_t bits_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_COMMON_QUERY_SET_H_

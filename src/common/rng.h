@@ -1,0 +1,47 @@
+// Deterministic random number generation for data generators and tests.
+#ifndef CAQE_COMMON_RNG_H_
+#define CAQE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace caqe {
+
+/// Seeded pseudo-random generator used throughout the library.
+///
+/// A thin wrapper around std::mt19937_64 with convenience samplers. All CAQE
+/// components draw randomness through Rng so experiments are reproducible
+/// from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli sample with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_COMMON_RNG_H_

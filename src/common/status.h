@@ -1,0 +1,140 @@
+// Error handling primitives for the CAQE library.
+//
+// The library does not use C++ exceptions. Fallible operations return
+// caqe::Status (or caqe::Result<T> when they also produce a value). The
+// design follows the Status/Result idiom used by Arrow and RocksDB.
+#ifndef CAQE_COMMON_STATUS_H_
+#define CAQE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace caqe {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or an error code plus message.
+///
+/// Status is cheap to copy in the OK case and supports the usual
+/// `if (!status.ok()) return status;` propagation style. Use the
+/// CAQE_RETURN_NOT_OK macro to shorten propagation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CAQE_DCHECK(code_ != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds both.
+///
+/// Access the value with `value()` / `operator*` only after checking `ok()`;
+/// violating that contract aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    CAQE_DCHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns OK when a value is held, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    CAQE_DCHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CAQE_DCHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CAQE_DCHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define CAQE_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::caqe::Status _caqe_status = (expr); \
+    if (!_caqe_status.ok()) {             \
+      return _caqe_status;                \
+    }                                     \
+  } while (0)
+
+}  // namespace caqe
+
+#endif  // CAQE_COMMON_STATUS_H_

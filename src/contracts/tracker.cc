@@ -1,0 +1,105 @@
+#include "contracts/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caqe {
+namespace {
+
+int64_t IntervalIndex(double now, double interval_seconds) {
+  if (interval_seconds <= 0.0) return 0;
+  return static_cast<int64_t>(std::floor(now / interval_seconds));
+}
+
+}  // namespace
+
+SatisfactionTracker::SatisfactionTracker(std::vector<Contract> contracts)
+    : contracts_(std::move(contracts)),
+      totals_(contracts_.size()),
+      intervals_(contracts_.size()),
+      estimated_totals_(contracts_.size(), 1.0),
+      samples_(contracts_.size()) {
+  for (const Contract& c : contracts_) CAQE_CHECK(c != nullptr);
+}
+
+void SatisfactionTracker::SetEstimatedTotal(int q, double n) {
+  CAQE_DCHECK(q >= 0 && q < num_queries());
+  estimated_totals_[q] = std::max(1.0, n);
+}
+
+double SatisfactionTracker::OnResult(int q, double now) {
+  CAQE_DCHECK(q >= 0 && q < num_queries());
+  const Contract& contract = contracts_[q];
+  IntervalState& st = intervals_[q];
+  const int64_t interval = IntervalIndex(now, contract->interval_seconds());
+  if (interval != st.current_interval) {
+    st.current_interval = interval;
+    st.count_in_interval = 0;
+  }
+  ++st.count_in_interval;
+
+  ResultContext ctx;
+  ctx.report_time = now;
+  ctx.results_in_interval = st.count_in_interval;
+  ctx.results_so_far = totals_[q].results + 1;
+  ctx.estimated_total = estimated_totals_[q];
+  const double u = contract->Utility(ctx);
+
+  totals_[q].pscore += u;
+  totals_[q].results += 1;
+  samples_[q].push_back(UtilitySample{now, u});
+  return u;
+}
+
+double SatisfactionTracker::PreviewUtility(int q, double when,
+                                           int64_t extra_in_interval) const {
+  CAQE_DCHECK(q >= 0 && q < num_queries());
+  const Contract& contract = contracts_[q];
+  const IntervalState& st = intervals_[q];
+  const int64_t interval = IntervalIndex(when, contract->interval_seconds());
+  int64_t in_interval = extra_in_interval;
+  if (interval == st.current_interval) in_interval += st.count_in_interval;
+
+  ResultContext ctx;
+  ctx.report_time = when;
+  ctx.results_in_interval = std::max<int64_t>(1, in_interval);
+  ctx.results_so_far = totals_[q].results + std::max<int64_t>(1, extra_in_interval);
+  ctx.estimated_total = estimated_totals_[q];
+  return contract->Utility(ctx);
+}
+
+double SatisfactionTracker::ProgressiveSatisfaction(int q,
+                                                    double horizon) const {
+  CAQE_DCHECK(q >= 0 && q < num_queries());
+  if (horizon <= 0.0 || samples_[q].empty()) return 0.0;
+  double area = 0.0;
+  for (const UtilitySample& sample : samples_[q]) {
+    area += sample.utility * std::max(0.0, 1.0 - sample.time / horizon);
+  }
+  return area / static_cast<double>(samples_[q].size());
+}
+
+double SatisfactionTracker::WorkloadProgressiveSatisfaction(
+    double horizon) const {
+  if (contracts_.empty()) return 0.0;
+  double sum = 0.0;
+  for (int q = 0; q < num_queries(); ++q) {
+    sum += ProgressiveSatisfaction(q, horizon);
+  }
+  return sum / static_cast<double>(num_queries());
+}
+
+double SatisfactionTracker::WorkloadPScore() const {
+  double total = 0.0;
+  for (const QuerySatisfaction& s : totals_) total += s.pscore;
+  return total;
+}
+
+double SatisfactionTracker::WorkloadAverageSatisfaction() const {
+  if (totals_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const QuerySatisfaction& s : totals_) sum += s.average();
+  return sum / static_cast<double>(totals_.size());
+}
+
+}  // namespace caqe

@@ -1,0 +1,118 @@
+// Run-time contract satisfaction accounting (paper Sections 3.4 and 6).
+#ifndef CAQE_CONTRACTS_TRACKER_H_
+#define CAQE_CONTRACTS_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "contracts/utility.h"
+
+namespace caqe {
+
+/// One reported result's (time, utility) pair.
+struct UtilitySample {
+  double time = 0.0;
+  double utility = 0.0;
+};
+
+/// Per-query satisfaction summary.
+struct QuerySatisfaction {
+  /// pScore (Eq. 7): sum of per-result utilities.
+  double pscore = 0.0;
+  /// Results reported so far.
+  int64_t results = 0;
+  /// Average utility per reported result (0 when nothing reported).
+  double average() const {
+    return results == 0 ? 0.0 : pscore / static_cast<double>(results);
+  }
+};
+
+/// Tracks, per query, the utility of every reported result and the run-time
+/// satisfaction metric used by the optimizer's feedback loop.
+///
+/// Engines call OnResult(query, time) for each result tuple at its (virtual)
+/// report time; times must be non-decreasing per query. The tracker handles
+/// the interval bookkeeping that cardinality/rate contracts need.
+class SatisfactionTracker {
+ public:
+  /// One tracker per workload; `contracts[i]` scores query i's results.
+  explicit SatisfactionTracker(std::vector<Contract> contracts);
+
+  int num_queries() const { return static_cast<int>(contracts_.size()); }
+
+  /// Sets the estimated final result cardinality for query `q` (used by
+  /// cardinality contracts as N). Can be refined during execution.
+  void SetEstimatedTotal(int q, double n);
+
+  /// Scores one reported result of query `q` at time `now` (seconds since
+  /// execution start). Returns the assigned utility.
+  double OnResult(int q, double now);
+
+  /// Utility a hypothetical result of query `q` reported at time `when`
+  /// would receive, assuming `extra_in_interval` results (including it)
+  /// land in the interval containing `when`. Used by the optimizer's CSM
+  /// benefit model (Eq. 8) without mutating state.
+  double PreviewUtility(int q, double when, int64_t extra_in_interval) const;
+
+  /// pScore and counts for query `q`.
+  const QuerySatisfaction& satisfaction(int q) const {
+    CAQE_DCHECK(q >= 0 && q < num_queries());
+    return totals_[q];
+  }
+
+  /// Run-time satisfaction metric v(Q_i): average utility of results
+  /// reported so far; 0 when nothing was reported yet.
+  double RuntimeMetric(int q) const { return satisfaction(q).average(); }
+
+  /// Sum over queries of pScore (the Contract-MQP objective, Eq. 6).
+  double WorkloadPScore() const;
+
+  /// Mean over queries of the average per-result utility — the paper's
+  /// "average contract satisfaction metric" plotted in Figures 9 and 11.
+  double WorkloadAverageSatisfaction() const;
+
+  /// Progressiveness-aware satisfaction of query `q`: the normalized area
+  /// under the cumulative-utility curve up to `horizon` seconds,
+  ///
+  ///   (1/horizon) * ∫_0^horizon [ Σ_{tau.ts <= t} utility(tau) / N ] dt
+  ///    = Σ_i utility_i * max(0, 1 - t_i/horizon) / N,
+  ///
+  /// with N the query's total reported results. It is 1 when every result
+  /// is reported instantly with utility 1, and decays both with lateness
+  /// and with lost utility — measuring *when* contract value was delivered,
+  /// not only how much. Horizons must be identical across compared engines.
+  double ProgressiveSatisfaction(int q, double horizon) const;
+
+  /// Mean over queries of ProgressiveSatisfaction.
+  double WorkloadProgressiveSatisfaction(double horizon) const;
+
+  /// The (time, utility) trace of query `q`'s reported results, in report
+  /// order.
+  const std::vector<UtilitySample>& samples(int q) const {
+    CAQE_DCHECK(q >= 0 && q < num_queries());
+    return samples_[q];
+  }
+
+  const Contract& contract(int q) const {
+    CAQE_DCHECK(q >= 0 && q < num_queries());
+    return contracts_[q];
+  }
+
+ private:
+  struct IntervalState {
+    int64_t current_interval = 0;
+    int64_t count_in_interval = 0;
+  };
+
+  std::vector<Contract> contracts_;
+  std::vector<QuerySatisfaction> totals_;
+  std::vector<IntervalState> intervals_;
+  std::vector<double> estimated_totals_;
+  /// Per-query (time, utility) trace backing the progressive metric.
+  std::vector<std::vector<UtilitySample>> samples_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_CONTRACTS_TRACKER_H_

@@ -1,0 +1,185 @@
+#include "contracts/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace caqe {
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+class TimeStepUtility final : public UtilityFunction {
+ public:
+  explicit TimeStepUtility(double t_hard) : t_hard_(t_hard) {
+    CAQE_CHECK(t_hard > 0.0);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    return ctx.report_time <= t_hard_ ? 1.0 : 0.0;
+  }
+  std::string name() const override {
+    return "C1(t=" + std::to_string(t_hard_) + "s)";
+  }
+
+ private:
+  double t_hard_;
+};
+
+class LogDecayUtility final : public UtilityFunction {
+ public:
+  explicit LogDecayUtility(double unit) : unit_(unit) {
+    CAQE_CHECK(unit > 0.0);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    const double ts = ctx.report_time / unit_;
+    if (ts <= std::exp(1.0)) return 1.0;
+    return Clamp01(1.0 / std::log(ts));
+  }
+  std::string name() const override { return "C2(1/ln t)"; }
+
+ private:
+  double unit_;
+};
+
+class HyperbolicDecayUtility final : public UtilityFunction {
+ public:
+  HyperbolicDecayUtility(double t_soft, double unit)
+      : t_soft_(t_soft), unit_(unit) {
+    CAQE_CHECK(t_soft > 0.0);
+    CAQE_CHECK(unit > 0.0);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    const double ts = ctx.report_time;
+    if (ts <= t_soft_) return 1.0;
+    return Clamp01(unit_ / (ts - t_soft_));
+  }
+  std::string name() const override {
+    return "C3(t=" + std::to_string(t_soft_) + "s)";
+  }
+
+ private:
+  double t_soft_;
+  double unit_;
+};
+
+class CardinalityUtility final : public UtilityFunction {
+ public:
+  CardinalityUtility(double fraction, double interval)
+      : fraction_(fraction), interval_(interval) {
+    CAQE_CHECK(fraction > 0.0 && fraction <= 1.0);
+    CAQE_CHECK(interval > 0.0);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    const double n = static_cast<double>(ctx.results_in_interval);
+    const double target = std::max(1.0, ctx.estimated_total) * fraction_;
+    const double ratio = n / std::max(1.0, ctx.estimated_total);
+    if (ratio >= fraction_) return 1.0;
+    // Shortfall penalty in [-1, 0): n / (N * fraction) - 1 (Eq. 3).
+    return n / target - 1.0;
+  }
+  std::string name() const override {
+    return "C4(frac=" + std::to_string(fraction_) + ")";
+  }
+  double interval_seconds() const override { return interval_; }
+
+ private:
+  double fraction_;
+  double interval_;
+};
+
+class RateUtility final : public UtilityFunction {
+ public:
+  RateUtility(double max_per_interval, double interval)
+      : max_(max_per_interval), interval_(interval) {
+    CAQE_CHECK(max_per_interval > 0.0);
+    CAQE_CHECK(interval > 0.0);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    const double n = static_cast<double>(ctx.results_in_interval);
+    if (n <= max_) return n / max_;
+    return max_ / n;
+  }
+  std::string name() const override {
+    return "Rate(max=" + std::to_string(max_) + ")";
+  }
+  double interval_seconds() const override { return interval_; }
+
+ private:
+  double max_;
+  double interval_;
+};
+
+class InverseTimeUtility final : public UtilityFunction {
+ public:
+  explicit InverseTimeUtility(double unit) : unit_(unit) {
+    CAQE_CHECK(unit > 0.0);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    if (ctx.report_time <= unit_) return 1.0;
+    return Clamp01(unit_ / ctx.report_time);
+  }
+  std::string name() const override { return "1/t"; }
+
+ private:
+  double unit_;
+};
+
+class ProductUtility final : public UtilityFunction {
+ public:
+  ProductUtility(Contract a, Contract b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    CAQE_CHECK(a_ != nullptr && b_ != nullptr);
+  }
+  double Utility(const ResultContext& ctx) const override {
+    return a_->Utility(ctx) * b_->Utility(ctx);
+  }
+  std::string name() const override {
+    return a_->name() + "*" + b_->name();
+  }
+  double interval_seconds() const override {
+    const double ia = a_->interval_seconds();
+    return ia > 0.0 ? ia : b_->interval_seconds();
+  }
+
+ private:
+  Contract a_;
+  Contract b_;
+};
+
+}  // namespace
+
+Contract MakeTimeStepContract(double t_hard_seconds) {
+  return std::make_shared<TimeStepUtility>(t_hard_seconds);
+}
+
+Contract MakeLogDecayContract(double time_unit_seconds) {
+  return std::make_shared<LogDecayUtility>(time_unit_seconds);
+}
+
+Contract MakeHyperbolicDecayContract(double t_soft_seconds,
+                                     double decay_unit_seconds) {
+  return std::make_shared<HyperbolicDecayUtility>(t_soft_seconds,
+                                                  decay_unit_seconds);
+}
+
+Contract MakeCardinalityContract(double fraction, double interval_seconds) {
+  return std::make_shared<CardinalityUtility>(fraction, interval_seconds);
+}
+
+Contract MakeRateContract(double max_per_interval, double interval_seconds) {
+  return std::make_shared<RateUtility>(max_per_interval, interval_seconds);
+}
+
+Contract MakeHybridContract(double fraction, double interval_seconds,
+                            double time_unit_seconds) {
+  return MakeProductContract(
+      std::make_shared<InverseTimeUtility>(time_unit_seconds),
+      MakeCardinalityContract(fraction, interval_seconds));
+}
+
+Contract MakeProductContract(Contract a, Contract b) {
+  return std::make_shared<ProductUtility>(std::move(a), std::move(b));
+}
+
+}  // namespace caqe

@@ -1,0 +1,89 @@
+// Progressiveness contracts and their utility functions (paper Section 3).
+//
+// A contract assigns every reported result tuple a utility score, nominally
+// in [0, 1] (cardinality contracts may assign negative penalty scores when
+// production falls short, Eq. 3). The progressiveness score of a query is
+// the sum of its result utilities (Eq. 7); the run-time satisfaction metric
+// is their average.
+#ifndef CAQE_CONTRACTS_UTILITY_H_
+#define CAQE_CONTRACTS_UTILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace caqe {
+
+/// Everything a utility function may look at when scoring one result tuple.
+struct ResultContext {
+  /// Report timestamp tau_k.ts, in seconds since query submission.
+  double report_time = 0.0;
+  /// Number of results reported in the current contract interval, including
+  /// this one (n_{i,j} of Eq. 3/4).
+  int64_t results_in_interval = 1;
+  /// Results reported so far for the query, including this one.
+  int64_t results_so_far = 1;
+  /// Estimated (or exact, when known) final result cardinality N.
+  double estimated_total = 1.0;
+};
+
+/// A progressive utility function (paper Definition 4).
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Utility of one result tuple. Nominally in [-1, 1].
+  virtual double Utility(const ResultContext& ctx) const = 0;
+
+  /// Short label, e.g. "C1(t=10)".
+  virtual std::string name() const = 0;
+
+  /// Length of the accounting interval for cardinality/rate terms, in
+  /// seconds. Zero means the function does not use interval counts.
+  virtual double interval_seconds() const { return 0.0; }
+};
+
+/// A contract is a shared, immutable utility function.
+using Contract = std::shared_ptr<const UtilityFunction>;
+
+/// C1 (Table 2): step deadline — utility 1 up to `t_hard` seconds, 0 after.
+Contract MakeTimeStepContract(double t_hard_seconds);
+
+/// C2 (Table 2): logarithmic decay — 1 for ts <= e * unit, else
+/// 1/ln(ts / unit), clamped to [0, 1]. The paper leaves the log base, the
+/// pre-asymptote region, and the time unit unspecified; `time_unit_seconds`
+/// rescales the decay to the execution's timescale (1.0 reproduces the
+/// literal Table 2 form on wall-clock seconds).
+Contract MakeLogDecayContract(double time_unit_seconds = 1.0);
+
+/// C3 (Table 2): hyperbolic decay — 1 up to `t_soft`, then
+/// 1/((ts - t_soft) / unit), clamped to [0, 1]. The paper's toughest
+/// contract; `decay_unit_seconds` rescales the decay rate (1.0 reproduces
+/// the literal Table 2 form, e.g. utility 0.5 at t_soft + 2 seconds).
+Contract MakeHyperbolicDecayContract(double t_soft_seconds,
+                                     double decay_unit_seconds = 1.0);
+
+/// C4 (Table 2, Eq. 3): cardinality — per interval of `interval_seconds`,
+/// utility 1 once at least `fraction` of the estimated total has been
+/// reported in the interval, otherwise a negative shortfall score
+/// n/(N*fraction) - 1.
+Contract MakeCardinalityContract(double fraction, double interval_seconds);
+
+/// Eq. 4: rate-bounded consumption — the consumer handles at most
+/// `max_per_interval` tuples per interval; utility n/max below the bound and
+/// max/n above it.
+Contract MakeRateContract(double max_per_interval, double interval_seconds);
+
+/// C5 (Table 2): hybrid — product of a unit/ts time decay (clamped to
+/// [0,1]) and the C4 cardinality utility. `time_unit_seconds` rescales the
+/// 1/ts decay (1.0 reproduces the literal Table 2 form).
+Contract MakeHybridContract(double fraction, double interval_seconds,
+                            double time_unit_seconds = 1.0);
+
+/// Generic combinator: product of two utilities (Eq. 5). The interval of
+/// the combined contract is taken from `a` if set, else from `b`.
+Contract MakeProductContract(Contract a, Contract b);
+
+}  // namespace caqe
+
+#endif  // CAQE_CONTRACTS_UTILITY_H_

@@ -1,0 +1,120 @@
+#include "cuboid/min_max_cuboid.h"
+
+#include <algorithm>
+#include <map>
+
+namespace caqe {
+
+Result<MinMaxCuboid> MinMaxCuboid::Build(
+    const std::vector<Subspace>& preferences) {
+  if (preferences.empty()) {
+    return Status::InvalidArgument("no query preferences given");
+  }
+  if (preferences.size() > QuerySet::kMaxQueries) {
+    return Status::InvalidArgument("too many queries (max 64)");
+  }
+  Subspace uni;
+  for (const Subspace& p : preferences) {
+    if (p.empty()) {
+      return Status::InvalidArgument("empty query preference");
+    }
+    uni = uni.Union(p);
+  }
+  if (uni.size() > 20) {
+    return Status::InvalidArgument(
+        "union of preferences spans too many dimensions (max 20)");
+  }
+
+  // Candidate subspaces: every non-empty submask of the union that serves
+  // at least one query (Def. 6).
+  struct Candidate {
+    QuerySet serves;
+    QuerySet preference_of;
+  };
+  std::map<uint32_t, Candidate> candidates;
+  const uint32_t u = uni.mask();
+  for (uint32_t sub = u; sub != 0; sub = (sub - 1) & u) {
+    const Subspace s(sub);
+    Candidate c;
+    for (size_t q = 0; q < preferences.size(); ++q) {
+      if (s.IsSubsetOf(preferences[q])) c.serves.Add(static_cast<int>(q));
+      if (s == preferences[q]) c.preference_of.Add(static_cast<int>(q));
+    }
+    if (!c.serves.empty()) candidates.emplace(sub, c);
+  }
+
+  // Retention test (Def. 7). Condition 2 reduces to "no strict superspace
+  // candidate with the same serve set" because QServe is antitone: U ⊆ V
+  // implies QServe(V) ⊆ QServe(U).
+  MinMaxCuboid cuboid;
+  cuboid.union_space_ = uni;
+  for (const auto& [mask, cand] : candidates) {
+    const Subspace s(mask);
+    const bool cond1 = (s.size() == 1) || (cand.serves.size() > 1);
+    const bool cond3 = !cand.preference_of.empty();
+    bool cond2 = true;
+    if (!cond1 && !cond3) {
+      for (const auto& [other_mask, other] : candidates) {
+        const Subspace o(other_mask);
+        if (s.IsStrictSubsetOf(o) && cand.serves == other.serves) {
+          cond2 = false;
+          break;
+        }
+      }
+    }
+    if (cond1 || cond2 || cond3) {
+      CuboidNode node;
+      node.subspace = s;
+      node.serves = cand.serves;
+      node.preference_of = cand.preference_of;
+      node.level = s.size() - 1;
+      cuboid.nodes_.push_back(node);
+    }
+  }
+
+  // Descending size so feeders precede the nodes they feed.
+  std::sort(cuboid.nodes_.begin(), cuboid.nodes_.end(),
+            [](const CuboidNode& a, const CuboidNode& b) {
+              if (a.subspace.size() != b.subspace.size()) {
+                return a.subspace.size() > b.subspace.size();
+              }
+              return a.subspace < b.subspace;
+            });
+
+  // Feeder: smallest strict superspace node (ties by order).
+  for (size_t i = 0; i < cuboid.nodes_.size(); ++i) {
+    int best = -1;
+    int best_size = Subspace::kMaxDims + 1;
+    for (size_t j = 0; j < cuboid.nodes_.size(); ++j) {
+      if (i == j) continue;
+      if (cuboid.nodes_[i].subspace.IsStrictSubsetOf(
+              cuboid.nodes_[j].subspace) &&
+          cuboid.nodes_[j].subspace.size() < best_size) {
+        best = static_cast<int>(j);
+        best_size = cuboid.nodes_[j].subspace.size();
+      }
+    }
+    cuboid.nodes_[i].feeder = best;
+  }
+
+  cuboid.preference_nodes_.resize(preferences.size(), -1);
+  for (size_t q = 0; q < preferences.size(); ++q) {
+    const int node = cuboid.FindNode(preferences[q]);
+    CAQE_CHECK(node >= 0);  // Guaranteed by condition 3.
+    cuboid.preference_nodes_[q] = node;
+  }
+  return cuboid;
+}
+
+int MinMaxCuboid::FindNode(Subspace s) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].subspace == s) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t MinMaxCuboid::FullSkycubeSize() const {
+  return (int64_t{1} << union_space_.size()) - 1;
+}
+
+}  // namespace caqe

@@ -1,0 +1,77 @@
+// The min-max cuboid shared plan structure (paper Section 4.1, Def. 6/7).
+//
+// For a workload of skyline preferences over a common output space, the
+// min-max cuboid is the subset of the skycube lattice that (provably)
+// suffices to share skyline evaluation: all singletons, every subspace
+// serving more than one query, every query's full preference, and maximal
+// subspaces not subsumed by a superspace serving the same queries. Only
+// subspaces that serve at least one query are considered (Def. 6).
+#ifndef CAQE_CUBOID_MIN_MAX_CUBOID_H_
+#define CAQE_CUBOID_MIN_MAX_CUBOID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/query_set.h"
+#include "common/status.h"
+#include "cuboid/subspace.h"
+
+namespace caqe {
+
+/// One lattice node retained by the min-max cuboid.
+struct CuboidNode {
+  Subspace subspace;
+  /// QServe(U, S_Q): queries whose preference is a superset of `subspace`
+  /// (Def. 6). Never empty for retained nodes.
+  QuerySet serves;
+  /// Queries whose full preference equals `subspace` — the node publishes
+  /// these queries' final skylines.
+  QuerySet preference_of;
+  /// Index (into MinMaxCuboid::nodes()) of the smallest strict superspace
+  /// node, or -1 when none exists. Used by the shared evaluator to feed a
+  /// node only with tuples accepted by its feeder (Theorem 1 top-down).
+  int feeder = -1;
+  /// Lattice level: number of dimensions minus one (singletons are level 0,
+  /// matching the paper's Figure 6).
+  int level = 0;
+};
+
+/// The full set of query preferences plus the retained lattice nodes.
+class MinMaxCuboid {
+ public:
+  /// Builds the min-max cuboid for query preferences `preferences`
+  /// (preferences[i] is query i's skyline subspace). All preferences must
+  /// be non-empty and the union must span at most Subspace::kMaxDims
+  /// dimensions. Nodes are ordered by descending subspace size (feeders
+  /// before fed nodes), ties by ascending mask.
+  static Result<MinMaxCuboid> Build(const std::vector<Subspace>& preferences);
+
+  const std::vector<CuboidNode>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Union of all query preferences.
+  Subspace union_space() const { return union_space_; }
+
+  /// Index of the node whose subspace equals query `q`'s preference.
+  int preference_node(int q) const {
+    CAQE_DCHECK(q >= 0 && q < static_cast<int>(preference_nodes_.size()));
+    return preference_nodes_[q];
+  }
+
+  /// Index of the node with subspace `s`, or -1.
+  int FindNode(Subspace s) const;
+
+  /// Number of nodes in the corresponding *full* skycube (2^d - 1, d =
+  /// union dimensionality). Retained-vs-full is the sharing headroom
+  /// reported by the ablation benchmarks.
+  int64_t FullSkycubeSize() const;
+
+ private:
+  std::vector<CuboidNode> nodes_;
+  std::vector<int> preference_nodes_;
+  Subspace union_space_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_CUBOID_MIN_MAX_CUBOID_H_

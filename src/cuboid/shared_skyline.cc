@@ -1,0 +1,88 @@
+#include "cuboid/shared_skyline.h"
+
+namespace caqe {
+
+SharedSkylineEvaluator::SharedSkylineEvaluator(int width,
+                                               const MinMaxCuboid* cuboid,
+                                               bool dva_mode)
+    : width_(width), cuboid_(cuboid), dva_mode_(dva_mode) {
+  CAQE_CHECK(cuboid_ != nullptr);
+  root_ = std::make_unique<IncrementalSkyline>(
+      width_, cuboid_->union_space().Dims());
+  const auto& nodes = cuboid_->nodes();
+  node_skylines_.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].subspace == cuboid_->union_space()) {
+      root_alias_node_ = static_cast<int>(i);
+    } else {
+      node_skylines_[i] = std::make_unique<IncrementalSkyline>(
+          width_, nodes[i].subspace.Dims());
+    }
+  }
+  accepted_scratch_.resize(nodes.size(), 0);
+}
+
+SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
+                                                   int64_t id,
+                                                   int64_t* comparisons) {
+  SharedInsertOutcome out;
+  const InsertOutcome root_outcome = root_->Insert(values, id, comparisons);
+  const auto& nodes = cuboid_->nodes();
+
+  // Scratch codes: 0 = rejected by a strict dominator (gate children),
+  // 1 = accepted, 2 = rejected by a tied dominator (children must still
+  // see the tuple — a tie on their dimensions breaks Theorem 1's
+  // strictness argument).
+  const auto code = [](const InsertOutcome& o) -> char {
+    if (o.accepted) return 1;
+    return o.strictly_dominated ? 0 : 2;
+  };
+
+  // Nodes are ordered feeders-first (descending subspace size), so
+  // accepted_scratch_[feeder] is final before a fed node is visited.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const CuboidNode& node = nodes[i];
+    if (static_cast<int>(i) == root_alias_node_) {
+      accepted_scratch_[i] = code(root_outcome);
+      node.preference_of.ForEach([&](int q) {
+        if (root_outcome.accepted) out.accepted.Add(q);
+        if (!root_outcome.evicted.empty()) {
+          out.evictions.emplace_back(q, root_outcome.evicted);
+        }
+      });
+      continue;
+    }
+    const char feeder_code = (node.feeder >= 0)
+                                 ? accepted_scratch_[node.feeder]
+                                 : code(root_outcome);
+    if (dva_mode_ && feeder_code == 0) {
+      // A strict dominator in the feeder space dominates strictly in every
+      // subspace: gate the whole subtree.
+      accepted_scratch_[i] = 0;
+      continue;
+    }
+    const InsertOutcome node_outcome =
+        node_skylines_[i]->Insert(values, id, comparisons);
+    accepted_scratch_[i] = code(node_outcome);
+    node.preference_of.ForEach([&](int q) {
+      if (node_outcome.accepted) out.accepted.Add(q);
+      if (!node_outcome.evicted.empty()) {
+        out.evictions.emplace_back(q, node_outcome.evicted);
+      }
+    });
+  }
+  return out;
+}
+
+const IncrementalSkyline& SharedSkylineEvaluator::query_skyline(int q) const {
+  const int node = cuboid_->preference_node(q);
+  return node_skyline(node);
+}
+
+const IncrementalSkyline& SharedSkylineEvaluator::node_skyline(int n) const {
+  CAQE_DCHECK(n >= 0 && n < static_cast<int>(node_skylines_.size()));
+  if (n == root_alias_node_) return *root_;
+  return *node_skylines_[n];
+}
+
+}  // namespace caqe

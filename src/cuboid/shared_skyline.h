@@ -1,0 +1,81 @@
+// Shared incremental skyline evaluation over the min-max cuboid.
+//
+// All queries of a plan group see the same join-tuple stream (same join
+// predicate), so their subspace skylines can be maintained together. The
+// evaluator exploits Theorem 1 top-down: a tuple *strictly* dominated in a
+// superspace (worse in every dimension) is dominated in every subspace,
+// hence it can be gated out of the whole subtree. Each cuboid node is
+// therefore fed only with tuples not strictly dominated at its feeder (its
+// smallest superspace node, ultimately a synthetic root over the union of
+// all preferences), which shrinks the candidate stream dramatically as it
+// flows down the lattice — this is the comparison sharing of paper
+// Section 4.1.
+//
+// Requiring the gating dominator to be strict makes the shortcut exact
+// even under value ties (the paper needs the DVA assumption because it
+// gates on any domination); a rejection by a merely tying dominator falls
+// through to the children. dva_mode = false disables gating entirely
+// (every node sees every tuple) — useful to measure what the gating buys.
+#ifndef CAQE_CUBOID_SHARED_SKYLINE_H_
+#define CAQE_CUBOID_SHARED_SKYLINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/query_set.h"
+#include "cuboid/min_max_cuboid.h"
+#include "skyline/incremental.h"
+
+namespace caqe {
+
+/// Per-insert outcome across the workload's queries.
+struct SharedInsertOutcome {
+  /// Queries at whose preference node the tuple was accepted.
+  QuerySet accepted;
+  /// (query, evicted tuple ids) pairs for preference-node evictions caused
+  /// by this insert.
+  std::vector<std::pair<int, std::vector<int64_t>>> evictions;
+};
+
+/// Maintains one incremental skyline per min-max cuboid node plus a root
+/// skyline over the union space, with Theorem-1 feeder gating in DVA mode.
+class SharedSkylineEvaluator {
+ public:
+  /// `width` is the global output dimensionality; `cuboid` must outlive the
+  /// evaluator.
+  SharedSkylineEvaluator(int width, const MinMaxCuboid* cuboid, bool dva_mode);
+
+  /// Inserts one projected join tuple (width() values) with external id.
+  /// Comparison counts accumulate into `comparisons` when non-null.
+  SharedInsertOutcome Insert(const double* values, int64_t id,
+                             int64_t* comparisons = nullptr);
+
+  /// Skyline at query q's preference node: exactly SKY_{P_q} of all tuples
+  /// inserted so far (in both modes, including under value ties).
+  const IncrementalSkyline& query_skyline(int q) const;
+
+  /// Skyline at cuboid node `n`.
+  const IncrementalSkyline& node_skyline(int n) const;
+
+  /// Current root (union-space) skyline size.
+  int64_t root_size() const { return root_->size(); }
+
+  bool dva_mode() const { return dva_mode_; }
+  const MinMaxCuboid& cuboid() const { return *cuboid_; }
+
+ private:
+  int width_;
+  const MinMaxCuboid* cuboid_;
+  bool dva_mode_;
+  std::unique_ptr<IncrementalSkyline> root_;
+  /// One skyline per node; null for the node aliasing the root subspace.
+  std::vector<std::unique_ptr<IncrementalSkyline>> node_skylines_;
+  int root_alias_node_ = -1;  // Node whose subspace equals the union space.
+  std::vector<char> accepted_scratch_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_CUBOID_SHARED_SKYLINE_H_

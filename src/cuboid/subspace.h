@@ -1,0 +1,95 @@
+// Subspace (skyline dimension subset) algebra over the workload's output
+// space (paper Section 2.1: a subspace is a subset of the full space D).
+#ifndef CAQE_CUBOID_SUBSPACE_H_
+#define CAQE_CUBOID_SUBSPACE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace caqe {
+
+/// A set of output-dimension indices in [0, 32), stored as a bitmask.
+class Subspace {
+ public:
+  static constexpr int kMaxDims = 32;
+
+  constexpr Subspace() = default;
+  explicit constexpr Subspace(uint32_t mask) : mask_(mask) {}
+
+  /// Subspace from explicit dimension indices.
+  static Subspace FromDims(const std::vector<int>& dims) {
+    Subspace s;
+    for (int d : dims) {
+      CAQE_DCHECK(d >= 0 && d < kMaxDims);
+      s.mask_ |= uint32_t{1} << d;
+    }
+    return s;
+  }
+
+  /// Full space over the first `n` dimensions.
+  static Subspace FullSpace(int n) {
+    CAQE_DCHECK(n >= 0 && n <= kMaxDims);
+    return Subspace(n == kMaxDims ? ~uint32_t{0} : ((uint32_t{1} << n) - 1));
+  }
+
+  uint32_t mask() const { return mask_; }
+  int size() const { return std::popcount(mask_); }
+  bool empty() const { return mask_ == 0; }
+
+  bool Contains(int dim) const {
+    CAQE_DCHECK(dim >= 0 && dim < kMaxDims);
+    return (mask_ >> dim) & 1;
+  }
+  /// True when this is a (non-strict) subset of `other`.
+  bool IsSubsetOf(Subspace other) const {
+    return (mask_ & ~other.mask_) == 0;
+  }
+  /// True when this is a strict subset of `other`.
+  bool IsStrictSubsetOf(Subspace other) const {
+    return IsSubsetOf(other) && mask_ != other.mask_;
+  }
+
+  Subspace Union(Subspace other) const { return Subspace(mask_ | other.mask_); }
+  Subspace Intersect(Subspace other) const {
+    return Subspace(mask_ & other.mask_);
+  }
+
+  /// Member dimension indices, ascending.
+  std::vector<int> Dims() const {
+    std::vector<int> dims;
+    uint32_t rest = mask_;
+    while (rest != 0) {
+      dims.push_back(std::countr_zero(rest));
+      rest &= rest - 1;
+    }
+    return dims;
+  }
+
+  friend bool operator==(Subspace a, Subspace b) { return a.mask_ == b.mask_; }
+  friend bool operator!=(Subspace a, Subspace b) { return a.mask_ != b.mask_; }
+  friend bool operator<(Subspace a, Subspace b) { return a.mask_ < b.mask_; }
+
+  /// Renders e.g. "{d0,d2}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int d : Dims()) {
+      if (!first) out += ",";
+      out += "d" + std::to_string(d);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint32_t mask_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_CUBOID_SUBSPACE_H_

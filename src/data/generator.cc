@@ -1,0 +1,126 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace caqe {
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+// Fills `unit` (size d) with one point in [0,1]^d according to `dist`.
+void SampleUnitPoint(Distribution dist, Rng& rng, std::vector<double>& unit) {
+  const int d = static_cast<int>(unit.size());
+  switch (dist) {
+    case Distribution::kIndependent: {
+      for (int k = 0; k < d; ++k) {
+        unit[k] = rng.Uniform(0.0, 1.0);
+      }
+      return;
+    }
+    case Distribution::kCorrelated: {
+      // A diagonal position plus small per-dimension jitter. Tuples near the
+      // origin of the diagonal dominate nearly everything.
+      const double v = rng.Uniform(0.0, 1.0);
+      for (int k = 0; k < d; ++k) {
+        unit[k] = Clamp01(v + rng.Normal(0.0, 0.05));
+      }
+      return;
+    }
+    case Distribution::kAntiCorrelated: {
+      // A point near the hyperplane sum(a_k) = d * v with v normal around
+      // 1/2: mass is spread along the trade-off surface, so being good in
+      // one dimension implies being bad in another.
+      const double v =
+          std::min(0.95, std::max(0.05, rng.Normal(0.5, 0.08)));
+      const double total = v * d;
+      // Dirichlet(1,...,1) weights via normalized exponentials.
+      double sum = 0.0;
+      for (int k = 0; k < d; ++k) {
+        unit[k] = -std::log(rng.Uniform(1e-12, 1.0));
+        sum += unit[k];
+      }
+      for (int k = 0; k < d; ++k) {
+        unit[k] = Clamp01(unit[k] / sum * total + rng.Normal(0.0, 0.01));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anticorrelated";
+  }
+  return "unknown";
+}
+
+Result<Table> GenerateTable(const std::string& name,
+                            const GeneratorConfig& config) {
+  if (config.num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  if (config.num_attrs < 1) {
+    return Status::InvalidArgument("num_attrs must be >= 1");
+  }
+  if (config.attr_min >= config.attr_max) {
+    return Status::InvalidArgument("attr_min must be < attr_max");
+  }
+  for (double sigma : config.join_selectivities) {
+    if (!(sigma > 0.0 && sigma <= 1.0)) {
+      return Status::InvalidArgument("join selectivity must be in (0, 1]");
+    }
+  }
+  if (config.join_key_correlation < 0.0 ||
+      config.join_key_correlation > 1.0) {
+    return Status::InvalidArgument("join_key_correlation must be in [0, 1]");
+  }
+
+  Rng rng(config.seed);
+  const int d = config.num_attrs;
+  const int num_keys = static_cast<int>(config.join_selectivities.size());
+  Table table(name, d, num_keys);
+  table.Reserve(config.num_rows);
+
+  std::vector<int32_t> key_domains(num_keys);
+  for (int j = 0; j < num_keys; ++j) {
+    key_domains[j] = static_cast<int32_t>(
+        std::max(1.0, std::round(1.0 / config.join_selectivities[j])));
+  }
+
+  std::vector<double> unit(d);
+  std::vector<double> attrs(d);
+  std::vector<int32_t> keys(num_keys);
+  const double span = config.attr_max - config.attr_min;
+  for (int64_t i = 0; i < config.num_rows; ++i) {
+    SampleUnitPoint(config.distribution, rng, unit);
+    for (int k = 0; k < d; ++k) {
+      attrs[k] = config.attr_min + unit[k] * span;
+    }
+    for (int j = 0; j < num_keys; ++j) {
+      if (config.join_key_correlation > 0.0 &&
+          rng.Bernoulli(config.join_key_correlation)) {
+        // Spatially clustered key: determined by the row's position along
+        // the first attribute.
+        keys[j] = static_cast<int32_t>(
+            std::min<double>(key_domains[j] - 1, unit[0] * key_domains[j]));
+      } else {
+        keys[j] =
+            static_cast<int32_t>(rng.UniformInt(0, key_domains[j] - 1));
+      }
+    }
+    table.AppendRow(attrs, keys);
+  }
+  return table;
+}
+
+}  // namespace caqe

@@ -1,0 +1,76 @@
+// In-memory base tables for skyline-over-join workloads.
+#ifndef CAQE_DATA_TABLE_H_
+#define CAQE_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace caqe {
+
+/// A base relation: `num_rows` tuples, each with `num_attrs` real-valued
+/// score attributes (the inputs to mapping functions / skyline dimensions)
+/// and `num_keys` integer join-key columns (one per join predicate the
+/// workload may use).
+///
+/// Storage is flat and column-count fixed at construction; rows are addressed
+/// by index. Tables are immutable after being built through TableBuilder.
+class Table {
+ public:
+  Table(std::string name, int num_attrs, int num_keys)
+      : name_(std::move(name)), num_attrs_(num_attrs), num_keys_(num_keys) {
+    CAQE_CHECK(num_attrs >= 1);
+    CAQE_CHECK(num_keys >= 0);
+  }
+
+  const std::string& name() const { return name_; }
+  int num_attrs() const { return num_attrs_; }
+  int num_keys() const { return num_keys_; }
+  int64_t num_rows() const {
+    return static_cast<int64_t>(attrs_.size()) / num_attrs_;
+  }
+
+  /// Score attribute `a` of row `row`.
+  double attr(int64_t row, int a) const {
+    CAQE_DCHECK(row >= 0 && row < num_rows());
+    CAQE_DCHECK(a >= 0 && a < num_attrs_);
+    return attrs_[row * num_attrs_ + a];
+  }
+
+  /// Join key `k` of row `row`.
+  int32_t key(int64_t row, int k) const {
+    CAQE_DCHECK(row >= 0 && row < num_rows());
+    CAQE_DCHECK(k >= 0 && k < num_keys_);
+    return keys_[row * num_keys_ + k];
+  }
+
+  /// Appends a row. `attrs` must have num_attrs() entries and `keys`
+  /// num_keys() entries.
+  void AppendRow(const std::vector<double>& attrs,
+                 const std::vector<int32_t>& keys) {
+    CAQE_CHECK(static_cast<int>(attrs.size()) == num_attrs_);
+    CAQE_CHECK(static_cast<int>(keys.size()) == num_keys_);
+    attrs_.insert(attrs_.end(), attrs.begin(), attrs.end());
+    keys_.insert(keys_.end(), keys.begin(), keys.end());
+  }
+
+  /// Reserves storage for `n` rows.
+  void Reserve(int64_t n) {
+    attrs_.reserve(n * num_attrs_);
+    keys_.reserve(n * num_keys_);
+  }
+
+ private:
+  std::string name_;
+  int num_attrs_;
+  int num_keys_;
+  std::vector<double> attrs_;
+  std::vector<int32_t> keys_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_DATA_TABLE_H_

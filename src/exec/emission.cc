@@ -1,0 +1,102 @@
+#include "exec/emission.h"
+
+#include "region/region_dominance.h"
+
+namespace caqe {
+
+EmissionManager::EmissionManager(const Workload* workload,
+                                 const RegionCollection* rc,
+                                 const PointSet* store,
+                                 const std::vector<char>* pending)
+    : workload_(workload), rc_(rc), store_(store), pending_(pending) {
+  const int n = workload_->num_queries();
+  parked_.resize(n);
+  witness_of_.resize(n);
+  serving_.resize(n);
+  for (const OutputRegion& region : rc_->regions) {
+    region.rql.ForEach([&](int q) { serving_[q].push_back(region.id); });
+  }
+}
+
+int EmissionManager::FindWitness(int q, int64_t id) {
+  const double* point = store_->row(id);
+  const std::vector<int>& dims = workload_->query(q).preference;
+  for (int region_id : serving_[q]) {
+    if (!(*pending_)[region_id]) continue;
+    const OutputRegion& region = rc_->regions[region_id];
+    if (!region.rql.Contains(q)) continue;  // Pruned for q meanwhile.
+    ++coarse_ops_;
+    if (RegionCanDominatePoint(region, point, dims)) return region_id;
+  }
+  return -1;
+}
+
+void EmissionManager::Park(int q, int64_t id, int witness) {
+  parked_[q][witness].push_back(id);
+  witness_of_[q][id] = witness;
+}
+
+void EmissionManager::OnAccepted(int q, int64_t id,
+                                 std::vector<int64_t>& emit_now) {
+  const int witness = FindWitness(q, id);
+  if (witness < 0) {
+    emit_now.push_back(id);
+  } else {
+    Park(q, id, witness);
+  }
+}
+
+void EmissionManager::OnEvicted(int q, int64_t id) {
+  // Stale entries stay in parked_ buckets; witness_of_ is authoritative.
+  witness_of_[q].erase(id);
+}
+
+void EmissionManager::OnRegionResolvedForQuery(
+    int region, int q, std::vector<std::pair<int, int64_t>>& emit_now) {
+  auto bucket = parked_[q].find(region);
+  if (bucket == parked_[q].end()) return;
+  std::vector<int64_t> ids = std::move(bucket->second);
+  parked_[q].erase(bucket);
+  for (int64_t id : ids) {
+    auto it = witness_of_[q].find(id);
+    if (it == witness_of_[q].end() || it->second != region) {
+      continue;  // Evicted or re-parked meanwhile.
+    }
+    witness_of_[q].erase(it);
+    const int witness = FindWitness(q, id);
+    if (witness < 0) {
+      emit_now.emplace_back(q, id);
+    } else {
+      Park(q, id, witness);
+    }
+  }
+}
+
+void EmissionManager::OnRegionResolved(
+    int region, std::vector<std::pair<int, int64_t>>& emit_now) {
+  for (int q = 0; q < workload_->num_queries(); ++q) {
+    OnRegionResolvedForQuery(region, q, emit_now);
+  }
+}
+
+void EmissionManager::DrainAll(
+    std::vector<std::pair<int, int64_t>>& emit_now) {
+  for (int q = 0; q < workload_->num_queries(); ++q) {
+    for (auto& [region, ids] : parked_[q]) {
+      for (int64_t id : ids) {
+        auto it = witness_of_[q].find(id);
+        if (it == witness_of_[q].end()) continue;
+        witness_of_[q].erase(it);
+        emit_now.emplace_back(q, id);
+      }
+    }
+    parked_[q].clear();
+  }
+}
+
+int64_t EmissionManager::parked(int q) const {
+  CAQE_DCHECK(q >= 0 && q < static_cast<int>(witness_of_.size()));
+  return static_cast<int64_t>(witness_of_[q].size());
+}
+
+}  // namespace caqe

@@ -1,0 +1,90 @@
+// Progressive result reporting with safety guarantees (paper Section 6,
+// "Progressive Result Reporting").
+//
+// A skyline candidate of query Q may be emitted once no *pending* region
+// serving Q can produce a tuple dominating it: for every pending region the
+// lower (best) corner must fail to weakly dominate the candidate in Q's
+// preference subspace. Emitted results are final — they can never be
+// retracted, because future tuples all come from pending regions.
+//
+// The manager is witness-based: a blocked candidate remembers one pending
+// region that blocks it and is re-examined only when that witness is
+// resolved (processed, discarded, or pruned for the query), which keeps the
+// re-scan cost proportional to actual state changes.
+#ifndef CAQE_EXEC_EMISSION_H_
+#define CAQE_EXEC_EMISSION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "query/query.h"
+#include "region/region_builder.h"
+#include "skyline/point_set.h"
+
+namespace caqe {
+
+/// Manages safe progressive emission for all queries of one engine run.
+class EmissionManager {
+ public:
+  /// `store` maps tuple id -> output values (id == row). `pending` flags
+  /// regions still awaiting tuple-level processing; the engine mutates it.
+  /// All pointers must outlive the manager; `rc` lineages may shrink.
+  EmissionManager(const Workload* workload, const RegionCollection* rc,
+                  const PointSet* store, const std::vector<char>* pending);
+
+  /// Registers a tuple newly accepted into query `q`'s skyline. If it is
+  /// already safe it is appended to `emit_now`; otherwise it is parked
+  /// under a blocking witness region.
+  void OnAccepted(int q, int64_t id, std::vector<int64_t>& emit_now);
+
+  /// Drops a candidate evicted from query `q`'s skyline. Ignores unknown
+  /// ids (tuples evicted before ever being accepted at this node).
+  void OnEvicted(int q, int64_t id);
+
+  /// Called when `region` stops threatening query `q` (processed, or q was
+  /// pruned from its lineage). Newly safe candidates of q are appended to
+  /// `emit_now`.
+  void OnRegionResolvedForQuery(int region, int q,
+                                std::vector<std::pair<int, int64_t>>& emit_now);
+
+  /// Called when `region` is fully resolved (processed or discarded):
+  /// re-examines the parked candidates of every query.
+  void OnRegionResolved(int region,
+                        std::vector<std::pair<int, int64_t>>& emit_now);
+
+  /// Emits whatever is still parked (used as a final drain; with correct
+  /// resolution bookkeeping it returns nothing and the engine asserts so).
+  void DrainAll(std::vector<std::pair<int, int64_t>>& emit_now);
+
+  /// Coarse-level operations spent on safety scans.
+  int64_t coarse_ops() const { return coarse_ops_; }
+
+  /// Number of currently parked (accepted, unemitted, unevicted)
+  /// candidates of query `q`.
+  int64_t parked(int q) const;
+
+ private:
+  /// Returns a pending region id blocking (q, id), or -1 when safe.
+  int FindWitness(int q, int64_t id);
+
+  void Park(int q, int64_t id, int witness);
+
+  const Workload* workload_;
+  const RegionCollection* rc_;
+  const PointSet* store_;
+  const std::vector<char>* pending_;
+  /// Per query: witness region -> parked candidate ids (may contain stale
+  /// ids of evicted candidates; filtered on resolution).
+  std::vector<std::unordered_map<int, std::vector<int64_t>>> parked_;
+  /// Per query: id -> current witness (absent once emitted or evicted).
+  std::vector<std::unordered_map<int64_t, int>> witness_of_;
+  /// Initial region ids serving each query (scan list for witness search).
+  std::vector<std::vector<int>> serving_;
+  int64_t coarse_ops_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_EXEC_EMISSION_H_

@@ -1,0 +1,67 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace caqe {
+
+int ChooseCellsPerDim(const ExecOptions& options, int num_attrs,
+                      int64_t num_rows) {
+  if (options.cells_per_dim > 0) return options.cells_per_dim;
+  // Region count is (cells per table)^2, so aim each table at
+  // sqrt(target_regions) cells: cells_per_dim = target^(1/(2d)).
+  const double target = std::max(16, options.target_regions);
+  int cpd = std::max(
+      2, static_cast<int>(std::floor(
+             std::pow(target, 1.0 / (2.0 * std::max(1, num_attrs))))));
+  // Avoid over-partitioning tiny tables (aim for >= 8 rows per cell).
+  while (cpd > 1 &&
+         std::pow(cpd, num_attrs) * 8.0 > static_cast<double>(num_rows)) {
+    --cpd;
+  }
+  return std::max(1, cpd);
+}
+
+Result<PartitionedTable> PartitionForRegions(const Table& table,
+                                             const ExecOptions& options,
+                                             int target_regions) {
+  int64_t target_cells = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(
+             std::sqrt(static_cast<double>(target_regions)))));
+  target_cells = std::max<int64_t>(
+      1, std::min(target_cells, table.num_rows() / 8));
+  if (options.partition_strategy == PartitionStrategy::kQuadTree) {
+    return PartitionTableQuadTreeTarget(table, target_cells);
+  }
+  if (options.cells_per_dim > 0) {
+    return PartitionTable(table, options.cells_per_dim);
+  }
+  return PartitionTableSlices(
+      table, ChooseSliceVector(table.num_attrs(), target_cells));
+}
+
+int64_t ExactTotalJoinSize(const Table& r, const Table& t, int key) {
+  std::unordered_map<int32_t, int64_t> counts;
+  for (int64_t row = 0; row < t.num_rows(); ++row) ++counts[t.key(row, key)];
+  int64_t total = 0;
+  for (int64_t row = 0; row < r.num_rows(); ++row) {
+    const auto it = counts.find(r.key(row, key));
+    if (it != counts.end()) total += it->second;
+  }
+  return total;
+}
+
+int AdaptiveTargetRegions(const ExecOptions& options, const Table& r,
+                          const Table& t, const Workload& workload) {
+  if (options.cells_per_dim > 0) return options.target_regions;
+  int64_t max_join = 0;
+  for (int key : workload.DistinctJoinKeys()) {
+    max_join = std::max(max_join, ExactTotalJoinSize(r, t, key));
+  }
+  const int64_t by_work = std::max<int64_t>(16, max_join / 500);
+  return static_cast<int>(
+      std::min<int64_t>(options.target_regions, by_work));
+}
+
+}  // namespace caqe

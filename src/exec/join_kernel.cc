@@ -1,0 +1,67 @@
+#include "exec/join_kernel.h"
+
+#include <bit>
+
+namespace caqe {
+
+const CellJoinKernel::KeyIndex& CellJoinKernel::IndexFor(int cell_t,
+                                                         int key_column,
+                                                         EngineStats& stats) {
+  const int64_t cache_key =
+      static_cast<int64_t>(cell_t) * 64 + key_column;
+  auto it = index_cache_.find(cache_key);
+  if (it != index_cache_.end()) return it->second;
+
+  KeyIndex index;
+  const LeafCell& cell = part_t_->cell(cell_t);
+  const Table& t = part_t_->table();
+  for (int64_t row : cell.rows) {
+    index[t.key(row, key_column)].push_back(row);
+  }
+  stats.join_probes += static_cast<int64_t>(cell.rows.size());
+  return index_cache_.emplace(cache_key, std::move(index)).first->second;
+}
+
+void CellJoinKernel::Join(const RegionCollection& rc,
+                          const OutputRegion& region, uint32_t slots_mask,
+                          std::vector<JoinMatch>& out, EngineStats& stats) {
+  if (slots_mask == 0) return;
+  const LeafCell& cell_r = part_r_->cell(region.cell_r);
+  const Table& r = part_r_->table();
+  const bool single_slot = std::popcount(slots_mask) == 1;
+
+  // Resolve the indexes up front so probing is tight.
+  std::vector<std::pair<int, const KeyIndex*>> slot_indexes;
+  for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
+    if ((slots_mask >> s) & 1) {
+      slot_indexes.emplace_back(
+          s, &IndexFor(region.cell_t, rc.predicate_slots[s], stats));
+    }
+  }
+
+  std::unordered_map<int64_t, uint32_t> dedupe;
+  for (int64_t row_r : cell_r.rows) {
+    if (!single_slot) dedupe.clear();
+    for (const auto& [slot, index] : slot_indexes) {
+      ++stats.join_probes;
+      const auto hit = index->find(r.key(row_r, rc.predicate_slots[slot]));
+      if (hit == index->end()) continue;
+      for (int64_t row_t : hit->second) {
+        if (single_slot) {
+          out.push_back(JoinMatch{row_r, row_t, uint32_t{1} << slot});
+          ++stats.join_results;
+        } else {
+          dedupe[row_t] |= uint32_t{1} << slot;
+        }
+      }
+    }
+    if (!single_slot) {
+      for (const auto& [row_t, mask] : dedupe) {
+        out.push_back(JoinMatch{row_r, row_t, mask});
+        ++stats.join_results;
+      }
+    }
+  }
+}
+
+}  // namespace caqe

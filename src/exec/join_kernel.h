@@ -1,0 +1,52 @@
+// Tuple-level equi-join between leaf-cell pairs, with cached hash indexes.
+#ifndef CAQE_EXEC_JOIN_KERNEL_H_
+#define CAQE_EXEC_JOIN_KERNEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/report.h"
+#include "partition/partitioner.h"
+#include "region/region_builder.h"
+
+namespace caqe {
+
+/// One join match between a row of R and a row of T; `slot_mask` has bit s
+/// set when distinct-predicate slot s matched the pair.
+struct JoinMatch {
+  int64_t row_r = 0;
+  int64_t row_t = 0;
+  uint32_t slot_mask = 0;
+};
+
+/// Evaluates the equi-join between the cells of one output region over a
+/// subset of predicate slots. Hash indexes over T-cells are built lazily
+/// and cached across regions (each T-cell/key pair is indexed once per
+/// engine run — the shared-scan part of the shared plan).
+class CellJoinKernel {
+ public:
+  CellJoinKernel(const PartitionedTable* part_r, const PartitionedTable* part_t)
+      : part_r_(part_r), part_t_(part_t) {}
+
+  /// Appends matches for `region` over the slots in `slots_mask` to `out`.
+  /// Pairs matching multiple slots appear once with a combined mask.
+  /// Probe/result counters accumulate into `stats`.
+  void Join(const RegionCollection& rc, const OutputRegion& region,
+            uint32_t slots_mask, std::vector<JoinMatch>& out,
+            EngineStats& stats);
+
+ private:
+  using KeyIndex = std::unordered_map<int32_t, std::vector<int64_t>>;
+
+  const KeyIndex& IndexFor(int cell_t, int key_column, EngineStats& stats);
+
+  const PartitionedTable* part_r_;
+  const PartitionedTable* part_t_;
+  /// (cell_t, key_column) -> index.
+  std::unordered_map<int64_t, KeyIndex> index_cache_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_EXEC_JOIN_KERNEL_H_

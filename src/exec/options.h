@@ -1,0 +1,97 @@
+// Engine execution options.
+#ifndef CAQE_EXEC_OPTIONS_H_
+#define CAQE_EXEC_OPTIONS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/virtual_clock.h"
+
+namespace caqe {
+
+/// One observable event of an engine execution, for debugging and
+/// post-hoc analysis of scheduling decisions.
+struct ExecEvent {
+  enum class Kind {
+    /// A region was picked for tuple-level processing.
+    kRegionScheduled,
+    /// A region was discarded without processing (lineage emptied).
+    kRegionDiscarded,
+    /// One query was pruned from a region's lineage.
+    kQueryPruned,
+    /// `count` results of `query` were emitted.
+    kResultsEmitted,
+  };
+  Kind kind = Kind::kRegionScheduled;
+  /// Virtual time of the event.
+  double vtime = 0.0;
+  int region = -1;
+  int query = -1;
+  int64_t count = 0;
+};
+
+/// Input partitioning structure used by region-based engines.
+enum class PartitionStrategy {
+  /// Equi-width grid with an auto-chosen per-dimension slice vector.
+  kGrid,
+  /// Adaptive d-dimensional quad tree (the paper's Section 5.1 structure):
+  /// balanced cell populations under skew.
+  kQuadTree,
+};
+
+/// Region scheduling policy of the shared execution core.
+enum class SchedulePolicy {
+  /// CSM-based contract-driven ordering (CAQE, Algorithm 1).
+  kContractDriven,
+  /// Count-driven ordering: estimated early results per second (the
+  /// ProgXe+ policy).
+  kCountDriven,
+  /// Static scan order (region id order) — the S-JFSL strawman that shares
+  /// the plan but ignores contracts.
+  kStaticScan,
+};
+
+/// Options accepted by every engine.
+struct ExecOptions {
+  /// Virtual-time cost model used for contract timestamps.
+  CostModel cost;
+  /// Input partitioning structure (grid or quad tree).
+  PartitionStrategy partition_strategy = PartitionStrategy::kGrid;
+  /// Grid slices per attribute when partitioning inputs; 0 picks a value
+  /// automatically so the region count stays near `target_regions`
+  /// (ignored by the quad-tree strategy).
+  int cells_per_dim = 0;
+  /// Soft cap used by the automatic granularity choice.
+  int target_regions = 512;
+  /// Enables Theorem-1 feeder gating in the shared skyline evaluator
+  /// (strict-dominator form — exact even under value ties). Turning it off
+  /// disables the comparison-sharing shortcut; results are identical.
+  bool dva_mode = true;
+  /// Capture per-result values and timestamps in the report (tests and
+  /// examples; benchmarks leave it off).
+  bool capture_results = false;
+  /// Apply Eq. 11 satisfaction feedback (CAQE default; ablation knob).
+  bool feedback_enabled = true;
+  /// Run the coarse-level (MQLA) skyline prune before scheduling (CAQE
+  /// default; ablation knob).
+  bool coarse_prune = true;
+  /// Optional exact final result cardinalities, one per query (index =
+  /// query index). When provided, cardinality contracts (C4/C5) score
+  /// against the true N of Table 2 instead of the Buchta estimate; entries
+  /// <= 0 fall back to the estimate. The benchmark harness fills this from
+  /// a calibration run so all engines are scored identically.
+  std::vector<double> known_result_counts;
+  /// When non-null, region-based engines append their scheduling /
+  /// discarding / emission events here (caller keeps ownership; must
+  /// outlive the Execute call).
+  std::vector<ExecEvent>* trace = nullptr;
+  /// Streaming consumer: invoked synchronously for every reported result,
+  /// in report order — (query index, virtual report time, utility). This is
+  /// how an application consumes progressive results instead of waiting
+  /// for the final report.
+  std::function<void(int query, double time, double utility)> on_result;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_EXEC_OPTIONS_H_

@@ -1,0 +1,354 @@
+#include "exec/shared_core.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <optional>
+#include <unordered_set>
+
+#include "cuboid/min_max_cuboid.h"
+#include "cuboid/shared_skyline.h"
+#include "exec/emission.h"
+#include "exec/join_kernel.h"
+#include "optimizer/scheduler.h"
+#include "region/dependency_graph.h"
+#include "region/region_builder.h"
+#include "region/region_dominance.h"
+#include "skyline/cardinality.h"
+#include "skyline/point_set.h"
+
+namespace caqe {
+namespace {
+
+/// Queries sharing one join predicate *and* the same selections share a
+/// min-max cuboid plan: they see the same join-tuple stream, so their
+/// subspace skylines can be evaluated together (Section 4.1 restricts
+/// sharing to queries identical up to their skyline dimensions).
+struct PlanGroup {
+  int slot = 0;
+  /// Workload-local query indices, in group order (= cuboid query order).
+  std::vector<int> queries;
+  /// Same members as `queries`, as a set (fast lineage intersection).
+  QuerySet query_set;
+  /// The group's common selections (shared by every member).
+  std::vector<SelectionRange> selections;
+  MinMaxCuboid cuboid;
+  std::unique_ptr<SharedSkylineEvaluator> evaluator;
+};
+
+// Canonical grouping key for a query's selections.
+std::string SelectionKey(const SjQuery& query) {
+  std::vector<SelectionRange> sorted = query.selections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SelectionRange& a, const SelectionRange& b) {
+              return std::tie(a.on_r, a.attr, a.lo, a.hi) <
+                     std::tie(b.on_r, b.attr, b.lo, b.hi);
+            });
+  std::string key;
+  for (const SelectionRange& sel : sorted) {
+    key += (sel.on_r ? "r" : "t") + std::to_string(sel.attr) + ":" +
+           std::to_string(sel.lo) + ".." + std::to_string(sel.hi) + ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+Status RunSharedCore(const PartitionedTable& part_r,
+                     const PartitionedTable& part_t, const Workload& workload,
+                     const std::vector<int>& global_query_ids,
+                     SatisfactionTracker& tracker, VirtualClock& clock,
+                     EngineStats& stats, std::vector<QueryReport>& reports,
+                     const CoreOptions& core_options) {
+  if (static_cast<int>(global_query_ids.size()) != workload.num_queries()) {
+    return Status::InvalidArgument("global_query_ids size mismatch");
+  }
+
+  // ---- Multi-query output look-ahead: coarse join. ----
+  Result<RegionCollection> rc_result =
+      BuildRegions(part_r, part_t, workload);
+  CAQE_RETURN_NOT_OK(rc_result.status());
+  RegionCollection rc = std::move(rc_result).value();
+  stats.regions_built += static_cast<int64_t>(rc.regions.size());
+  stats.coarse_ops += rc.coarse_ops;
+  clock.ChargeCoarseOps(rc.coarse_ops);
+
+  // ---- Coarse skyline prune (MQLA). ----
+  if (core_options.coarse_prune) {
+    const CoarsePruneStats prune = CoarseSkylinePrune(rc, workload);
+    stats.coarse_ops += prune.coarse_ops;
+    stats.regions_discarded += prune.pruned_regions;
+    clock.ChargeCoarseOps(prune.coarse_ops);
+  }
+
+  // ---- Per-(predicate, selections) min-max cuboid plans. ----
+  // Groups live behind unique_ptr so the evaluator's pointer into the
+  // group's cuboid stays valid.
+  std::vector<std::unique_ptr<PlanGroup>> groups;
+  for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
+    if (rc.queries_of_slot[s].empty()) continue;
+    // Partition the slot's queries by identical selections.
+    std::map<std::string, std::vector<int>> by_selection;
+    rc.queries_of_slot[s].ForEach([&](int q) {
+      by_selection[SelectionKey(workload.query(q))].push_back(q);
+    });
+    for (auto& [key, members] : by_selection) {
+      (void)key;
+      auto group = std::make_unique<PlanGroup>();
+      group->slot = s;
+      group->queries = std::move(members);
+      for (int q : group->queries) group->query_set.Add(q);
+      group->selections = workload.query(group->queries.front()).selections;
+      std::vector<Subspace> prefs;
+      for (int q : group->queries) {
+        prefs.push_back(Subspace::FromDims(workload.query(q).preference));
+      }
+      Result<MinMaxCuboid> cuboid = MinMaxCuboid::Build(prefs);
+      CAQE_RETURN_NOT_OK(cuboid.status());
+      group->cuboid = std::move(cuboid).value();
+      group->evaluator = std::make_unique<SharedSkylineEvaluator>(
+          workload.num_output_dims(), &group->cuboid, core_options.dva_mode);
+      groups.push_back(std::move(group));
+    }
+  }
+
+  // ---- Result-cardinality estimates for cardinality contracts. ----
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    const int global_q = global_query_ids[q];
+    double total = 0.0;
+    if (global_q < static_cast<int>(core_options.known_result_counts.size())) {
+      total = core_options.known_result_counts[global_q];
+    }
+    if (total <= 0.0) {
+      const int slot = rc.slot_of_query[q];
+      total = BuchtaSkylineCardinality(
+          static_cast<double>(rc.total_join_sizes[slot]),
+          static_cast<int>(workload.query(q).preference.size()));
+    }
+    tracker.SetEstimatedTotal(global_q, total);
+  }
+
+  // ---- Scheduling state. ----
+  std::vector<char> pending(rc.regions.size(), 0);
+  int64_t pending_count = 0;
+  for (const OutputRegion& region : rc.regions) {
+    if (!region.rql.empty()) {
+      pending[region.id] = 1;
+      ++pending_count;
+    }
+  }
+
+  SchedulerOptions sched_options;
+  sched_options.feedback_enabled = core_options.feedback;
+  sched_options.contract_driven =
+      core_options.policy == SchedulePolicy::kContractDriven;
+  std::optional<ContractDrivenScheduler> scheduler;
+  if (core_options.policy != SchedulePolicy::kStaticScan) {
+    scheduler.emplace(&rc, &workload, &tracker, &clock.cost_model(),
+                      sched_options);
+  }
+  int static_cursor = 0;
+
+  PointSet store(workload.num_output_dims());
+  EmissionManager emission(&workload, &rc, &store, &pending);
+  CellJoinKernel kernel(&part_r, &part_t);
+
+  std::vector<JoinMatch> matches;
+  std::vector<double> values;
+  // Per-query accepted/evicted events of the current region.
+  std::vector<std::vector<int64_t>> accepted_events(workload.num_queries());
+  std::vector<std::vector<int64_t>> evicted_events(workload.num_queries());
+
+  auto record = [&](ExecEvent::Kind kind, int region, int query,
+                    int64_t count) {
+    if (core_options.trace == nullptr) return;
+    core_options.trace->push_back(
+        ExecEvent{kind, clock.Now(), region, query, count});
+  };
+
+  auto emit_result = [&](int q, int64_t id) {
+    const int global_q = global_query_ids[q];
+    const double now = clock.Now();
+    const double utility = tracker.OnResult(global_q, now);
+    clock.ChargeEmits(1);
+    ++stats.emitted_results;
+    if (core_options.on_result) core_options.on_result(global_q, now, utility);
+    if (core_options.capture_results) {
+      ReportedResult result;
+      result.tuple_id = id;
+      result.time = now;
+      result.utility = utility;
+      result.values.assign(store.row(id),
+                           store.row(id) + store.width());
+      reports[global_q].tuples.push_back(std::move(result));
+    }
+  };
+
+  while (pending_count > 0) {
+    // ---- Pick the next region. ----
+    int rid = -1;
+    if (scheduler.has_value()) {
+      int64_t pick_ops = 0;
+      rid = scheduler->PickNext(clock.Now(), &pick_ops);
+      stats.coarse_ops += pick_ops;
+      clock.ChargeCoarseOps(pick_ops);
+    } else {
+      while (static_cursor < static_cast<int>(pending.size()) &&
+             !pending[static_cursor]) {
+        ++static_cursor;
+      }
+      CAQE_CHECK(static_cursor < static_cast<int>(pending.size()));
+      rid = static_cursor;
+    }
+    clock.ChargeScheduleSteps(1);
+    record(ExecEvent::Kind::kRegionScheduled, rid, -1, 0);
+    OutputRegion& region = rc.regions[rid];
+
+    // ---- Tuple-level join over the slots still serving queries. ----
+    uint32_t slots_mask = 0;
+    for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
+      if (region.join_sizes[s] > 0 &&
+          region.rql.Intersects(rc.queries_of_slot[s])) {
+        slots_mask |= uint32_t{1} << s;
+      }
+    }
+    matches.clear();
+    const int64_t probes_before = stats.join_probes;
+    const int64_t results_before = stats.join_results;
+    kernel.Join(rc, region, slots_mask, matches, stats);
+    clock.ChargeJoinProbes(stats.join_probes - probes_before);
+    clock.ChargeJoinResults(stats.join_results - results_before);
+
+    // ---- Project and evaluate over the shared cuboid plans. ----
+    for (auto& events : accepted_events) events.clear();
+    for (auto& events : evicted_events) events.clear();
+    const int64_t cmps_before = stats.dominance_cmps;
+    for (const JoinMatch& match : matches) {
+      workload.Project(part_r.table(), match.row_r, part_t.table(),
+                       match.row_t, values);
+      const int64_t id = store.Append(values);
+      for (const auto& group : groups) {
+        if (((match.slot_mask >> group->slot) & 1) == 0) continue;
+        if (!region.rql.Intersects(group->query_set)) continue;
+        // The group's common selections must hold for this join pair.
+        bool passes = true;
+        for (const SelectionRange& sel : group->selections) {
+          const double v =
+              sel.on_r ? part_r.table().attr(match.row_r, sel.attr)
+                       : part_t.table().attr(match.row_t, sel.attr);
+          if (v < sel.lo || v > sel.hi) {
+            passes = false;
+            break;
+          }
+        }
+        if (!passes) continue;
+        const SharedInsertOutcome outcome = group->evaluator->Insert(
+            values.data(), id, &stats.dominance_cmps);
+        outcome.accepted.ForEach([&](int local) {
+          accepted_events[group->queries[local]].push_back(id);
+        });
+        for (const auto& [local, ids] : outcome.evictions) {
+          std::vector<int64_t>& sink = evicted_events[group->queries[local]];
+          sink.insert(sink.end(), ids.begin(), ids.end());
+        }
+      }
+    }
+    clock.ChargeDominanceCmps(stats.dominance_cmps - cmps_before);
+
+    // ---- Region complete. ----
+    pending[rid] = 0;
+    --pending_count;
+    ++stats.regions_processed;
+    if (scheduler.has_value()) scheduler->OnRegionRemoved(rid);
+
+    // Apply this region's evictions to the emission manager *before* any
+    // discard/resolution scan: a parked candidate dominated by one of this
+    // region's tuples must be deregistered before resolutions can unpark
+    // (and wrongly emit) it.
+    std::vector<std::unordered_set<int64_t>> dead(workload.num_queries());
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      for (int64_t id : evicted_events[q]) {
+        emission.OnEvicted(q, id);
+        dead[q].insert(id);
+      }
+    }
+
+    std::vector<std::pair<int, int64_t>> resolved_emits;
+    // ---- Dominated-region discarding (Section 6, tuple level). ----
+    // Every accepted tuple is a real join result; even if later evicted,
+    // what it dominates stays dominated (its evictor dominates more).
+    int64_t discard_ops = 0;
+    for (int q = 0; core_options.tuple_discard && q < workload.num_queries();
+         ++q) {
+      if (accepted_events[q].empty()) continue;
+      const std::vector<int>& dims = workload.query(q).preference;
+      for (OutputRegion& other : rc.regions) {
+        if (!pending[other.id] || !other.rql.Contains(q)) continue;
+        for (int64_t id : accepted_events[q]) {
+          ++discard_ops;
+          if (!PointFullyDominatesRegion(store.row(id), other, dims)) {
+            continue;
+          }
+          other.rql.Remove(q);
+          record(ExecEvent::Kind::kQueryPruned, other.id, q, 0);
+          emission.OnRegionResolvedForQuery(other.id, q, resolved_emits);
+          if (other.rql.empty()) {
+            pending[other.id] = 0;
+            --pending_count;
+            ++stats.regions_discarded;
+            record(ExecEvent::Kind::kRegionDiscarded, other.id, -1, 0);
+            if (scheduler.has_value()) scheduler->OnRegionRemoved(other.id);
+            emission.OnRegionResolved(other.id, resolved_emits);
+          }
+          break;  // Query q is gone from this region's lineage.
+        }
+      }
+    }
+    stats.coarse_ops += discard_ops;
+    clock.ChargeCoarseOps(discard_ops);
+
+    // ---- Progressive emission. ----
+    const int64_t emission_ops_before = emission.coarse_ops();
+    emission.OnRegionResolved(rid, resolved_emits);
+    std::vector<int64_t> direct_emits;
+    std::vector<int64_t> emitted_per_query(workload.num_queries(), 0);
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      direct_emits.clear();
+      for (int64_t id : accepted_events[q]) {
+        if (dead[q].contains(id)) continue;
+        emission.OnAccepted(q, id, direct_emits);
+      }
+      for (int64_t id : direct_emits) emit_result(q, id);
+      emitted_per_query[q] += static_cast<int64_t>(direct_emits.size());
+    }
+    for (const auto& [q, id] : resolved_emits) {
+      emit_result(q, id);
+      ++emitted_per_query[q];
+    }
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      if (emitted_per_query[q] > 0) {
+        record(ExecEvent::Kind::kResultsEmitted, rid, q,
+               emitted_per_query[q]);
+      }
+    }
+    const int64_t emission_ops =
+        emission.coarse_ops() - emission_ops_before;
+    stats.coarse_ops += emission_ops;
+    clock.ChargeCoarseOps(emission_ops);
+
+    // ---- Satisfaction feedback (Eq. 11). ----
+    if (scheduler.has_value()) scheduler->UpdateWeights();
+  }
+
+  // With every region resolved, nothing can remain parked.
+  std::vector<std::pair<int, int64_t>> leftovers;
+  emission.DrainAll(leftovers);
+  CAQE_DCHECK(leftovers.empty());
+  for (const auto& [q, id] : leftovers) emit_result(q, id);
+
+  return Status::OK();
+}
+
+}  // namespace caqe

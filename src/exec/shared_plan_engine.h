@@ -1,0 +1,60 @@
+// Engines built on the shared region-based execution core.
+#ifndef CAQE_EXEC_SHARED_PLAN_ENGINE_H_
+#define CAQE_EXEC_SHARED_PLAN_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "exec/shared_core.h"
+
+namespace caqe {
+
+/// Shared-plan engine parameterized by core policy knobs. Factory functions
+/// below produce the named configurations used in the paper's evaluation
+/// and the ablation studies.
+class SharedPlanEngine : public Engine {
+ public:
+  /// `policy_overrides` fixes the core policy regardless of ExecOptions;
+  /// feedback/prune flags of ExecOptions are ANDed with the template (an
+  /// engine that disables feedback by design keeps it off even when the
+  /// caller's options enable it).
+  SharedPlanEngine(std::string name, SchedulePolicy policy, bool coarse_prune,
+                   bool feedback, bool tuple_discard = true)
+      : name_(std::move(name)),
+        policy_(policy),
+        coarse_prune_(coarse_prune),
+        feedback_(feedback),
+        tuple_discard_(tuple_discard) {}
+
+  std::string name() const override { return name_; }
+
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const Workload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+
+ private:
+  std::string name_;
+  SchedulePolicy policy_;
+  bool coarse_prune_;
+  bool feedback_;
+  bool tuple_discard_;
+};
+
+/// CAQE: contract-driven scheduling, coarse pruning, satisfaction feedback.
+SharedPlanEngine MakeCaqeEngine();
+
+/// S-JFSL (paper Section 7.1): pipelines join tuples over the min-max
+/// cuboid plan in static scan order — execution sharing without contract
+/// awareness.
+SharedPlanEngine MakeSJfslEngine();
+
+/// Ablations of CAQE's design choices.
+SharedPlanEngine MakeCaqeNoFeedbackEngine();
+SharedPlanEngine MakeCaqeNoPruneEngine();
+SharedPlanEngine MakeCaqeCountDrivenEngine();
+
+}  // namespace caqe
+
+#endif  // CAQE_EXEC_SHARED_PLAN_ENGINE_H_

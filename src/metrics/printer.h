@@ -1,0 +1,37 @@
+// Console table / CSV rendering used by the benchmark harness.
+#ifndef CAQE_METRICS_PRINTER_H_
+#define CAQE_METRICS_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace caqe {
+
+/// Accumulates rows and renders them as an aligned ASCII table or CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Aligned, pipe-separated table with a header rule.
+  std::string Render() const;
+
+  /// RFC-4180-ish CSV (no quoting of embedded commas; callers avoid them).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.345").
+std::string FormatDouble(double v, int precision = 3);
+
+/// Large-count formatting with thousands separators ("1,234,567").
+std::string FormatCount(int64_t v);
+
+}  // namespace caqe
+
+#endif  // CAQE_METRICS_PRINTER_H_

@@ -1,0 +1,75 @@
+// Execution metrics and reports shared by all engines.
+#ifndef CAQE_METRICS_REPORT_H_
+#define CAQE_METRICS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caqe {
+
+/// Raw operation counters accumulated by an engine run. These back the
+/// paper's CPU/memory utilization figures: join_results is the memory proxy
+/// (Figure 10.a), dominance_cmps the CPU proxy (Figure 10.b), and
+/// virtual_seconds the execution-time proxy (Figure 10.c).
+struct EngineStats {
+  int64_t join_probes = 0;
+  int64_t join_results = 0;
+  int64_t dominance_cmps = 0;
+  int64_t coarse_ops = 0;
+  int64_t emitted_results = 0;
+  int64_t regions_built = 0;
+  int64_t regions_processed = 0;
+  int64_t regions_discarded = 0;
+  double virtual_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// One reported (progressively emitted) result tuple.
+struct ReportedResult {
+  int64_t tuple_id = 0;
+  /// Virtual report time tau.ts, seconds since execution start.
+  double time = 0.0;
+  /// Utility the query's contract assigned at report time.
+  double utility = 0.0;
+  /// Projected output values; captured only when ExecOptions requests it.
+  std::vector<double> values;
+};
+
+/// A reported result's (time, utility) pair, always captured (unlike full
+/// tuple values) so progressiveness metrics can be computed offline with a
+/// cross-engine horizon.
+struct UtilityTracePoint {
+  double time = 0.0;
+  double utility = 0.0;
+};
+
+/// Per-query outcome.
+struct QueryReport {
+  std::string name;
+  /// pScore (Eq. 7): sum of result utilities.
+  double pscore = 0.0;
+  /// Number of results reported.
+  int64_t results = 0;
+  /// Average utility per result — the per-query satisfaction metric.
+  double satisfaction = 0.0;
+  /// Captured results (empty unless requested).
+  std::vector<ReportedResult> tuples;
+  /// (time, utility) of every reported result, in report order.
+  std::vector<UtilityTracePoint> utility_trace;
+};
+
+/// Outcome of one engine execution over one workload.
+struct ExecutionReport {
+  std::string engine;
+  EngineStats stats;
+  std::vector<QueryReport> queries;
+  /// Sum of per-query pScores (the Contract-MQP objective, Eq. 6).
+  double workload_pscore = 0.0;
+  /// Mean per-query satisfaction (Figures 9 and 11 y-axis).
+  double average_satisfaction = 0.0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_METRICS_REPORT_H_

@@ -1,0 +1,190 @@
+#include "optimizer/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skyline/cardinality.h"
+
+namespace caqe {
+
+ContractDrivenScheduler::ContractDrivenScheduler(
+    const RegionCollection* rc, const Workload* workload,
+    const SatisfactionTracker* tracker, const CostModel* cost,
+    SchedulerOptions options)
+    : rc_(rc),
+      workload_(workload),
+      tracker_(tracker),
+      cost_(cost),
+      options_(options),
+      dg_(DependencyGraph::Build(*rc, *workload)) {
+  const int n = static_cast<int>(rc_->regions.size());
+  pending_.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    if (!rc_->regions[i].rql.empty()) {
+      pending_[i] = 1;
+      ++pending_count_;
+    }
+  }
+  weights_.assign(workload_->num_queries(), 1.0);
+  dom_frac_cache_.assign(
+      static_cast<size_t>(n) * workload_->num_queries(), DomFrac{});
+  // Witness -1 means "not yet computed"; mark with NaN-free sentinel: use
+  // witness == -2 for "computed, no dominator". Start all entries stale.
+  for (DomFrac& d : dom_frac_cache_) d.witness = -1;
+}
+
+double ContractDrivenScheduler::ComputeDominatedFrac(int region, int q,
+                                                     int* witness) const {
+  const OutputRegion& c = rc_->regions[region];
+  const std::vector<int>& dims = workload_->query(q).preference;
+  double best = 0.0;
+  int best_witness = -2;
+  for (const OutputRegion& f : rc_->regions) {
+    if (f.id == region || !pending_[f.id] || !f.rql.Contains(q)) continue;
+    ++scan_ops_;
+    double frac = 1.0;
+    for (int k : dims) {
+      const double width = c.upper[k] - c.lower[k];
+      double overlap;
+      if (width <= 0.0) {
+        overlap = (f.lower[k] <= c.lower[k]) ? 1.0 : 0.0;
+      } else {
+        overlap = (c.upper[k] - std::max(c.lower[k], f.lower[k])) / width;
+        overlap = std::min(1.0, std::max(0.0, overlap));
+      }
+      frac *= overlap;
+      if (frac == 0.0) break;
+    }
+    if (frac > best) {
+      best = frac;
+      best_witness = f.id;
+      if (best >= 1.0) break;
+    }
+  }
+  *witness = best_witness;
+  return best;
+}
+
+ContractDrivenScheduler::DomFrac& ContractDrivenScheduler::CachedDomFrac(
+    int region, int q) const {
+  DomFrac& entry =
+      dom_frac_cache_[static_cast<size_t>(region) * workload_->num_queries() +
+                      q];
+  const bool stale =
+      entry.witness == -1 ||
+      (entry.witness >= 0 &&
+       (!pending_[entry.witness] ||
+        !rc_->regions[entry.witness].rql.Contains(q)));
+  if (stale) {
+    entry.frac = ComputeDominatedFrac(region, q, &entry.witness);
+  }
+  return entry;
+}
+
+double ContractDrivenScheduler::EstimateCost(int region) const {
+  const OutputRegion& r = rc_->regions[region];
+  double probes = 0.0;
+  double results = 0.0;
+  const int num_slots = static_cast<int>(rc_->predicate_slots.size());
+  for (int s = 0; s < num_slots; ++s) {
+    if (r.join_sizes[s] <= 0) continue;
+    if (!r.rql.Intersects(rc_->queries_of_slot[s])) continue;
+    probes += static_cast<double>(r.rows_r + r.rows_t);
+    results += static_cast<double>(r.join_sizes[s]);
+  }
+  const double cmp_est = results * std::log2(1.0 + results);
+  return cost_->join_probe_seconds * probes +
+         cost_->join_result_seconds * results +
+         cost_->dominance_cmp_seconds * cmp_est + cost_->schedule_seconds;
+}
+
+double ContractDrivenScheduler::EstimateBenefit(int region, int q) const {
+  const OutputRegion& r = rc_->regions[region];
+  if (!r.rql.Contains(q)) return 0.0;
+  const int slot = rc_->slot_of_query[q];
+  const int64_t join_size = r.join_sizes[slot];
+  if (join_size <= 0) return 0.0;
+  const int d = static_cast<int>(workload_->query(q).preference.size());
+  const double cardinality =
+      BuchtaSkylineCardinality(static_cast<double>(join_size), d);
+  const DomFrac& dom = CachedDomFrac(region, q);
+  return (1.0 - dom.frac) * cardinality;
+}
+
+double ContractDrivenScheduler::Csm(int region, double now) const {
+  const OutputRegion& r = rc_->regions[region];
+  const double t_c = EstimateCost(region);
+  double score = 0.0;
+  r.rql.ForEach([&](int q) {
+    const double n_est = EstimateBenefit(region, q);
+    if (n_est <= 0.0) return;
+    if (options_.contract_driven) {
+      const double u = tracker_->PreviewUtility(
+          q, now + t_c, static_cast<int64_t>(std::ceil(n_est)));
+      score += weights_[q] * n_est * u;
+    } else {
+      // Count-driven (ProgXe+-style): early results per second.
+      score += n_est;
+    }
+  });
+  if (!options_.contract_driven) score /= std::max(1e-9, t_c);
+  return score;
+}
+
+int ContractDrivenScheduler::PickNext(double now, int64_t* coarse_ops) {
+  CAQE_CHECK(pending_count_ > 0);
+  scan_ops_ = 0;
+  const std::vector<int> roots = dg_.Roots();
+  int best = -1;
+  double best_score = -1.0;
+  for (int region : roots) {
+    if (!pending_[region]) continue;
+    if (rc_->regions[region].rql.empty()) continue;
+    const double score = Csm(region, now);
+    ++scan_ops_;
+    if (score > best_score) {
+      best_score = score;
+      best = region;
+    }
+  }
+  if (best == -1) {
+    // Every root has an empty lineage (engine has not removed them yet);
+    // fall back to any pending region so the loop always progresses.
+    for (int i = 0; i < static_cast<int>(pending_.size()); ++i) {
+      if (pending_[i]) {
+        best = i;
+        break;
+      }
+    }
+  }
+  if (coarse_ops != nullptr) *coarse_ops += scan_ops_;
+  CAQE_CHECK(best >= 0);
+  return best;
+}
+
+void ContractDrivenScheduler::OnRegionRemoved(int region) {
+  CAQE_DCHECK(region >= 0 && region < static_cast<int>(pending_.size()));
+  if (!pending_[region]) return;
+  pending_[region] = 0;
+  --pending_count_;
+  dg_.Deactivate(region);
+}
+
+void ContractDrivenScheduler::UpdateWeights() {
+  if (!options_.feedback_enabled) return;
+  const int n = workload_->num_queries();
+  double v_max = 0.0;
+  for (int q = 0; q < n; ++q) {
+    v_max = std::max(v_max, tracker_->RuntimeMetric(q));
+  }
+  double denom = 0.0;
+  for (int q = 0; q < n; ++q) {
+    denom += v_max - tracker_->RuntimeMetric(q);
+  }
+  if (denom <= 0.0) return;  // All queries equally satisfied.
+  for (int q = 0; q < n; ++q) {
+    weights_[q] += (v_max - tracker_->RuntimeMetric(q)) / denom;
+  }
+}
+
+}  // namespace caqe

@@ -1,0 +1,118 @@
+// Contract-driven optimization (paper Section 5.3 and Algorithm 1).
+//
+// The scheduler iteratively picks the next output region for tuple-level
+// processing. Candidates are the dependency-graph roots; each candidate is
+// scored with the Cumulative Satisfaction Metric (Eq. 8):
+//
+//   CSM(R_c, t_c) = sum_i w_i * sum_{j=1..N_est^i(t_c)} utility_i(tau_j)
+//
+// where N_est is the progressiveness estimate (Eq. 10): the fraction of the
+// region's output volume no pending region can dominate, times the Buchta
+// cardinality estimate (Eq. 9), and t_c comes from a cost model over the
+// region's exact join sizes. After every region the run-time satisfaction
+// feedback adjusts the per-query weights (Eq. 11).
+#ifndef CAQE_OPTIMIZER_SCHEDULER_H_
+#define CAQE_OPTIMIZER_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "contracts/tracker.h"
+#include "query/query.h"
+#include "region/dependency_graph.h"
+#include "region/region_builder.h"
+
+namespace caqe {
+
+/// Scheduling policy knobs (ablations flip these).
+struct SchedulerOptions {
+  /// Apply Eq. 11 weight feedback after every region (CAQE default). When
+  /// off, weights stay at 1.
+  bool feedback_enabled = true;
+  /// Score regions with contract utilities (CAQE). When off, the benefit
+  /// term degenerates to estimated result count per second — the
+  /// count-driven policy of ProgXe+.
+  bool contract_driven = true;
+};
+
+/// Implements Algorithm 1 over a region collection whose lineages the
+/// engine mutates as tuple-level processing discards work.
+///
+/// The engine drives the loop:
+///   while (scheduler.HasPending()) {
+///     int rid = scheduler.PickNext(clock.Now());
+///     ... process region rid, possibly discard others ...
+///     scheduler.OnRegionRemoved(rid);        // and for each discarded one
+///     scheduler.UpdateWeights();             // Eq. 11 feedback
+///   }
+class ContractDrivenScheduler {
+ public:
+  /// All pointers must outlive the scheduler. `rc` lineages may shrink
+  /// during execution; the scheduler re-reads them on every scan.
+  ContractDrivenScheduler(const RegionCollection* rc, const Workload* workload,
+                          const SatisfactionTracker* tracker,
+                          const CostModel* cost, SchedulerOptions options);
+
+  /// True while any region is pending.
+  bool HasPending() const { return pending_count_ > 0; }
+  int64_t pending_count() const { return pending_count_; }
+
+  /// Picks the pending dependency-graph root with the highest CSM at
+  /// virtual time `now`. Coarse-op counts for the scoring scan accumulate
+  /// into `coarse_ops` when non-null. The caller must eventually call
+  /// OnRegionRemoved for the returned region.
+  int PickNext(double now, int64_t* coarse_ops = nullptr);
+
+  /// Marks a region processed or discarded: removes it from the dependency
+  /// graph and from the benefit-model caches.
+  void OnRegionRemoved(int region);
+
+  /// Recomputes query weights from the tracker's run-time satisfaction
+  /// metrics (Eq. 11). No-op when feedback is disabled.
+  void UpdateWeights();
+
+  double weight(int q) const { return weights_[q]; }
+
+  /// Estimated virtual seconds to process `region` tuple-level.
+  double EstimateCost(int region) const;
+
+  /// Progressiveness estimate N_est (Eq. 10) of `region` for query `q` —
+  /// expected results emittable right after the region completes.
+  double EstimateBenefit(int region, int q) const;
+
+  /// CSM score (Eq. 8) of `region` at time `now`.
+  double Csm(int region, double now) const;
+
+  bool IsPending(int region) const { return pending_[region] != 0; }
+
+ private:
+  /// Fraction of the region's output box (for query q) that the best
+  /// feasible tuple of some *other* pending region serving q could
+  /// dominate; cached with the maximizing region as witness.
+  struct DomFrac {
+    double frac = 0.0;
+    int witness = -1;
+  };
+
+  double ComputeDominatedFrac(int region, int q, int* witness) const;
+  DomFrac& CachedDomFrac(int region, int q) const;
+
+  const RegionCollection* rc_;
+  const Workload* workload_;
+  const SatisfactionTracker* tracker_;
+  const CostModel* cost_;
+  SchedulerOptions options_;
+  DependencyGraph dg_;
+  std::vector<char> pending_;
+  int64_t pending_count_ = 0;
+  std::vector<double> weights_;
+  /// Row-major [region][query] dominated-fraction cache; entries with a
+  /// dead witness are recomputed lazily.
+  mutable std::vector<DomFrac> dom_frac_cache_;
+  mutable int64_t scan_ops_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_OPTIMIZER_SCHEDULER_H_

@@ -1,0 +1,342 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace caqe {
+
+bool SignaturesIntersect(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b, int64_t* ops) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (ops != nullptr) ++*ops;
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+int64_t ExactJoinSize(const std::vector<int32_t>& keys_a,
+                      const std::vector<int32_t>& counts_a,
+                      const std::vector<int32_t>& keys_b,
+                      const std::vector<int32_t>& counts_b, int64_t* ops) {
+  CAQE_DCHECK(keys_a.size() == counts_a.size());
+  CAQE_DCHECK(keys_b.size() == counts_b.size());
+  int64_t total = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < keys_a.size() && j < keys_b.size()) {
+    if (ops != nullptr) ++*ops;
+    if (keys_a[i] == keys_b[j]) {
+      total += static_cast<int64_t>(counts_a[i]) * counts_b[j];
+      ++i;
+      ++j;
+    } else if (keys_a[i] < keys_b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+int64_t PartitionedTable::TotalRows() const {
+  int64_t total = 0;
+  for (const LeafCell& c : cells_) {
+    total += static_cast<int64_t>(c.rows.size());
+  }
+  return total;
+}
+
+Result<PartitionedTable> PartitionTableSlices(const Table& table,
+                                              const std::vector<int>& slices) {
+  if (static_cast<int>(slices.size()) != table.num_attrs()) {
+    return Status::InvalidArgument("one slice count per attribute required");
+  }
+  int max_slices = 1;
+  for (int s : slices) {
+    if (s < 1) return Status::InvalidArgument("slice counts must be >= 1");
+    max_slices = std::max(max_slices, s);
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot partition an empty table");
+  }
+  const int d = table.num_attrs();
+  const int64_t n = table.num_rows();
+
+  // Observed per-attribute ranges define the grid extent.
+  std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+  for (int64_t row = 0; row < n; ++row) {
+    for (int k = 0; k < d; ++k) {
+      const double v = table.attr(row, k);
+      lo[k] = std::min(lo[k], v);
+      hi[k] = std::max(hi[k], v);
+    }
+  }
+
+  // Map each row to its flattened grid cell id.
+  std::unordered_map<int64_t, std::vector<int64_t>> buckets;
+  for (int64_t row = 0; row < n; ++row) {
+    int64_t id = 0;
+    for (int k = 0; k < d; ++k) {
+      const double span = hi[k] - lo[k];
+      int slot = 0;
+      if (span > 0.0 && slices[k] > 1) {
+        slot = static_cast<int>((table.attr(row, k) - lo[k]) / span *
+                                slices[k]);
+        slot = std::min(slot, slices[k] - 1);
+      }
+      id = id * slices[k] + slot;
+    }
+    buckets[id].push_back(row);
+  }
+
+  PartitionedTable result(&table, max_slices);
+  const int num_keys = table.num_keys();
+  for (auto& [id, rows] : buckets) {
+    LeafCell cell;
+    cell.rows = std::move(rows);
+    std::sort(cell.rows.begin(), cell.rows.end());
+    cell.lower.assign(d, std::numeric_limits<double>::infinity());
+    cell.upper.assign(d, -std::numeric_limits<double>::infinity());
+    for (int64_t row : cell.rows) {
+      for (int k = 0; k < d; ++k) {
+        const double v = table.attr(row, k);
+        cell.lower[k] = std::min(cell.lower[k], v);
+        cell.upper[k] = std::max(cell.upper[k], v);
+      }
+    }
+    cell.signatures.resize(num_keys);
+    cell.signature_counts.resize(num_keys);
+    for (int j = 0; j < num_keys; ++j) {
+      std::vector<int32_t> all;
+      all.reserve(cell.rows.size());
+      for (int64_t row : cell.rows) all.push_back(table.key(row, j));
+      std::sort(all.begin(), all.end());
+      std::vector<int32_t>& sig = cell.signatures[j];
+      std::vector<int32_t>& counts = cell.signature_counts[j];
+      for (size_t i = 0; i < all.size();) {
+        size_t end = i;
+        while (end < all.size() && all[end] == all[i]) ++end;
+        sig.push_back(all[i]);
+        counts.push_back(static_cast<int32_t>(end - i));
+        i = end;
+      }
+    }
+    result.AddCell(std::move(cell));
+  }
+  return result;
+}
+
+Result<PartitionedTable> PartitionTable(const Table& table,
+                                        int cells_per_dim) {
+  if (cells_per_dim < 1) {
+    return Status::InvalidArgument("cells_per_dim must be >= 1");
+  }
+  return PartitionTableSlices(
+      table, std::vector<int>(table.num_attrs(), cells_per_dim));
+}
+
+namespace {
+
+// Finalizes one quad-tree leaf: tight bounds + signatures over `rows`.
+LeafCell MakeLeaf(const Table& table, std::vector<int64_t> rows) {
+  const int d = table.num_attrs();
+  const int num_keys = table.num_keys();
+  LeafCell cell;
+  cell.rows = std::move(rows);
+  std::sort(cell.rows.begin(), cell.rows.end());
+  cell.lower.assign(d, std::numeric_limits<double>::infinity());
+  cell.upper.assign(d, -std::numeric_limits<double>::infinity());
+  for (int64_t row : cell.rows) {
+    for (int k = 0; k < d; ++k) {
+      const double v = table.attr(row, k);
+      cell.lower[k] = std::min(cell.lower[k], v);
+      cell.upper[k] = std::max(cell.upper[k], v);
+    }
+  }
+  cell.signatures.resize(num_keys);
+  cell.signature_counts.resize(num_keys);
+  for (int j = 0; j < num_keys; ++j) {
+    std::vector<int32_t> all;
+    all.reserve(cell.rows.size());
+    for (int64_t row : cell.rows) all.push_back(table.key(row, j));
+    std::sort(all.begin(), all.end());
+    for (size_t i = 0; i < all.size();) {
+      size_t end = i;
+      while (end < all.size() && all[end] == all[i]) ++end;
+      cell.signatures[j].push_back(all[i]);
+      cell.signature_counts[j].push_back(static_cast<int32_t>(end - i));
+      i = end;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+namespace {
+
+struct QuadNode {
+  std::vector<int64_t> rows;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  int depth = 0;
+};
+
+QuadNode QuadRoot(const Table& table) {
+  const int d = table.num_attrs();
+  QuadNode root;
+  root.lower.assign(d, std::numeric_limits<double>::infinity());
+  root.upper.assign(d, -std::numeric_limits<double>::infinity());
+  root.rows.resize(table.num_rows());
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    root.rows[row] = row;
+    for (int k = 0; k < d; ++k) {
+      const double v = table.attr(row, k);
+      root.lower[k] = std::min(root.lower[k], v);
+      root.upper[k] = std::max(root.upper[k], v);
+    }
+  }
+  return root;
+}
+
+// Splits `node` at its box midpoint in every dimension into non-empty
+// children. Returns false (leaving `node` untouched) when the node cannot
+// be split (degenerate box, or all rows in one quadrant).
+bool QuadSplit(const Table& table, const QuadNode& node,
+               std::vector<QuadNode>& children_out) {
+  const int d = table.num_attrs();
+  if (node.lower == node.upper) return false;
+  std::vector<double> mid(d);
+  for (int k = 0; k < d; ++k) {
+    mid[k] = 0.5 * (node.lower[k] + node.upper[k]);
+  }
+  std::unordered_map<uint32_t, std::vector<int64_t>> children;
+  for (int64_t row : node.rows) {
+    uint32_t quadrant = 0;
+    for (int k = 0; k < d; ++k) {
+      if (table.attr(row, k) > mid[k]) quadrant |= uint32_t{1} << k;
+    }
+    children[quadrant].push_back(row);
+  }
+  if (children.size() <= 1) return false;
+  for (auto& [quadrant, rows] : children) {
+    QuadNode child;
+    child.depth = node.depth + 1;
+    child.rows = std::move(rows);
+    child.lower.resize(d);
+    child.upper.resize(d);
+    for (int k = 0; k < d; ++k) {
+      const bool high = (quadrant >> k) & 1;
+      child.lower[k] = high ? mid[k] : node.lower[k];
+      child.upper[k] = high ? node.upper[k] : mid[k];
+    }
+    children_out.push_back(std::move(child));
+  }
+  return true;
+}
+
+Status ValidateQuadArgs(const Table& table, int max_depth) {
+  if (max_depth < 0) {
+    return Status::InvalidArgument("max_depth must be >= 0");
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot partition an empty table");
+  }
+  if (table.num_attrs() > 20) {
+    return Status::InvalidArgument(
+        "quad-tree partitioning supports at most 20 attributes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PartitionedTable> PartitionTableQuadTree(const Table& table,
+                                                int64_t max_rows_per_cell,
+                                                int max_depth) {
+  if (max_rows_per_cell < 1) {
+    return Status::InvalidArgument("max_rows_per_cell must be >= 1");
+  }
+  CAQE_RETURN_NOT_OK(ValidateQuadArgs(table, max_depth));
+
+  PartitionedTable result(&table, 0);
+  std::vector<QuadNode> stack;
+  stack.push_back(QuadRoot(table));
+  while (!stack.empty()) {
+    QuadNode node = std::move(stack.back());
+    stack.pop_back();
+    std::vector<QuadNode> children;
+    if (static_cast<int64_t>(node.rows.size()) <= max_rows_per_cell ||
+        node.depth >= max_depth || !QuadSplit(table, node, children)) {
+      result.AddCell(MakeLeaf(table, std::move(node.rows)));
+      continue;
+    }
+    for (QuadNode& child : children) stack.push_back(std::move(child));
+  }
+  return result;
+}
+
+Result<PartitionedTable> PartitionTableQuadTreeTarget(const Table& table,
+                                                      int64_t target_cells,
+                                                      int max_depth) {
+  if (target_cells < 1) {
+    return Status::InvalidArgument("target_cells must be >= 1");
+  }
+  CAQE_RETURN_NOT_OK(ValidateQuadArgs(table, max_depth));
+
+  // Greedily split the most populated splittable node until the leaf
+  // budget is met.
+  auto by_rows = [](const QuadNode& a, const QuadNode& b) {
+    return a.rows.size() < b.rows.size();
+  };
+  std::vector<QuadNode> heap;
+  heap.push_back(QuadRoot(table));
+  std::vector<QuadNode> leaves;
+  while (!heap.empty() &&
+         static_cast<int64_t>(heap.size() + leaves.size()) < target_cells) {
+    std::pop_heap(heap.begin(), heap.end(), by_rows);
+    QuadNode node = std::move(heap.back());
+    heap.pop_back();
+    std::vector<QuadNode> children;
+    if (node.depth >= max_depth || !QuadSplit(table, node, children)) {
+      leaves.push_back(std::move(node));
+      continue;
+    }
+    for (QuadNode& child : children) {
+      heap.push_back(std::move(child));
+      std::push_heap(heap.begin(), heap.end(), by_rows);
+    }
+  }
+  PartitionedTable result(&table, 0);
+  for (QuadNode& node : heap) {
+    result.AddCell(MakeLeaf(table, std::move(node.rows)));
+  }
+  for (QuadNode& node : leaves) {
+    result.AddCell(MakeLeaf(table, std::move(node.rows)));
+  }
+  return result;
+}
+
+std::vector<int> ChooseSliceVector(int num_attrs, int64_t target_cells) {
+  std::vector<int> slices(std::max(1, num_attrs), 1);
+  int64_t cells = 1;
+  int dim = 0;
+  while (cells * 2 <= target_cells) {
+    slices[dim] *= 2;
+    cells *= 2;
+    dim = (dim + 1) % static_cast<int>(slices.size());
+  }
+  return slices;
+}
+
+}  // namespace caqe

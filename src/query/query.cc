@@ -1,0 +1,81 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace caqe {
+
+std::vector<int> Workload::DistinctJoinKeys() const {
+  std::vector<int> keys;
+  for (const SjQuery& q : queries_) keys.push_back(q.join_key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<int> Workload::QueriesByPriority() const {
+  std::vector<int> order(queries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return queries_[a].priority > queries_[b].priority;
+  });
+  return order;
+}
+
+Status Workload::Validate(const Table& r, const Table& t) const {
+  if (queries_.empty()) {
+    return Status::InvalidArgument("workload has no queries");
+  }
+  if (output_dims_.empty()) {
+    return Status::InvalidArgument("workload has no output dimensions");
+  }
+  for (const MappingFunction& f : output_dims_) {
+    if (f.r_attr < 0 || f.r_attr >= r.num_attrs()) {
+      return Status::InvalidArgument("mapping references invalid R attribute");
+    }
+    if (f.t_attr < 0 || f.t_attr >= t.num_attrs()) {
+      return Status::InvalidArgument("mapping references invalid T attribute");
+    }
+    if (f.wr < 0.0 || f.wt < 0.0) {
+      return Status::InvalidArgument(
+          "mapping weights must be non-negative (monotonicity)");
+    }
+  }
+  for (const SjQuery& q : queries_) {
+    if (q.join_key < 0 || q.join_key >= r.num_keys() ||
+        q.join_key >= t.num_keys()) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " references invalid join key column");
+    }
+    if (q.preference.empty()) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " has empty preference");
+    }
+    std::vector<int> sorted = q.preference;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " has duplicate preference dimensions");
+    }
+    if (q.priority < 0.0 || q.priority > 1.0) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " priority outside [0, 1]");
+    }
+    for (const SelectionRange& sel : q.selections) {
+      const Table& side = sel.on_r ? r : t;
+      if (sel.attr < 0 || sel.attr >= side.num_attrs()) {
+        return Status::InvalidArgument(
+            "query " + q.name + " selection references invalid attribute");
+      }
+      if (sel.lo > sel.hi) {
+        return Status::InvalidArgument("query " + q.name +
+                                       " selection has lo > hi");
+      }
+    }
+  }
+  if (num_queries() > 64) {
+    return Status::InvalidArgument("workloads are limited to 64 queries");
+  }
+  return Status::OK();
+}
+
+}  // namespace caqe

@@ -1,0 +1,165 @@
+// Skyline-over-join query and workload definitions (paper Section 2.2).
+//
+// A workload defines a single *global output space*: a set of output
+// dimensions X = {x_1, ..., x_D}, each produced by a monotone scalar mapping
+// function f_k over one attribute of R and one of T (paper Figure 1 — all
+// queries draw from a common pool of mapping functions). Each query then
+// specifies (a) which equi-join predicate combines R and T and (b) its
+// skyline preference: a subset of the global output dimensions. Smaller
+// output values are preferred.
+#ifndef CAQE_QUERY_QUERY_H_
+#define CAQE_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace caqe {
+
+/// A monotone scalar mapping function x = wr * R.attr[r_attr] +
+/// wt * T.attr[t_attr] with non-negative weights (paper PROJECT operator,
+/// Example 5). Monotonicity in both inputs is what lets region bounds be
+/// derived from input-cell corner points.
+struct MappingFunction {
+  int r_attr = 0;
+  int t_attr = 0;
+  double wr = 1.0;
+  double wt = 1.0;
+
+  double Apply(double r_value, double t_value) const {
+    return wr * r_value + wt * t_value;
+  }
+};
+
+/// Query priority classes used by the experimental study (Section 7.1).
+enum class PriorityClass { kHigh, kMedium, kLow };
+
+/// Returns the class for a priority value in [0, 1]: HIGH is [0.7, 1],
+/// MEDIUM is [0.4, 0.7), LOW is [0, 0.4).
+inline PriorityClass ClassifyPriority(double priority) {
+  if (priority >= 0.7) return PriorityClass::kHigh;
+  if (priority >= 0.4) return PriorityClass::kMedium;
+  return PriorityClass::kLow;
+}
+
+/// A range selection on one input attribute (inclusive bounds). The
+/// paper's shared plans fold selects into the coarse abstraction
+/// (Section 4.1, "generating shared plans for selects ... can be applied
+/// as is"): a leaf cell whose bounding box misses the range disqualifies
+/// the query at coarse level without touching tuples.
+struct SelectionRange {
+  /// True: applies to an R attribute; false: to a T attribute.
+  bool on_r = true;
+  /// Input attribute index.
+  int attr = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// One skyline-over-join query Q_i = SJ[JC, F, X, P](R, T), optionally with
+/// input selections.
+struct SjQuery {
+  /// Human-readable label, e.g. "Q3".
+  std::string name;
+  /// Index of the join-key column used by the equi-join predicate JC_i.
+  int join_key = 0;
+  /// Skyline preference P_i: indices into the workload's output dimensions.
+  /// Must be non-empty and duplicate-free.
+  std::vector<int> preference;
+  /// Scheduling priority pr_i in [0, 1]; competitors process queries in
+  /// descending priority order (Section 7.1).
+  double priority = 1.0;
+  /// Conjunctive input selections; a join pair contributes to this query
+  /// only when every range holds (defaults to none — the common
+  /// aggregate-initialized form {name, key, preference, priority} stays
+  /// valid).
+  std::vector<SelectionRange> selections;
+};
+
+/// A workload of skyline-over-join queries over tables R and T.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Appends a global output dimension produced by `f`; returns its index.
+  int AddOutputDim(const MappingFunction& f) {
+    output_dims_.push_back(f);
+    return static_cast<int>(output_dims_.size()) - 1;
+  }
+
+  /// Appends a query; returns its index. The query must reference existing
+  /// output dimensions.
+  int AddQuery(SjQuery query) {
+    CAQE_CHECK(!query.preference.empty());
+    for (int dim : query.preference) {
+      CAQE_CHECK(dim >= 0 && dim < num_output_dims());
+    }
+    queries_.push_back(std::move(query));
+    return static_cast<int>(queries_.size()) - 1;
+  }
+
+  int num_output_dims() const {
+    return static_cast<int>(output_dims_.size());
+  }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  const MappingFunction& output_dim(int k) const {
+    CAQE_DCHECK(k >= 0 && k < num_output_dims());
+    return output_dims_[k];
+  }
+  const SjQuery& query(int i) const {
+    CAQE_DCHECK(i >= 0 && i < num_queries());
+    return queries_[i];
+  }
+  const std::vector<SjQuery>& queries() const { return queries_; }
+  const std::vector<MappingFunction>& output_dims() const {
+    return output_dims_;
+  }
+
+  /// Computes all D output values for the join pair (row_r, row_t) into
+  /// `out` (resized to num_output_dims()).
+  void Project(const Table& r, int64_t row_r, const Table& t, int64_t row_t,
+               std::vector<double>& out) const {
+    out.resize(output_dims_.size());
+    for (size_t k = 0; k < output_dims_.size(); ++k) {
+      const MappingFunction& f = output_dims_[k];
+      out[k] = f.Apply(r.attr(row_r, f.r_attr), t.attr(row_t, f.t_attr));
+    }
+  }
+
+  /// True when the join pair (row_r, row_t) satisfies every selection of
+  /// query `q`.
+  bool SelectionsPass(int q, const Table& r, int64_t row_r, const Table& t,
+                      int64_t row_t) const {
+    for (const SelectionRange& sel : queries_[q].selections) {
+      const double v = sel.on_r ? r.attr(row_r, sel.attr)
+                                : t.attr(row_t, sel.attr);
+      if (v < sel.lo || v > sel.hi) return false;
+    }
+    return true;
+  }
+
+  /// Indices of join-key columns referenced by at least one query,
+  /// ascending and duplicate-free.
+  std::vector<int> DistinctJoinKeys() const;
+
+  /// Query indices sorted by descending priority (ties by index). This is
+  /// the processing order used by the non-shared competitor techniques.
+  std::vector<int> QueriesByPriority() const;
+
+  /// Validates the workload against concrete tables: every mapping function
+  /// must reference valid attributes and every query a valid key column.
+  Status Validate(const Table& r, const Table& t) const;
+
+ private:
+  std::vector<MappingFunction> output_dims_;
+  std::vector<SjQuery> queries_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_QUERY_QUERY_H_

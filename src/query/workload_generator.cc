@@ -1,0 +1,142 @@
+#include "query/workload_generator.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace caqe {
+namespace {
+
+// All subsets of {0..d-1} with >= 2 elements, ordered by size then by
+// ascending bitmask (lexicographic on members).
+std::vector<std::vector<int>> MultiDimSubspaces(int d) {
+  std::vector<uint32_t> masks;
+  for (uint32_t m = 1; m < (uint32_t{1} << d); ++m) {
+    if (std::popcount(m) >= 2) masks.push_back(m);
+  }
+  std::stable_sort(masks.begin(), masks.end(), [](uint32_t a, uint32_t b) {
+    const int pa = std::popcount(a);
+    const int pb = std::popcount(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+  std::vector<std::vector<int>> subs;
+  subs.reserve(masks.size());
+  for (uint32_t m : masks) {
+    std::vector<int> dims;
+    for (int k = 0; k < d; ++k) {
+      if ((m >> k) & 1) dims.push_back(k);
+    }
+    subs.push_back(std::move(dims));
+  }
+  return subs;
+}
+
+void AssignPriorities(std::vector<SjQuery>& queries, PriorityPolicy policy,
+                      uint64_t seed) {
+  const int n = static_cast<int>(queries.size());
+  if (n == 0) return;
+  Rng rng(seed);
+  // Ranks of queries by dimension count (stable on index).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  switch (policy) {
+    case PriorityPolicy::kDimIncreasing:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return queries[a].preference.size() > queries[b].preference.size();
+      });
+      break;
+    case PriorityPolicy::kDimDecreasing:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return queries[a].preference.size() < queries[b].preference.size();
+      });
+      break;
+    case PriorityPolicy::kUniform:
+      break;  // Keep query order.
+    case PriorityPolicy::kRandom:
+      for (int i = 0; i < n; ++i) {
+        queries[i].priority = rng.Uniform(0.0, 1.0);
+      }
+      return;
+  }
+  // Evenly spaced priorities in [0.05, 1.0]; order[0] gets the highest.
+  for (int rank = 0; rank < n; ++rank) {
+    const double p =
+        (n == 1) ? 1.0 : 1.0 - 0.95 * static_cast<double>(rank) / (n - 1);
+    queries[order[rank]].priority = p;
+  }
+}
+
+}  // namespace
+
+Result<Workload> MakeSubspaceWorkload(int num_output_dims, int join_key,
+                                      int num_queries, PriorityPolicy policy,
+                                      uint64_t seed) {
+  if (num_output_dims < 2 || num_output_dims > 16) {
+    return Status::InvalidArgument("num_output_dims must be in [2, 16]");
+  }
+  const std::vector<std::vector<int>> subs = MultiDimSubspaces(num_output_dims);
+  if (num_queries < 1 || num_queries > static_cast<int>(subs.size())) {
+    return Status::InvalidArgument(
+        "num_queries must be in [1, " + std::to_string(subs.size()) + "]");
+  }
+
+  Workload wl;
+  for (int k = 0; k < num_output_dims; ++k) {
+    wl.AddOutputDim(MappingFunction{/*r_attr=*/k, /*t_attr=*/k,
+                                    /*wr=*/1.0, /*wt=*/1.0});
+  }
+  std::vector<SjQuery> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    SjQuery q;
+    q.name = "Q" + std::to_string(i + 1);
+    q.join_key = join_key;
+    q.preference = subs[i];
+    queries.push_back(std::move(q));
+  }
+  AssignPriorities(queries, policy, seed);
+  for (SjQuery& q : queries) wl.AddQuery(std::move(q));
+  return wl;
+}
+
+Result<Workload> MakeRandomWorkload(int num_output_dims, int num_join_keys,
+                                    int num_queries, PriorityPolicy policy,
+                                    uint64_t seed) {
+  if (num_output_dims < 2 || num_output_dims > 16) {
+    return Status::InvalidArgument("num_output_dims must be in [2, 16]");
+  }
+  if (num_join_keys < 1) {
+    return Status::InvalidArgument("num_join_keys must be >= 1");
+  }
+  if (num_queries < 1 || num_queries > 64) {
+    return Status::InvalidArgument("num_queries must be in [1, 64]");
+  }
+  Rng rng(seed);
+  Workload wl;
+  for (int k = 0; k < num_output_dims; ++k) {
+    wl.AddOutputDim(MappingFunction{k, k, 1.0, 1.0});
+  }
+  std::vector<SjQuery> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    SjQuery q;
+    q.name = "Q" + std::to_string(i + 1);
+    q.join_key = static_cast<int>(rng.UniformInt(0, num_join_keys - 1));
+    const int size =
+        static_cast<int>(rng.UniformInt(2, num_output_dims));
+    std::vector<int> dims(num_output_dims);
+    for (int k = 0; k < num_output_dims; ++k) dims[k] = k;
+    std::shuffle(dims.begin(), dims.end(), rng.engine());
+    dims.resize(size);
+    std::sort(dims.begin(), dims.end());
+    q.preference = std::move(dims);
+    queries.push_back(std::move(q));
+  }
+  AssignPriorities(queries, policy, seed + 1);
+  for (SjQuery& q : queries) wl.AddQuery(std::move(q));
+  return wl;
+}
+
+}  // namespace caqe

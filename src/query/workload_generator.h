@@ -1,0 +1,52 @@
+// Workload builders matching the paper's experimental study (Section 7.1):
+// queries over the same base tables that differ in their skyline dimensions.
+#ifndef CAQE_QUERY_WORKLOAD_GENERATOR_H_
+#define CAQE_QUERY_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace caqe {
+
+/// How priorities are assigned to generated queries (Section 7.2: for
+/// contracts {C1, C2} queries with more skyline dimensions get higher
+/// priority; for {C3, C4} fewer dimensions get higher priority; for {C5}
+/// priorities are uniformly assigned).
+enum class PriorityPolicy {
+  /// More skyline dimensions => higher priority.
+  kDimIncreasing,
+  /// Fewer skyline dimensions => higher priority.
+  kDimDecreasing,
+  /// Priorities spread evenly over [0, 1] in query order.
+  kUniform,
+  /// Priorities drawn uniformly at random (seeded).
+  kRandom,
+};
+
+/// Builds the paper's canonical workload: output dimension k is
+/// f_k = R.a_k + T.a_k for k in [0, num_output_dims), and the queries are
+/// the first `num_queries` subspaces of size >= 2 (ordered by size, then
+/// lexicographically), all joining on key column `join_key`.
+///
+/// With num_output_dims = 4 and num_queries = 11 this reproduces the
+/// |S_Q| = 11 workload of the evaluation (all 6+4+1 multi-dimensional
+/// subspaces of a 4-d output space).
+///
+/// Returns InvalidArgument when num_queries exceeds the number of available
+/// subspaces of size >= 2, or num_output_dims is not in [2, 16].
+Result<Workload> MakeSubspaceWorkload(int num_output_dims, int join_key,
+                                      int num_queries, PriorityPolicy policy,
+                                      uint64_t seed = 7);
+
+/// Builds a randomized workload: each query gets a random non-empty
+/// preference of size in [2, num_output_dims], a random join key in
+/// [0, num_join_keys), and a policy-assigned priority.
+Result<Workload> MakeRandomWorkload(int num_output_dims, int num_join_keys,
+                                    int num_queries, PriorityPolicy policy,
+                                    uint64_t seed);
+
+}  // namespace caqe
+
+#endif  // CAQE_QUERY_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,124 @@
+#include "region/dependency_graph.h"
+
+#include "region/region_dominance.h"
+
+namespace caqe {
+namespace {
+
+// Preference dimension lists per query, precomputed once.
+std::vector<std::vector<int>> QueryDims(const Workload& workload) {
+  std::vector<std::vector<int>> dims(workload.num_queries());
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    dims[q] = workload.query(q).preference;
+  }
+  return dims;
+}
+
+}  // namespace
+
+CoarsePruneStats CoarseSkylinePrune(RegionCollection& rc,
+                                    const Workload& workload) {
+  CoarsePruneStats stats;
+  const std::vector<std::vector<int>> dims = QueryDims(workload);
+  const int n = static_cast<int>(rc.regions.size());
+  // Snapshot of the original *guaranteed* lineages: a dominator prunes
+  // even if it is itself pruned for the same query, because full dominance
+  // is a strict partial order (its own dominator transitively covers the
+  // victim) — but only regions guaranteed to produce a result for the
+  // query may prune (a selection-overlapping region might yield nothing).
+  std::vector<QuerySet> original(n);
+  for (int i = 0; i < n; ++i) original[i] = rc.regions[i].guaranteed;
+
+  for (int j = 0; j < n; ++j) {
+    OutputRegion& victim = rc.regions[j];
+    const QuerySet before = victim.rql;
+    for (int i = 0; i < n && !victim.rql.empty(); ++i) {
+      if (i == j) continue;
+      const QuerySet common = original[i].Intersect(victim.rql);
+      if (common.empty()) continue;
+      common.ForEach([&](int q) {
+        ++stats.coarse_ops;
+        if (CompareRegions(rc.regions[i], victim, dims[q]) ==
+            RegionDomResult::kFullyDominates) {
+          victim.rql.Remove(q);
+          victim.guaranteed.Remove(q);
+          ++stats.pruned_pairs;
+        }
+      });
+    }
+    if (!before.empty() && victim.rql.empty()) ++stats.pruned_regions;
+  }
+  return stats;
+}
+
+DependencyGraph DependencyGraph::Build(const RegionCollection& rc,
+                                       const Workload& workload,
+                                       int64_t* coarse_ops) {
+  const std::vector<std::vector<int>> dims = QueryDims(workload);
+  const int n = static_cast<int>(rc.regions.size());
+  DependencyGraph dg;
+  dg.out_edges_.resize(n);
+  dg.in_degree_.assign(n, 0);
+  dg.active_.assign(n, 1);
+
+  for (int i = 0; i < n; ++i) {
+    const OutputRegion& a = rc.regions[i];
+    if (a.rql.empty()) {
+      dg.active_[i] = 0;
+      continue;
+    }
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const OutputRegion& b = rc.regions[j];
+      const QuerySet common = a.rql.Intersect(b.rql);
+      if (common.empty()) continue;
+      QuerySet annotated;
+      common.ForEach([&](int q) {
+        if (coarse_ops != nullptr) *coarse_ops += 2;
+        const RegionDomResult fwd = CompareRegions(a, b, dims[q]);
+        if (fwd == RegionDomResult::kIncomparable) return;
+        const RegionDomResult back = CompareRegions(b, a, dims[q]);
+        if (back != RegionDomResult::kIncomparable &&
+            fwd != RegionDomResult::kFullyDominates) {
+          return;  // Symmetric overlap: leave the pair unordered.
+        }
+        annotated.Add(q);
+      });
+      if (!annotated.empty()) {
+        dg.out_edges_[i].emplace_back(j, annotated);
+        ++dg.in_degree_[j];
+      }
+    }
+  }
+  return dg;
+}
+
+std::vector<int> DependencyGraph::Roots() const {
+  std::vector<int> roots;
+  for (int i = 0; i < num_regions(); ++i) {
+    if (active_[i] && in_degree_[i] == 0) roots.push_back(i);
+  }
+  if (!roots.empty()) return roots;
+  // Residual cycles: fall back to every active region so Algorithm 1 never
+  // deadlocks.
+  for (int i = 0; i < num_regions(); ++i) {
+    if (active_[i]) roots.push_back(i);
+  }
+  return roots;
+}
+
+void DependencyGraph::Deactivate(int region, std::vector<int>* newly_rooted) {
+  CAQE_DCHECK(region >= 0 && region < num_regions());
+  if (!active_[region]) return;
+  active_[region] = 0;
+  for (const auto& [target, queries] : out_edges_[region]) {
+    (void)queries;
+    if (--in_degree_[target] == 0 && active_[target] &&
+        newly_rooted != nullptr) {
+      newly_rooted->push_back(target);
+    }
+  }
+  out_edges_[region].clear();
+}
+
+}  // namespace caqe

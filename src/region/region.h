@@ -1,0 +1,52 @@
+// Output regions of the multi-query output space (paper Section 5).
+#ifndef CAQE_REGION_REGION_H_
+#define CAQE_REGION_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/query_set.h"
+
+namespace caqe {
+
+/// An output region: the bounding box, in the global output space, of the
+/// join results produced by one pair of input leaf cells (L_a^R, L_b^T),
+/// together with its region-query-lineage.
+struct OutputRegion {
+  /// Dense region id (index into the region collection).
+  int id = 0;
+  /// Contributing leaf-cell indices in the partitioned R and T tables.
+  int cell_r = 0;
+  int cell_t = 0;
+  /// Row counts of the contributing cells (cost-model inputs).
+  int64_t rows_r = 0;
+  int64_t rows_t = 0;
+  /// Output-space bounds, one entry per global output dimension. Computed
+  /// from cell corner points via the monotone mapping functions, so every
+  /// join result of this cell pair falls inside [lower, upper].
+  std::vector<double> lower;
+  std::vector<double> upper;
+  /// Region query lineage RQL(R_i): queries this region can contribute to.
+  /// A query is in the lineage iff the cells' signatures intersect on its
+  /// join predicate and the cell boxes overlap every selection range of the
+  /// query. Coarse skyline pruning and tuple-level discarding remove
+  /// queries from the lineage.
+  QuerySet rql;
+  /// Subset of `rql` for which the region is *guaranteed* to produce at
+  /// least one result: the signatures intersect and the cell boxes lie
+  /// entirely inside all of the query's selection ranges (so every joined
+  /// pair qualifies). Only guaranteed regions may coarse-prune others —
+  /// a merely overlapping region might produce nothing.
+  QuerySet guaranteed;
+  /// join_sizes[k] = exact number of join pairs for distinct-predicate slot
+  /// k (see RegionCollection::predicate_slots). Zero when the predicate
+  /// does not match.
+  std::vector<int64_t> join_sizes;
+
+  /// Exact join output size for distinct-predicate slot `slot`.
+  int64_t join_size(int slot) const { return join_sizes[slot]; }
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_REGION_REGION_H_

@@ -1,0 +1,107 @@
+#include "region/region_builder.h"
+
+#include <algorithm>
+
+namespace caqe {
+
+namespace {
+
+/// Coarse selection test of one query against a cell pair: kDisjoint when
+/// some selection range misses the relevant cell box entirely (no joined
+/// pair can qualify), kContained when the boxes lie inside every range
+/// (every joined pair qualifies), kOverlap otherwise.
+enum class SelectionCoarse { kDisjoint, kContained, kOverlap };
+
+SelectionCoarse CoarseSelection(const SjQuery& query, const LeafCell& cell_r,
+                                const LeafCell& cell_t) {
+  bool contained = true;
+  for (const SelectionRange& sel : query.selections) {
+    const LeafCell& cell = sel.on_r ? cell_r : cell_t;
+    if (cell.lower[sel.attr] > sel.hi || cell.upper[sel.attr] < sel.lo) {
+      return SelectionCoarse::kDisjoint;
+    }
+    if (cell.lower[sel.attr] < sel.lo || cell.upper[sel.attr] > sel.hi) {
+      contained = false;
+    }
+  }
+  return contained ? SelectionCoarse::kContained : SelectionCoarse::kOverlap;
+}
+
+}  // namespace
+
+Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
+                                      const PartitionedTable& part_t,
+                                      const Workload& workload) {
+  CAQE_RETURN_NOT_OK(workload.Validate(part_r.table(), part_t.table()));
+
+  RegionCollection rc;
+  rc.predicate_slots = workload.DistinctJoinKeys();
+  const int num_slots = static_cast<int>(rc.predicate_slots.size());
+  rc.slot_of_query.resize(workload.num_queries(), -1);
+  rc.queries_of_slot.resize(num_slots);
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    const int key = workload.query(q).join_key;
+    const auto it = std::find(rc.predicate_slots.begin(),
+                              rc.predicate_slots.end(), key);
+    rc.slot_of_query[q] =
+        static_cast<int>(it - rc.predicate_slots.begin());
+    rc.queries_of_slot[rc.slot_of_query[q]].Add(q);
+  }
+  rc.total_join_sizes.assign(num_slots, 0);
+
+  const int width = workload.num_output_dims();
+  for (int a = 0; a < part_r.num_cells(); ++a) {
+    const LeafCell& cell_r = part_r.cell(a);
+    for (int b = 0; b < part_t.num_cells(); ++b) {
+      const LeafCell& cell_t = part_t.cell(b);
+      OutputRegion region;
+      region.join_sizes.assign(num_slots, 0);
+      for (int s = 0; s < num_slots; ++s) {
+        const int key = rc.predicate_slots[s];
+        const int64_t size = ExactJoinSize(
+            cell_r.signatures[key], cell_r.signature_counts[key],
+            cell_t.signatures[key], cell_t.signature_counts[key],
+            &rc.coarse_ops);
+        region.join_sizes[s] = size;
+        if (size <= 0) continue;
+        rc.total_join_sizes[s] += size;
+        // Per query: fold the selection ranges into the coarse test.
+        rc.queries_of_slot[s].ForEach([&](int q) {
+          ++rc.coarse_ops;
+          switch (CoarseSelection(workload.query(q), cell_r, cell_t)) {
+            case SelectionCoarse::kDisjoint:
+              break;
+            case SelectionCoarse::kContained:
+              region.rql.Add(q);
+              region.guaranteed.Add(q);
+              break;
+            case SelectionCoarse::kOverlap:
+              region.rql.Add(q);
+              break;
+          }
+        });
+      }
+      if (region.rql.empty()) continue;
+
+      region.id = static_cast<int>(rc.regions.size());
+      region.cell_r = a;
+      region.cell_t = b;
+      region.rows_r = static_cast<int64_t>(cell_r.rows.size());
+      region.rows_t = static_cast<int64_t>(cell_t.rows.size());
+      region.lower.resize(width);
+      region.upper.resize(width);
+      for (int k = 0; k < width; ++k) {
+        const MappingFunction& f = workload.output_dim(k);
+        region.lower[k] =
+            f.Apply(cell_r.lower[f.r_attr], cell_t.lower[f.t_attr]);
+        region.upper[k] =
+            f.Apply(cell_r.upper[f.r_attr], cell_t.upper[f.t_attr]);
+        ++rc.coarse_ops;
+      }
+      rc.regions.push_back(std::move(region));
+    }
+  }
+  return rc;
+}
+
+}  // namespace caqe

@@ -1,0 +1,48 @@
+// Coarse-level join: derives output regions from leaf-cell pairs via join
+// signatures (paper Section 5.1).
+#ifndef CAQE_REGION_REGION_BUILDER_H_
+#define CAQE_REGION_REGION_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "region/region.h"
+
+namespace caqe {
+
+/// The output regions of a workload plus the predicate bookkeeping shared
+/// by engines.
+struct RegionCollection {
+  /// Distinct join-key columns used by the workload, ascending. Region
+  /// join_sizes are indexed by position in this vector ("predicate slot").
+  std::vector<int> predicate_slots;
+  /// slot_of_query[q] = predicate slot of query q's join key.
+  std::vector<int> slot_of_query;
+  /// queries_of_slot[s] = queries using predicate slot s.
+  std::vector<QuerySet> queries_of_slot;
+  /// All regions with non-empty lineage (at least one join result for at
+  /// least one query).
+  std::vector<OutputRegion> regions;
+  /// total_join_size[s] = exact workload-wide join output size of predicate
+  /// slot s (sum over regions).
+  std::vector<int64_t> total_join_sizes;
+  /// Coarse-level operations spent building (signature merges, bound
+  /// computations).
+  int64_t coarse_ops = 0;
+};
+
+/// Builds the region collection for `workload` over partitioned inputs.
+/// A region is emitted per (cell_r, cell_t) pair whose signatures intersect
+/// on at least one workload predicate; its lineage holds exactly the
+/// queries whose predicate matched (guaranteeing >= 1 join result each,
+/// per the signature containment argument of Section 5.1).
+Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
+                                      const PartitionedTable& part_t,
+                                      const Workload& workload);
+
+}  // namespace caqe
+
+#endif  // CAQE_REGION_REGION_BUILDER_H_

@@ -1,0 +1,46 @@
+#include "region/region_dominance.h"
+
+namespace caqe {
+
+RegionDomResult CompareRegions(const OutputRegion& a, const OutputRegion& b,
+                               const std::vector<int>& dims) {
+  bool full = true;        // u_a <= l_b everywhere...
+  bool full_strict = false;  // ...and < somewhere.
+  bool partial = true;     // l_a <= u_b everywhere.
+  for (int k : dims) {
+    if (a.upper[k] > b.lower[k]) {
+      full = false;
+    } else if (a.upper[k] < b.lower[k]) {
+      full_strict = true;
+    }
+    if (a.lower[k] > b.upper[k]) {
+      partial = false;
+      break;  // Partial is implied by full, so neither can hold now.
+    }
+  }
+  if (full && full_strict) return RegionDomResult::kFullyDominates;
+  if (partial) return RegionDomResult::kPartiallyDominates;
+  return RegionDomResult::kIncomparable;
+}
+
+bool PointFullyDominatesRegion(const double* point, const OutputRegion& b,
+                               const std::vector<int>& dims) {
+  bool strict = false;
+  for (int k : dims) {
+    if (point[k] > b.lower[k]) return false;
+    if (point[k] < b.lower[k]) strict = true;
+  }
+  return strict;
+}
+
+bool RegionCanDominatePoint(const OutputRegion& b, const double* point,
+                            const std::vector<int>& dims) {
+  // The best feasible future tuple of b is its lower corner; if it weakly
+  // dominates the point, some feasible tuple may strictly dominate it.
+  for (int k : dims) {
+    if (b.lower[k] > point[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace caqe

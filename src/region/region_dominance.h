@@ -1,0 +1,48 @@
+// Region-level dominance (paper Definition 8).
+#ifndef CAQE_REGION_REGION_DOMINANCE_H_
+#define CAQE_REGION_REGION_DOMINANCE_H_
+
+#include <vector>
+
+#include "region/region.h"
+
+namespace caqe {
+
+/// Coarse dominance relationship between two output regions over a
+/// dimension subset.
+enum class RegionDomResult {
+  /// Every tuple of A is guaranteed to dominate every tuple of B: A's upper
+  /// corner weakly dominates B's lower corner with at least one strict
+  /// dimension. B can be pruned for the affected queries once A is known to
+  /// produce a tuple.
+  kFullyDominates,
+  /// A may produce tuples dominating some of B's tuples (A's lower corner
+  /// weakly dominates B's upper corner) but is not guaranteed to: an
+  /// ordering dependency, not a pruning opportunity.
+  kPartiallyDominates,
+  /// Neither: no feasible tuple of A dominates any feasible tuple of B.
+  kIncomparable,
+};
+
+/// Evaluates Definition 8 for regions a over b on dimension indices `dims`.
+/// Note the relation is directional: call twice for both directions.
+RegionDomResult CompareRegions(const OutputRegion& a, const OutputRegion& b,
+                               const std::vector<int>& dims);
+
+/// True when a tuple with output values `point` fully dominates region `b`
+/// over `dims`: the point weakly dominates b's lower corner with one strict
+/// dimension, so every tuple b can produce is dominated. This is the
+/// tuple-level region-discarding test of paper Section 6.
+bool PointFullyDominatesRegion(const double* point, const OutputRegion& b,
+                               const std::vector<int>& dims);
+
+/// True when region `b` could still produce a tuple dominating `point`
+/// over `dims` (b's lower corner weakly dominates the point). Safe
+/// progressive emission requires this to be false for every unprocessed
+/// region serving the query.
+bool RegionCanDominatePoint(const OutputRegion& b, const double* point,
+                            const std::vector<int>& dims);
+
+}  // namespace caqe
+
+#endif  // CAQE_REGION_REGION_DOMINANCE_H_

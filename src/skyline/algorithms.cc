@@ -1,0 +1,197 @@
+#include "skyline/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "skyline/dominance.h"
+
+namespace caqe {
+namespace {
+
+int64_t Bump(int64_t* counter) {
+  if (counter != nullptr) ++*counter;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<int64_t> BruteForceSkyline(const PointSet& points,
+                                       const std::vector<int>& dims,
+                                       int64_t* comparisons) {
+  const int64_t n = points.size();
+  std::vector<int64_t> result;
+  for (int64_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (int64_t j = 0; j < n && !dominated; ++j) {
+      if (i == j) continue;
+      Bump(comparisons);
+      dominated = Dominates(points.row(j), points.row(i), dims);
+    }
+    if (!dominated) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<int64_t> BnlSkyline(const PointSet& points,
+                                const std::vector<int>& dims,
+                                int64_t* comparisons) {
+  std::vector<int64_t> window;
+  const int64_t n = points.size();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* p = points.row(i);
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const double* q = points.row(window[w]);
+      Bump(comparisons);
+      const DomResult r = CompareDominance(p, q, dims);
+      if (r == DomResult::kDominatedBy) {
+        dominated = true;
+        // Points after `w` were not evicted; keep the remainder untouched.
+        for (size_t rest = w; rest < window.size(); ++rest) {
+          window[keep++] = window[rest];
+        }
+        break;
+      }
+      if (r != DomResult::kDominates) {
+        window[keep++] = window[w];
+      }
+      // r == kDominates: q is evicted (not copied forward).
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(i);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+namespace {
+
+// Recursive worker over a set of row ids. `depth` rotates the split
+// dimension.
+std::vector<int64_t> DncRecurse(const PointSet& points,
+                                const std::vector<int>& dims,
+                                std::vector<int64_t> rows, size_t depth,
+                                size_t failed_splits, int64_t* comparisons) {
+  constexpr size_t kBnlCutoff = 32;
+  if (rows.size() <= kBnlCutoff || failed_splits >= dims.size()) {
+    // Small base case (or no separating dimension found after a full
+    // rotation): plain windowed scan over the subset.
+    std::vector<int64_t> window;
+    for (int64_t row : rows) {
+      const double* p = points.row(row);
+      bool dominated = false;
+      size_t keep = 0;
+      for (size_t w = 0; w < window.size(); ++w) {
+        Bump(comparisons);
+        const DomResult r =
+            CompareDominance(p, points.row(window[w]), dims);
+        if (r == DomResult::kDominatedBy) {
+          dominated = true;
+          for (size_t rest = w; rest < window.size(); ++rest) {
+            window[keep++] = window[rest];
+          }
+          break;
+        }
+        if (r != DomResult::kDominates) window[keep++] = window[w];
+      }
+      window.resize(keep);
+      if (!dominated) window.push_back(row);
+    }
+    return window;
+  }
+
+  // Split at the median *value* of the rotation dimension so the boundary
+  // is strict: every lower-half value < every upper-half value.
+  const int dim = dims[depth % dims.size()];
+  std::vector<int64_t> order = rows;
+  std::nth_element(order.begin(), order.begin() + order.size() / 2,
+                   order.end(), [&](int64_t a, int64_t b) {
+                     return points.row(a)[dim] < points.row(b)[dim];
+                   });
+  const double pivot = points.row(order[order.size() / 2])[dim];
+  std::vector<int64_t> lower;
+  std::vector<int64_t> upper;
+  for (int64_t row : rows) {
+    (points.row(row)[dim] < pivot ? lower : upper).push_back(row);
+  }
+  if (lower.empty() || upper.empty()) {
+    // The dimension cannot separate these points (all values tie at the
+    // minimum); rotate to the next dimension, giving up after a full
+    // rotation without a successful split.
+    return DncRecurse(points, dims, std::move(rows), depth + 1,
+                      failed_splits + 1, comparisons);
+  }
+
+  const std::vector<int64_t> sky_lower = DncRecurse(
+      points, dims, std::move(lower), depth + 1, 0, comparisons);
+  const std::vector<int64_t> sky_upper = DncRecurse(
+      points, dims, std::move(upper), depth + 1, 0, comparisons);
+
+  // Across a strict boundary, upper points can never dominate lower points
+  // (they are strictly worse in `dim`), so only filter upper against lower.
+  std::vector<int64_t> result = sky_lower;
+  for (int64_t row : sky_upper) {
+    bool dominated = false;
+    for (int64_t champion : sky_lower) {
+      Bump(comparisons);
+      if (CompareDominance(points.row(champion), points.row(row), dims) ==
+          DomResult::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<int64_t> DivideConquerSkyline(const PointSet& points,
+                                          const std::vector<int>& dims,
+                                          int64_t* comparisons) {
+  std::vector<int64_t> rows(points.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<int64_t> result =
+      DncRecurse(points, dims, std::move(rows), 0, 0, comparisons);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int64_t> SfsSkyline(const PointSet& points,
+                                const std::vector<int>& dims,
+                                int64_t* comparisons) {
+  const int64_t n = points.size();
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> score(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* p = points.row(i);
+    for (int k : dims) score[i] += p[k];
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int64_t a, int64_t b) { return score[a] < score[b]; });
+
+  // After sorting by a monotone function, no point can dominate one that
+  // precedes it, so the window only grows.
+  std::vector<int64_t> window;
+  for (int64_t idx = 0; idx < n; ++idx) {
+    const int64_t i = order[idx];
+    const double* p = points.row(i);
+    bool dominated = false;
+    for (int64_t w : window) {
+      Bump(comparisons);
+      const DomResult r = CompareDominance(points.row(w), p, dims);
+      if (r == DomResult::kDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) window.push_back(i);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+}  // namespace caqe

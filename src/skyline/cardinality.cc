@@ -1,0 +1,28 @@
+#include "skyline/cardinality.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace caqe {
+
+double BuchtaSkylineCardinality(double n, int d) {
+  CAQE_DCHECK(d >= 1);
+  if (n < 1.0) return 0.0;
+  if (d == 1) return 1.0;
+  double factorial = 1.0;
+  for (int k = 2; k <= d - 1; ++k) factorial *= k;
+  const double log_n = std::log(n);
+  const double estimate = std::pow(log_n, d - 1) / factorial;
+  // At least one point is always maximal.
+  return std::fmax(1.0, estimate);
+}
+
+double EstimateRegionSkylineCardinality(double sigma, int64_t cell_rows_r,
+                                        int64_t cell_rows_t, int d) {
+  const double join_results =
+      sigma * static_cast<double>(cell_rows_r) * static_cast<double>(cell_rows_t);
+  return BuchtaSkylineCardinality(join_results, d);
+}
+
+}  // namespace caqe

@@ -1,0 +1,28 @@
+// Skyline cardinality estimation (paper Equation 9).
+#ifndef CAQE_SKYLINE_CARDINALITY_H_
+#define CAQE_SKYLINE_CARDINALITY_H_
+
+#include <cstdint>
+
+namespace caqe {
+
+/// Buchta's estimate of the expected number of maxima among n i.i.d. points
+/// in d dimensions with independently distributed coordinates:
+///
+///   E[|SKY|] ~= ln(n)^(d-1) / (d-1)!
+///
+/// (C. Buchta, "On the average number of maxima in a set of vectors", IPL
+/// 1989.) CAQE uses it with n = sigma * |L_a| * |L_b| to estimate how many
+/// skyline results a region's join output contributes (Equation 9). Returns
+/// at least 1.0 for n >= 1 and 0.0 for n < 1.
+double BuchtaSkylineCardinality(double n, int d);
+
+/// Region-level specialization of Equation 9: expected skyline results from
+/// joining cells with `cell_rows_r` and `cell_rows_t` tuples at selectivity
+/// `sigma`, evaluated over `d` skyline dimensions.
+double EstimateRegionSkylineCardinality(double sigma, int64_t cell_rows_r,
+                                        int64_t cell_rows_t, int d);
+
+}  // namespace caqe
+
+#endif  // CAQE_SKYLINE_CARDINALITY_H_

@@ -1,0 +1,79 @@
+// Pairwise dominance tests (paper Definitions 1 and 2).
+//
+// Smaller values are preferred in every dimension. A point `a` dominates `b`
+// in a dimension subset V iff a[k] <= b[k] for all k in V and a[k] < b[k]
+// for at least one k in V.
+#ifndef CAQE_SKYLINE_DOMINANCE_H_
+#define CAQE_SKYLINE_DOMINANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace caqe {
+
+/// Outcome of a single dominance comparison between points a and b.
+enum class DomResult {
+  /// a dominates b (a is at least as good everywhere, strictly better once).
+  kDominates,
+  /// b dominates a.
+  kDominatedBy,
+  /// Equal on every compared dimension (neither dominates; both can be in a
+  /// skyline together under strict-dominance semantics).
+  kEqual,
+  /// Each is strictly better than the other in some dimension.
+  kIncomparable,
+};
+
+/// Compares a and b over the dimension indices in `dims` in a single pass.
+inline DomResult CompareDominance(const double* a, const double* b,
+                                  const int* dims, int ndims) {
+  bool a_better = false;
+  bool b_better = false;
+  for (int i = 0; i < ndims; ++i) {
+    const int k = dims[i];
+    if (a[k] < b[k]) {
+      a_better = true;
+      if (b_better) return DomResult::kIncomparable;
+    } else if (b[k] < a[k]) {
+      b_better = true;
+      if (a_better) return DomResult::kIncomparable;
+    }
+  }
+  if (a_better) return DomResult::kDominates;
+  if (b_better) return DomResult::kDominatedBy;
+  return DomResult::kEqual;
+}
+
+inline DomResult CompareDominance(const double* a, const double* b,
+                                  const std::vector<int>& dims) {
+  return CompareDominance(a, b, dims.data(), static_cast<int>(dims.size()));
+}
+
+/// True iff a dominates b over `dims` (Definition 2; Definition 1 when dims
+/// is the full space).
+inline bool Dominates(const double* a, const double* b,
+                      const std::vector<int>& dims) {
+  return CompareDominance(a, b, dims) == DomResult::kDominates;
+}
+
+/// True iff a weakly dominates b over `dims`: a[k] <= b[k] for all k. Weak
+/// dominance is what corner-point (region-level) pruning needs — a lower
+/// corner that ties a tuple still means some feasible future tuple could
+/// dominate it.
+inline bool WeaklyDominates(const double* a, const double* b,
+                            const int* dims, int ndims) {
+  for (int i = 0; i < ndims; ++i) {
+    const int k = dims[i];
+    if (a[k] > b[k]) return false;
+  }
+  return true;
+}
+
+inline bool WeaklyDominates(const double* a, const double* b,
+                            const std::vector<int>& dims) {
+  return WeaklyDominates(a, b, dims.data(), static_cast<int>(dims.size()));
+}
+
+}  // namespace caqe
+
+#endif  // CAQE_SKYLINE_DOMINANCE_H_

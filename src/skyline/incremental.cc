@@ -1,0 +1,96 @@
+#include "skyline/incremental.h"
+
+#include <algorithm>
+
+namespace caqe {
+namespace {
+
+double ScoreOf(const double* values, const std::vector<int>& dims) {
+  double score = 0.0;
+  for (int k : dims) score += values[k];
+  return score;
+}
+
+}  // namespace
+
+InsertOutcome IncrementalSkyline::Insert(const double* values,
+                                         int64_t external_id,
+                                         int64_t* comparisons) {
+  InsertOutcome outcome;
+  const double score = ScoreOf(values, dims_);
+
+  // Members are kept sorted by ascending monotone score (sum over dims_).
+  // Since m dominates t implies score(m) < score(t) strictly, only the
+  // prefix with smaller scores can dominate the new point, and only the
+  // suffix with larger scores can be evicted by it — the Sort-Filter-
+  // Skyline argument applied to an incrementally maintained window.
+  const auto boundary = std::partition_point(
+      members_.begin(), members_.end(),
+      [&](const Member& m) { return m.score < score; });
+  const size_t prefix_end =
+      static_cast<size_t>(boundary - members_.begin());
+
+  // Phase 1: is the new point dominated by a smaller-score member? On a
+  // hit, keep scanning for a *strict* dominator (better in every compared
+  // dimension) — its existence licenses subspace gating in the shared
+  // evaluator.
+  bool dominated = false;
+  for (size_t i = 0; i < prefix_end; ++i) {
+    if (comparisons != nullptr) ++*comparisons;
+    const double* member = points_.row(members_[i].row);
+    const DomResult r = CompareDominance(member, values, dims_);
+    if (r != DomResult::kDominates) continue;
+    dominated = true;
+    bool strict = true;
+    for (int k : dims_) {
+      if (member[k] >= values[k]) {
+        strict = false;
+        break;
+      }
+    }
+    if (strict) {
+      outcome.strictly_dominated = true;
+      break;
+    }
+  }
+  if (dominated) {
+    // A dominated insertion evicts nothing (see phase 2 comment).
+    return outcome;
+  }
+
+  // Phase 2: evict larger-score members the new point dominates.
+  // (Equal-score members can neither dominate nor be dominated; they are
+  // skipped without comparison.)
+  size_t keep = prefix_end;
+  size_t i = prefix_end;
+  for (; i < members_.size() && members_[i].score == score; ++i) {
+    members_[keep++] = members_[i];
+  }
+  const size_t insert_at = keep;  // New member slots in after score ties.
+  for (; i < members_.size(); ++i) {
+    if (comparisons != nullptr) ++*comparisons;
+    const DomResult r =
+        CompareDominance(values, points_.row(members_[i].row), dims_);
+    if (r == DomResult::kDominates) {
+      outcome.evicted.push_back(members_[i].external_id);
+    } else {
+      members_[keep++] = members_[i];
+    }
+  }
+  members_.resize(keep);
+
+  const int64_t row = points_.Append(values);
+  members_.insert(members_.begin() + insert_at,
+                  Member{row, external_id, score});
+  outcome.accepted = true;
+  return outcome;
+}
+
+std::vector<int64_t> IncrementalSkyline::MemberIds() const {
+  std::vector<int64_t> ids;
+  ids.reserve(members_.size());
+  for (const Member& m : members_) ids.push_back(m.external_id);
+  return ids;
+}
+
+}  // namespace caqe

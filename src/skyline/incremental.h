@@ -1,0 +1,78 @@
+// Incrementally maintained skyline under tuple insertions.
+//
+// Skyline-over-join results arrive one join tuple at a time; a newly
+// generated tuple can evict previously accepted tuples (skylines are not
+// monotonic — paper Section 1.4). IncrementalSkyline tracks the current
+// skyline and reports evictions so engines can retract/annotate results that
+// were provisionally surfaced.
+#ifndef CAQE_SKYLINE_INCREMENTAL_H_
+#define CAQE_SKYLINE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "skyline/dominance.h"
+#include "skyline/point_set.h"
+
+namespace caqe {
+
+/// Result of inserting one point into an IncrementalSkyline.
+struct InsertOutcome {
+  /// True when the inserted point joined the skyline.
+  bool accepted = false;
+  /// Set only when rejected: some member dominates the point *strictly in
+  /// every compared dimension*. A strict dominator dominates the point in
+  /// every subspace too, which is what makes Theorem-1 feeder gating exact
+  /// even in the presence of value ties (see SharedSkylineEvaluator).
+  bool strictly_dominated = false;
+  /// External ids of previously accepted points this insertion evicted.
+  std::vector<int64_t> evicted;
+};
+
+/// Maintains the skyline of a growing point multiset over a fixed dimension
+/// subset. Points carry caller-provided external ids.
+class IncrementalSkyline {
+ public:
+  /// `width` is the point dimensionality; `dims` the compared subset.
+  IncrementalSkyline(int width, std::vector<int> dims)
+      : points_(width), dims_(std::move(dims)) {}
+
+  /// Inserts a point with caller-supplied id. Counts comparisons into
+  /// `comparisons` if non-null.
+  InsertOutcome Insert(const double* values, int64_t external_id,
+                       int64_t* comparisons = nullptr);
+
+  /// Current number of skyline members.
+  int64_t size() const { return static_cast<int64_t>(members_.size()); }
+
+  /// External ids of the current skyline members (unordered).
+  std::vector<int64_t> MemberIds() const;
+
+  /// Invokes fn(external_id, const double* values) per member.
+  template <typename Fn>
+  void ForEachMember(Fn&& fn) const {
+    for (const Member& m : members_) {
+      fn(m.external_id, points_.row(m.row));
+    }
+  }
+
+  const std::vector<int>& dims() const { return dims_; }
+
+ private:
+  struct Member {
+    int64_t row;          // Row in points_.
+    int64_t external_id;  // Caller-provided id.
+    double score;         // Monotone sum over dims_ (window sort key).
+  };
+
+  PointSet points_;  // Append-only storage; evicted rows become garbage.
+  std::vector<int> dims_;
+  /// Current skyline, sorted by ascending score: only the smaller-score
+  /// prefix can dominate a new point, only the larger-score suffix can be
+  /// evicted by it.
+  std::vector<Member> members_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_SKYLINE_INCREMENTAL_H_

@@ -1,0 +1,53 @@
+// Flat storage for fixed-width real-valued points (join-result tuples).
+#ifndef CAQE_SKYLINE_POINT_SET_H_
+#define CAQE_SKYLINE_POINT_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace caqe {
+
+/// A dense, row-major collection of `width`-dimensional points.
+///
+/// Skyline kernels operate on PointSet rows via raw pointers to avoid
+/// per-point allocations; row index doubles as a stable point id within the
+/// set.
+class PointSet {
+ public:
+  explicit PointSet(int width) : width_(width) { CAQE_CHECK(width >= 1); }
+
+  int width() const { return width_; }
+  int64_t size() const {
+    return static_cast<int64_t>(data_.size()) / width_;
+  }
+  bool empty() const { return data_.empty(); }
+
+  /// Pointer to the `row`-th point (width() doubles).
+  const double* row(int64_t row) const {
+    CAQE_DCHECK(row >= 0 && row < size());
+    return data_.data() + row * width_;
+  }
+
+  /// Appends a point; returns its row index.
+  int64_t Append(const double* values) {
+    data_.insert(data_.end(), values, values + width_);
+    return size() - 1;
+  }
+  int64_t Append(const std::vector<double>& values) {
+    CAQE_DCHECK(static_cast<int>(values.size()) == width_);
+    return Append(values.data());
+  }
+
+  void Reserve(int64_t n) { data_.reserve(n * width_); }
+  void Clear() { data_.clear(); }
+
+ private:
+  int width_;
+  std::vector<double> data_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_SKYLINE_POINT_SET_H_

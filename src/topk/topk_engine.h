@@ -1,0 +1,57 @@
+// Contract-aware and baseline execution strategies for Top-K-over-join
+// workloads (the query-class extension, see topk_query.h).
+#ifndef CAQE_TOPK_TOPK_ENGINE_H_
+#define CAQE_TOPK_TOPK_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "contracts/utility.h"
+#include "exec/options.h"
+#include "metrics/report.h"
+#include "topk/topk_query.h"
+
+namespace caqe {
+
+/// Common interface of Top-K engines (mirrors the skyline Engine).
+class TopKEngine {
+ public:
+  virtual ~TopKEngine() = default;
+  virtual std::string name() const = 0;
+  virtual Result<ExecutionReport> Execute(
+      const Table& r, const Table& t, const TopKWorkload& workload,
+      const std::vector<Contract>& contracts, const ExecOptions& options) = 0;
+};
+
+/// CAQE-style contract-aware Top-K processing: the coarse join derives
+/// output regions once for the whole workload; each region carries a
+/// per-query *score lower bound* (the weighted sum of its lower corner —
+/// admissible because mapping functions and scoring weights are monotone).
+/// The scheduler greedily picks the region with the best contract-weighted
+/// benefit; regions whose bound exceeds a query's current k-th best score
+/// are discarded for that query (and entirely once no query needs them).
+/// A candidate result is emitted as soon as no pending region's bound can
+/// beat it — emissions are final and stream in ascending score order.
+class ContractAwareTopKEngine : public TopKEngine {
+ public:
+  std::string name() const override { return "CAQE-TopK"; }
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const TopKWorkload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+};
+
+/// Serial baseline: per query (descending priority), materialize the full
+/// join, partial-sort by score, and report the k best at completion.
+class SerialTopKEngine : public TopKEngine {
+ public:
+  std::string name() const override { return "Serial-TopK"; }
+  Result<ExecutionReport> Execute(const Table& r, const Table& t,
+                                  const TopKWorkload& workload,
+                                  const std::vector<Contract>& contracts,
+                                  const ExecOptions& options) override;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_TOPK_TOPK_ENGINE_H_

@@ -1,0 +1,64 @@
+#include "topk/topk_query.h"
+
+namespace caqe {
+
+Status TopKWorkload::Validate(const Table& r, const Table& t) const {
+  if (queries_.empty()) {
+    return Status::InvalidArgument("top-k workload has no queries");
+  }
+  if (output_dims_.empty()) {
+    return Status::InvalidArgument("top-k workload has no output dimensions");
+  }
+  for (const MappingFunction& f : output_dims_) {
+    if (f.r_attr < 0 || f.r_attr >= r.num_attrs() || f.t_attr < 0 ||
+        f.t_attr >= t.num_attrs()) {
+      return Status::InvalidArgument("mapping references invalid attribute");
+    }
+    if (f.wr < 0.0 || f.wt < 0.0) {
+      return Status::InvalidArgument("mapping weights must be non-negative");
+    }
+  }
+  for (const TopKQuery& q : queries_) {
+    if (q.join_key < 0 || q.join_key >= r.num_keys() ||
+        q.join_key >= t.num_keys()) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " references invalid join key");
+    }
+    if (static_cast<int>(q.weights.size()) != num_output_dims()) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " weight vector has wrong arity");
+    }
+    for (double w : q.weights) {
+      if (w < 0.0) {
+        return Status::InvalidArgument("query " + q.name +
+                                       " has negative scoring weight");
+      }
+    }
+    if (q.k <= 0) {
+      return Status::InvalidArgument("query " + q.name + " has k <= 0");
+    }
+  }
+  return Status::OK();
+}
+
+Workload TopKWorkload::AsRegionWorkload() const {
+  Workload workload;
+  for (const MappingFunction& f : output_dims_) workload.AddOutputDim(f);
+  for (const TopKQuery& q : queries_) {
+    SjQuery sj;
+    sj.name = q.name;
+    sj.join_key = q.join_key;
+    // Preference dims = dimensions with non-zero weight (region lineage and
+    // join bookkeeping only care about the predicate, but Validate needs a
+    // non-empty preference).
+    for (size_t i = 0; i < q.weights.size(); ++i) {
+      if (q.weights[i] > 0.0) sj.preference.push_back(static_cast<int>(i));
+    }
+    if (sj.preference.empty()) sj.preference.push_back(0);
+    sj.priority = q.priority;
+    workload.AddQuery(std::move(sj));
+  }
+  return workload;
+}
+
+}  // namespace caqe

@@ -1,0 +1,103 @@
+// Top-K-over-join queries: the second multi-criteria decision-support
+// query class (paper Sections 1.2 and 2 list Top-K alongside skylines; the
+// contract-driven principles "are general and can be extended to other
+// classes of queries"). This module is that extension.
+//
+// A Top-K query scores every join result with a monotone weighted sum over
+// the workload's output dimensions and asks for the k lowest-scoring
+// results. Contracts, the virtual clock, the input partitioning, and the
+// coarse join (output regions) are all shared with the skyline engines;
+// what changes is the per-region benefit (score bounds instead of dominance
+// volumes) and the emission rule (a result is final once its score is at
+// most every pending region's score lower bound).
+#ifndef CAQE_TOPK_TOPK_QUERY_H_
+#define CAQE_TOPK_TOPK_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "query/query.h"
+
+namespace caqe {
+
+/// One Top-K-over-join query.
+struct TopKQuery {
+  std::string name;
+  /// Join-key column of the equi-join predicate.
+  int join_key = 0;
+  /// Non-negative scoring weights, one per workload output dimension
+  /// (smaller weighted sums are better). Zero weights ignore a dimension.
+  std::vector<double> weights;
+  /// Number of results requested (> 0).
+  int64_t k = 10;
+  /// Scheduling priority in [0, 1] (serial baselines process descending).
+  double priority = 1.0;
+};
+
+/// A workload of Top-K queries over a shared output space (the same
+/// MappingFunction-based output dimensions as skyline workloads).
+class TopKWorkload {
+ public:
+  int AddOutputDim(const MappingFunction& f) {
+    output_dims_.push_back(f);
+    return static_cast<int>(output_dims_.size()) - 1;
+  }
+
+  int AddQuery(TopKQuery query) {
+    CAQE_CHECK(!query.weights.empty());
+    CAQE_CHECK(static_cast<int>(query.weights.size()) == num_output_dims());
+    CAQE_CHECK(query.k > 0);
+    queries_.push_back(std::move(query));
+    return static_cast<int>(queries_.size()) - 1;
+  }
+
+  int num_output_dims() const {
+    return static_cast<int>(output_dims_.size());
+  }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+  const MappingFunction& output_dim(int i) const { return output_dims_[i]; }
+  const TopKQuery& query(int i) const { return queries_[i]; }
+  const std::vector<TopKQuery>& queries() const { return queries_; }
+  const std::vector<MappingFunction>& output_dims() const {
+    return output_dims_;
+  }
+
+  /// Computes all output values for join pair (row_r, row_t) into `out`.
+  void Project(const Table& r, int64_t row_r, const Table& t, int64_t row_t,
+               std::vector<double>& out) const {
+    out.resize(output_dims_.size());
+    for (size_t k = 0; k < output_dims_.size(); ++k) {
+      const MappingFunction& f = output_dims_[k];
+      out[k] = f.Apply(r.attr(row_r, f.r_attr), t.attr(row_t, f.t_attr));
+    }
+  }
+
+  /// Weighted score of a projected output tuple for query `q`.
+  double Score(int q, const double* values) const {
+    const TopKQuery& query = queries_[q];
+    double score = 0.0;
+    for (size_t i = 0; i < query.weights.size(); ++i) {
+      score += query.weights[i] * values[i];
+    }
+    return score;
+  }
+
+  /// Validates dimensions, weights, and key columns against the tables.
+  Status Validate(const Table& r, const Table& t) const;
+
+  /// The equivalent skyline Workload over the same output dimensions (used
+  /// to reuse the region machinery, which is query-class agnostic).
+  Workload AsRegionWorkload() const;
+
+ private:
+  std::vector<MappingFunction> output_dims_;
+  std::vector<TopKQuery> queries_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_TOPK_TOPK_QUERY_H_

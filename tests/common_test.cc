@@ -1,0 +1,169 @@
+// Unit tests for the common substrate: Status/Result, QuerySet, Rng,
+// VirtualClock.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/query_set.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+
+namespace caqe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kNotImplemented}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Status FailsThenPropagates() {
+  CAQE_RETURN_NOT_OK(Status::NotFound("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  const Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(QuerySetTest, BasicMembership) {
+  QuerySet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(3);
+  s.Add(63);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.size(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(QuerySetTest, AllOfCoversPrefix) {
+  const QuerySet s = QuerySet::AllOf(5);
+  EXPECT_EQ(s.size(), 5);
+  for (int q = 0; q < 5; ++q) EXPECT_TRUE(s.Contains(q));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_EQ(QuerySet::AllOf(64).size(), 64);
+  EXPECT_TRUE(QuerySet::AllOf(0).empty());
+}
+
+TEST(QuerySetTest, SetAlgebra) {
+  const QuerySet a = QuerySet::Of(1).Union(QuerySet::Of(4));
+  const QuerySet b = QuerySet::Of(4).Union(QuerySet::Of(9));
+  EXPECT_EQ(a.Intersect(b), QuerySet::Of(4));
+  EXPECT_EQ(a.Minus(b), QuerySet::Of(1));
+  EXPECT_TRUE(QuerySet::Of(4).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(QuerySet::Of(2).Intersects(a));
+}
+
+TEST(QuerySetTest, ForEachAscending) {
+  QuerySet s;
+  s.Add(10);
+  s.Add(2);
+  s.Add(33);
+  std::vector<int> seen;
+  s.ForEach([&](int q) { seen.push_back(q); });
+  EXPECT_EQ(seen, (std::vector<int>{2, 10, 33}));
+  EXPECT_EQ(s.ToString(), "{2,10,33}");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+    const int64_t n = rng.UniformInt(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(VirtualClockTest, AdvancesByCostModel) {
+  CostModel cost;
+  cost.join_probe_seconds = 1.0;
+  cost.dominance_cmp_seconds = 0.5;
+  VirtualClock clock(cost);
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  clock.ChargeJoinProbes(3);
+  EXPECT_DOUBLE_EQ(clock.Now(), 3.0);
+  clock.ChargeDominanceCmps(4);
+  EXPECT_DOUBLE_EQ(clock.Now(), 5.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+}
+
+TEST(VirtualClockTest, MonotoneUnderAllCharges) {
+  VirtualClock clock;
+  double last = clock.Now();
+  clock.ChargeJoinProbes(10);
+  EXPECT_GE(clock.Now(), last);
+  last = clock.Now();
+  clock.ChargeJoinResults(10);
+  EXPECT_GE(clock.Now(), last);
+  last = clock.Now();
+  clock.ChargeEmits(10);
+  EXPECT_GE(clock.Now(), last);
+  last = clock.Now();
+  clock.ChargeScheduleSteps(1);
+  EXPECT_GE(clock.Now(), last);
+  last = clock.Now();
+  clock.ChargeCoarseOps(100);
+  EXPECT_GE(clock.Now(), last);
+}
+
+}  // namespace
+}  // namespace caqe

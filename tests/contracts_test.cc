@@ -1,0 +1,215 @@
+// Unit tests for contract utility functions (Table 2) and the satisfaction
+// tracker (Eq. 7, run-time metric).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "contracts/tracker.h"
+#include "contracts/utility.h"
+
+namespace caqe {
+namespace {
+
+ResultContext At(double time, int64_t in_interval = 1, double total = 100.0) {
+  ResultContext ctx;
+  ctx.report_time = time;
+  ctx.results_in_interval = in_interval;
+  ctx.results_so_far = in_interval;
+  ctx.estimated_total = total;
+  return ctx;
+}
+
+TEST(UtilityTest, TimeStepContractC1) {
+  const Contract c = MakeTimeStepContract(30.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(0.0)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(30.0)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(30.0001)), 0.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(1e9)), 0.0);
+  EXPECT_DOUBLE_EQ(c->interval_seconds(), 0.0);
+}
+
+TEST(UtilityTest, LogDecayContractC2) {
+  const Contract c = MakeLogDecayContract();
+  EXPECT_DOUBLE_EQ(c->Utility(At(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(std::exp(1.0))), 1.0);
+  EXPECT_NEAR(c->Utility(At(100.0)), 1.0 / std::log(100.0), 1e-12);
+  // Monotone non-increasing and bounded in [0, 1].
+  double last = 1.0;
+  for (double ts = 1.0; ts < 1e6; ts *= 3.0) {
+    const double u = c->Utility(At(ts));
+    EXPECT_LE(u, last);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    last = u;
+  }
+}
+
+TEST(UtilityTest, HyperbolicDecayContractC3) {
+  const Contract c = MakeHyperbolicDecayContract(10.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(5.0)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(10.0)), 1.0);
+  // Paper Section 7.2: a tuple at 12s under t=10 has utility 0.5.
+  EXPECT_DOUBLE_EQ(c->Utility(At(12.0)), 0.5);
+  EXPECT_DOUBLE_EQ(c->Utility(At(110.0)), 0.01);
+}
+
+TEST(UtilityTest, CardinalityContractC4) {
+  // 10% of N=100 per interval => 10 tuples needed for full utility.
+  const Contract c = MakeCardinalityContract(0.1, 60.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(5.0, /*in_interval=*/10)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(5.0, /*in_interval=*/15)), 1.0);
+  // Eq. 3 shortfall: n/(N*frac) - 1.
+  EXPECT_DOUBLE_EQ(c->Utility(At(5.0, /*in_interval=*/5)), 5.0 / 10.0 - 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(5.0, /*in_interval=*/1)), 1.0 / 10.0 - 1.0);
+  EXPECT_DOUBLE_EQ(c->interval_seconds(), 60.0);
+}
+
+TEST(UtilityTest, RateContractEq4) {
+  // Consumer handles at most 5 tuples per interval (Eq. 4).
+  const Contract c = MakeRateContract(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(0.0, 3)), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(0.0, 5)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(0.0, 10)), 5.0 / 10.0);
+}
+
+TEST(UtilityTest, HybridContractC5IsProduct) {
+  const Contract c = MakeHybridContract(0.1, 10.0);
+  // Early and on-quota: time factor 1 (ts<=1), cardinality factor 1.
+  EXPECT_DOUBLE_EQ(c->Utility(At(1.0, 10)), 1.0);
+  // Late and on-quota: 1/ts.
+  EXPECT_NEAR(c->Utility(At(20.0, 10)), 1.0 / 20.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c->interval_seconds(), 10.0);
+}
+
+TEST(UtilityTest, ProductCombinatorEq5) {
+  const Contract c =
+      MakeProductContract(MakeTimeStepContract(10.0), MakeRateContract(5, 2));
+  EXPECT_DOUBLE_EQ(c->Utility(At(5.0, 5)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(15.0, 5)), 0.0);  // Past the deadline.
+  EXPECT_DOUBLE_EQ(c->interval_seconds(), 2.0);
+  EXPECT_FALSE(c->name().empty());
+}
+
+TEST(TrackerTest, AccumulatesPScore) {
+  SatisfactionTracker tracker({MakeTimeStepContract(10.0)});
+  EXPECT_DOUBLE_EQ(tracker.OnResult(0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.OnResult(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.OnResult(0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.satisfaction(0).pscore, 2.0);
+  EXPECT_EQ(tracker.satisfaction(0).results, 3);
+  EXPECT_NEAR(tracker.RuntimeMetric(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tracker.WorkloadPScore(), 2.0);
+}
+
+TEST(TrackerTest, IntervalAccountingResets) {
+  // 2 results per 10s interval required (20% of N=10).
+  SatisfactionTracker tracker({MakeCardinalityContract(0.2, 10.0)});
+  tracker.SetEstimatedTotal(0, 10.0);
+  // First interval: 1 then 2 results => shortfall then full.
+  EXPECT_DOUBLE_EQ(tracker.OnResult(0, 1.0), 1.0 / 2.0 - 1.0);
+  EXPECT_DOUBLE_EQ(tracker.OnResult(0, 2.0), 1.0);
+  // New interval: count resets to 1.
+  EXPECT_DOUBLE_EQ(tracker.OnResult(0, 11.0), 1.0 / 2.0 - 1.0);
+}
+
+TEST(TrackerTest, PreviewDoesNotMutate) {
+  SatisfactionTracker tracker({MakeTimeStepContract(10.0)});
+  const double preview = tracker.PreviewUtility(0, 5.0, 3);
+  EXPECT_DOUBLE_EQ(preview, 1.0);
+  EXPECT_EQ(tracker.satisfaction(0).results, 0);
+  EXPECT_DOUBLE_EQ(tracker.PreviewUtility(0, 50.0, 3), 0.0);
+}
+
+TEST(TrackerTest, PreviewIncludesCurrentIntervalCounts) {
+  SatisfactionTracker tracker({MakeCardinalityContract(0.5, 10.0)});
+  tracker.SetEstimatedTotal(0, 10.0);  // Needs 5 per interval.
+  tracker.OnResult(0, 1.0);
+  tracker.OnResult(0, 2.0);
+  // Previewing 3 more in the same interval reaches the quota (2+3 = 5).
+  EXPECT_DOUBLE_EQ(tracker.PreviewUtility(0, 3.0, 3), 1.0);
+  // In a later interval the current counts do not carry over.
+  EXPECT_LT(tracker.PreviewUtility(0, 15.0, 3), 1.0);
+}
+
+TEST(TrackerTest, WorkloadAverageSatisfaction) {
+  SatisfactionTracker tracker(
+      {MakeTimeStepContract(10.0), MakeTimeStepContract(10.0)});
+  tracker.OnResult(0, 1.0);   // utility 1
+  tracker.OnResult(1, 20.0);  // utility 0
+  tracker.OnResult(1, 21.0);  // utility 0
+  EXPECT_DOUBLE_EQ(tracker.WorkloadAverageSatisfaction(), (1.0 + 0.0) / 2.0);
+}
+
+TEST(TrackerTest, NamesAreInformative) {
+  EXPECT_NE(MakeTimeStepContract(30)->name().find("C1"), std::string::npos);
+  EXPECT_NE(MakeLogDecayContract()->name().find("C2"), std::string::npos);
+  EXPECT_NE(MakeHyperbolicDecayContract(5)->name().find("C3"),
+            std::string::npos);
+  EXPECT_NE(MakeCardinalityContract(0.1, 1)->name().find("C4"),
+            std::string::npos);
+}
+
+TEST(UtilityTest, LogDecayTimeUnitRescales) {
+  // With unit u the decay is 1/ln(ts/u): the same shape at any timescale.
+  const Contract fast = MakeLogDecayContract(0.01);
+  const Contract slow = MakeLogDecayContract(10.0);
+  EXPECT_DOUBLE_EQ(fast->Utility(At(0.01)), 1.0);
+  EXPECT_NEAR(fast->Utility(At(1.0)), 1.0 / std::log(100.0), 1e-12);
+  EXPECT_DOUBLE_EQ(slow->Utility(At(1.0)), 1.0);
+  EXPECT_NEAR(slow->Utility(At(1000.0)), 1.0 / std::log(100.0), 1e-12);
+}
+
+TEST(UtilityTest, HyperbolicDecayUnitRescales) {
+  // 1/((ts - t)/unit): utility 0.5 one decay-unit past twice the knee.
+  const Contract c = MakeHyperbolicDecayContract(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(c->Utility(At(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(c->Utility(At(1.5)), 1.0);   // Clamped at 1.
+  EXPECT_DOUBLE_EQ(c->Utility(At(2.0)), 0.5);
+  EXPECT_DOUBLE_EQ(c->Utility(At(6.0)), 0.1);
+}
+
+TEST(UtilityTest, HybridTimeUnitRescales) {
+  const Contract c = MakeHybridContract(0.1, 10.0, 2.0);
+  // On quota, within the time unit: full utility.
+  EXPECT_DOUBLE_EQ(c->Utility(At(2.0, 10)), 1.0);
+  // On quota, past the unit: unit/ts decay.
+  EXPECT_NEAR(c->Utility(At(8.0, 10)), 2.0 / 8.0, 1e-12);
+}
+
+TEST(TrackerTest, SamplesRecordTrace) {
+  SatisfactionTracker tracker({MakeTimeStepContract(10.0)});
+  tracker.OnResult(0, 1.0);
+  tracker.OnResult(0, 20.0);
+  ASSERT_EQ(tracker.samples(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.samples(0)[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.samples(0)[0].utility, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.samples(0)[1].utility, 0.0);
+}
+
+TEST(TrackerTest, ProgressiveSatisfactionRewardsEarliness) {
+  SatisfactionTracker early({MakeTimeStepContract(100.0)});
+  SatisfactionTracker late({MakeTimeStepContract(100.0)});
+  for (int i = 0; i < 10; ++i) {
+    early.OnResult(0, 1.0);
+    late.OnResult(0, 50.0);
+  }
+  const double horizon = 100.0;
+  EXPECT_GT(early.ProgressiveSatisfaction(0, horizon),
+            late.ProgressiveSatisfaction(0, horizon));
+  // Instant full-utility delivery approaches 1.
+  EXPECT_NEAR(early.ProgressiveSatisfaction(0, horizon), 0.99, 0.011);
+  // Exactly halfway through the horizon: area factor 0.5.
+  EXPECT_NEAR(late.ProgressiveSatisfaction(0, horizon), 0.5, 1e-9);
+}
+
+TEST(TrackerTest, ProgressiveSatisfactionEdgeCases) {
+  SatisfactionTracker tracker({MakeTimeStepContract(10.0)});
+  EXPECT_DOUBLE_EQ(tracker.ProgressiveSatisfaction(0, 10.0), 0.0);
+  tracker.OnResult(0, 20.0);  // Past horizon: contributes nothing.
+  EXPECT_DOUBLE_EQ(tracker.ProgressiveSatisfaction(0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.ProgressiveSatisfaction(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.WorkloadProgressiveSatisfaction(10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace caqe

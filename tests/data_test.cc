@@ -1,0 +1,242 @@
+// Unit tests for tables and the Börzsönyi-style dataset generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "data/generator.h"
+#include "data/table.h"
+
+namespace caqe {
+namespace {
+
+double PearsonCorrelation(const Table& t, int a, int b) {
+  const int64_t n = t.num_rows();
+  double sa = 0.0;
+  double sb = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sa += t.attr(i, a);
+    sb += t.attr(i, b);
+  }
+  const double ma = sa / n;
+  const double mb = sb / n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double da = t.attr(i, a) - ma;
+    const double db = t.attr(i, b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t("T", 2, 1);
+  t.AppendRow({1.5, 2.5}, {7});
+  t.AppendRow({3.0, 4.0}, {9});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(t.attr(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(t.attr(1, 1), 4.0);
+  EXPECT_EQ(t.key(0, 0), 7);
+  EXPECT_EQ(t.key(1, 0), 9);
+  EXPECT_EQ(t.name(), "T");
+}
+
+TEST(GeneratorTest, RejectsBadConfigs) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 0;
+  EXPECT_FALSE(GenerateTable("X", cfg).ok());
+  cfg.num_rows = 10;
+  cfg.num_attrs = 0;
+  EXPECT_FALSE(GenerateTable("X", cfg).ok());
+  cfg.num_attrs = 2;
+  cfg.attr_min = 5.0;
+  cfg.attr_max = 5.0;
+  EXPECT_FALSE(GenerateTable("X", cfg).ok());
+  cfg.attr_max = 10.0;
+  cfg.join_selectivities = {0.0};
+  EXPECT_FALSE(GenerateTable("X", cfg).ok());
+  cfg.join_selectivities = {1.5};
+  EXPECT_FALSE(GenerateTable("X", cfg).ok());
+  cfg.join_selectivities = {0.1};
+  EXPECT_TRUE(GenerateTable("X", cfg).ok());
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 100;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.1};
+  cfg.seed = 99;
+  const Table a = GenerateTable("A", cfg).value();
+  const Table b = GenerateTable("B", cfg).value();
+  for (int64_t i = 0; i < a.num_rows(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(a.attr(i, k), b.attr(i, k));
+    }
+    EXPECT_EQ(a.key(i, 0), b.key(i, 0));
+  }
+}
+
+class DistributionTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(DistributionTest, RespectsSizeAndRange) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 2000;
+  cfg.num_attrs = 4;
+  cfg.attr_min = 1.0;
+  cfg.attr_max = 100.0;
+  cfg.distribution = GetParam();
+  const Table t = GenerateTable("T", cfg).value();
+  EXPECT_EQ(t.num_rows(), 2000);
+  EXPECT_EQ(t.num_attrs(), 4);
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_GE(t.attr(i, k), 1.0);
+      EXPECT_LE(t.attr(i, k), 100.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionTest,
+    ::testing::Values(Distribution::kIndependent, Distribution::kCorrelated,
+                      Distribution::kAntiCorrelated),
+    [](const ::testing::TestParamInfo<Distribution>& info) {
+      return DistributionName(info.param);
+    });
+
+TEST(GeneratorTest, CorrelationSigns) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 5000;
+  cfg.num_attrs = 2;
+  cfg.seed = 17;
+
+  cfg.distribution = Distribution::kIndependent;
+  const Table ind = GenerateTable("I", cfg).value();
+  EXPECT_LT(std::abs(PearsonCorrelation(ind, 0, 1)), 0.1);
+
+  cfg.distribution = Distribution::kCorrelated;
+  const Table cor = GenerateTable("C", cfg).value();
+  EXPECT_GT(PearsonCorrelation(cor, 0, 1), 0.8);
+
+  cfg.distribution = Distribution::kAntiCorrelated;
+  const Table anti = GenerateTable("A", cfg).value();
+  EXPECT_LT(PearsonCorrelation(anti, 0, 1), -0.5);
+}
+
+TEST(GeneratorTest, JoinSelectivityApproximatelyMet) {
+  // For two tables with uniform keys over domain size K = 1/sigma, the
+  // expected match probability of a random pair is sigma.
+  for (double sigma : {0.1, 0.01}) {
+    GeneratorConfig cfg;
+    cfg.num_rows = 3000;
+    cfg.num_attrs = 2;
+    cfg.join_selectivities = {sigma};
+    cfg.seed = 23;
+    const Table r = GenerateTable("R", cfg).value();
+    cfg.seed = 24;
+    const Table t = GenerateTable("T", cfg).value();
+
+    // Count matches via key histograms.
+    std::vector<int64_t> hist_r(static_cast<int64_t>(1.0 / sigma) + 1, 0);
+    std::vector<int64_t> hist_t(hist_r.size(), 0);
+    for (int64_t i = 0; i < r.num_rows(); ++i) ++hist_r[r.key(i, 0)];
+    for (int64_t i = 0; i < t.num_rows(); ++i) ++hist_t[t.key(i, 0)];
+    double matches = 0;
+    for (size_t k = 0; k < hist_r.size(); ++k) {
+      matches += static_cast<double>(hist_r[k]) * hist_t[k];
+    }
+    const double observed =
+        matches / (static_cast<double>(r.num_rows()) * t.num_rows());
+    EXPECT_NEAR(observed, sigma, sigma * 0.15);
+  }
+}
+
+TEST(GeneratorTest, DistributionNamesAreStable) {
+  EXPECT_STREQ(DistributionName(Distribution::kIndependent), "independent");
+  EXPECT_STREQ(DistributionName(Distribution::kCorrelated), "correlated");
+  EXPECT_STREQ(DistributionName(Distribution::kAntiCorrelated),
+               "anticorrelated");
+}
+
+TEST(GeneratorTest, CorrelatedSkylinesAreTiny) {
+  // Sanity check on the distribution construction: correlated data has far
+  // smaller skylines than anti-correlated data of the same size.
+  GeneratorConfig cfg;
+  cfg.num_rows = 1000;
+  cfg.num_attrs = 3;
+  cfg.seed = 31;
+  auto count_skyline = [&](Distribution d) {
+    cfg.distribution = d;
+    const Table t = GenerateTable("T", cfg).value();
+    int64_t count = 0;
+    for (int64_t i = 0; i < t.num_rows(); ++i) {
+      bool dominated = false;
+      for (int64_t j = 0; j < t.num_rows() && !dominated; ++j) {
+        if (i == j) continue;
+        bool all_le = true;
+        bool one_lt = false;
+        for (int k = 0; k < 3; ++k) {
+          if (t.attr(j, k) > t.attr(i, k)) all_le = false;
+          if (t.attr(j, k) < t.attr(i, k)) one_lt = true;
+        }
+        dominated = all_le && one_lt;
+      }
+      if (!dominated) ++count;
+    }
+    return count;
+  };
+  const int64_t corr = count_skyline(Distribution::kCorrelated);
+  const int64_t anti = count_skyline(Distribution::kAntiCorrelated);
+  EXPECT_LT(corr * 5, anti);
+}
+
+TEST(GeneratorTest, JoinKeyCorrelationClustersKeys) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 4000;
+  cfg.num_attrs = 2;
+  cfg.join_selectivities = {0.01};  // 100 keys.
+  cfg.join_key_correlation = 1.0;
+  cfg.seed = 77;
+  const Table t = GenerateTable("T", cfg).value();
+  // With full correlation the key is a deterministic function of the first
+  // attribute's position: rows in the lower attribute half use only the
+  // lower half of the key domain.
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    const double frac = (t.attr(i, 0) - 1.0) / 99.0;
+    const int32_t key = t.key(i, 0);
+    EXPECT_NEAR(key, frac * 100, 1.5) << "row " << i;
+  }
+  // Invalid correlation rejected.
+  cfg.join_key_correlation = 1.5;
+  EXPECT_FALSE(GenerateTable("T", cfg).ok());
+}
+
+TEST(GeneratorTest, ZeroCorrelationKeysIndependentOfAttrs) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 4000;
+  cfg.num_attrs = 2;
+  cfg.join_selectivities = {0.1};
+  cfg.join_key_correlation = 0.0;
+  cfg.seed = 78;
+  const Table t = GenerateTable("T", cfg).value();
+  // Mean attribute value should not differ much between key buckets.
+  std::vector<double> sums(10, 0.0);
+  std::vector<int64_t> counts(10, 0);
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    sums[t.key(i, 0)] += t.attr(i, 0);
+    ++counts[t.key(i, 0)];
+  }
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_GT(counts[k], 0);
+    EXPECT_NEAR(sums[k] / counts[k], 50.5, 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace caqe

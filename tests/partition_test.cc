@@ -1,0 +1,257 @@
+// Unit and property tests for input partitioning and join signatures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generator.h"
+#include "partition/partitioner.h"
+
+namespace caqe {
+namespace {
+
+Table SmallTable() {
+  Table t("T", 2, 1);
+  t.AppendRow({1.0, 1.0}, {1});
+  t.AppendRow({2.0, 9.0}, {2});
+  t.AppendRow({9.0, 2.0}, {1});
+  t.AppendRow({9.5, 9.5}, {3});
+  return t;
+}
+
+TEST(PartitionTest, RejectsBadInputs) {
+  const Table t = SmallTable();
+  EXPECT_FALSE(PartitionTable(t, 0).ok());
+  Table empty("E", 2, 0);
+  EXPECT_FALSE(PartitionTable(empty, 2).ok());
+}
+
+TEST(PartitionTest, SingleCellHoldsEverything) {
+  const Table t = SmallTable();
+  const PartitionedTable p = PartitionTable(t, 1).value();
+  ASSERT_EQ(p.num_cells(), 1);
+  EXPECT_EQ(p.cell(0).rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.cell(0).lower[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.cell(0).upper[0], 9.5);
+}
+
+TEST(PartitionTest, CellsPartitionAllRows) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 1000;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.1};
+  const Table t = GenerateTable("T", cfg).value();
+  for (int cpd : {1, 2, 3, 5}) {
+    const PartitionedTable p = PartitionTable(t, cpd).value();
+    EXPECT_EQ(p.TotalRows(), t.num_rows());
+    std::set<int64_t> seen;
+    for (const LeafCell& cell : p.cells()) {
+      EXPECT_FALSE(cell.rows.empty());  // Empty cells are dropped.
+      for (int64_t row : cell.rows) {
+        EXPECT_TRUE(seen.insert(row).second) << "row in two cells";
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(t.num_rows()));
+  }
+}
+
+TEST(PartitionTest, BoundsAreTightOverMembers) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 500;
+  cfg.num_attrs = 2;
+  const Table t = GenerateTable("T", cfg).value();
+  const PartitionedTable p = PartitionTable(t, 4).value();
+  for (const LeafCell& cell : p.cells()) {
+    for (int k = 0; k < t.num_attrs(); ++k) {
+      double lo = 1e300;
+      double hi = -1e300;
+      for (int64_t row : cell.rows) {
+        lo = std::min(lo, t.attr(row, k));
+        hi = std::max(hi, t.attr(row, k));
+      }
+      EXPECT_DOUBLE_EQ(cell.lower[k], lo);
+      EXPECT_DOUBLE_EQ(cell.upper[k], hi);
+    }
+  }
+}
+
+TEST(PartitionTest, SignaturesHoldExactlyMemberKeys) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 400;
+  cfg.num_attrs = 2;
+  cfg.join_selectivities = {0.1, 0.05};
+  const Table t = GenerateTable("T", cfg).value();
+  const PartitionedTable p = PartitionTable(t, 3).value();
+  for (const LeafCell& cell : p.cells()) {
+    ASSERT_EQ(cell.signatures.size(), 2u);
+    for (int j = 0; j < 2; ++j) {
+      std::set<int32_t> expected;
+      for (int64_t row : cell.rows) expected.insert(t.key(row, j));
+      const std::set<int32_t> actual(cell.signatures[j].begin(),
+                                     cell.signatures[j].end());
+      EXPECT_EQ(actual, expected);
+      EXPECT_TRUE(std::is_sorted(cell.signatures[j].begin(),
+                                 cell.signatures[j].end()));
+      // Counts align and sum to the member count.
+      ASSERT_EQ(cell.signature_counts[j].size(), cell.signatures[j].size());
+      int64_t total = 0;
+      for (int32_t c : cell.signature_counts[j]) total += c;
+      EXPECT_EQ(total, static_cast<int64_t>(cell.rows.size()));
+    }
+  }
+}
+
+TEST(SignatureTest, IntersectionCases) {
+  EXPECT_TRUE(SignaturesIntersect({1, 3, 5}, {5, 9}));
+  EXPECT_FALSE(SignaturesIntersect({1, 3, 5}, {2, 4, 6}));
+  EXPECT_FALSE(SignaturesIntersect({}, {1}));
+  EXPECT_FALSE(SignaturesIntersect({}, {}));
+  int64_t ops = 0;
+  EXPECT_TRUE(SignaturesIntersect({1, 2, 3}, {3}, &ops));
+  EXPECT_GT(ops, 0);
+}
+
+TEST(SignatureTest, ExactJoinSizeMatchesBruteForce) {
+  // keys/counts: a = {1:2, 3:1, 7:4}, b = {3:5, 7:2, 9:1}.
+  const std::vector<int32_t> ka = {1, 3, 7};
+  const std::vector<int32_t> ca = {2, 1, 4};
+  const std::vector<int32_t> kb = {3, 7, 9};
+  const std::vector<int32_t> cb = {5, 2, 1};
+  EXPECT_EQ(ExactJoinSize(ka, ca, kb, cb), 1 * 5 + 4 * 2);
+  EXPECT_EQ(ExactJoinSize(ka, ca, {}, {}), 0);
+}
+
+TEST(SignatureTest, ExactJoinSizeAgainstNestedLoop) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 200;
+  cfg.num_attrs = 2;
+  cfg.join_selectivities = {0.05};
+  cfg.seed = 3;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = 4;
+  const Table t = GenerateTable("T", cfg).value();
+  const PartitionedTable pr = PartitionTable(r, 2).value();
+  const PartitionedTable pt = PartitionTable(t, 2).value();
+  for (const LeafCell& cr : pr.cells()) {
+    for (const LeafCell& ct : pt.cells()) {
+      int64_t brute = 0;
+      for (int64_t i : cr.rows) {
+        for (int64_t j : ct.rows) {
+          if (r.key(i, 0) == t.key(j, 0)) ++brute;
+        }
+      }
+      EXPECT_EQ(ExactJoinSize(cr.signatures[0], cr.signature_counts[0],
+                              ct.signatures[0], ct.signature_counts[0]),
+                brute);
+      // Intersection test agrees with size > 0.
+      EXPECT_EQ(SignaturesIntersect(cr.signatures[0], ct.signatures[0]),
+                brute > 0);
+    }
+  }
+}
+
+TEST(SliceVectorTest, DoublesRoundRobin) {
+  EXPECT_EQ(ChooseSliceVector(4, 1), (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(ChooseSliceVector(4, 2), (std::vector<int>{2, 1, 1, 1}));
+  EXPECT_EQ(ChooseSliceVector(4, 8), (std::vector<int>{2, 2, 2, 1}));
+  EXPECT_EQ(ChooseSliceVector(4, 16), (std::vector<int>{2, 2, 2, 2}));
+  EXPECT_EQ(ChooseSliceVector(4, 64), (std::vector<int>{4, 4, 2, 2}));
+  EXPECT_EQ(ChooseSliceVector(2, 9), (std::vector<int>{4, 2}));
+  // Cell count never exceeds the target.
+  for (int d : {1, 2, 3, 5}) {
+    for (int64_t target : {1, 3, 7, 20, 100, 1000}) {
+      int64_t cells = 1;
+      for (int s : ChooseSliceVector(d, target)) cells *= s;
+      EXPECT_LE(cells, target);
+      EXPECT_GT(cells * 2, target / 2);
+    }
+  }
+}
+
+TEST(PartitionTest, SliceVectorPartitioningCoversRows) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 500;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.1};
+  const Table t = GenerateTable("T", cfg).value();
+  const PartitionedTable p =
+      PartitionTableSlices(t, {3, 2, 1}).value();
+  EXPECT_EQ(p.TotalRows(), t.num_rows());
+  EXPECT_LE(p.num_cells(), 6);
+  EXPECT_FALSE(PartitionTableSlices(t, {3, 2}).ok());      // Wrong arity.
+  EXPECT_FALSE(PartitionTableSlices(t, {3, 0, 1}).ok());   // Zero slices.
+}
+
+TEST(QuadTreeTest, RejectsBadInputs) {
+  const Table t = SmallTable();
+  EXPECT_FALSE(PartitionTableQuadTree(t, 0).ok());
+  EXPECT_FALSE(PartitionTableQuadTree(t, 10, -1).ok());
+  Table empty("E", 2, 0);
+  EXPECT_FALSE(PartitionTableQuadTree(empty, 10).ok());
+}
+
+TEST(QuadTreeTest, PartitionsAllRowsDisjointly) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 1200;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.1};
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAntiCorrelated}) {
+    cfg.distribution = dist;
+    const Table t = GenerateTable("T", cfg).value();
+    const PartitionedTable p = PartitionTableQuadTree(t, 100).value();
+    EXPECT_EQ(p.TotalRows(), t.num_rows());
+    std::set<int64_t> seen;
+    for (const LeafCell& cell : p.cells()) {
+      EXPECT_FALSE(cell.rows.empty());
+      // Cell populations respect the limit (max_depth not hit at this
+      // size).
+      EXPECT_LE(cell.rows.size(), 100u);
+      for (int64_t row : cell.rows) {
+        EXPECT_TRUE(seen.insert(row).second);
+      }
+      // Tight bounds.
+      for (int k = 0; k < t.num_attrs(); ++k) {
+        for (int64_t row : cell.rows) {
+          EXPECT_GE(t.attr(row, k), cell.lower[k]);
+          EXPECT_LE(t.attr(row, k), cell.upper[k]);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(t.num_rows()));
+  }
+}
+
+TEST(QuadTreeTest, BalancesSkewBetterThanGrid) {
+  // Correlated data piles up along the diagonal; the quad tree adapts
+  // while the grid leaves most populated cells huge.
+  GeneratorConfig cfg;
+  cfg.num_rows = 4000;
+  cfg.num_attrs = 2;
+  cfg.distribution = Distribution::kCorrelated;
+  const Table t = GenerateTable("T", cfg).value();
+  const PartitionedTable grid = PartitionTable(t, 4).value();
+  const PartitionedTable quad = PartitionTableQuadTree(t, 250).value();
+  size_t grid_max = 0;
+  for (const LeafCell& cell : grid.cells()) {
+    grid_max = std::max(grid_max, cell.rows.size());
+  }
+  size_t quad_max = 0;
+  for (const LeafCell& cell : quad.cells()) {
+    quad_max = std::max(quad_max, cell.rows.size());
+  }
+  EXPECT_LE(quad_max, 250u);
+  EXPECT_GT(grid_max, quad_max);
+}
+
+TEST(QuadTreeTest, IdenticalPointsTerminate) {
+  Table t("T", 2, 1);
+  for (int i = 0; i < 100; ++i) t.AppendRow({5.0, 5.0}, {1});
+  const PartitionedTable p = PartitionTableQuadTree(t, 10).value();
+  ASSERT_EQ(p.num_cells(), 1);
+  EXPECT_EQ(p.cell(0).rows.size(), 100u);
+}
+
+}  // namespace
+}  // namespace caqe

@@ -1,0 +1,219 @@
+// Unit tests for query/workload definitions and the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "query/query.h"
+#include "query/workload_generator.h"
+
+namespace caqe {
+namespace {
+
+Table TinyTable(int attrs, int keys) {
+  Table t("T", attrs, keys);
+  std::vector<double> a(attrs, 1.0);
+  std::vector<int32_t> k(keys, 0);
+  t.AppendRow(a, k);
+  return t;
+}
+
+TEST(MappingFunctionTest, AppliesWeightedSum) {
+  const MappingFunction f{0, 1, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(f.Apply(10.0, 100.0), 2.0 * 10.0 + 3.0 * 100.0);
+}
+
+TEST(PriorityClassTest, PaperBands) {
+  EXPECT_EQ(ClassifyPriority(1.0), PriorityClass::kHigh);
+  EXPECT_EQ(ClassifyPriority(0.7), PriorityClass::kHigh);
+  EXPECT_EQ(ClassifyPriority(0.69), PriorityClass::kMedium);
+  EXPECT_EQ(ClassifyPriority(0.4), PriorityClass::kMedium);
+  EXPECT_EQ(ClassifyPriority(0.39), PriorityClass::kLow);
+  EXPECT_EQ(ClassifyPriority(0.0), PriorityClass::kLow);
+}
+
+TEST(WorkloadTest, ProjectComputesAllDims) {
+  Table r("R", 2, 1);
+  r.AppendRow({1.0, 2.0}, {0});
+  Table t("T", 2, 1);
+  t.AppendRow({10.0, 20.0}, {0});
+  Workload wl;
+  wl.AddOutputDim({0, 0, 1.0, 1.0});
+  wl.AddOutputDim({1, 1, 0.5, 2.0});
+  std::vector<double> out;
+  wl.Project(r, 0, t, 0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 11.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5 * 2.0 + 2.0 * 20.0);
+}
+
+TEST(WorkloadTest, ValidationCatchesErrors) {
+  const Table r = TinyTable(2, 1);
+  const Table t = TinyTable(2, 1);
+
+  Workload empty;
+  EXPECT_FALSE(empty.Validate(r, t).ok());
+
+  Workload bad_attr;
+  bad_attr.AddOutputDim({5, 0, 1.0, 1.0});
+  bad_attr.AddQuery({"Q", 0, {0}, 1.0});
+  EXPECT_FALSE(bad_attr.Validate(r, t).ok());
+
+  Workload bad_key;
+  bad_key.AddOutputDim({0, 0, 1.0, 1.0});
+  bad_key.AddQuery({"Q", 3, {0}, 1.0});
+  EXPECT_FALSE(bad_key.Validate(r, t).ok());
+
+  Workload bad_weight;
+  bad_weight.AddOutputDim({0, 0, -1.0, 1.0});
+  bad_weight.AddQuery({"Q", 0, {0}, 1.0});
+  EXPECT_FALSE(bad_weight.Validate(r, t).ok());
+
+  Workload dup_pref;
+  dup_pref.AddOutputDim({0, 0, 1.0, 1.0});
+  dup_pref.AddOutputDim({1, 1, 1.0, 1.0});
+  dup_pref.AddQuery({"Q", 0, {0, 0}, 1.0});
+  EXPECT_FALSE(dup_pref.Validate(r, t).ok());
+
+  Workload bad_priority;
+  bad_priority.AddOutputDim({0, 0, 1.0, 1.0});
+  bad_priority.AddQuery({"Q", 0, {0}, 2.0});
+  EXPECT_FALSE(bad_priority.Validate(r, t).ok());
+
+  Workload good;
+  good.AddOutputDim({0, 0, 1.0, 1.0});
+  good.AddQuery({"Q", 0, {0}, 0.5});
+  EXPECT_TRUE(good.Validate(r, t).ok());
+}
+
+TEST(WorkloadTest, DistinctJoinKeysAndPriorityOrder) {
+  Workload wl;
+  wl.AddOutputDim({0, 0, 1.0, 1.0});
+  wl.AddQuery({"A", 1, {0}, 0.2});
+  wl.AddQuery({"B", 0, {0}, 0.9});
+  wl.AddQuery({"C", 1, {0}, 0.5});
+  EXPECT_EQ(wl.DistinctJoinKeys(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(wl.QueriesByPriority(), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(SubspaceWorkloadTest, ElevenQueriesForFourDims) {
+  // All 6+4+1 multi-dimensional subspaces of a 4-d space — the paper's
+  // |S_Q| = 11 workload.
+  const Workload wl =
+      MakeSubspaceWorkload(4, 0, 11, PriorityPolicy::kUniform).value();
+  EXPECT_EQ(wl.num_queries(), 11);
+  EXPECT_EQ(wl.num_output_dims(), 4);
+  std::set<std::vector<int>> prefs;
+  for (const SjQuery& q : wl.queries()) {
+    EXPECT_GE(q.preference.size(), 2u);
+    EXPECT_TRUE(prefs.insert(q.preference).second) << "duplicate preference";
+  }
+  // Requesting a 12th query must fail (no more subspaces).
+  EXPECT_FALSE(MakeSubspaceWorkload(4, 0, 12, PriorityPolicy::kUniform).ok());
+}
+
+TEST(SubspaceWorkloadTest, OrderedBySizeThenLex) {
+  const Workload wl =
+      MakeSubspaceWorkload(3, 0, 4, PriorityPolicy::kUniform).value();
+  EXPECT_EQ(wl.query(0).preference, (std::vector<int>{0, 1}));
+  EXPECT_EQ(wl.query(1).preference, (std::vector<int>{0, 2}));
+  EXPECT_EQ(wl.query(2).preference, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wl.query(3).preference, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SubspaceWorkloadTest, DimIncreasingPriorityPolicy) {
+  const Workload wl =
+      MakeSubspaceWorkload(4, 0, 11, PriorityPolicy::kDimIncreasing).value();
+  // Queries with more dimensions must have higher priority.
+  for (const SjQuery& a : wl.queries()) {
+    for (const SjQuery& b : wl.queries()) {
+      if (a.preference.size() > b.preference.size()) {
+        EXPECT_GT(a.priority, b.priority);
+      }
+    }
+  }
+}
+
+TEST(SubspaceWorkloadTest, DimDecreasingPriorityPolicy) {
+  const Workload wl =
+      MakeSubspaceWorkload(4, 0, 11, PriorityPolicy::kDimDecreasing).value();
+  for (const SjQuery& a : wl.queries()) {
+    for (const SjQuery& b : wl.queries()) {
+      if (a.preference.size() < b.preference.size()) {
+        EXPECT_GT(a.priority, b.priority);
+      }
+    }
+  }
+}
+
+TEST(SubspaceWorkloadTest, PrioritiesInUnitRange) {
+  for (PriorityPolicy policy :
+       {PriorityPolicy::kDimIncreasing, PriorityPolicy::kDimDecreasing,
+        PriorityPolicy::kUniform, PriorityPolicy::kRandom}) {
+    const Workload wl = MakeSubspaceWorkload(4, 0, 11, policy).value();
+    for (const SjQuery& q : wl.queries()) {
+      EXPECT_GE(q.priority, 0.0);
+      EXPECT_LE(q.priority, 1.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, SelectionValidationAndSemantics) {
+  const Table r = TinyTable(2, 1);
+  const Table t = TinyTable(2, 1);
+
+  Workload bad_attr;
+  bad_attr.AddOutputDim({0, 0, 1.0, 1.0});
+  bad_attr.AddQuery({"Q", 0, {0}, 1.0, {{true, 9, 0.0, 1.0}}});
+  EXPECT_FALSE(bad_attr.Validate(r, t).ok());
+
+  Workload bad_range;
+  bad_range.AddOutputDim({0, 0, 1.0, 1.0});
+  bad_range.AddQuery({"Q", 0, {0}, 1.0, {{true, 0, 5.0, 1.0}}});
+  EXPECT_FALSE(bad_range.Validate(r, t).ok());
+
+  Workload good;
+  good.AddOutputDim({0, 0, 1.0, 1.0});
+  good.AddQuery({"Q", 0, {0}, 1.0,
+                 {{true, 0, 0.5, 2.0}, {false, 1, 0.0, 10.0}}});
+  EXPECT_TRUE(good.Validate(r, t).ok());
+  // TinyTable rows are all-1.0: inside both ranges.
+  EXPECT_TRUE(good.SelectionsPass(0, r, 0, t, 0));
+
+  Workload excluding;
+  excluding.AddOutputDim({0, 0, 1.0, 1.0});
+  excluding.AddQuery({"Q", 0, {0}, 1.0, {{false, 0, 2.0, 3.0}}});
+  EXPECT_FALSE(excluding.SelectionsPass(0, r, 0, t, 0));
+}
+
+TEST(WorkloadTest, RejectsMoreThanSixtyFourQueries) {
+  const Table r = TinyTable(2, 1);
+  const Table t = TinyTable(2, 1);
+  Workload wl;
+  wl.AddOutputDim({0, 0, 1.0, 1.0});
+  for (int q = 0; q < 65; ++q) {
+    wl.AddQuery({"Q" + std::to_string(q), 0, {0}, 0.5});
+  }
+  EXPECT_FALSE(wl.Validate(r, t).ok());
+}
+
+TEST(RandomWorkloadTest, RespectsBoundsAndSeed) {
+  const Workload a =
+      MakeRandomWorkload(5, 2, 8, PriorityPolicy::kRandom, 42).value();
+  const Workload b =
+      MakeRandomWorkload(5, 2, 8, PriorityPolicy::kRandom, 42).value();
+  EXPECT_EQ(a.num_queries(), 8);
+  for (int q = 0; q < 8; ++q) {
+    EXPECT_EQ(a.query(q).preference, b.query(q).preference);
+    EXPECT_EQ(a.query(q).join_key, b.query(q).join_key);
+    EXPECT_GE(a.query(q).join_key, 0);
+    EXPECT_LT(a.query(q).join_key, 2);
+    EXPECT_GE(a.query(q).preference.size(), 2u);
+    EXPECT_LE(a.query(q).preference.size(), 5u);
+  }
+  EXPECT_FALSE(MakeRandomWorkload(1, 1, 4, PriorityPolicy::kRandom, 1).ok());
+  EXPECT_FALSE(MakeRandomWorkload(4, 0, 4, PriorityPolicy::kRandom, 1).ok());
+}
+
+}  // namespace
+}  // namespace caqe

@@ -1,0 +1,319 @@
+// Unit and property tests for MQLA: output regions, region dominance
+// (Def. 8), coarse skyline pruning, and the dependency graph (Def. 9).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "query/workload_generator.h"
+#include "region/dependency_graph.h"
+#include "region/region_builder.h"
+#include "common/rng.h"
+#include "region/region_dominance.h"
+#include "test_util.h"
+
+namespace caqe {
+namespace {
+
+using ::caqe::testing::FullJoinOutput;
+using ::caqe::testing::MakeTables;
+
+OutputRegion Box(std::vector<double> lower, std::vector<double> upper) {
+  OutputRegion region;
+  region.lower = std::move(lower);
+  region.upper = std::move(upper);
+  return region;
+}
+
+TEST(RegionDominanceTest, FullPartialIncomparable) {
+  const std::vector<int> dims = {0, 1};
+  // a entirely better than b.
+  EXPECT_EQ(CompareRegions(Box({0, 0}, {1, 1}), Box({2, 2}, {3, 3}), dims),
+            RegionDomResult::kFullyDominates);
+  // Overlapping boxes: only partial.
+  EXPECT_EQ(CompareRegions(Box({0, 0}, {2, 2}), Box({1, 1}, {3, 3}), dims),
+            RegionDomResult::kPartiallyDominates);
+  // b better than a in dim 0: incomparable.
+  EXPECT_EQ(CompareRegions(Box({5, 0}, {6, 1}), Box({0, 5}, {1, 6}), dims),
+            RegionDomResult::kIncomparable);
+}
+
+TEST(RegionDominanceTest, TouchingBoundsAreNotFullDominance) {
+  const std::vector<int> dims = {0, 1};
+  // Upper corner equals lower corner of b: no strict dimension.
+  EXPECT_EQ(CompareRegions(Box({0, 0}, {2, 2}), Box({2, 2}, {3, 3}), dims),
+            RegionDomResult::kPartiallyDominates);
+  // Strict in one dim, touching in the other: full.
+  EXPECT_EQ(CompareRegions(Box({0, 0}, {1, 2}), Box({2, 2}, {3, 3}), dims),
+            RegionDomResult::kFullyDominates);
+}
+
+TEST(RegionDominanceTest, SubspaceSelectsDims) {
+  // a beats b on dim 0 but loses on dim 1.
+  const OutputRegion a = Box({0, 9}, {1, 10});
+  const OutputRegion b = Box({5, 0}, {6, 1});
+  EXPECT_EQ(CompareRegions(a, b, {0}), RegionDomResult::kFullyDominates);
+  EXPECT_EQ(CompareRegions(a, b, {1}), RegionDomResult::kIncomparable);
+  EXPECT_EQ(CompareRegions(a, b, {0, 1}), RegionDomResult::kIncomparable);
+}
+
+TEST(RegionDominanceTest, PointTests) {
+  const OutputRegion b = Box({5, 5}, {7, 7});
+  const std::vector<double> better = {4, 5};
+  const std::vector<double> equal = {5, 5};
+  const std::vector<double> inside = {6, 6};
+  EXPECT_TRUE(PointFullyDominatesRegion(better.data(), b, {0, 1}));
+  EXPECT_FALSE(PointFullyDominatesRegion(equal.data(), b, {0, 1}));
+  EXPECT_FALSE(PointFullyDominatesRegion(inside.data(), b, {0, 1}));
+
+  EXPECT_TRUE(RegionCanDominatePoint(b, inside.data(), {0, 1}));
+  EXPECT_FALSE(RegionCanDominatePoint(b, better.data(), {0, 1}));
+  EXPECT_TRUE(RegionCanDominatePoint(b, equal.data(), {0, 1}));
+}
+
+TEST(RegionDominanceTest, FullDominanceIsStrictPartialOrder) {
+  // Irreflexive, asymmetric, transitive — on random boxes. This is what
+  // makes one-pass coarse pruning sound.
+  Rng rng(17);
+  const std::vector<int> dims = {0, 1, 2};
+  auto random_box = [&]() {
+    OutputRegion region;
+    region.lower.resize(3);
+    region.upper.resize(3);
+    for (int k = 0; k < 3; ++k) {
+      const double a = rng.Uniform(0, 10);
+      const double b = rng.Uniform(0, 10);
+      region.lower[k] = std::min(a, b);
+      region.upper[k] = std::max(a, b);
+    }
+    return region;
+  };
+  auto full = [&](const OutputRegion& a, const OutputRegion& b) {
+    return CompareRegions(a, b, dims) == RegionDomResult::kFullyDominates;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    const OutputRegion a = random_box();
+    const OutputRegion b = random_box();
+    const OutputRegion c = random_box();
+    EXPECT_FALSE(full(a, a));
+    if (full(a, b)) {
+      EXPECT_FALSE(full(b, a));
+      if (full(b, c)) {
+        EXPECT_TRUE(full(a, c));
+      }
+    }
+    // Full dominance implies the point-level guarantees used downstream.
+    if (full(a, b)) {
+      EXPECT_TRUE(PointFullyDominatesRegion(a.upper.data(), b, dims));
+      EXPECT_TRUE(RegionCanDominatePoint(a, b.lower.data(), dims));
+    }
+  }
+}
+
+TEST(RegionDominanceTest, PaperExampleSixteen) {
+  // Example 16's three output regions (1-indexed d1..d4 -> dims 0..3).
+  const OutputRegion r1 = Box({6, 8, 8, 4}, {8, 10, 10, 6});
+  const OutputRegion r2 = Box({8, 6, 6, 5}, {10, 8, 8, 7});
+  const OutputRegion r3 = Box({7, 5, 4, 1}, {9, 7, 6, 4});
+  auto undominated = [&](const OutputRegion& victim,
+                         const std::vector<int>& dims) {
+    for (const OutputRegion* other : {&r1, &r2, &r3}) {
+      if (other == &victim) continue;
+      if (CompareRegions(*other, victim, dims) ==
+          RegionDomResult::kFullyDominates) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Level 0: R1 in SKY_{d1}; R3 in SKY_{d2}, SKY_{d3}, SKY_{d4}.
+  EXPECT_TRUE(undominated(r1, {0}));
+  EXPECT_TRUE(undominated(r3, {1}));
+  EXPECT_TRUE(undominated(r3, {2}));
+  EXPECT_TRUE(undominated(r3, {3}));
+  // Level 1 (end of processing): SKY_{d1,d2} = {R1, R2, R3} and
+  // SKY_{d2,d3} = {R2, R3} — R1 is fully dominated there by R3.
+  EXPECT_TRUE(undominated(r1, {0, 1}));
+  EXPECT_TRUE(undominated(r2, {0, 1}));
+  EXPECT_TRUE(undominated(r3, {0, 1}));
+  EXPECT_FALSE(undominated(r1, {1, 2}));
+  EXPECT_TRUE(undominated(r2, {1, 2}));
+  EXPECT_TRUE(undominated(r3, {1, 2}));
+  EXPECT_EQ(CompareRegions(r3, r1, {1, 2}),
+            RegionDomResult::kFullyDominates);
+}
+
+class RegionBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto [r, t] = MakeTables(Distribution::kIndependent, 300, 3, 0.05);
+    r_ = std::make_unique<Table>(std::move(r));
+    t_ = std::make_unique<Table>(std::move(t));
+    workload_ =
+        MakeSubspaceWorkload(3, 0, 4, PriorityPolicy::kUniform).value();
+    part_r_ = std::make_unique<PartitionedTable>(
+        PartitionTable(*r_, 2).value());
+    part_t_ = std::make_unique<PartitionedTable>(
+        PartitionTable(*t_, 2).value());
+    rc_ = std::make_unique<RegionCollection>(
+        BuildRegions(*part_r_, *part_t_, workload_).value());
+  }
+
+  std::unique_ptr<Table> r_;
+  std::unique_ptr<Table> t_;
+  Workload workload_;
+  std::unique_ptr<PartitionedTable> part_r_;
+  std::unique_ptr<PartitionedTable> part_t_;
+  std::unique_ptr<RegionCollection> rc_;
+};
+
+TEST_F(RegionBuilderTest, PredicateBookkeeping) {
+  EXPECT_EQ(rc_->predicate_slots, (std::vector<int>{0}));
+  for (int q = 0; q < workload_.num_queries(); ++q) {
+    EXPECT_EQ(rc_->slot_of_query[q], 0);
+  }
+  EXPECT_EQ(rc_->queries_of_slot[0],
+            QuerySet::AllOf(workload_.num_queries()));
+}
+
+TEST_F(RegionBuilderTest, JoinSizesSumToTotal) {
+  int64_t sum = 0;
+  for (const OutputRegion& region : rc_->regions) {
+    sum += region.join_size(0);
+  }
+  EXPECT_EQ(sum, rc_->total_join_sizes[0]);
+  // Exact total must match the nested-loop join size.
+  const PointSet output = FullJoinOutput(*r_, *t_, workload_, 0);
+  EXPECT_EQ(rc_->total_join_sizes[0], output.size());
+}
+
+TEST_F(RegionBuilderTest, BoundsContainEveryJoinResult) {
+  // Every projected join tuple of a cell pair must fall inside the region
+  // box.
+  std::vector<double> values;
+  for (const OutputRegion& region : rc_->regions) {
+    const LeafCell& cr = part_r_->cell(region.cell_r);
+    const LeafCell& ct = part_t_->cell(region.cell_t);
+    for (int64_t i : cr.rows) {
+      for (int64_t j : ct.rows) {
+        if (r_->key(i, 0) != t_->key(j, 0)) continue;
+        workload_.Project(*r_, i, *t_, j, values);
+        for (int k = 0; k < workload_.num_output_dims(); ++k) {
+          EXPECT_GE(values[k], region.lower[k] - 1e-9);
+          EXPECT_LE(values[k], region.upper[k] + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(RegionBuilderTest, LineageMatchesSignatureIntersection) {
+  for (const OutputRegion& region : rc_->regions) {
+    EXPECT_FALSE(region.rql.empty());
+    EXPECT_EQ(region.join_size(0) > 0,
+              region.rql == QuerySet::AllOf(workload_.num_queries()));
+    EXPECT_EQ(region.rows_r,
+              static_cast<int64_t>(part_r_->cell(region.cell_r).rows.size()));
+  }
+}
+
+TEST_F(RegionBuilderTest, CoarsePruneIsSound) {
+  // Tuples of regions pruned for query q must all be dominated in q's
+  // preference by some tuple of the surviving join output.
+  RegionCollection pruned = *rc_;
+  const CoarsePruneStats stats = CoarseSkylinePrune(pruned, workload_);
+  EXPECT_GE(stats.pruned_pairs, 0);
+
+  for (int q = 0; q < workload_.num_queries(); ++q) {
+    const auto oracle = ::caqe::testing::OracleSkyline(*r_, *t_, workload_, q);
+    // Collect the join output restricted to unpruned regions for q.
+    PointSet survivors(workload_.num_output_dims());
+    std::vector<double> values;
+    for (const OutputRegion& region : pruned.regions) {
+      if (!region.rql.Contains(q)) continue;
+      const LeafCell& cr = part_r_->cell(region.cell_r);
+      const LeafCell& ct = part_t_->cell(region.cell_t);
+      for (int64_t i : cr.rows) {
+        for (int64_t j : ct.rows) {
+          if (r_->key(i, 0) != t_->key(j, 0)) continue;
+          workload_.Project(*r_, i, *t_, j, values);
+          survivors.Append(values);
+        }
+      }
+    }
+    // The skyline of the survivors must equal the oracle skyline.
+    const std::vector<int>& pref = workload_.query(q).preference;
+    const std::vector<int64_t> sky = BruteForceSkyline(survivors, pref);
+    std::vector<std::vector<double>> rows;
+    for (int64_t id : sky) {
+      std::vector<double> row;
+      for (int k : pref) row.push_back(survivors.row(id)[k]);
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+    EXPECT_EQ(rows, oracle) << "query " << q;
+  }
+}
+
+TEST_F(RegionBuilderTest, DependencyGraphInvariants) {
+  RegionCollection pruned = *rc_;
+  CoarseSkylinePrune(pruned, workload_);
+  const DependencyGraph dg = DependencyGraph::Build(pruned, workload_);
+  ASSERT_EQ(dg.num_regions(), static_cast<int>(pruned.regions.size()));
+
+  // In-degrees match incoming edge counts; edges annotate shared queries
+  // with a real (full or partial) dominance relation.
+  std::vector<int> in_count(dg.num_regions(), 0);
+  for (int i = 0; i < dg.num_regions(); ++i) {
+    for (const auto& [target, queries] : dg.out_edges(i)) {
+      ++in_count[target];
+      EXPECT_FALSE(queries.empty());
+      queries.ForEach([&](int q) {
+        EXPECT_TRUE(pruned.regions[i].rql.Contains(q));
+        EXPECT_TRUE(pruned.regions[target].rql.Contains(q));
+        EXPECT_NE(CompareRegions(pruned.regions[i], pruned.regions[target],
+                                 workload_.query(q).preference),
+                  RegionDomResult::kIncomparable);
+      });
+    }
+  }
+  for (int i = 0; i < dg.num_regions(); ++i) {
+    EXPECT_EQ(dg.in_degree(i), in_count[i]);
+  }
+  // Roots are never empty while regions remain.
+  EXPECT_FALSE(dg.Roots().empty());
+}
+
+TEST_F(RegionBuilderTest, DeactivationPromotesRoots) {
+  RegionCollection pruned = *rc_;
+  DependencyGraph dg = DependencyGraph::Build(pruned, workload_);
+  std::set<int> alive;
+  for (int i = 0; i < dg.num_regions(); ++i) {
+    if (dg.active(i)) alive.insert(i);
+  }
+  while (!alive.empty()) {
+    const std::vector<int> roots = dg.Roots();
+    ASSERT_FALSE(roots.empty());
+    const int victim = roots[0];
+    std::vector<int> promoted;
+    dg.Deactivate(victim, &promoted);
+    EXPECT_FALSE(dg.active(victim));
+    for (int p : promoted) {
+      EXPECT_EQ(dg.in_degree(p), 0);
+    }
+    alive.erase(victim);
+  }
+}
+
+TEST(RegionBuilderErrorTest, RejectsInvalidWorkload) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 50, 2, 0.1);
+  const PartitionedTable pr = PartitionTable(r, 2).value();
+  const PartitionedTable pt = PartitionTable(t, 2).value();
+  Workload bad;  // No queries.
+  EXPECT_FALSE(BuildRegions(pr, pt, bad).ok());
+}
+
+}  // namespace
+}  // namespace caqe

@@ -1,0 +1,151 @@
+// Tests for the public session facade and engine factory.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "caqe/caqe.h"
+#include "topk/topk_engine.h"
+#include "test_util.h"
+
+namespace caqe {
+namespace {
+
+using ::caqe::testing::MakeTables;
+
+TEST(EngineFactoryTest, KnownAndUnknownNames) {
+  for (const char* name :
+       {"CAQE", "S-JFSL", "JFSL", "SSMJ", "SSMJ+", "ProgXe+", "CAQE-nofb",
+        "CAQE-noprune", "CAQE-count"}) {
+    Result<std::unique_ptr<Engine>> engine = MakeEngine(name);
+    ASSERT_TRUE(engine.ok()) << name;
+    EXPECT_EQ((*engine)->name(), name);
+  }
+  EXPECT_EQ(MakeEngine("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineFactoryTest, PaperEnginesInFigureOrder) {
+  const auto engines = MakePaperEngines();
+  ASSERT_EQ(engines.size(), 5u);
+  EXPECT_EQ(engines[0]->name(), "CAQE");
+  EXPECT_EQ(engines[1]->name(), "S-JFSL");
+  EXPECT_EQ(engines[2]->name(), "JFSL");
+  EXPECT_EQ(engines[3]->name(), "ProgXe+");
+  EXPECT_EQ(engines[4]->name(), "SSMJ");
+}
+
+TEST(SessionTest, QuickstartFlow) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 200, 3, 0.05);
+  CaqeSession session(std::move(r), std::move(t));
+  const int d0 = session.AddOutputDim({0, 0, 1.0, 1.0});
+  const int d1 = session.AddOutputDim({1, 1, 1.0, 1.0});
+  const int d2 = session.AddOutputDim({2, 2, 1.0, 1.0});
+  session.AddQuery({"fast", 0, {d0, d1}, 0.9}, MakeTimeStepContract(5.0));
+  session.AddQuery({"slow", 0, {d1, d2}, 0.3}, MakeLogDecayContract());
+  session.options().capture_results = true;
+
+  const Result<ExecutionReport> report = session.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->engine, "CAQE");
+  ASSERT_EQ(report->queries.size(), 2u);
+  EXPECT_EQ(report->queries[0].name, "fast");
+  EXPECT_GT(report->queries[0].results, 0);
+  EXPECT_GT(report->queries[1].results, 0);
+  EXPECT_FALSE(report->queries[0].tuples.empty());
+  EXPECT_GT(report->stats.virtual_seconds, 0.0);
+  EXPECT_GE(report->average_satisfaction, -1.0);
+  EXPECT_LE(report->average_satisfaction, 1.0);
+}
+
+TEST(SessionTest, RunComparisonProducesFiveConsistentReports) {
+  auto [r, t] = MakeTables(Distribution::kCorrelated, 150, 2, 0.1);
+  CaqeSession session(std::move(r), std::move(t));
+  const int d0 = session.AddOutputDim({0, 0, 1.0, 1.0});
+  const int d1 = session.AddOutputDim({1, 1, 1.0, 1.0});
+  session.AddQuery({"Q1", 0, {d0, d1}, 1.0},
+                   MakeHyperbolicDecayContract(2.0));
+
+  const Result<std::vector<ExecutionReport>> reports =
+      session.RunComparison();
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 5u);
+  // All engines agree on the result cardinality (exactness).
+  const int64_t expected = (*reports)[0].queries[0].results;
+  EXPECT_GT(expected, 0);
+  for (const ExecutionReport& report : *reports) {
+    EXPECT_EQ(report.queries[0].results, expected) << report.engine;
+  }
+}
+
+TEST(SessionTest, RunWithUnknownEngineFails) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 50, 2, 0.2);
+  CaqeSession session(std::move(r), std::move(t));
+  session.AddOutputDim({0, 0, 1.0, 1.0});
+  session.AddQuery({"Q1", 0, {0}, 1.0}, MakeLogDecayContract());
+  EXPECT_FALSE(session.RunWith("bogus").ok());
+}
+
+TEST(SessionTest, ContractCountMismatchRejected) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 50, 2, 0.2);
+  Workload wl;
+  wl.AddOutputDim({0, 0, 1.0, 1.0});
+  wl.AddQuery({"Q1", 0, {0}, 1.0});
+  std::unique_ptr<Engine> engine = MakeEngine("CAQE").value();
+  const Result<ExecutionReport> report =
+      engine->Execute(r, t, wl, /*contracts=*/{}, ExecOptions{});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CallbackTest, OnResultStreamsEveryReport) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 200, 3, 0.05);
+  Workload wl;
+  for (int k = 0; k < 3; ++k) wl.AddOutputDim({k, k, 1.0, 1.0});
+  wl.AddQuery({"Q1", 0, {0, 1}, 0.9});
+  wl.AddQuery({"Q2", 0, {1, 2}, 0.4});
+  std::vector<Contract> contracts(wl.num_queries(), MakeLogDecayContract());
+
+  for (const char* name :
+       {"CAQE", "S-JFSL", "JFSL", "SSMJ", "SSMJ+", "ProgXe+"}) {
+    SCOPED_TRACE(name);
+    ExecOptions options;
+    std::vector<int> per_query(wl.num_queries(), 0);
+    double last_time = 0.0;
+    bool monotone = true;
+    options.on_result = [&](int q, double time, double utility) {
+      ASSERT_GE(q, 0);
+      ASSERT_LT(q, wl.num_queries());
+      ++per_query[q];
+      if (time < last_time) monotone = false;
+      last_time = time;
+      EXPECT_LE(utility, 1.0);
+    };
+    const ExecutionReport report = MakeEngine(name)
+                                       .value()
+                                       ->Execute(r, t, wl, contracts,
+                                                 options)
+                                       .value();
+    EXPECT_TRUE(monotone) << "callback times went backwards";
+    for (int q = 0; q < wl.num_queries(); ++q) {
+      EXPECT_EQ(per_query[q], report.queries[q].results);
+    }
+  }
+}
+
+TEST(CallbackTest, TopKEnginesStreamToo) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 200, 2, 0.05);
+  TopKWorkload wl;
+  wl.AddOutputDim({0, 0, 1.0, 1.0});
+  wl.AddOutputDim({1, 1, 1.0, 1.0});
+  wl.AddQuery({"T1", 0, {1.0, 1.0}, 15, 1.0});
+  std::vector<Contract> contracts = {MakeLogDecayContract()};
+  ExecOptions options;
+  int streamed = 0;
+  options.on_result = [&](int, double, double) { ++streamed; };
+  ContractAwareTopKEngine engine;
+  const ExecutionReport report =
+      engine.Execute(r, t, wl, contracts, options).value();
+  EXPECT_EQ(streamed, report.queries[0].results);
+}
+
+}  // namespace
+}  // namespace caqe

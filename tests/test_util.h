@@ -1,0 +1,86 @@
+// Shared helpers for CAQE tests: oracle computation and data setup.
+#ifndef CAQE_TESTS_TEST_UTIL_H_
+#define CAQE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "data/generator.h"
+#include "data/table.h"
+#include "query/query.h"
+#include "skyline/algorithms.h"
+#include "skyline/point_set.h"
+
+namespace caqe {
+namespace testing {
+
+/// Materializes the full projected join output of query `q` (nested loop —
+/// the slow, obviously correct path).
+inline PointSet FullJoinOutput(const Table& r, const Table& t,
+                               const Workload& workload, int q) {
+  const SjQuery& query = workload.query(q);
+  PointSet out(workload.num_output_dims());
+  std::vector<double> values;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    for (int64_t j = 0; j < t.num_rows(); ++j) {
+      if (r.key(i, query.join_key) != t.key(j, query.join_key)) continue;
+      if (!workload.SelectionsPass(q, r, i, t, j)) continue;
+      workload.Project(r, i, t, j, values);
+      out.Append(values);
+    }
+  }
+  return out;
+}
+
+/// The reference skyline of query `q`, as sorted rows of preference-dim
+/// values (in preference order — comparable across engines that report
+/// full-width or preference-only tuples).
+inline std::vector<std::vector<double>> OracleSkyline(const Table& r,
+                                                      const Table& t,
+                                                      const Workload& workload,
+                                                      int q) {
+  const PointSet output = FullJoinOutput(r, t, workload, q);
+  const std::vector<int>& pref = workload.query(q).preference;
+  const std::vector<int64_t> sky = BruteForceSkyline(output, pref);
+  std::vector<std::vector<double>> rows;
+  for (int64_t id : sky) {
+    std::vector<double> row;
+    for (int k : pref) row.push_back(output.row(id)[k]);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Projects a reported result row onto the query's preference dimensions.
+/// Engines either report full-width output tuples or (per-query engines)
+/// tuples already reduced to the preference dims in preference order.
+inline std::vector<double> ProjectReported(const std::vector<double>& values,
+                                           const Workload& workload, int q) {
+  const std::vector<int>& pref = workload.query(q).preference;
+  if (values.size() == pref.size()) return values;
+  std::vector<double> row;
+  for (int k : pref) row.push_back(values[k]);
+  return row;
+}
+
+/// Generates an (R, T) pair with matching schemas and distinct seeds.
+inline std::pair<Table, Table> MakeTables(Distribution dist, int64_t rows,
+                                          int attrs, double selectivity,
+                                          uint64_t seed = 11) {
+  GeneratorConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_attrs = attrs;
+  cfg.join_selectivities = {selectivity};
+  cfg.distribution = dist;
+  cfg.seed = seed;
+  Table r = GenerateTable("R", cfg).value();
+  cfg.seed = seed + 1;
+  Table t = GenerateTable("T", cfg).value();
+  return {std::move(r), std::move(t)};
+}
+
+}  // namespace testing
+}  // namespace caqe
+
+#endif  // CAQE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,259 @@
+// Tests for the Top-K-over-join extension: oracle equivalence, progressive
+// emission safety, bound-based discarding, and the serial baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "contracts/utility.h"
+#include "topk/topk_engine.h"
+#include "topk/topk_query.h"
+#include "test_util.h"
+
+namespace caqe {
+namespace {
+
+using ::caqe::testing::MakeTables;
+
+// The k smallest scores of the full join output (sorted).
+std::vector<double> OracleTopKScores(const Table& r, const Table& t,
+                                     const TopKWorkload& workload, int q) {
+  const TopKQuery& query = workload.query(q);
+  std::vector<double> scores;
+  std::vector<double> values;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    for (int64_t j = 0; j < t.num_rows(); ++j) {
+      if (r.key(i, query.join_key) != t.key(j, query.join_key)) continue;
+      workload.Project(r, i, t, j, values);
+      scores.push_back(workload.Score(q, values.data()));
+    }
+  }
+  std::sort(scores.begin(), scores.end());
+  if (static_cast<int64_t>(scores.size()) > query.k) {
+    scores.resize(query.k);
+  }
+  return scores;
+}
+
+std::vector<double> ReportedScores(const QueryReport& report,
+                                   const TopKWorkload& workload, int q) {
+  std::vector<double> scores;
+  for (const ReportedResult& result : report.tuples) {
+    scores.push_back(workload.Score(q, result.values.data()));
+  }
+  std::sort(scores.begin(), scores.end());
+  return scores;
+}
+
+TopKWorkload MakeWorkload(int num_dims) {
+  TopKWorkload workload;
+  for (int k = 0; k < num_dims; ++k) {
+    workload.AddOutputDim({k, k, 1.0, 1.0});
+  }
+  return workload;
+}
+
+class TopKEngineTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(TopKEngineTest, BothEnginesMatchTheOracle) {
+  auto [r, t] = MakeTables(GetParam(), 300, 3, 0.03);
+  TopKWorkload workload = MakeWorkload(3);
+  workload.AddQuery({"T1", 0, {1.0, 1.0, 0.0}, 10, 0.9});
+  workload.AddQuery({"T2", 0, {0.0, 2.0, 1.0}, 25, 0.5});
+  workload.AddQuery({"T3", 0, {1.0, 1.0, 1.0}, 5, 0.2});
+
+  std::vector<Contract> contracts(workload.num_queries(),
+                                  MakeLogDecayContract(0.01));
+  ExecOptions options;
+  options.capture_results = true;
+
+  ContractAwareTopKEngine caqe_engine;
+  SerialTopKEngine serial_engine;
+  for (TopKEngine* engine :
+       std::vector<TopKEngine*>{&caqe_engine, &serial_engine}) {
+    const Result<ExecutionReport> result =
+        engine->Execute(r, t, workload, contracts, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      SCOPED_TRACE(engine->name() + "/" + workload.query(q).name);
+      const std::vector<double> oracle =
+          OracleTopKScores(r, t, workload, q);
+      const std::vector<double> reported =
+          ReportedScores(result->queries[q], workload, q);
+      ASSERT_EQ(reported.size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_NEAR(reported[i], oracle[i], 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, TopKEngineTest,
+    ::testing::Values(Distribution::kIndependent, Distribution::kCorrelated,
+                      Distribution::kAntiCorrelated),
+    [](const ::testing::TestParamInfo<Distribution>& info) {
+      return DistributionName(info.param);
+    });
+
+TEST(TopKEngineTest, KLargerThanResultSet) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 60, 2, 0.02);
+  TopKWorkload workload = MakeWorkload(2);
+  workload.AddQuery({"T1", 0, {1.0, 1.0}, 100000, 1.0});
+  std::vector<Contract> contracts = {MakeLogDecayContract(0.01)};
+  ExecOptions options;
+  options.capture_results = true;
+  ContractAwareTopKEngine engine;
+  const ExecutionReport report =
+      engine.Execute(r, t, workload, contracts, options).value();
+  // Everything is reported (fewer results exist than k).
+  EXPECT_EQ(report.queries[0].results,
+            static_cast<int64_t>(OracleTopKScores(r, t, workload, 0).size()));
+}
+
+TEST(TopKEngineTest, EmissionsAreProgressiveAndSortedByScore) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 400, 2, 0.05);
+  TopKWorkload workload = MakeWorkload(2);
+  workload.AddQuery({"T1", 0, {1.0, 1.0}, 50, 1.0});
+  std::vector<Contract> contracts = {MakeLogDecayContract(0.01)};
+  ExecOptions options;
+  options.capture_results = true;
+  ContractAwareTopKEngine engine;
+  const ExecutionReport report =
+      engine.Execute(r, t, workload, contracts, options).value();
+  const QueryReport& query = report.queries[0];
+  ASSERT_EQ(query.results, 50);
+  double last_time = 0.0;
+  double last_score = -1e300;
+  for (const ReportedResult& result : query.tuples) {
+    EXPECT_GE(result.time, last_time);
+    const double score = workload.Score(0, result.values.data());
+    EXPECT_GE(score + 1e-12, last_score);  // Ascending score order.
+    last_time = result.time;
+    last_score = score;
+  }
+  // Progressive: the first result arrives well before the last.
+  EXPECT_LT(query.tuples.front().time, query.tuples.back().time);
+}
+
+TEST(TopKEngineTest, BoundDiscardingSkipsWork) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 2000, 2, 0.02);
+  TopKWorkload workload = MakeWorkload(2);
+  workload.AddQuery({"T1", 0, {1.0, 1.0}, 10, 1.0});
+  std::vector<Contract> contracts = {MakeLogDecayContract(0.01)};
+  ExecOptions options;
+  ContractAwareTopKEngine caqe_engine;
+  SerialTopKEngine serial_engine;
+  const ExecutionReport caqe_report =
+      caqe_engine.Execute(r, t, workload, contracts, options).value();
+  const ExecutionReport serial_report =
+      serial_engine.Execute(r, t, workload, contracts, options).value();
+  // Region-bound pruning must discard most regions and materialize far
+  // fewer join results than the full-join baseline.
+  EXPECT_GT(caqe_report.stats.regions_discarded, 0);
+  EXPECT_LT(caqe_report.stats.join_results,
+            serial_report.stats.join_results / 2);
+}
+
+TEST(TopKEngineTest, ContractAwareBeatsSerialOnDeadlines) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 2000, 2, 0.02);
+  TopKWorkload workload = MakeWorkload(2);
+  workload.AddQuery({"T1", 0, {1.0, 0.5}, 20, 0.9});
+  workload.AddQuery({"T2", 0, {0.5, 1.0}, 20, 0.5});
+  workload.AddQuery({"T3", 0, {1.0, 1.0}, 20, 0.1});
+
+  // Calibrate the deadline to the serial engine's completion time.
+  std::vector<Contract> throwaway(workload.num_queries(),
+                                  MakeLogDecayContract(0.01));
+  SerialTopKEngine serial_engine;
+  const double serial_total =
+      serial_engine.Execute(r, t, workload, throwaway, ExecOptions{})
+          .value()
+          .stats.virtual_seconds;
+  std::vector<Contract> contracts(
+      workload.num_queries(), MakeTimeStepContract(0.3 * serial_total));
+
+  ContractAwareTopKEngine caqe_engine;
+  const double caqe_sat = caqe_engine
+                              .Execute(r, t, workload, contracts,
+                                       ExecOptions{})
+                              .value()
+                              .average_satisfaction;
+  const double serial_sat = serial_engine
+                                .Execute(r, t, workload, contracts,
+                                         ExecOptions{})
+                                .value()
+                                .average_satisfaction;
+  EXPECT_GT(caqe_sat, serial_sat);
+}
+
+TEST(TopKEngineTest, KEqualsOne) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 200, 2, 0.05);
+  TopKWorkload workload = MakeWorkload(2);
+  workload.AddQuery({"T1", 0, {1.0, 1.0}, 1, 1.0});
+  std::vector<Contract> contracts = {MakeLogDecayContract(0.01)};
+  ExecOptions options;
+  options.capture_results = true;
+  ContractAwareTopKEngine engine;
+  const ExecutionReport report =
+      engine.Execute(r, t, workload, contracts, options).value();
+  ASSERT_EQ(report.queries[0].results, 1);
+  EXPECT_NEAR(
+      ReportedScores(report.queries[0], workload, 0)[0],
+      OracleTopKScores(r, t, workload, 0)[0], 1e-9);
+}
+
+TEST(TopKEngineTest, TiedScoresAtTheBoundary) {
+  // Many identical rows produce tied scores straddling the k boundary; the
+  // reported score multiset must still match the oracle's.
+  Table r("R", 2, 1);
+  Table t("T", 2, 1);
+  for (int i = 0; i < 6; ++i) r.AppendRow({1.0, 1.0}, {0});
+  r.AppendRow({0.5, 0.5}, {0});
+  t.AppendRow({1.0, 1.0}, {0});
+  TopKWorkload workload = MakeWorkload(2);
+  workload.AddQuery({"T1", 0, {1.0, 1.0}, 4, 1.0});
+  std::vector<Contract> contracts = {MakeLogDecayContract(0.01)};
+  ExecOptions options;
+  options.capture_results = true;
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<TopKEngine> engine;
+    if (variant == 0) {
+      engine = std::make_unique<ContractAwareTopKEngine>();
+    } else {
+      engine = std::make_unique<SerialTopKEngine>();
+    }
+    SCOPED_TRACE(engine->name());
+    const ExecutionReport report =
+        engine->Execute(r, t, workload, contracts, options).value();
+    const std::vector<double> reported =
+        ReportedScores(report.queries[0], workload, 0);
+    const std::vector<double> oracle = OracleTopKScores(r, t, workload, 0);
+    ASSERT_EQ(reported.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_NEAR(reported[i], oracle[i], 1e-12);
+    }
+  }
+}
+
+TEST(TopKWorkloadTest, ValidationCatchesErrors) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 50, 2, 0.1);
+  TopKWorkload empty;
+  EXPECT_FALSE(empty.Validate(r, t).ok());
+
+  TopKWorkload bad_key = MakeWorkload(2);
+  bad_key.AddQuery({"T", 7, {1.0, 1.0}, 5, 1.0});
+  EXPECT_FALSE(bad_key.Validate(r, t).ok());
+
+  TopKWorkload good = MakeWorkload(2);
+  good.AddQuery({"T", 0, {1.0, 1.0}, 5, 1.0});
+  EXPECT_TRUE(good.Validate(r, t).ok());
+
+  const Workload region_workload = good.AsRegionWorkload();
+  EXPECT_EQ(region_workload.num_queries(), 1);
+  EXPECT_EQ(region_workload.query(0).preference, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace caqe
