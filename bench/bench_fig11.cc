@@ -50,6 +50,7 @@ void RunContract(int contract_index, const Args& args) {
         MakeTableTwoContract(contract_index, calibration.reference_seconds));
     ExecOptions options;
     options.known_result_counts = calibration.result_counts;
+    options.num_threads = ThreadsFromArgs(args);
     for (const std::string& engine : engines) {
       const ExecutionReport report =
           RunEngine(engine, r, t, workload, contracts, options);

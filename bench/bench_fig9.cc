@@ -58,6 +58,7 @@ void RunDistribution(Distribution dist, const Args& args) {
                              DistributionTightness(dist)));
     ExecOptions options;
     options.known_result_counts = calibration.result_counts;
+    options.num_threads = ThreadsFromArgs(args);
     for (const std::string& engine : engines) {
       const ExecutionReport report =
           RunEngine(engine, r, t, workload, contracts, options);

@@ -63,6 +63,7 @@ int Main(int argc, char** argv) {
       MakeTableTwoContract(2, calibration.reference_seconds));
   ExecOptions options;
   options.known_result_counts = calibration.result_counts;
+  options.num_threads = ThreadsFromArgs(args);
 
   std::printf(
       "CAQE reproduction: result-delivery latency (dist=%s, N=%lld, "

@@ -29,6 +29,7 @@ void RunPoint(const BenchConfig& config, TablePrinter& table,
       MakeTableTwoContract(2, calibration.reference_seconds));
   ExecOptions options;
   options.known_result_counts = calibration.result_counts;
+  options.num_threads = config.num_threads;
 
   for (const char* engine : {"CAQE", "S-JFSL", "SSMJ"}) {
     const ExecutionReport report =
@@ -56,6 +57,7 @@ int Main(int argc, char** argv) {
   base.selectivity = args.GetDouble("sel", 0.01);
   base.num_queries = static_cast<int>(args.GetInt("queries", 11));
   base.seed = args.GetInt("seed", 2014);
+  base.num_threads = ThreadsFromArgs(args);
   base.distribution =
       ParseDistribution(args.GetString("dist", "independent")).value();
   const std::string axis = args.GetString("axis", "all");

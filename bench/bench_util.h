@@ -68,7 +68,16 @@ struct BenchConfig {
   int num_queries = 11;
   uint64_t seed = 2014;
   Distribution distribution = Distribution::kIndependent;
+  /// Worker threads for the engines' parallel phases (--threads).
+  int num_threads = 1;
 };
+
+/// Reads the shared --threads flag (worker threads for the parallel
+/// engine phases; 1 = serial, 0 = all hardware threads). Reports are
+/// bit-identical at every value, so benchmarks accept it freely.
+inline int ThreadsFromArgs(const Args& args) {
+  return static_cast<int>(args.GetInt("threads", 1));
+}
 
 inline Result<Distribution> ParseDistribution(const std::string& name) {
   if (name == "independent") return Distribution::kIndependent;

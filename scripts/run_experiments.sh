@@ -5,12 +5,17 @@
 #   scripts/run_experiments.sh [OUT_DIR] [EXTRA_BENCH_FLAGS...]
 #
 # Example: scripts/run_experiments.sh results --rows=8000
+#
+# THREADS=N (default 1) passes --threads=N to every benchmark: worker
+# threads for the engines' parallel phases. Reported figures are
+# bit-identical at any thread count — only wall time changes.
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
+THREADS="${THREADS:-1}"
 OUT_DIR="${1:-experiment_results}"
 shift || true
-EXTRA_FLAGS=("$@")
+EXTRA_FLAGS=("--threads=${THREADS}" "$@")
 
 mkdir -p "${OUT_DIR}"
 

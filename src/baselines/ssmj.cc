@@ -32,6 +32,7 @@ std::vector<int64_t> LocalSkyline(const Table& table,
                                   const std::vector<int>& dims,
                                   int64_t* cmps) {
   PointSet points(static_cast<int>(dims.size()));
+  points.Reserve(static_cast<int64_t>(rows.size()));
   std::vector<double> values(dims.size());
   for (int64_t row : rows) {
     for (size_t i = 0; i < dims.size(); ++i) {
@@ -117,6 +118,8 @@ Result<ExecutionReport> RunSsmj(const std::string& engine_name,
       }
       const std::vector<int64_t>& right =
           prune_group_inputs ? pruned_right : it->second;
+      candidates.Reserve(candidates.size() +
+                         static_cast<int64_t>(left.size() * right.size()));
       for (int64_t row_r : left) {
         for (int64_t row_t : right) {
           workload.Project(r, row_r, t, row_t, values);

@@ -1,36 +1,88 @@
 #include "exec/join_kernel.h"
 
 #include <bit>
+#include <unordered_set>
+#include <utility>
 
 namespace caqe {
 
-const CellJoinKernel::KeyIndex& CellJoinKernel::IndexFor(int cell_t,
-                                                         int key_column,
-                                                         EngineStats& stats) {
-  const int64_t cache_key =
-      static_cast<int64_t>(cell_t) * 64 + key_column;
-  auto it = index_cache_.find(cache_key);
-  if (it != index_cache_.end()) return it->second;
+CellJoinKernel::~CellJoinKernel() {
+  for (auto& [key, entry] : index_cache_) {
+    (void)key;
+    if (entry.ready.valid()) entry.ready.wait();
+  }
+}
 
-  KeyIndex index;
+void CellJoinKernel::BuildInto(int cell_t, int key_column,
+                               KeyIndex& index) const {
   const LeafCell& cell = part_t_->cell(cell_t);
   const Table& t = part_t_->table();
   for (int64_t row : cell.rows) {
     index[t.key(row, key_column)].push_back(row);
   }
-  stats.join_probes += static_cast<int64_t>(cell.rows.size());
-  return index_cache_.emplace(cache_key, std::move(index)).first->second;
+}
+
+void CellJoinKernel::PrefetchIndexes(const RegionCollection& rc,
+                                     ThreadPool* pool) {
+  if (pool == nullptr) return;
+  // Collect every (cell_t, key) pair some region can still need, in region
+  // order so high-fanout cells (scanned first) tend to be ready first.
+  std::vector<std::pair<int, int>> needed;
+  std::unordered_set<int64_t> seen;
+  for (const OutputRegion& region : rc.regions) {
+    for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
+      if (region.join_sizes[s] <= 0) continue;
+      if (!region.rql.Intersects(rc.queries_of_slot[s])) continue;
+      const int key_column = rc.predicate_slots[s];
+      const int64_t key = CacheKey(region.cell_t, key_column);
+      if (!seen.insert(key).second || index_cache_.contains(key)) continue;
+      needed.emplace_back(region.cell_t, key_column);
+    }
+  }
+  // Create the cache slots on this thread so the background builders never
+  // touch the map structure itself (unordered_map element references stay
+  // valid across later insertions).
+  for (const auto& [cell_t, key_column] : needed) {
+    CacheEntry& entry = index_cache_[CacheKey(cell_t, key_column)];
+    entry.ready =
+        pool->Submit([this, &entry, cell_t = cell_t,
+                      key_column = key_column] {
+              BuildInto(cell_t, key_column, entry.index);
+            })
+            .share();
+  }
+}
+
+const CellJoinKernel::KeyIndex& CellJoinKernel::IndexFor(int cell_t,
+                                                         int key_column,
+                                                         EngineStats& stats) {
+  const int64_t cache_key = CacheKey(cell_t, key_column);
+  auto it = index_cache_.find(cache_key);
+  if (it == index_cache_.end()) {
+    it = index_cache_.try_emplace(cache_key).first;
+    BuildInto(cell_t, key_column, it->second.index);
+  }
+  CacheEntry& entry = it->second;
+  if (entry.ready.valid()) entry.ready.get();
+  if (!entry.charged) {
+    entry.charged = true;
+    stats.join_probes +=
+        static_cast<int64_t>(part_t_->cell(cell_t).rows.size());
+  }
+  return entry.index;
 }
 
 void CellJoinKernel::Join(const RegionCollection& rc,
                           const OutputRegion& region, uint32_t slots_mask,
-                          std::vector<JoinMatch>& out, EngineStats& stats) {
+                          std::vector<JoinMatch>& out, EngineStats& stats,
+                          ThreadPool* pool) {
   if (slots_mask == 0) return;
   const LeafCell& cell_r = part_r_->cell(region.cell_r);
   const Table& r = part_r_->table();
   const bool single_slot = std::popcount(slots_mask) == 1;
 
-  // Resolve the indexes up front so probing is tight.
+  // Resolve the indexes up front so probing is tight (this is also where
+  // lazy builds and first-use charging happen, on the calling thread).
   std::vector<std::pair<int, const KeyIndex*>> slot_indexes;
   for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
     if ((slots_mask >> s) & 1) {
@@ -39,28 +91,61 @@ void CellJoinKernel::Join(const RegionCollection& rc,
     }
   }
 
-  std::unordered_map<int64_t, uint32_t> dedupe;
-  for (int64_t row_r : cell_r.rows) {
-    if (!single_slot) dedupe.clear();
-    for (const auto& [slot, index] : slot_indexes) {
-      ++stats.join_probes;
-      const auto hit = index->find(r.key(row_r, rc.predicate_slots[slot]));
-      if (hit == index->end()) continue;
-      for (int64_t row_t : hit->second) {
-        if (single_slot) {
-          out.push_back(JoinMatch{row_r, row_t, uint32_t{1} << slot});
-          ++stats.join_results;
-        } else {
-          dedupe[row_t] |= uint32_t{1} << slot;
+  const int64_t num_rows = static_cast<int64_t>(cell_r.rows.size());
+  constexpr int64_t kMinRowsPerChunk = 128;
+  const int chunks = NumChunks(pool, num_rows, kMinRowsPerChunk);
+
+  struct Shard {
+    std::vector<JoinMatch> out;
+    int64_t probes = 0;
+    int64_t results = 0;
+  };
+  std::vector<Shard> shards(chunks);
+
+  RunChunks(pool, chunks, [&](int c) {
+    const auto [begin, end] = ChunkRange(num_rows, chunks, c);
+    Shard& shard = shards[c];
+    // Multi-slot matches are emitted in first-seen order per row (not hash
+    // order) so the sequence is independent of map internals.
+    std::vector<std::pair<int64_t, uint32_t>> hits;
+    std::unordered_map<int64_t, size_t> hit_of_row;
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t row_r = cell_r.rows[i];
+      if (!single_slot) {
+        hits.clear();
+        hit_of_row.clear();
+      }
+      for (const auto& [slot, index] : slot_indexes) {
+        ++shard.probes;
+        const auto hit = index->find(r.key(row_r, rc.predicate_slots[slot]));
+        if (hit == index->end()) continue;
+        for (int64_t row_t : hit->second) {
+          if (single_slot) {
+            shard.out.push_back(JoinMatch{row_r, row_t, uint32_t{1} << slot});
+            ++shard.results;
+          } else {
+            const auto [pos, inserted] =
+                hit_of_row.try_emplace(row_t, hits.size());
+            if (inserted) hits.emplace_back(row_t, 0);
+            hits[pos->second].second |= uint32_t{1} << slot;
+          }
+        }
+      }
+      if (!single_slot) {
+        for (const auto& [row_t, mask] : hits) {
+          shard.out.push_back(JoinMatch{row_r, row_t, mask});
+          ++shard.results;
         }
       }
     }
-    if (!single_slot) {
-      for (const auto& [row_t, mask] : dedupe) {
-        out.push_back(JoinMatch{row_r, row_t, mask});
-        ++stats.join_results;
-      }
-    }
+  });
+
+  // Merge in chunk order: identical match sequence and counter totals at
+  // every thread count.
+  for (Shard& shard : shards) {
+    out.insert(out.end(), shard.out.begin(), shard.out.end());
+    stats.join_probes += shard.probes;
+    stats.join_results += shard.results;
   }
 }
 

@@ -3,9 +3,11 @@
 #define CAQE_EXEC_JOIN_KERNEL_H_
 
 #include <cstdint>
+#include <future>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "metrics/report.h"
 #include "partition/partitioner.h"
 #include "region/region_builder.h"
@@ -23,28 +25,66 @@ struct JoinMatch {
 /// Evaluates the equi-join between the cells of one output region over a
 /// subset of predicate slots. Hash indexes over T-cells are built lazily
 /// and cached across regions (each T-cell/key pair is indexed once per
-/// engine run — the shared-scan part of the shared plan).
+/// engine run — the shared-scan part of the shared plan), or built ahead of
+/// time by PrefetchIndexes so the scheduler-driven Join loop finds them
+/// ready.
 class CellJoinKernel {
  public:
   CellJoinKernel(const PartitionedTable* part_r, const PartitionedTable* part_t)
       : part_r_(part_r), part_t_(part_t) {}
 
+  /// Waits for any still-running prefetch tasks (they write into the
+  /// cache, which must outlive them).
+  ~CellJoinKernel();
+
+  /// Kicks off background construction of every (T-cell, key) index a
+  /// region of `rc` can still need. Purely a wall-clock pipeline: probe
+  /// counters are charged when a region first *consumes* an index, so
+  /// EngineStats totals are identical with and without prefetching (an
+  /// index built speculatively for a region that is later discarded is
+  /// never charged — exactly as if it had never been built). No-op without
+  /// a pool.
+  void PrefetchIndexes(const RegionCollection& rc, ThreadPool* pool);
+
   /// Appends matches for `region` over the slots in `slots_mask` to `out`.
-  /// Pairs matching multiple slots appear once with a combined mask.
-  /// Probe/result counters accumulate into `stats`.
+  /// Pairs matching multiple slots appear once with a combined mask, in
+  /// first-matching-slot order. Probe/result counters accumulate into
+  /// `stats`. With a pool, R-rows are probed in parallel chunks merged in
+  /// row order, so the match sequence is identical to the serial scan.
   void Join(const RegionCollection& rc, const OutputRegion& region,
             uint32_t slots_mask, std::vector<JoinMatch>& out,
-            EngineStats& stats);
+            EngineStats& stats, ThreadPool* pool = nullptr);
+
+  /// Collision-free cache key for a (T-cell, key-column) pair: cell in the
+  /// high 32 bits, column in the low 32. Exposed for the regression test —
+  /// the previous `cell * 64 + column` scheme aliased whenever
+  /// `key_column >= 64`.
+  static int64_t CacheKey(int cell_t, int key_column) {
+    return (static_cast<int64_t>(cell_t) << 32) |
+           static_cast<int64_t>(static_cast<uint32_t>(key_column));
+  }
 
  private:
   using KeyIndex = std::unordered_map<int32_t, std::vector<int64_t>>;
 
+  struct CacheEntry {
+    KeyIndex index;
+    /// Valid only for prefetched entries; consumers wait on it before
+    /// reading `index`.
+    std::shared_future<void> ready;
+    /// Whether the index's build cost (one probe per cell row) has been
+    /// charged to EngineStats yet. Charging happens at first consumption,
+    /// never at build time — see PrefetchIndexes.
+    bool charged = false;
+  };
+
+  void BuildInto(int cell_t, int key_column, KeyIndex& index) const;
   const KeyIndex& IndexFor(int cell_t, int key_column, EngineStats& stats);
 
   const PartitionedTable* part_r_;
   const PartitionedTable* part_t_;
-  /// (cell_t, key_column) -> index.
-  std::unordered_map<int64_t, KeyIndex> index_cache_;
+  /// CacheKey(cell_t, key_column) -> entry.
+  std::unordered_map<int64_t, CacheEntry> index_cache_;
 };
 
 }  // namespace caqe

@@ -55,6 +55,14 @@ enum class SchedulePolicy {
 struct ExecOptions {
   /// Virtual-time cost model used for contract timestamps.
   CostModel cost;
+  /// Worker threads for the parallel execution phases of region-based
+  /// engines (coarse join, join-kernel index prefetch and probing,
+  /// plan-group skyline evaluation, tuple-level discard scans).
+  /// 1 (default) runs today's serial path; 0 uses every hardware thread.
+  /// Contract scores are charged in *virtual* time per unit of work, so
+  /// reports are bit-identical across thread counts — only wall_seconds
+  /// changes. Engines that cannot use threads (JFSL, SSMJ) ignore this.
+  int num_threads = 1;
   /// Input partitioning structure (grid or quad tree).
   PartitionStrategy partition_strategy = PartitionStrategy::kGrid;
   /// Grid slices per attribute when partitioning inputs; 0 picks a value

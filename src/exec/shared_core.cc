@@ -1,6 +1,7 @@
 #include "exec/shared_core.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "cuboid/min_max_cuboid.h"
 #include "cuboid/shared_skyline.h"
 #include "exec/emission.h"
@@ -54,6 +56,24 @@ std::string SelectionKey(const SjQuery& query) {
   return key;
 }
 
+/// Wall-clock accumulator for the per-phase EngineStats breakdown. The
+/// measured phases are exactly the parallel ones, so the benchmark can
+/// attribute speedup; every deterministic quantity is untouched by timing.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 Status RunSharedCore(const PartitionedTable& part_r,
@@ -66,14 +86,36 @@ Status RunSharedCore(const PartitionedTable& part_r,
     return Status::InvalidArgument("global_query_ids size mismatch");
   }
 
+  // Worker pool for the parallel phases. The calling thread always
+  // participates in chunked work, so `num_threads` total threads means
+  // `num_threads - 1` pool workers; 1 keeps today's fully serial path.
+  // Declared before the join kernel: the kernel's destructor waits for any
+  // in-flight prefetch task before the pool (declared earlier, destroyed
+  // later) joins its workers.
+  const int num_threads = ResolveNumThreads(core_options.num_threads);
+  std::unique_ptr<ThreadPool> pool_owner;
+  if (num_threads > 1) {
+    pool_owner = std::make_unique<ThreadPool>(num_threads - 1);
+  }
+  ThreadPool* const pool = pool_owner.get();
+
   // ---- Multi-query output look-ahead: coarse join. ----
-  Result<RegionCollection> rc_result =
-      BuildRegions(part_r, part_t, workload);
+  Result<RegionCollection> rc_result = [&] {
+    PhaseTimer timer(&stats.wall_region_build_seconds);
+    return BuildRegions(part_r, part_t, workload, pool);
+  }();
   CAQE_RETURN_NOT_OK(rc_result.status());
   RegionCollection rc = std::move(rc_result).value();
   stats.regions_built += static_cast<int64_t>(rc.regions.size());
   stats.coarse_ops += rc.coarse_ops;
   clock.ChargeCoarseOps(rc.coarse_ops);
+
+  // Kick off background construction of the join-kernel hash indexes the
+  // regions will need, overlapping the coarse prune / plan build /
+  // scheduler setup below (probe counters are charged at first use, so the
+  // prefetch is invisible to EngineStats and the virtual clock).
+  CellJoinKernel kernel(&part_r, &part_t);
+  kernel.PrefetchIndexes(rc, pool);
 
   // ---- Coarse skyline prune (MQLA). ----
   if (core_options.coarse_prune) {
@@ -153,13 +195,14 @@ Status RunSharedCore(const PartitionedTable& part_r,
 
   PointSet store(workload.num_output_dims());
   EmissionManager emission(&workload, &rc, &store, &pending);
-  CellJoinKernel kernel(&part_r, &part_t);
 
   std::vector<JoinMatch> matches;
-  std::vector<double> values;
   // Per-query accepted/evicted events of the current region.
   std::vector<std::vector<int64_t>> accepted_events(workload.num_queries());
   std::vector<std::vector<int64_t>> evicted_events(workload.num_queries());
+  // Per-region scratch of the two-phase dominated-region discard scan.
+  std::vector<int64_t> discard_tests(rc.regions.size(), 0);
+  std::vector<char> discard_hits(rc.regions.size(), 0);
 
   auto record = [&](ExecEvent::Kind kind, int region, int query,
                     int64_t count) {
@@ -215,45 +258,87 @@ Status RunSharedCore(const PartitionedTable& part_r,
       }
     }
     matches.clear();
-    const int64_t probes_before = stats.join_probes;
-    const int64_t results_before = stats.join_results;
-    kernel.Join(rc, region, slots_mask, matches, stats);
-    clock.ChargeJoinProbes(stats.join_probes - probes_before);
-    clock.ChargeJoinResults(stats.join_results - results_before);
+    {
+      PhaseTimer timer(&stats.wall_join_seconds);
+      const int64_t probes_before = stats.join_probes;
+      const int64_t results_before = stats.join_results;
+      kernel.Join(rc, region, slots_mask, matches, stats, pool);
+      clock.ChargeJoinProbes(stats.join_probes - probes_before);
+      clock.ChargeJoinResults(stats.join_results - results_before);
+    }
 
     // ---- Project and evaluate over the shared cuboid plans. ----
     for (auto& events : accepted_events) events.clear();
     for (auto& events : evicted_events) events.clear();
     const int64_t cmps_before = stats.dominance_cmps;
-    for (const JoinMatch& match : matches) {
-      workload.Project(part_r.table(), match.row_r, part_t.table(),
-                       match.row_t, values);
-      const int64_t id = store.Append(values);
+    const int64_t num_matches = static_cast<int64_t>(matches.size());
+    {
+      PhaseTimer timer(&stats.wall_eval_seconds);
+      // Materialize every match into the store first (ids are sequential in
+      // match order, exactly as the serial append-per-match produced them);
+      // rows are disjoint, so chunks project concurrently.
+      store.Reserve(store.size() + num_matches);
+      const int64_t base_id = store.AppendUninitialized(num_matches);
+      const int project_chunks = NumChunks(pool, num_matches,
+                                           /*min_chunk=*/512);
+      RunChunks(pool, project_chunks, [&](int c) {
+        const auto [begin, end] = ChunkRange(num_matches, project_chunks, c);
+        std::vector<double> values;
+        for (int64_t i = begin; i < end; ++i) {
+          const JoinMatch& match = matches[i];
+          workload.Project(part_r.table(), match.row_r, part_t.table(),
+                           match.row_t, values);
+          std::copy(values.begin(), values.end(),
+                    store.mutable_row(base_id + i));
+        }
+      });
+
+      // Plan groups own disjoint evaluators and disjoint query sets, so
+      // they consume the match stream concurrently. Each group sees the
+      // matches in stream order, which makes every per-query event
+      // sequence — and each group's comparison count — identical to the
+      // serial interleaving.
+      std::vector<PlanGroup*> active;
       for (const auto& group : groups) {
-        if (((match.slot_mask >> group->slot) & 1) == 0) continue;
+        if (((slots_mask >> group->slot) & 1) == 0) continue;
         if (!region.rql.Intersects(group->query_set)) continue;
-        // The group's common selections must hold for this join pair.
-        bool passes = true;
-        for (const SelectionRange& sel : group->selections) {
-          const double v =
-              sel.on_r ? part_r.table().attr(match.row_r, sel.attr)
-                       : part_t.table().attr(match.row_t, sel.attr);
-          if (v < sel.lo || v > sel.hi) {
-            passes = false;
-            break;
+        active.push_back(group.get());
+      }
+      std::vector<int64_t> group_cmps(active.size(), 0);
+      RunChunks(active.size() > 1 ? pool : nullptr,
+                static_cast<int>(active.size()), [&](int gi) {
+        PlanGroup* group = active[gi];
+        int64_t cmps = 0;
+        for (int64_t i = 0; i < num_matches; ++i) {
+          const JoinMatch& match = matches[i];
+          if (((match.slot_mask >> group->slot) & 1) == 0) continue;
+          // The group's common selections must hold for this join pair.
+          bool passes = true;
+          for (const SelectionRange& sel : group->selections) {
+            const double v =
+                sel.on_r ? part_r.table().attr(match.row_r, sel.attr)
+                         : part_t.table().attr(match.row_t, sel.attr);
+            if (v < sel.lo || v > sel.hi) {
+              passes = false;
+              break;
+            }
+          }
+          if (!passes) continue;
+          const int64_t id = base_id + i;
+          const SharedInsertOutcome outcome =
+              group->evaluator->Insert(store.row(id), id, &cmps);
+          outcome.accepted.ForEach([&](int local) {
+            accepted_events[group->queries[local]].push_back(id);
+          });
+          for (const auto& [local, ids] : outcome.evictions) {
+            std::vector<int64_t>& sink =
+                evicted_events[group->queries[local]];
+            sink.insert(sink.end(), ids.begin(), ids.end());
           }
         }
-        if (!passes) continue;
-        const SharedInsertOutcome outcome = group->evaluator->Insert(
-            values.data(), id, &stats.dominance_cmps);
-        outcome.accepted.ForEach([&](int local) {
-          accepted_events[group->queries[local]].push_back(id);
-        });
-        for (const auto& [local, ids] : outcome.evictions) {
-          std::vector<int64_t>& sink = evicted_events[group->queries[local]];
-          sink.insert(sink.end(), ids.begin(), ids.end());
-        }
-      }
+        group_cmps[gi] = cmps;
+      });
+      for (int64_t cmps : group_cmps) stats.dominance_cmps += cmps;
     }
     clock.ChargeDominanceCmps(stats.dominance_cmps - cmps_before);
 
@@ -279,18 +364,41 @@ Status RunSharedCore(const PartitionedTable& part_r,
     // ---- Dominated-region discarding (Section 6, tuple level). ----
     // Every accepted tuple is a real join result; even if later evicted,
     // what it dominates stays dominated (its evictor dominates more).
+    //
+    // Per query, a read-only dominance scan over the surviving regions runs
+    // chunked on the pool; lineage pruning then applies serially in region
+    // order. In the serial original, the only state a query's scan mutates
+    // is the region being pruned — and its test count stops at the pruning
+    // hit — so the split charges the exact same discard_ops and fires the
+    // same events in the same order.
     int64_t discard_ops = 0;
-    for (int q = 0; core_options.tuple_discard && q < workload.num_queries();
-         ++q) {
-      if (accepted_events[q].empty()) continue;
-      const std::vector<int>& dims = workload.query(q).preference;
-      for (OutputRegion& other : rc.regions) {
-        if (!pending[other.id] || !other.rql.Contains(q)) continue;
-        for (int64_t id : accepted_events[q]) {
-          ++discard_ops;
-          if (!PointFullyDominatesRegion(store.row(id), other, dims)) {
-            continue;
+    {
+      PhaseTimer timer(&stats.wall_discard_seconds);
+      const int64_t num_regions = static_cast<int64_t>(rc.regions.size());
+      for (int q = 0;
+           core_options.tuple_discard && q < workload.num_queries(); ++q) {
+        if (accepted_events[q].empty()) continue;
+        const std::vector<int>& dims = workload.query(q).preference;
+        // Phase 1 (parallel, read-only): per region, count dominance tests
+        // up to and including the first dominating tuple, if any.
+        ParallelFor(pool, num_regions, /*min_chunk=*/16, [&](int64_t i) {
+          const OutputRegion& other = rc.regions[i];
+          discard_tests[i] = 0;
+          discard_hits[i] = 0;
+          if (!pending[other.id] || !other.rql.Contains(q)) return;
+          for (int64_t id : accepted_events[q]) {
+            ++discard_tests[i];
+            if (PointFullyDominatesRegion(store.row(id), other, dims)) {
+              discard_hits[i] = 1;
+              break;
+            }
           }
+        });
+        // Phase 2 (serial, region order): apply prunes and resolutions.
+        for (int64_t i = 0; i < num_regions; ++i) {
+          discard_ops += discard_tests[i];
+          if (!discard_hits[i]) continue;
+          OutputRegion& other = rc.regions[i];
           other.rql.Remove(q);
           record(ExecEvent::Kind::kQueryPruned, other.id, q, 0);
           emission.OnRegionResolvedForQuery(other.id, q, resolved_emits);
@@ -302,7 +410,6 @@ Status RunSharedCore(const PartitionedTable& part_r,
             if (scheduler.has_value()) scheduler->OnRegionRemoved(other.id);
             emission.OnRegionResolved(other.id, resolved_emits);
           }
-          break;  // Query q is gone from this region's lineage.
         }
       }
     }

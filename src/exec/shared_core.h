@@ -20,6 +20,12 @@ namespace caqe {
 /// Core execution knobs (reduced from ExecOptions by each engine).
 struct CoreOptions {
   SchedulePolicy policy = SchedulePolicy::kContractDriven;
+  /// Worker threads for the parallel phases (region build, join kernel,
+  /// plan-group evaluation, discard scans). 1 = serial, 0 = all hardware
+  /// threads. Reports are bit-identical at every value — work counters and
+  /// the virtual clock charge the same totals (see DESIGN.md, "Concurrency
+  /// model").
+  int num_threads = 1;
   bool coarse_prune = true;
   bool feedback = true;
   /// Tuple-level dominated-region discarding (Section 6). CAQE's source of

@@ -36,6 +36,7 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
 
   CoreOptions core;
   core.policy = policy_;
+  core.num_threads = options.num_threads;
   core.coarse_prune = coarse_prune_ && options.coarse_prune;
   core.feedback = feedback_ && options.feedback_enabled;
   core.tuple_discard = tuple_discard_;

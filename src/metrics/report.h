@@ -23,6 +23,15 @@ struct EngineStats {
   int64_t regions_discarded = 0;
   double virtual_seconds = 0.0;
   double wall_seconds = 0.0;
+  /// Wall-clock breakdown of the shared core's phases (benchmarking only;
+  /// every other field is deterministic, these are not). region_build
+  /// covers the coarse join, join the tuple-level join kernel, eval
+  /// projection + shared-skyline evaluation, discard the tuple-level
+  /// dominated-region scan.
+  double wall_region_build_seconds = 0.0;
+  double wall_join_seconds = 0.0;
+  double wall_eval_seconds = 0.0;
+  double wall_discard_seconds = 0.0;
 };
 
 /// One reported (progressively emitted) result tuple.

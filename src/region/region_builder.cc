@@ -29,9 +29,22 @@ SelectionCoarse CoarseSelection(const SjQuery& query, const LeafCell& cell_r,
 
 }  // namespace
 
+namespace {
+
+/// Per-stripe scratch of the parallel region scan: regions in (a, b) order
+/// with ids unassigned, plus the stripe's share of the work counters.
+struct RegionStripe {
+  std::vector<OutputRegion> regions;
+  std::vector<int64_t> total_join_sizes;
+  int64_t coarse_ops = 0;
+};
+
+}  // namespace
+
 Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
                                       const PartitionedTable& part_t,
-                                      const Workload& workload) {
+                                      const Workload& workload,
+                                      ThreadPool* pool) {
   CAQE_RETURN_NOT_OK(workload.Validate(part_r.table(), part_t.table()));
 
   RegionCollection rc;
@@ -50,56 +63,77 @@ Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
   rc.total_join_sizes.assign(num_slots, 0);
 
   const int width = workload.num_output_dims();
-  for (int a = 0; a < part_r.num_cells(); ++a) {
-    const LeafCell& cell_r = part_r.cell(a);
-    for (int b = 0; b < part_t.num_cells(); ++b) {
-      const LeafCell& cell_t = part_t.cell(b);
-      OutputRegion region;
-      region.join_sizes.assign(num_slots, 0);
-      for (int s = 0; s < num_slots; ++s) {
-        const int key = rc.predicate_slots[s];
-        const int64_t size = ExactJoinSize(
-            cell_r.signatures[key], cell_r.signature_counts[key],
-            cell_t.signatures[key], cell_t.signature_counts[key],
-            &rc.coarse_ops);
-        region.join_sizes[s] = size;
-        if (size <= 0) continue;
-        rc.total_join_sizes[s] += size;
-        // Per query: fold the selection ranges into the coarse test.
-        rc.queries_of_slot[s].ForEach([&](int q) {
-          ++rc.coarse_ops;
-          switch (CoarseSelection(workload.query(q), cell_r, cell_t)) {
-            case SelectionCoarse::kDisjoint:
-              break;
-            case SelectionCoarse::kContained:
-              region.rql.Add(q);
-              region.guaranteed.Add(q);
-              break;
-            case SelectionCoarse::kOverlap:
-              region.rql.Add(q);
-              break;
-          }
-        });
-      }
-      if (region.rql.empty()) continue;
+  const int64_t num_r_cells = part_r.num_cells();
+  const int chunks = NumChunks(pool, num_r_cells, /*min_chunk=*/1);
+  std::vector<RegionStripe> stripes(chunks);
 
-      region.id = static_cast<int>(rc.regions.size());
-      region.cell_r = a;
-      region.cell_t = b;
-      region.rows_r = static_cast<int64_t>(cell_r.rows.size());
-      region.rows_t = static_cast<int64_t>(cell_t.rows.size());
-      region.lower.resize(width);
-      region.upper.resize(width);
-      for (int k = 0; k < width; ++k) {
-        const MappingFunction& f = workload.output_dim(k);
-        region.lower[k] =
-            f.Apply(cell_r.lower[f.r_attr], cell_t.lower[f.t_attr]);
-        region.upper[k] =
-            f.Apply(cell_r.upper[f.r_attr], cell_t.upper[f.t_attr]);
-        ++rc.coarse_ops;
+  RunChunks(pool, chunks, [&](int c) {
+    const auto [a_begin, a_end] = ChunkRange(num_r_cells, chunks, c);
+    RegionStripe& stripe = stripes[c];
+    stripe.total_join_sizes.assign(num_slots, 0);
+    for (int64_t a = a_begin; a < a_end; ++a) {
+      const LeafCell& cell_r = part_r.cell(static_cast<int>(a));
+      for (int b = 0; b < part_t.num_cells(); ++b) {
+        const LeafCell& cell_t = part_t.cell(b);
+        OutputRegion region;
+        region.join_sizes.assign(num_slots, 0);
+        for (int s = 0; s < num_slots; ++s) {
+          const int key = rc.predicate_slots[s];
+          const int64_t size = ExactJoinSize(
+              cell_r.signatures[key], cell_r.signature_counts[key],
+              cell_t.signatures[key], cell_t.signature_counts[key],
+              &stripe.coarse_ops);
+          region.join_sizes[s] = size;
+          if (size <= 0) continue;
+          stripe.total_join_sizes[s] += size;
+          // Per query: fold the selection ranges into the coarse test.
+          rc.queries_of_slot[s].ForEach([&](int q) {
+            ++stripe.coarse_ops;
+            switch (CoarseSelection(workload.query(q), cell_r, cell_t)) {
+              case SelectionCoarse::kDisjoint:
+                break;
+              case SelectionCoarse::kContained:
+                region.rql.Add(q);
+                region.guaranteed.Add(q);
+                break;
+              case SelectionCoarse::kOverlap:
+                region.rql.Add(q);
+                break;
+            }
+          });
+        }
+        if (region.rql.empty()) continue;
+
+        region.cell_r = static_cast<int>(a);
+        region.cell_t = b;
+        region.rows_r = static_cast<int64_t>(cell_r.rows.size());
+        region.rows_t = static_cast<int64_t>(cell_t.rows.size());
+        region.lower.resize(width);
+        region.upper.resize(width);
+        for (int k = 0; k < width; ++k) {
+          const MappingFunction& f = workload.output_dim(k);
+          region.lower[k] =
+              f.Apply(cell_r.lower[f.r_attr], cell_t.lower[f.t_attr]);
+          region.upper[k] =
+              f.Apply(cell_r.upper[f.r_attr], cell_t.upper[f.t_attr]);
+          ++stripe.coarse_ops;
+        }
+        stripe.regions.push_back(std::move(region));
       }
+    }
+  });
+
+  // Merge stripes in stripe order: region ids, counter totals, and region
+  // order come out exactly as in a serial (a, b) scan.
+  for (RegionStripe& stripe : stripes) {
+    for (OutputRegion& region : stripe.regions) {
+      region.id = static_cast<int>(rc.regions.size());
       rc.regions.push_back(std::move(region));
     }
+    for (int s = 0; s < num_slots; ++s) {
+      rc.total_join_sizes[s] += stripe.total_join_sizes[s];
+    }
+    rc.coarse_ops += stripe.coarse_ops;
   }
   return rc;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "partition/partitioner.h"
 #include "query/query.h"
 #include "region/region.h"
@@ -39,9 +40,14 @@ struct RegionCollection {
 /// on at least one workload predicate; its lineage holds exactly the
 /// queries whose predicate matched (guaranteeing >= 1 join result each,
 /// per the signature containment argument of Section 5.1).
+///
+/// With a pool, R-cell stripes are scanned concurrently and the per-stripe
+/// results merged in stripe order, so regions, ids, and coarse-op totals
+/// are identical to the serial build regardless of thread count.
 Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
                                       const PartitionedTable& part_t,
-                                      const Workload& workload);
+                                      const Workload& workload,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace caqe
 

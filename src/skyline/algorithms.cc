@@ -37,6 +37,9 @@ std::vector<int64_t> BnlSkyline(const PointSet& points,
                                 int64_t* comparisons) {
   std::vector<int64_t> window;
   const int64_t n = points.size();
+  // Skylines are typically tiny relative to n; a small up-front slab
+  // absorbs the early regrows of the hot window without overcommitting.
+  window.reserve(static_cast<size_t>(std::min<int64_t>(n, 64)));
   for (int64_t i = 0; i < n; ++i) {
     const double* p = points.row(i);
     bool dominated = false;
@@ -176,6 +179,7 @@ std::vector<int64_t> SfsSkyline(const PointSet& points,
   // After sorting by a monotone function, no point can dominate one that
   // precedes it, so the window only grows.
   std::vector<int64_t> window;
+  window.reserve(static_cast<size_t>(std::min<int64_t>(n, 64)));
   for (int64_t idx = 0; idx < n; ++idx) {
     const int64_t i = order[idx];
     const double* p = points.row(i);

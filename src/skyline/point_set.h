@@ -35,6 +35,21 @@ class PointSet {
     data_.insert(data_.end(), values, values + width_);
     return size() - 1;
   }
+
+  /// Appends `n` zero-initialized points and returns the first new row
+  /// index; callers fill them via mutable_row (e.g. concurrently, one
+  /// writer per row).
+  int64_t AppendUninitialized(int64_t n) {
+    const int64_t base = size();
+    data_.resize(data_.size() + static_cast<size_t>(n) * width_);
+    return base;
+  }
+
+  /// Writable pointer to the `row`-th point.
+  double* mutable_row(int64_t row) {
+    CAQE_DCHECK(row >= 0 && row < size());
+    return data_.data() + row * width_;
+  }
   int64_t Append(const std::vector<double>& values) {
     CAQE_DCHECK(static_cast<int>(values.size()) == width_);
     return Append(values.data());

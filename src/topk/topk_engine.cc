@@ -204,6 +204,7 @@ Result<ExecutionReport> ContractAwareTopKEngine::Execute(
     clock.ChargeJoinResults(report.stats.join_results - results_before);
 
     int64_t heap_ops = 0;
+    store.Reserve(store.size() + static_cast<int64_t>(matches.size()));
     for (const JoinMatch& match : matches) {
       workload.Project(part_r->table(), match.row_r, part_t->table(),
                        match.row_t, values);

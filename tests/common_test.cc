@@ -1,12 +1,16 @@
 // Unit tests for the common substrate: Status/Result, QuerySet, Rng,
-// VirtualClock.
+// VirtualClock, ThreadPool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "common/query_set.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/virtual_clock.h"
 
 namespace caqe {
@@ -163,6 +167,96 @@ TEST(VirtualClockTest, MonotoneUnderAllCharges) {
   last = clock.Now();
   clock.ChargeCoarseOps(100);
   EXPECT_GE(clock.Now(), last);
+}
+
+// ---- Thread pool ----
+
+TEST(ThreadPoolTest, ResolveNumThreads) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(5), 5);
+  // 0 and negatives resolve to the hardware parallelism, at least 1.
+  EXPECT_GE(ResolveNumThreads(0), 1);
+  EXPECT_GE(ResolveNumThreads(-3), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker that threw keeps serving later tasks.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ChunkRangePartitionsExactly) {
+  for (int64_t n : {0, 1, 7, 64, 1000}) {
+    for (int chunks : {1, 2, 3, 8}) {
+      int64_t expected_begin = 0;
+      int64_t covered = 0;
+      for (int c = 0; c < chunks; ++c) {
+        const auto [begin, end] = ChunkRange(n, chunks, c);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NumChunksBounds) {
+  // No pool: everything stays a single inline chunk.
+  EXPECT_EQ(NumChunks(nullptr, 1000, 1), 1);
+  ThreadPool pool(3);
+  // Bounded by workers + caller...
+  EXPECT_EQ(NumChunks(&pool, 1000000, 1), 4);
+  // ...by the minimum chunk size...
+  EXPECT_EQ(NumChunks(&pool, 100, 50), 2);
+  // ...and by the item count.
+  EXPECT_EQ(NumChunks(&pool, 2, 1), 2);
+  EXPECT_EQ(NumChunks(&pool, 0, 1), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, kN, /*min_chunk=*/16,
+              [&](int64_t i) { hits[i] += 1; });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // A null pool runs inline and still covers everything.
+  std::vector<int> serial_hits(kN, 0);
+  ParallelFor(nullptr, kN, 16, [&](int64_t i) { serial_hits[i] += 1; });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(serial_hits[i], 1);
+}
+
+TEST(ThreadPoolTest, RunChunksRethrowsLowestChunkException) {
+  ThreadPool pool(2);
+  try {
+    RunChunks(&pool, 4, [&](int c) {
+      if (c == 1) throw std::runtime_error("chunk 1");
+      if (c == 3) throw std::logic_error("chunk 3");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
 }
 
 }  // namespace

@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "caqe/session.h"
+#include "common/thread_pool.h"
+#include "contracts/utility.h"
 #include "exec/emission.h"
 #include "exec/engine.h"
 #include "exec/join_kernel.h"
@@ -145,6 +149,141 @@ TEST(JoinKernelTest, MultiSlotDeduplicatesPairs) {
     EXPECT_EQ((m.slot_mask & 1) != 0, match0);
     EXPECT_EQ((m.slot_mask & 2) != 0, match1);
     EXPECT_TRUE(match0 || match1);
+  }
+}
+
+TEST(JoinKernelTest, CacheKeyNeverAliases) {
+  // Regression: the cache key used to be cell * 64 + key_column, which
+  // aliases (cell, column) pairs whenever a key column index reaches 64 —
+  // e.g. (0, 64) and (1, 0) shared an entry, so one (cell, column) pair
+  // could silently serve another's hash index. The packed 32/32 key is
+  // injective over the full domain.
+  std::set<int64_t> seen;
+  for (int cell : {0, 1, 2, 63, 64, 65, 1000}) {
+    for (int column : {0, 1, 63, 64, 65, 127, 128}) {
+      EXPECT_TRUE(seen.insert(CellJoinKernel::CacheKey(cell, column)).second)
+          << "cell=" << cell << " column=" << column;
+    }
+  }
+  // The documented historical collision, explicitly.
+  EXPECT_NE(CellJoinKernel::CacheKey(0, 64), CellJoinKernel::CacheKey(1, 0));
+}
+
+TEST(JoinKernelTest, ParallelJoinMatchesSerial) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, 400, 4, 0.1);
+  const Workload workload =
+      MakeSubspaceWorkload(4, 0, 3, PriorityPolicy::kUniform).value();
+  const PartitionedTable pr = PartitionTable(r, 2).value();
+  const PartitionedTable pt = PartitionTable(t, 2).value();
+  const RegionCollection rc = BuildRegions(pr, pt, workload).value();
+
+  CellJoinKernel serial_kernel(&pr, &pt);
+  CellJoinKernel parallel_kernel(&pr, &pt);
+  ThreadPool pool(3);
+  parallel_kernel.PrefetchIndexes(rc, &pool);
+  EngineStats serial_stats;
+  EngineStats parallel_stats;
+  for (const OutputRegion& region : rc.regions) {
+    std::vector<JoinMatch> serial_matches;
+    std::vector<JoinMatch> parallel_matches;
+    serial_kernel.Join(rc, region, /*slots_mask=*/1, serial_matches,
+                       serial_stats);
+    parallel_kernel.Join(rc, region, /*slots_mask=*/1, parallel_matches,
+                         parallel_stats, &pool);
+    ASSERT_EQ(serial_matches.size(), parallel_matches.size());
+    for (size_t i = 0; i < serial_matches.size(); ++i) {
+      EXPECT_EQ(serial_matches[i].row_r, parallel_matches[i].row_r);
+      EXPECT_EQ(serial_matches[i].row_t, parallel_matches[i].row_t);
+      EXPECT_EQ(serial_matches[i].slot_mask, parallel_matches[i].slot_mask);
+    }
+  }
+  EXPECT_EQ(serial_stats.join_probes, parallel_stats.join_probes);
+  EXPECT_EQ(serial_stats.join_results, parallel_stats.join_results);
+}
+
+// ---- Parallel determinism ----
+
+// The contract machinery scores in virtual time, so the *entire report* —
+// pScores, emission timestamps, work counters, event traces — must be
+// bit-identical at every thread count, for both partitioning structures.
+TEST(ParallelDeterminismTest, ReportsAreIdenticalAcrossThreadCounts) {
+  auto [r, t] = MakeTables(Distribution::kAntiCorrelated, 400, 4, 0.02);
+  const Workload workload =
+      MakeSubspaceWorkload(4, 0, 6, PriorityPolicy::kUniform).value();
+  const std::vector<Contract> contracts(workload.num_queries(),
+                                        MakeLogDecayContract());
+
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kGrid, PartitionStrategy::kQuadTree}) {
+    ExecutionReport reference;
+    std::vector<ExecEvent> reference_trace;
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("strategy=" +
+                   std::to_string(static_cast<int>(strategy)) +
+                   " threads=" + std::to_string(threads));
+      ExecOptions options;
+      options.partition_strategy = strategy;
+      options.capture_results = true;
+      options.num_threads = threads;
+      std::vector<ExecEvent> trace;
+      options.trace = &trace;
+      std::unique_ptr<Engine> engine = MakeEngine("CAQE").value();
+      const Result<ExecutionReport> result =
+          engine->Execute(r, t, workload, contracts, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (threads == 1) {
+        reference = *result;
+        reference_trace = std::move(trace);
+        EXPECT_GT(reference.stats.emitted_results, 0);
+        continue;
+      }
+      const ExecutionReport& report = *result;
+      EXPECT_EQ(report.workload_pscore, reference.workload_pscore);
+      EXPECT_EQ(report.average_satisfaction,
+                reference.average_satisfaction);
+      EXPECT_EQ(report.stats.join_probes, reference.stats.join_probes);
+      EXPECT_EQ(report.stats.join_results, reference.stats.join_results);
+      EXPECT_EQ(report.stats.dominance_cmps, reference.stats.dominance_cmps);
+      EXPECT_EQ(report.stats.coarse_ops, reference.stats.coarse_ops);
+      EXPECT_EQ(report.stats.emitted_results,
+                reference.stats.emitted_results);
+      EXPECT_EQ(report.stats.regions_built, reference.stats.regions_built);
+      EXPECT_EQ(report.stats.regions_processed,
+                reference.stats.regions_processed);
+      EXPECT_EQ(report.stats.regions_discarded,
+                reference.stats.regions_discarded);
+      EXPECT_EQ(report.stats.virtual_seconds,
+                reference.stats.virtual_seconds);
+      ASSERT_EQ(report.queries.size(), reference.queries.size());
+      for (size_t q = 0; q < report.queries.size(); ++q) {
+        const QueryReport& got = report.queries[q];
+        const QueryReport& want = reference.queries[q];
+        EXPECT_EQ(got.pscore, want.pscore);
+        EXPECT_EQ(got.results, want.results);
+        EXPECT_EQ(got.satisfaction, want.satisfaction);
+        ASSERT_EQ(got.utility_trace.size(), want.utility_trace.size());
+        for (size_t i = 0; i < got.utility_trace.size(); ++i) {
+          EXPECT_EQ(got.utility_trace[i].time, want.utility_trace[i].time);
+          EXPECT_EQ(got.utility_trace[i].utility,
+                    want.utility_trace[i].utility);
+        }
+        ASSERT_EQ(got.tuples.size(), want.tuples.size());
+        for (size_t i = 0; i < got.tuples.size(); ++i) {
+          EXPECT_EQ(got.tuples[i].tuple_id, want.tuples[i].tuple_id);
+          EXPECT_EQ(got.tuples[i].time, want.tuples[i].time);
+          EXPECT_EQ(got.tuples[i].values, want.tuples[i].values);
+        }
+      }
+      ASSERT_EQ(trace.size(), reference_trace.size());
+      for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(static_cast<int>(trace[i].kind),
+                  static_cast<int>(reference_trace[i].kind));
+        EXPECT_EQ(trace[i].vtime, reference_trace[i].vtime);
+        EXPECT_EQ(trace[i].region, reference_trace[i].region);
+        EXPECT_EQ(trace[i].query, reference_trace[i].query);
+        EXPECT_EQ(trace[i].count, reference_trace[i].count);
+      }
+    }
   }
 }
 

@@ -79,6 +79,7 @@ int Main(int argc, char** argv) {
   ExecOptions options;
   options.known_result_counts = calibration.result_counts;
   options.capture_results = false;
+  options.num_threads = bench::ThreadsFromArgs(args);
 
   std::printf(
       "caqe_cli: dist=%s N=%lld sigma=%.4f d=%d |S_Q|=%d contract=%s "
