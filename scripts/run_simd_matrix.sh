@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and tests the suite with the SIMD batch dominance kernels OFF and
+# ON, then proves the determinism contract: the Figure 9 report must be
+# byte-identical between the forced-scalar and SIMD builds at 1 and 8
+# threads (the batch kernels charge the exact dominance_cmps counts of the
+# serial scalar loops, so no report quantity may move).
+#
+#   scripts/run_simd_matrix.sh [EXTRA_CMAKE_FLAGS...]
+#
+# Pair with scripts/run_tsan.sh, which accepts -DCAQE_SIMD=OFF/ON the same
+# way for a sanitized run of either kernel path.
+set -euo pipefail
+
+FIG9_ARGS=(--rows=4000)
+declare -A REPORTS
+
+for simd in OFF ON; do
+  build_dir="build-simd-${simd,,}"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCAQE_SIMD="${simd}" \
+    -DCAQE_BUILD_EXAMPLES=OFF \
+    "$@"
+  cmake --build "${build_dir}" -j"$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+  for threads in 1 8; do
+    out="${build_dir}/fig9_t${threads}.txt"
+    "./${build_dir}/bench/bench_fig9" "${FIG9_ARGS[@]}" \
+      --threads="${threads}" > "${out}"
+    REPORTS["${simd}_${threads}"]="${out}"
+  done
+done
+
+status=0
+for threads in 1 8; do
+  if diff -u "${REPORTS[OFF_${threads}]}" "${REPORTS[ON_${threads}]}"; then
+    echo "fig9 report identical scalar vs SIMD at threads=${threads}"
+  else
+    echo "FAIL: fig9 report differs scalar vs SIMD at threads=${threads}" >&2
+    status=1
+  fi
+done
+exit "${status}"

@@ -8,6 +8,9 @@
 # evaluation, discard scans) with num_threads > 1, so data races in those
 # paths surface here rather than in production sweeps. Benchmarks and
 # examples are skipped: TSan slows execution ~10x and they add no coverage.
+#
+# Pass -DCAQE_SIMD=OFF to sanitize the forced-scalar dominance kernels;
+# scripts/run_simd_matrix.sh runs the full scalar/SIMD determinism matrix.
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"

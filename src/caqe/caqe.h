@@ -53,6 +53,7 @@
 #include "skyline/algorithms.h"
 #include "skyline/cardinality.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 #include "skyline/incremental.h"
 #include "skyline/point_set.h"
 #include "topk/topk_engine.h"

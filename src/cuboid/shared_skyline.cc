@@ -26,6 +26,11 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
                                                    int64_t id,
                                                    int64_t* comparisons) {
   SharedInsertOutcome out;
+  // Every per-node insert below runs the batched dominance scans of
+  // IncrementalSkyline::Insert (one SIMD kernel call per window phase);
+  // the strictly_dominated bit feeding the Theorem-1 gate comes from the
+  // kernel's all-dimension strict flag, so gating decisions are identical
+  // to the scalar path's.
   const InsertOutcome root_outcome = root_->Insert(values, id, comparisons);
   const auto& nodes = cuboid_->nodes();
 
@@ -37,13 +42,14 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
     if (o.accepted) return 1;
     return o.strictly_dominated ? 0 : 2;
   };
+  const char root_code = code(root_outcome);
 
   // Nodes are ordered feeders-first (descending subspace size), so
   // accepted_scratch_[feeder] is final before a fed node is visited.
   for (size_t i = 0; i < nodes.size(); ++i) {
     const CuboidNode& node = nodes[i];
     if (static_cast<int>(i) == root_alias_node_) {
-      accepted_scratch_[i] = code(root_outcome);
+      accepted_scratch_[i] = root_code;
       node.preference_of.ForEach([&](int q) {
         if (root_outcome.accepted) out.accepted.Add(q);
         if (!root_outcome.evicted.empty()) {
@@ -54,7 +60,7 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
     }
     const char feeder_code = (node.feeder >= 0)
                                  ? accepted_scratch_[node.feeder]
-                                 : code(root_outcome);
+                                 : root_code;
     if (dva_mode_ && feeder_code == 0) {
       // A strict dominator in the feeder space dominates strictly in every
       // subspace: gate the whole subtree.

@@ -200,9 +200,12 @@ Status RunSharedCore(const PartitionedTable& part_r,
   // Per-query accepted/evicted events of the current region.
   std::vector<std::vector<int64_t>> accepted_events(workload.num_queries());
   std::vector<std::vector<int64_t>> evicted_events(workload.num_queries());
-  // Per-region scratch of the two-phase dominated-region discard scan.
+  // Per-region scratch of the two-phase dominated-region discard scan, plus
+  // the column-gathered accepted tuples of the query being scanned (batch
+  // kernel input, rebuilt per query in event order).
   std::vector<int64_t> discard_tests(rc.regions.size(), 0);
   std::vector<char> discard_hits(rc.regions.size(), 0);
+  SubspaceView accepted_view;
 
   auto record = [&](ExecEvent::Kind kind, int region, int query,
                     int64_t count) {
@@ -379,20 +382,34 @@ Status RunSharedCore(const PartitionedTable& part_r,
            core_options.tuple_discard && q < workload.num_queries(); ++q) {
         if (accepted_events[q].empty()) continue;
         const std::vector<int>& dims = workload.query(q).preference;
+        // Gather this query's accepted tuples once, in event order; every
+        // region then scans the same contiguous block with the batch
+        // kernel, which stops (and counts) exactly where the serial
+        // per-tuple loop broke.
+        const int64_t accepted_n =
+            static_cast<int64_t>(accepted_events[q].size());
+        accepted_view.Reset(dims);
+        accepted_view.Reserve(accepted_n);
+        for (int64_t id : accepted_events[q]) {
+          accepted_view.PushPoint(store.row(id));
+        }
+        // Below this much total work (region × tuple tests) the fork/join
+        // overhead exceeds the scan itself; stay on the calling thread.
+        // Counts and hits are identical either way.
+        constexpr int64_t kParallelMinWork = 8192;
+        ThreadPool* const scan_pool =
+            num_regions * accepted_n >= kParallelMinWork ? pool : nullptr;
         // Phase 1 (parallel, read-only): per region, count dominance tests
         // up to and including the first dominating tuple, if any.
-        ParallelFor(pool, num_regions, /*min_chunk=*/16, [&](int64_t i) {
+        ParallelFor(scan_pool, num_regions, /*min_chunk=*/16, [&](int64_t i) {
           const OutputRegion& other = rc.regions[i];
           discard_tests[i] = 0;
           discard_hits[i] = 0;
           if (!pending[other.id] || !other.rql.Contains(q)) return;
-          for (int64_t id : accepted_events[q]) {
-            ++discard_tests[i];
-            if (PointFullyDominatesRegion(store.row(id), other, dims)) {
-              discard_hits[i] = 1;
-              break;
-            }
-          }
+          bool hit = false;
+          discard_tests[i] =
+              ScanPointsFullyDominatingRegion(accepted_view, other, &hit);
+          discard_hits[i] = hit ? 1 : 0;
         });
         // Phase 2 (serial, region order): apply prunes and resolutions.
         for (int64_t i = 0; i < num_regions; ++i) {

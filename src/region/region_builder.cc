@@ -64,10 +64,17 @@ Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
 
   const int width = workload.num_output_dims();
   const int64_t num_r_cells = part_r.num_cells();
-  const int chunks = NumChunks(pool, num_r_cells, /*min_chunk=*/1);
+  // Below this many cell pairs the stripe fork/join costs more than the
+  // scan; build serially. The stripe merge makes ids and counters identical
+  // at any chunk count, so the cutoff cannot change results.
+  constexpr int64_t kParallelMinCellPairs = 1024;
+  const int64_t cell_pairs = num_r_cells * part_t.num_cells();
+  ThreadPool* const build_pool =
+      cell_pairs >= kParallelMinCellPairs ? pool : nullptr;
+  const int chunks = NumChunks(build_pool, num_r_cells, /*min_chunk=*/1);
   std::vector<RegionStripe> stripes(chunks);
 
-  RunChunks(pool, chunks, [&](int c) {
+  RunChunks(build_pool, chunks, [&](int c) {
     const auto [a_begin, a_end] = ChunkRange(num_r_cells, chunks, c);
     RegionStripe& stripe = stripes[c];
     stripe.total_join_sizes.assign(num_slots, 0);

@@ -1,5 +1,7 @@
 #include "region/region_dominance.h"
 
+#include <algorithm>
+
 namespace caqe {
 
 RegionDomResult CompareRegions(const OutputRegion& a, const OutputRegion& b,
@@ -31,6 +33,32 @@ bool PointFullyDominatesRegion(const double* point, const OutputRegion& b,
     if (point[k] < b.lower[k]) strict = true;
   }
   return strict;
+}
+
+int64_t ScanPointsFullyDominatingRegion(const SubspaceView& accepted,
+                                        const OutputRegion& b, bool* hit) {
+  // With the region's lower corner as the probe `a` and the accepted tuples
+  // as candidates, PointFullyDominatesRegion(tuple, b) — tuple <= lower
+  // everywhere, < somewhere — is exactly the flag pattern "B better
+  // somewhere, A better nowhere".
+  double probe[kBatchMaxDims];
+  GatherPoint(b.lower.data(), accepted.dims(), probe);
+  const int64_t n = accepted.size();
+  constexpr int64_t kChunk = 256;
+  uint8_t flags[kChunk];
+  for (int64_t begin = 0; begin < n; begin += kChunk) {
+    const int64_t end = std::min(n, begin + kChunk);
+    BatchDominanceFlags(probe, accepted, begin, end, flags);
+    for (int64_t i = begin; i < end; ++i) {
+      const uint8_t f = flags[i - begin];
+      if ((f & (kBatchABetter | kBatchBBetter)) == kBatchBBetter) {
+        *hit = true;
+        return i + 1;
+      }
+    }
+  }
+  *hit = false;
+  return n;
 }
 
 bool RegionCanDominatePoint(const OutputRegion& b, const double* point,

@@ -2,9 +2,11 @@
 #ifndef CAQE_REGION_REGION_DOMINANCE_H_
 #define CAQE_REGION_REGION_DOMINANCE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "region/region.h"
+#include "skyline/dominance_batch.h"
 
 namespace caqe {
 
@@ -35,6 +37,16 @@ RegionDomResult CompareRegions(const OutputRegion& a, const OutputRegion& b,
 /// tuple-level region-discarding test of paper Section 6.
 bool PointFullyDominatesRegion(const double* point, const OutputRegion& b,
                                const std::vector<int>& dims);
+
+/// Batched form of PointFullyDominatesRegion over a column-gathered block of
+/// accepted tuples (view dimension subset = the query's preference). Scans
+/// rows in order and stops at the first tuple fully dominating `b`, exactly
+/// where the serial per-tuple loop would break. Returns the number of rows
+/// tested (first hit index + 1, or accepted.size() when none hits) so the
+/// caller charges the identical discard-test count; sets *hit accordingly.
+/// Uses only stack scratch, so concurrent calls over one view are safe.
+int64_t ScanPointsFullyDominatingRegion(const SubspaceView& accepted,
+                                        const OutputRegion& b, bool* hit);
 
 /// True when region `b` could still produce a tuple dominating `point`
 /// over `dims` (b's lower corner weakly dominates the point). Safe

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 
 namespace caqe {
 namespace {
@@ -13,11 +14,101 @@ int64_t Bump(int64_t* counter) {
   return 0;
 }
 
+/// Decoded per-candidate outcomes of a batch flag byte, relative to the
+/// probe: probe dominates the candidate / candidate dominates the probe.
+inline bool ProbeDominates(uint8_t f) {
+  return (f & kBatchABetter) != 0 && (f & kBatchBBetter) == 0;
+}
+inline bool ProbeDominated(uint8_t f) {
+  return (f & kBatchBBetter) != 0 && (f & kBatchABetter) == 0;
+}
+
+/// Reusable state of a batched windowed skyline scan: the candidate window
+/// gathered column-wise plus per-insert scratch. One instance serves a whole
+/// scan, so the hot loop performs no allocations after warm-up.
+struct WindowScratch {
+  explicit WindowScratch(const std::vector<int>& dims)
+      : view(dims), probe(dims.size()) {}
+
+  SubspaceView view;
+  std::vector<uint8_t> flags;
+  std::vector<double> probe;
+};
+
+/// One BNL window step for points.row(row): batch-compares the probe against
+/// the whole window, then replays the serial loop's decisions from the flag
+/// bytes — members the probe dominates are evicted up to (exclusive) the
+/// first member dominating the probe, everything after that point survives
+/// untouched, and the comparison charge stops at the dominating member
+/// exactly as the serial break did.
+void WindowInsert(const PointSet& points, int64_t row,
+                  std::vector<int64_t>& window, WindowScratch& scratch,
+                  int64_t* comparisons) {
+  GatherPoint(points.row(row), scratch.view.dims(), scratch.probe.data());
+  const int64_t w = scratch.view.size();
+  scratch.flags.resize(static_cast<size_t>(w));
+  BatchDominanceFlags(scratch.probe.data(), scratch.view, 0, w,
+                      scratch.flags.data());
+
+  bool dominated = false;
+  int64_t keep = 0;
+  int64_t j = 0;
+  for (; j < w; ++j) {
+    const uint8_t f = scratch.flags[j];
+    if (ProbeDominated(f)) {
+      dominated = true;
+      break;
+    }
+    if (!ProbeDominates(f)) {
+      window[keep] = window[j];
+      scratch.view.MoveRow(keep, j);
+      ++keep;
+    }
+  }
+  if (dominated) {
+    // Members at and after the dominator were not visited serially; keep
+    // the remainder untouched.
+    for (int64_t rest = j; rest < w; ++rest) {
+      window[keep] = window[rest];
+      scratch.view.MoveRow(keep, rest);
+      ++keep;
+    }
+  }
+  window.resize(static_cast<size_t>(keep));
+  scratch.view.Truncate(keep);
+  if (comparisons != nullptr) *comparisons += dominated ? j + 1 : w;
+  if (!dominated) {
+    window.push_back(row);
+    scratch.view.PushGathered(scratch.probe.data());
+  }
+}
+
+/// Windowed skyline scan over `rows` in order; returns surviving row ids in
+/// window (insertion) order.
+std::vector<int64_t> WindowSkylineScan(const PointSet& points,
+                                       const std::vector<int>& dims,
+                                       const std::vector<int64_t>& rows,
+                                       int64_t* comparisons) {
+  std::vector<int64_t> window;
+  const int64_t n = static_cast<int64_t>(rows.size());
+  // Skylines are typically tiny relative to n; a small up-front slab
+  // absorbs the early regrows of the hot window without overcommitting.
+  window.reserve(static_cast<size_t>(std::min<int64_t>(n, 64)));
+  WindowScratch scratch(dims);
+  scratch.view.Reserve(std::min<int64_t>(n, 64));
+  for (int64_t row : rows) {
+    WindowInsert(points, row, window, scratch, comparisons);
+  }
+  return window;
+}
+
 }  // namespace
 
 std::vector<int64_t> BruteForceSkyline(const PointSet& points,
                                        const std::vector<int>& dims,
                                        int64_t* comparisons) {
+  // Deliberately stays on the scalar one-pair CompareDominance: this is the
+  // oracle the batch kernels are differentially tested against.
   const int64_t n = points.size();
   std::vector<int64_t> result;
   for (int64_t i = 0; i < n; ++i) {
@@ -35,35 +126,10 @@ std::vector<int64_t> BruteForceSkyline(const PointSet& points,
 std::vector<int64_t> BnlSkyline(const PointSet& points,
                                 const std::vector<int>& dims,
                                 int64_t* comparisons) {
-  std::vector<int64_t> window;
-  const int64_t n = points.size();
-  // Skylines are typically tiny relative to n; a small up-front slab
-  // absorbs the early regrows of the hot window without overcommitting.
-  window.reserve(static_cast<size_t>(std::min<int64_t>(n, 64)));
-  for (int64_t i = 0; i < n; ++i) {
-    const double* p = points.row(i);
-    bool dominated = false;
-    size_t keep = 0;
-    for (size_t w = 0; w < window.size(); ++w) {
-      const double* q = points.row(window[w]);
-      Bump(comparisons);
-      const DomResult r = CompareDominance(p, q, dims);
-      if (r == DomResult::kDominatedBy) {
-        dominated = true;
-        // Points after `w` were not evicted; keep the remainder untouched.
-        for (size_t rest = w; rest < window.size(); ++rest) {
-          window[keep++] = window[rest];
-        }
-        break;
-      }
-      if (r != DomResult::kDominates) {
-        window[keep++] = window[w];
-      }
-      // r == kDominates: q is evicted (not copied forward).
-    }
-    window.resize(keep);
-    if (!dominated) window.push_back(i);
-  }
+  std::vector<int64_t> rows(points.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<int64_t> window =
+      WindowSkylineScan(points, dims, rows, comparisons);
   std::sort(window.begin(), window.end());
   return window;
 }
@@ -80,28 +146,7 @@ std::vector<int64_t> DncRecurse(const PointSet& points,
   if (rows.size() <= kBnlCutoff || failed_splits >= dims.size()) {
     // Small base case (or no separating dimension found after a full
     // rotation): plain windowed scan over the subset.
-    std::vector<int64_t> window;
-    for (int64_t row : rows) {
-      const double* p = points.row(row);
-      bool dominated = false;
-      size_t keep = 0;
-      for (size_t w = 0; w < window.size(); ++w) {
-        Bump(comparisons);
-        const DomResult r =
-            CompareDominance(p, points.row(window[w]), dims);
-        if (r == DomResult::kDominatedBy) {
-          dominated = true;
-          for (size_t rest = w; rest < window.size(); ++rest) {
-            window[keep++] = window[rest];
-          }
-          break;
-        }
-        if (r != DomResult::kDominates) window[keep++] = window[w];
-      }
-      window.resize(keep);
-      if (!dominated) window.push_back(row);
-    }
-    return window;
+    return WindowSkylineScan(points, dims, rows, comparisons);
   }
 
   // Split at the median *value* of the rotation dimension so the boundary
@@ -133,17 +178,28 @@ std::vector<int64_t> DncRecurse(const PointSet& points,
 
   // Across a strict boundary, upper points can never dominate lower points
   // (they are strictly worse in `dim`), so only filter upper against lower.
+  // The champion scan batches each upper point against the gathered lower
+  // skyline; the comparison charge stops at the first dominating champion,
+  // as the serial break did.
   std::vector<int64_t> result = sky_lower;
+  SubspaceView champions(dims);
+  champions.Reserve(static_cast<int64_t>(sky_lower.size()));
+  for (int64_t champion : sky_lower) champions.PushPoint(points.row(champion));
+  const int64_t m = champions.size();
+  std::vector<uint8_t> flags(static_cast<size_t>(m));
+  std::vector<double> probe(dims.size());
   for (int64_t row : sky_upper) {
+    GatherPoint(points.row(row), dims, probe.data());
+    BatchDominanceFlags(probe.data(), champions, 0, m, flags.data());
     bool dominated = false;
-    for (int64_t champion : sky_lower) {
-      Bump(comparisons);
-      if (CompareDominance(points.row(champion), points.row(row), dims) ==
-          DomResult::kDominates) {
+    int64_t j = 0;
+    for (; j < m; ++j) {
+      if (ProbeDominated(flags[j])) {
         dominated = true;
         break;
       }
     }
+    if (comparisons != nullptr) *comparisons += dominated ? j + 1 : m;
     if (!dominated) result.push_back(row);
   }
   return result;
@@ -177,22 +233,32 @@ std::vector<int64_t> SfsSkyline(const PointSet& points,
                    [&](int64_t a, int64_t b) { return score[a] < score[b]; });
 
   // After sorting by a monotone function, no point can dominate one that
-  // precedes it, so the window only grows.
+  // precedes it, so the window only grows; each candidate batches against
+  // the gathered window in one call.
   std::vector<int64_t> window;
   window.reserve(static_cast<size_t>(std::min<int64_t>(n, 64)));
+  WindowScratch scratch(dims);
+  scratch.view.Reserve(std::min<int64_t>(n, 64));
   for (int64_t idx = 0; idx < n; ++idx) {
     const int64_t i = order[idx];
-    const double* p = points.row(i);
+    GatherPoint(points.row(i), dims, scratch.probe.data());
+    const int64_t w = scratch.view.size();
+    scratch.flags.resize(static_cast<size_t>(w));
+    BatchDominanceFlags(scratch.probe.data(), scratch.view, 0, w,
+                        scratch.flags.data());
     bool dominated = false;
-    for (int64_t w : window) {
-      Bump(comparisons);
-      const DomResult r = CompareDominance(points.row(w), p, dims);
-      if (r == DomResult::kDominates) {
+    int64_t j = 0;
+    for (; j < w; ++j) {
+      if (ProbeDominated(scratch.flags[j])) {
         dominated = true;
         break;
       }
     }
-    if (!dominated) window.push_back(i);
+    if (comparisons != nullptr) *comparisons += dominated ? j + 1 : w;
+    if (!dominated) {
+      window.push_back(i);
+      scratch.view.PushGathered(scratch.probe.data());
+    }
   }
   std::sort(window.begin(), window.end());
   return window;

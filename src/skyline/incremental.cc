@@ -5,10 +5,13 @@
 namespace caqe {
 namespace {
 
-double ScoreOf(const double* values, const std::vector<int>& dims) {
-  double score = 0.0;
-  for (int k : dims) score += values[k];
-  return score;
+/// Candidate-dominates-probe / probe-dominates-candidate patterns of a
+/// batch flag byte (probe gathered as `a`, members as `b`).
+inline bool MemberDominatesProbe(uint8_t f) {
+  return (f & kBatchBBetter) != 0 && (f & kBatchABetter) == 0;
+}
+inline bool ProbeDominatesMember(uint8_t f) {
+  return (f & kBatchABetter) != 0 && (f & kBatchBBetter) == 0;
 }
 
 }  // namespace
@@ -17,7 +20,11 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
                                          int64_t external_id,
                                          int64_t* comparisons) {
   InsertOutcome outcome;
-  const double score = ScoreOf(values, dims_);
+  GatherPoint(values, dims_, probe_.data());
+  // Summing the gathered values in view order reproduces ScoreOf's
+  // dims_-order accumulation bit for bit.
+  double score = 0.0;
+  for (double v : probe_) score += v;
 
   // Members are kept sorted by ascending monotone score (sum over dims_).
   // Since m dominates t implies score(m) < score(t) strictly, only the
@@ -29,28 +36,32 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
       [&](const Member& m) { return m.score < score; });
   const size_t prefix_end =
       static_cast<size_t>(boundary - members_.begin());
+  flags_.resize(members_.size());
 
-  // Phase 1: is the new point dominated by a smaller-score member? On a
-  // hit, keep scanning for a *strict* dominator (better in every compared
-  // dimension) — its existence licenses subspace gating in the shared
-  // evaluator.
+  // Phase 1 (batched): is the new point dominated by a smaller-score
+  // member? The whole prefix is flagged in one kernel call; the walk over
+  // the flag bytes replays the serial loop — on a domination hit it keeps
+  // scanning for a *strict* dominator (better in every compared dimension,
+  // the kBatchBStrict bit) whose existence licenses subspace gating in the
+  // shared evaluator, and the comparison charge stops where the serial
+  // break did (at the strict dominator, else after the full prefix).
   bool dominated = false;
-  for (size_t i = 0; i < prefix_end; ++i) {
-    if (comparisons != nullptr) ++*comparisons;
-    const double* member = points_.row(members_[i].row);
-    const DomResult r = CompareDominance(member, values, dims_);
-    if (r != DomResult::kDominates) continue;
-    dominated = true;
-    bool strict = true;
-    for (int k : dims_) {
-      if (member[k] >= values[k]) {
-        strict = false;
+  if (prefix_end > 0) {
+    BatchDominanceFlags(probe_.data(), members_view_, 0,
+                        static_cast<int64_t>(prefix_end), flags_.data());
+    size_t visited = prefix_end;
+    for (size_t i = 0; i < prefix_end; ++i) {
+      const uint8_t f = flags_[i];
+      if (!MemberDominatesProbe(f)) continue;
+      dominated = true;
+      if ((f & kBatchBStrict) != 0) {
+        outcome.strictly_dominated = true;
+        visited = i + 1;
         break;
       }
     }
-    if (strict) {
-      outcome.strictly_dominated = true;
-      break;
+    if (comparisons != nullptr) {
+      *comparisons += static_cast<int64_t>(visited);
     }
   }
   if (dominated) {
@@ -58,30 +69,48 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
     return outcome;
   }
 
-  // Phase 2: evict larger-score members the new point dominates.
+  // Phase 2 (batched): evict larger-score members the new point dominates.
   // (Equal-score members can neither dominate nor be dominated; they are
   // skipped without comparison.)
   size_t keep = prefix_end;
   size_t i = prefix_end;
   for (; i < members_.size() && members_[i].score == score; ++i) {
-    members_[keep++] = members_[i];
+    members_[keep] = members_[i];
+    members_view_.MoveRow(static_cast<int64_t>(keep),
+                          static_cast<int64_t>(i));
+    ++keep;
   }
   const size_t insert_at = keep;  // New member slots in after score ties.
-  for (; i < members_.size(); ++i) {
-    if (comparisons != nullptr) ++*comparisons;
-    const DomResult r =
-        CompareDominance(values, points_.row(members_[i].row), dims_);
-    if (r == DomResult::kDominates) {
-      outcome.evicted.push_back(members_[i].external_id);
-    } else {
-      members_[keep++] = members_[i];
+  const size_t suffix_begin = i;
+  if (suffix_begin < members_.size()) {
+    // Flags are indexed by original member position; compaction only
+    // writes rows at keep < i, so unread suffix rows stay in place.
+    BatchDominanceFlags(probe_.data(), members_view_,
+                        static_cast<int64_t>(suffix_begin),
+                        static_cast<int64_t>(members_.size()),
+                        flags_.data());
+    for (; i < members_.size(); ++i) {
+      if (ProbeDominatesMember(flags_[i - suffix_begin])) {
+        outcome.evicted.push_back(members_[i].external_id);
+      } else {
+        members_[keep] = members_[i];
+        members_view_.MoveRow(static_cast<int64_t>(keep),
+                              static_cast<int64_t>(i));
+        ++keep;
+      }
+    }
+    if (comparisons != nullptr) {
+      *comparisons += static_cast<int64_t>(members_.size() - suffix_begin);
     }
   }
   members_.resize(keep);
+  members_view_.Truncate(static_cast<int64_t>(keep));
 
   const int64_t row = points_.Append(values);
   members_.insert(members_.begin() + insert_at,
                   Member{row, external_id, score});
+  members_view_.InsertGathered(static_cast<int64_t>(insert_at),
+                               probe_.data());
   outcome.accepted = true;
   return outcome;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 #include "skyline/point_set.h"
 
 namespace caqe {
@@ -35,7 +36,9 @@ class IncrementalSkyline {
  public:
   /// `width` is the point dimensionality; `dims` the compared subset.
   IncrementalSkyline(int width, std::vector<int> dims)
-      : points_(width), dims_(std::move(dims)) {}
+      : points_(width), dims_(std::move(dims)), probe_(dims_.size()) {
+    members_view_.Reset(dims_);
+  }
 
   /// Inserts a point with caller-supplied id. Counts comparisons into
   /// `comparisons` if non-null.
@@ -71,6 +74,13 @@ class IncrementalSkyline {
   /// prefix can dominate a new point, only the larger-score suffix can be
   /// evicted by it.
   std::vector<Member> members_;
+  /// Column-gathered mirror of `members_` (same order) feeding the batch
+  /// dominance kernel; every members_ mutation is replayed on the view.
+  SubspaceView members_view_;
+  /// Per-insert scratch: the probe's gathered dims_ values and the batch
+  /// flag bytes (sized to the member count on demand).
+  std::vector<double> probe_;
+  std::vector<uint8_t> flags_;
 };
 
 }  // namespace caqe
