@@ -1,0 +1,208 @@
+// Online serving benchmark: one CaqeServer per (arrival rate, scheduling
+// policy) replaying the same synthetic trace, sweeping the arrival rate
+// from relaxed to saturated.
+//
+// The trace is a pure function of the seed, so the contract-driven and
+// count-driven policies see bit-identical arrivals; the sweep reports
+// per-request pScores, the admission rate, and p50/p99 time-to-first-result
+// at every rate. At saturation the contract-driven policy should win on
+// cumulative pScore: it spends the backlog where the contracts still pay.
+//
+// Flags: --rows=N --sel=SIGMA --requests=K --seed=S --threads=T
+//        --target-regions=R --out=PATH
+//
+// Writes a JSON summary (default BENCH_serving.json).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/export.h"
+#include "serve/server.h"
+#include "serve/serving.h"
+#include "serve/trace.h"
+
+namespace caqe {
+namespace bench {
+namespace {
+
+struct RatePoint {
+  double arrival_rate = 0.0;
+  std::string policy;
+  ServingReport report;
+  double ttfr_p50 = -1.0;
+  double ttfr_p99 = -1.0;
+};
+
+/// Nearest-rank percentile of the (sorted ascending) sample; -1 when empty.
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+std::string JsonField(const std::string& key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key.c_str(), value);
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int64_t rows = args.GetInt("rows", 2000);
+  const double selectivity = args.GetDouble("sel", 0.01);
+  const int requests = static_cast<int>(args.GetInt("requests", 24));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 2014));
+  const int threads = ThreadsFromArgs(args);
+  const int target_regions =
+      static_cast<int>(args.GetInt("target-regions", 128));
+  const std::string out_path = args.GetString("out", "BENCH_serving.json");
+
+  GeneratorConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {selectivity, selectivity};
+  cfg.seed = seed;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = seed + 1;
+  const Table t = GenerateTable("T", cfg).value();
+  const std::vector<MappingFunction> dims = {
+      MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
+  const std::vector<int> keys = {0, 1};
+
+  const auto make_server = [&](SchedulePolicy policy) {
+    ServeOptions options;
+    options.num_threads = threads;
+    options.target_regions = target_regions;
+    options.policy = policy;
+    return CaqeServer::Create(r, t, dims, keys, options).value();
+  };
+
+  // Calibrate the trace timescale: virtual completion time of one
+  // full-coverage probe query on an idle server.
+  double reference_seconds;
+  {
+    auto probe = make_server(SchedulePolicy::kContractDriven);
+    probe->Submit(SjQuery{"probe", 0, {0, 1, 2}, 1.0, {}},
+                  MakeTimeStepContract(1e9), 0.0);
+    reference_seconds = probe->Run().value().finish_vtime;
+  }
+  CAQE_CHECK(reference_seconds > 0.0);
+
+  std::printf(
+      "CAQE serving sweep: N=%lld sigma=%.4f requests=%d seed=%llu "
+      "ref=%.4fs\n\n",
+      static_cast<long long>(rows), selectivity, requests,
+      static_cast<unsigned long long>(seed), reference_seconds);
+
+  // Mean arrivals per probe-service-time: 0.5 (relaxed), 2 (busy),
+  // 8 (saturated).
+  const std::vector<double> load_factors = {0.5, 2.0, 8.0};
+  std::vector<RatePoint> points;
+  for (double load : load_factors) {
+    TraceConfig trace_config;
+    trace_config.num_requests = requests;
+    trace_config.arrival_rate = load / reference_seconds;
+    trace_config.seed = seed;
+    trace_config.reference_seconds = reference_seconds;
+    trace_config.deadline_fraction = 0.25;
+    trace_config.cancel_fraction = 0.1;
+    const std::vector<TraceRequest> trace =
+        MakeSyntheticTrace(trace_config, keys, 3);
+    for (SchedulePolicy policy :
+         {SchedulePolicy::kContractDriven, SchedulePolicy::kCountDriven}) {
+      auto server = make_server(policy);
+      SubmitTrace(*server, trace);
+      RatePoint point;
+      point.arrival_rate = trace_config.arrival_rate;
+      point.policy = policy == SchedulePolicy::kContractDriven
+                         ? "contract-driven"
+                         : "count-driven";
+      point.report = server->Run().value();
+      std::vector<double> ttfr;
+      for (const RequestReport& request : point.report.requests) {
+        if (request.time_to_first_result >= 0.0) {
+          ttfr.push_back(request.time_to_first_result);
+        }
+      }
+      point.ttfr_p50 = Percentile(ttfr, 0.50);
+      point.ttfr_p99 = Percentile(ttfr, 0.99);
+      points.push_back(std::move(point));
+    }
+  }
+
+  TablePrinter table({"rate_qps", "policy", "admit_rate", "completed",
+                      "cum_pscore", "ttfr_p50_s", "ttfr_p99_s"});
+  for (const RatePoint& p : points) {
+    table.AddRow({FormatDouble(p.arrival_rate, 2), p.policy,
+                  FormatDouble(p.report.admission_rate, 3),
+                  std::to_string(p.report.completed),
+                  FormatDouble(p.report.cumulative_pscore, 4),
+                  FormatDouble(p.ttfr_p50, 5), FormatDouble(p.ttfr_p99, 5)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // At the saturated rate the contract-driven policy must not lose to the
+  // count-driven ablation on the workload objective.
+  const RatePoint& contract_sat = points[points.size() - 2];
+  const RatePoint& count_sat = points[points.size() - 1];
+  const bool contract_wins = contract_sat.report.cumulative_pscore >=
+                             count_sat.report.cumulative_pscore;
+  std::printf("saturated rate %.2f qps: contract %.4f vs count %.4f (%s)\n",
+              contract_sat.arrival_rate,
+              contract_sat.report.cumulative_pscore,
+              count_sat.report.cumulative_pscore,
+              contract_wins ? "contract wins" : "count wins");
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"serving\",\n";
+  json += "  \"rows\": " + std::to_string(rows) + ",\n";
+  json += "  \"requests\": " + std::to_string(requests) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  " + JsonField("reference_seconds", reference_seconds) + ",\n";
+  json += std::string("  \"contract_beats_count_at_saturation\": ") +
+          (contract_wins ? "true" : "false") + ",\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const RatePoint& p = points[i];
+    json += "    {" + JsonField("arrival_rate", p.arrival_rate) +
+            ", \"policy\": \"" + p.policy + "\", " +
+            JsonField("admission_rate", p.report.admission_rate) + ", " +
+            "\"admitted\": " + std::to_string(p.report.admitted) + ", " +
+            "\"completed\": " + std::to_string(p.report.completed) + ", " +
+            "\"expired\": " + std::to_string(p.report.expired) + ", " +
+            "\"rejected\": " + std::to_string(p.report.rejected) + ", " +
+            JsonField("cumulative_pscore", p.report.cumulative_pscore) +
+            ", " + JsonField("ttfr_p50_seconds", p.ttfr_p50) + ", " +
+            JsonField("ttfr_p99_seconds", p.ttfr_p99) + ",\n";
+    json += "     \"per_query\": [";
+    for (size_t q = 0; q < p.report.requests.size(); ++q) {
+      const RequestReport& request = p.report.requests[q];
+      json += std::string(q == 0 ? "" : ", ") + "{\"id\": " +
+              std::to_string(request.request_id) + ", \"name\": \"" +
+              request.name + "\", \"status\": \"" +
+              RequestStatusName(request.status) + "\", " +
+              JsonField("pscore", request.pscore) + "}";
+    }
+    json += "]}";
+    json += (i + 1 < points.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  const Status written = WriteTextFile(out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace caqe
+
+int main(int argc, char** argv) { return caqe::bench::Main(argc, argv); }

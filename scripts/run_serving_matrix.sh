@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Proves the serving layer's determinism contract: one fixed arrival trace
+# replayed through caqe_serve must produce a byte-identical serving report
+# across the full matrix of SIMD builds (CAQE_SIMD=OFF/ON) and worker
+# thread counts (1 and 8). The report text deliberately excludes every
+# non-deterministic quantity, so any diff is a real determinism bug.
+#
+#   scripts/run_serving_matrix.sh [EXTRA_CMAKE_FLAGS...]
+#
+# Reuses the build trees of scripts/run_simd_matrix.sh when present.
+set -euo pipefail
+
+SERVE_ARGS=(--rows=1000 --requests=12 --rate=40 --seed=2014
+            --cancel-fraction=0.1 --deadline-fraction=0.25)
+declare -A REPORTS
+
+for simd in OFF ON; do
+  build_dir="build-simd-${simd,,}"
+  # caqe_serve lives under tools/, gated by CAQE_BUILD_EXAMPLES.
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCAQE_SIMD="${simd}" \
+    -DCAQE_BUILD_EXAMPLES=ON \
+    "$@"
+  cmake --build "${build_dir}" -j"$(nproc)" --target caqe_serve_cli
+  for threads in 1 8; do
+    out="${build_dir}/serving_t${threads}.txt"
+    "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+      --threads="${threads}" --report-out="${out}" > /dev/null
+    REPORTS["${simd}_${threads}"]="${out}"
+  done
+done
+
+# Every cell of the matrix must match the scalar single-threaded baseline.
+baseline="${REPORTS[OFF_1]}"
+status=0
+for key in OFF_1 OFF_8 ON_1 ON_8; do
+  if diff -u "${baseline}" "${REPORTS[${key}]}" > /dev/null; then
+    echo "serving report identical: ${key} vs OFF_1"
+  else
+    echo "FAIL: serving report differs: ${key} vs OFF_1" >&2
+    diff -u "${baseline}" "${REPORTS[${key}]}" >&2 || true
+    status=1
+  fi
+done
+exit "${status}"

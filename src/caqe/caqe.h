@@ -50,6 +50,10 @@
 #include "region/region.h"
 #include "region/region_builder.h"
 #include "region/region_dominance.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "serve/serving.h"
+#include "serve/trace.h"
 #include "skyline/algorithms.h"
 #include "skyline/cardinality.h"
 #include "skyline/dominance.h"

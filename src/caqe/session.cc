@@ -7,6 +7,13 @@
 
 namespace caqe {
 
+const std::vector<std::string>& KnownEngineNames() {
+  static const std::vector<std::string> kNames = {
+      "CAQE",   "S-JFSL",    "JFSL",         "SSMJ",      "SSMJ+",
+      "ProgXe+", "CAQE-nofb", "CAQE-noprune", "CAQE-count"};
+  return kNames;
+}
+
 Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name) {
   if (name == "CAQE") {
     return std::unique_ptr<Engine>(new SharedPlanEngine(MakeCaqeEngine()));
@@ -38,7 +45,13 @@ Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name) {
     return std::unique_ptr<Engine>(
         new SharedPlanEngine(MakeCaqeCountDrivenEngine()));
   }
-  return Status::NotFound("unknown engine: " + name);
+  std::string known;
+  for (const std::string& candidate : KnownEngineNames()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  return Status::NotFound("unknown engine: " + name +
+                          " (recognized engines: " + known + ")");
 }
 
 std::vector<std::unique_ptr<Engine>> MakePaperEngines() {

@@ -15,9 +15,13 @@
 
 namespace caqe {
 
+/// Every engine name MakeEngine recognizes, in factory order.
+const std::vector<std::string>& KnownEngineNames();
+
 /// Named engine factory. Recognized names: "CAQE", "S-JFSL", "JFSL",
-/// "SSMJ", "ProgXe+", plus the ablation variants "CAQE-nofb",
-/// "CAQE-noprune", "CAQE-count". Returns NotFound for anything else.
+/// "SSMJ", "SSMJ+", "ProgXe+", plus the ablation variants "CAQE-nofb",
+/// "CAQE-noprune", "CAQE-count" (see KnownEngineNames). Returns NotFound —
+/// with the recognized names spelled out — for anything else.
 Result<std::unique_ptr<Engine>> MakeEngine(const std::string& name);
 
 /// The five engines compared throughout the paper's evaluation, in the

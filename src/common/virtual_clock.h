@@ -50,6 +50,13 @@ class VirtualClock {
     now_ += seconds;
   }
 
+  /// Advances to absolute time `t`; no-op when `t` is already in the past
+  /// (the serving loop may have processed work past an arrival's
+  /// timestamp — virtual time stays monotone).
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+
   void ChargeJoinProbes(int64_t n) { Advance(n * cost_.join_probe_seconds); }
   void ChargeJoinResults(int64_t n) { Advance(n * cost_.join_result_seconds); }
   void ChargeDominanceCmps(int64_t n) {

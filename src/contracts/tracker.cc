@@ -18,8 +18,32 @@ SatisfactionTracker::SatisfactionTracker(std::vector<Contract> contracts)
       totals_(contracts_.size()),
       intervals_(contracts_.size()),
       estimated_totals_(contracts_.size(), 1.0),
+      submit_times_(contracts_.size(), 0.0),
       samples_(contracts_.size()) {
   for (const Contract& c : contracts_) CAQE_CHECK(c != nullptr);
+}
+
+int SatisfactionTracker::AddQuery(Contract contract, double submit_time) {
+  CAQE_CHECK(contract != nullptr);
+  contracts_.push_back(std::move(contract));
+  totals_.emplace_back();
+  intervals_.emplace_back();
+  estimated_totals_.push_back(1.0);
+  submit_times_.push_back(submit_time);
+  samples_.emplace_back();
+  return num_queries() - 1;
+}
+
+void SatisfactionTracker::ResetQuery(int q, Contract contract,
+                                     double submit_time) {
+  CAQE_DCHECK(q >= 0 && q < num_queries());
+  CAQE_CHECK(contract != nullptr);
+  contracts_[q] = std::move(contract);
+  totals_[q] = QuerySatisfaction{};
+  intervals_[q] = IntervalState{};
+  estimated_totals_[q] = 1.0;
+  submit_times_[q] = submit_time;
+  samples_[q].clear();
 }
 
 void SatisfactionTracker::SetEstimatedTotal(int q, double n) {
@@ -31,7 +55,8 @@ double SatisfactionTracker::OnResult(int q, double now) {
   CAQE_DCHECK(q >= 0 && q < num_queries());
   const Contract& contract = contracts_[q];
   IntervalState& st = intervals_[q];
-  const int64_t interval = IntervalIndex(now, contract->interval_seconds());
+  const double rel = now - submit_times_[q];
+  const int64_t interval = IntervalIndex(rel, contract->interval_seconds());
   if (interval != st.current_interval) {
     st.current_interval = interval;
     st.count_in_interval = 0;
@@ -39,7 +64,7 @@ double SatisfactionTracker::OnResult(int q, double now) {
   ++st.count_in_interval;
 
   ResultContext ctx;
-  ctx.report_time = now;
+  ctx.report_time = rel;
   ctx.results_in_interval = st.count_in_interval;
   ctx.results_so_far = totals_[q].results + 1;
   ctx.estimated_total = estimated_totals_[q];
@@ -47,7 +72,7 @@ double SatisfactionTracker::OnResult(int q, double now) {
 
   totals_[q].pscore += u;
   totals_[q].results += 1;
-  samples_[q].push_back(UtilitySample{now, u});
+  samples_[q].push_back(UtilitySample{rel, u});
   return u;
 }
 
@@ -56,12 +81,13 @@ double SatisfactionTracker::PreviewUtility(int q, double when,
   CAQE_DCHECK(q >= 0 && q < num_queries());
   const Contract& contract = contracts_[q];
   const IntervalState& st = intervals_[q];
-  const int64_t interval = IntervalIndex(when, contract->interval_seconds());
+  const double rel = when - submit_times_[q];
+  const int64_t interval = IntervalIndex(rel, contract->interval_seconds());
   int64_t in_interval = extra_in_interval;
   if (interval == st.current_interval) in_interval += st.count_in_interval;
 
   ResultContext ctx;
-  ctx.report_time = when;
+  ctx.report_time = rel;
   ctx.results_in_interval = std::max<int64_t>(1, in_interval);
   ctx.results_so_far = totals_[q].results + std::max<int64_t>(1, extra_in_interval);
   ctx.estimated_total = estimated_totals_[q];

@@ -41,6 +41,16 @@ class SatisfactionTracker {
 
   int num_queries() const { return static_cast<int>(contracts_.size()); }
 
+  /// Serving layer: appends a query scored by `contract`, whose utilities
+  /// are evaluated relative to `submit_time` (a contract deadline counts
+  /// from the query's arrival, not from server start). Returns its index.
+  /// Batch construction is the submit_time == 0 special case.
+  int AddQuery(Contract contract, double submit_time = 0.0);
+
+  /// Serving layer: rebinds slot `q` (a retired query's index being reused)
+  /// to a fresh contract and submit time, clearing all accumulated state.
+  void ResetQuery(int q, Contract contract, double submit_time);
+
   /// Sets the estimated final result cardinality for query `q` (used by
   /// cardinality contracts as N). Can be refined during execution.
   void SetEstimatedTotal(int q, double n);
@@ -109,7 +119,11 @@ class SatisfactionTracker {
   std::vector<QuerySatisfaction> totals_;
   std::vector<IntervalState> intervals_;
   std::vector<double> estimated_totals_;
+  /// Per-query submission times; report times are taken relative to these
+  /// (all zero in batch mode, so batch behavior is unchanged).
+  std::vector<double> submit_times_;
   /// Per-query (time, utility) trace backing the progressive metric.
+  /// Sample times are relative to the query's submission.
   std::vector<std::vector<UtilitySample>> samples_;
 };
 

@@ -48,6 +48,12 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
   // accepted_scratch_[feeder] is final before a fed node is visited.
   for (size_t i = 0; i < nodes.size(); ++i) {
     const CuboidNode& node = nodes[i];
+    if (!released_.empty() && released_[i]) {
+      // Code 2 (pass-through) is safe: the feeder closure guarantees no
+      // kept node reads a released node's scratch, and 2 never gates.
+      accepted_scratch_[i] = 2;
+      continue;
+    }
     if (static_cast<int>(i) == root_alias_node_) {
       accepted_scratch_[i] = root_code;
       node.preference_of.ForEach([&](int q) {
@@ -78,6 +84,26 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
     });
   }
   return out;
+}
+
+void SharedSkylineEvaluator::ReleaseQueries(const QuerySet& active_locals) {
+  const auto& nodes = cuboid_->nodes();
+  if (released_.empty()) released_.resize(nodes.size(), 0);
+  std::vector<char> keep(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].preference_of.Intersects(active_locals)) keep[i] = 1;
+  }
+  // Feeders come before fed nodes, so a descending sweep closes the gating
+  // chain: every kept node drags its feeder (transitively) into the keep
+  // set before the feeder itself is visited.
+  for (size_t i = nodes.size(); i-- > 0;) {
+    if (keep[i] && nodes[i].feeder >= 0) keep[nodes[i].feeder] = 1;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (keep[i] || static_cast<int>(i) == root_alias_node_) continue;
+    released_[i] = 1;
+    node_skylines_[i].reset();
+  }
 }
 
 const IncrementalSkyline& SharedSkylineEvaluator::query_skyline(int q) const {

@@ -52,6 +52,15 @@ class SharedSkylineEvaluator {
   SharedInsertOutcome Insert(const double* values, int64_t id,
                              int64_t* comparisons = nullptr);
 
+  /// Serving-layer retirement support: releases every cuboid node that no
+  /// query in `active_locals` (local indices into the cuboid's query order)
+  /// needs, keeping each active preference node plus its transitive feeder
+  /// chain (the gating path) and the root. Released nodes free their
+  /// skyline state and are skipped by subsequent Inserts — no comparisons
+  /// are charged for them, and their (retired) queries receive no further
+  /// events. The batch path never calls this.
+  void ReleaseQueries(const QuerySet& active_locals);
+
   /// Skyline at query q's preference node: exactly SKY_{P_q} of all tuples
   /// inserted so far (in both modes, including under value ties).
   const IncrementalSkyline& query_skyline(int q) const;
@@ -74,6 +83,9 @@ class SharedSkylineEvaluator {
   std::vector<std::unique_ptr<IncrementalSkyline>> node_skylines_;
   int root_alias_node_ = -1;  // Node whose subspace equals the union space.
   std::vector<char> accepted_scratch_;
+  /// Nodes released by ReleaseQueries (skipped in Insert). Empty until the
+  /// first release, so the batch path pays nothing.
+  std::vector<char> released_;
 };
 
 }  // namespace caqe

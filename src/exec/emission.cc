@@ -1,5 +1,7 @@
 #include "exec/emission.h"
 
+#include <algorithm>
+
 #include "region/region_dominance.h"
 
 namespace caqe {
@@ -72,16 +74,49 @@ void EmissionManager::OnRegionResolvedForQuery(
   }
 }
 
+void EmissionManager::AddQuery(int q) {
+  if (q >= static_cast<int>(parked_.size())) {
+    parked_.resize(q + 1);
+    witness_of_.resize(q + 1);
+    serving_.resize(q + 1);
+  }
+  parked_[q].clear();
+  witness_of_[q].clear();
+  serving_[q].clear();
+  // The query's scan list is its post-graft lineage, ascending region id —
+  // the same order the constructor produces for initial queries.
+  for (const OutputRegion& region : rc_->regions) {
+    if (region.rql.Contains(q)) serving_[q].push_back(region.id);
+  }
+}
+
+void EmissionManager::RetireQuery(int q, std::vector<int64_t>* flushed) {
+  if (q < 0 || q >= static_cast<int>(parked_.size())) return;
+  if (flushed != nullptr) {
+    for (const auto& [id, witness] : witness_of_[q]) {
+      (void)witness;
+      flushed->push_back(id);
+    }
+    // witness_of_ iteration order is hash-dependent; ascending tuple id
+    // (= acceptance order within a region, region order across) makes the
+    // flush deterministic.
+    std::sort(flushed->begin(), flushed->end());
+  }
+  parked_[q].clear();
+  witness_of_[q].clear();
+  serving_[q].clear();
+}
+
 void EmissionManager::OnRegionResolved(
     int region, std::vector<std::pair<int, int64_t>>& emit_now) {
-  for (int q = 0; q < workload_->num_queries(); ++q) {
+  for (int q = 0; q < static_cast<int>(parked_.size()); ++q) {
     OnRegionResolvedForQuery(region, q, emit_now);
   }
 }
 
 void EmissionManager::DrainAll(
     std::vector<std::pair<int, int64_t>>& emit_now) {
-  for (int q = 0; q < workload_->num_queries(); ++q) {
+  for (int q = 0; q < static_cast<int>(parked_.size()); ++q) {
     for (auto& [region, ids] : parked_[q]) {
       for (int64_t id : ids) {
         auto it = witness_of_[q].find(id);

@@ -58,6 +58,18 @@ class EmissionManager {
   /// resolution bookkeeping it returns nothing and the engine asserts so).
   void DrainAll(std::vector<std::pair<int, int64_t>>& emit_now);
 
+  /// Serving graft: (re)initializes query `q`'s emission state, growing
+  /// per-query storage as needed. The scan list is rebuilt from the current
+  /// region lineages, which at graft time contain exactly `q`'s regions.
+  void AddQuery(int q);
+
+  /// Serving retirement: discards query `q`'s parked candidates and scan
+  /// list. When `flushed` is non-null the parked tuple ids are appended to
+  /// it in ascending id order (deterministic), letting the caller decide
+  /// whether to emit or drop them; retired queries' candidates are
+  /// otherwise never emitted.
+  void RetireQuery(int q, std::vector<int64_t>* flushed = nullptr);
+
   /// Coarse-level operations spent on safety scans.
   int64_t coarse_ops() const { return coarse_ops_; }
 

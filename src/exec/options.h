@@ -21,6 +21,12 @@ struct ExecEvent {
     kQueryPruned,
     /// `count` results of `query` were emitted.
     kResultsEmitted,
+    /// Serving layer: `query` was admitted and grafted into the running
+    /// workload (`count` = number of live regions in its lineage).
+    kQueryAdmitted,
+    /// Serving layer: `query` was retired mid-run (`count` = parked
+    /// candidates dropped with it).
+    kQueryRetired,
   };
   Kind kind = Kind::kRegionScheduled;
   /// Virtual time of the event.

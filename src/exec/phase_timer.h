@@ -1,0 +1,32 @@
+// Wall-clock phase accounting shared by the execution core and pipeline.
+#ifndef CAQE_EXEC_PHASE_TIMER_H_
+#define CAQE_EXEC_PHASE_TIMER_H_
+
+#include <chrono>
+
+namespace caqe {
+
+/// Wall-clock accumulator for the per-phase EngineStats breakdown. The
+/// measured phases are exactly the parallel ones, so the benchmark can
+/// attribute speedup; every deterministic quantity is untouched by timing.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_EXEC_PHASE_TIMER_H_

@@ -1,0 +1,394 @@
+#include "exec/region_pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+
+#include "exec/phase_timer.h"
+#include "region/region_dominance.h"
+
+namespace caqe {
+
+std::string PlanGroupSelectionKey(const SjQuery& query) {
+  std::vector<SelectionRange> sorted = query.selections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SelectionRange& a, const SelectionRange& b) {
+              return std::tie(a.on_r, a.attr, a.lo, a.hi) <
+                     std::tie(b.on_r, b.attr, b.lo, b.hi);
+            });
+  std::string key;
+  for (const SelectionRange& sel : sorted) {
+    key += (sel.on_r ? "r" : "t") + std::to_string(sel.attr) + ":" +
+           std::to_string(sel.lo) + ".." + std::to_string(sel.hi) + ";";
+  }
+  return key;
+}
+
+RegionPipeline::RegionPipeline(const PartitionedTable* part_r,
+                               const PartitionedTable* part_t,
+                               const Workload* workload, RegionCollection* rc,
+                               std::vector<char>* pending,
+                               int64_t* pending_count,
+                               SatisfactionTracker* tracker,
+                               VirtualClock* clock, EngineStats* stats,
+                               std::vector<QueryReport>* reports,
+                               ThreadPool* pool, PipelineOptions options)
+    : part_r_(part_r),
+      part_t_(part_t),
+      workload_(workload),
+      rc_(rc),
+      pending_(pending),
+      pending_count_(pending_count),
+      tracker_(tracker),
+      clock_(clock),
+      stats_(stats),
+      reports_(reports),
+      pool_(pool),
+      options_(std::move(options)),
+      kernel_(part_r, part_t),
+      store_(workload->num_output_dims()),
+      emission_(workload, rc, &store_, pending) {
+  // Kick off background construction of the join-kernel hash indexes the
+  // regions will need, overlapping the caller's coarse prune / plan build /
+  // scheduler setup (probe counters are charged at first use, so the
+  // prefetch is invisible to EngineStats and the virtual clock).
+  kernel_.PrefetchIndexes(*rc_, pool_);
+  accepted_events_.resize(workload_->num_queries());
+  evicted_events_.resize(workload_->num_queries());
+  discard_tests_.resize(rc_->regions.size(), 0);
+  discard_hits_.resize(rc_->regions.size(), 0);
+}
+
+void RegionPipeline::Record(ExecEvent::Kind kind, int region, int query,
+                            int64_t count) {
+  if (options_.trace == nullptr) return;
+  options_.trace->push_back(
+      ExecEvent{kind, clock_->Now(), region, query, count});
+}
+
+void RegionPipeline::EnsureQueryCapacity() {
+  const size_t n = static_cast<size_t>(workload_->num_queries());
+  if (accepted_events_.size() < n) {
+    accepted_events_.resize(n);
+    evicted_events_.resize(n);
+  }
+}
+
+Status RegionPipeline::BuildPlanGroups() {
+  for (int s = 0; s < static_cast<int>(rc_->predicate_slots.size()); ++s) {
+    if (rc_->queries_of_slot[s].empty()) continue;
+    // Partition the slot's queries by identical selections.
+    std::map<std::string, std::vector<int>> by_selection;
+    rc_->queries_of_slot[s].ForEach([&](int q) {
+      by_selection[PlanGroupSelectionKey(workload_->query(q))].push_back(q);
+    });
+    for (auto& [key, members] : by_selection) {
+      (void)key;
+      CAQE_RETURN_NOT_OK(AddPlanGroup(s, std::move(members)));
+    }
+  }
+  return Status::OK();
+}
+
+Status RegionPipeline::AddPlanGroup(int slot, std::vector<int> queries) {
+  // Groups live behind unique_ptr so the evaluator's pointer into the
+  // group's cuboid stays valid.
+  auto group = std::make_unique<PlanGroup>();
+  group->slot = slot;
+  group->queries = std::move(queries);
+  for (int q : group->queries) group->query_set.Add(q);
+  group->selections = workload_->query(group->queries.front()).selections;
+  std::vector<Subspace> prefs;
+  for (int q : group->queries) {
+    prefs.push_back(Subspace::FromDims(workload_->query(q).preference));
+  }
+  Result<MinMaxCuboid> cuboid = MinMaxCuboid::Build(prefs);
+  CAQE_RETURN_NOT_OK(cuboid.status());
+  group->cuboid = std::move(cuboid).value();
+  group->evaluator = std::make_unique<SharedSkylineEvaluator>(
+      workload_->num_output_dims(), &group->cuboid, options_.dva_mode);
+  groups_.push_back(std::move(group));
+  return Status::OK();
+}
+
+void RegionPipeline::RemoveQueryFromGroups(int q) {
+  for (auto& group : groups_) {
+    if (!group->query_set.Contains(q)) continue;
+    group->query_set.Remove(q);
+    if (group->query_set.empty()) {
+      // Dormant group: no member can ever receive events again (serving
+      // grafts always form new groups), so free the evaluator state.
+      group->evaluator.reset();
+    } else if (group->evaluator != nullptr) {
+      QuerySet active_locals;
+      for (size_t local = 0; local < group->queries.size(); ++local) {
+        if (group->query_set.Contains(group->queries[local])) {
+          active_locals.Add(static_cast<int>(local));
+        }
+      }
+      group->evaluator->ReleaseQueries(active_locals);
+    }
+    return;
+  }
+}
+
+void RegionPipeline::EmitResult(int q, int64_t id) {
+  const int global_q = global_query_ids_[q];
+  const double now = clock_->Now();
+  const double utility = tracker_->OnResult(global_q, now);
+  clock_->ChargeEmits(1);
+  ++stats_->emitted_results;
+  if (options_.on_result) options_.on_result(global_q, now, utility);
+  if (options_.on_emit) options_.on_emit(global_q, id, now, utility);
+  if (options_.capture_results) {
+    ReportedResult result;
+    result.tuple_id = id;
+    result.time = now;
+    result.utility = utility;
+    result.values.assign(store_.row(id), store_.row(id) + store_.width());
+    (*reports_)[global_q].tuples.push_back(std::move(result));
+  }
+}
+
+void RegionPipeline::ProcessRegion(int rid) {
+  CAQE_DCHECK((*pending_)[rid]);
+  EnsureQueryCapacity();
+  clock_->ChargeScheduleSteps(1);
+  Record(ExecEvent::Kind::kRegionScheduled, rid, -1, 0);
+  OutputRegion& region = rc_->regions[rid];
+  EngineStats& stats = *stats_;
+  const Workload& workload = *workload_;
+
+  // ---- Tuple-level join over the slots still serving queries. ----
+  uint32_t slots_mask = 0;
+  for (int s = 0; s < static_cast<int>(rc_->predicate_slots.size()); ++s) {
+    if (region.join_sizes[s] > 0 &&
+        region.rql.Intersects(rc_->queries_of_slot[s])) {
+      slots_mask |= uint32_t{1} << s;
+    }
+  }
+  matches_.clear();
+  {
+    PhaseTimer timer(&stats.wall_join_seconds);
+    const int64_t probes_before = stats.join_probes;
+    const int64_t results_before = stats.join_results;
+    kernel_.Join(*rc_, region, slots_mask, matches_, stats, pool_);
+    clock_->ChargeJoinProbes(stats.join_probes - probes_before);
+    clock_->ChargeJoinResults(stats.join_results - results_before);
+  }
+
+  // ---- Project and evaluate over the shared cuboid plans. ----
+  for (auto& events : accepted_events_) events.clear();
+  for (auto& events : evicted_events_) events.clear();
+  const int64_t cmps_before = stats.dominance_cmps;
+  const int64_t num_matches = static_cast<int64_t>(matches_.size());
+  const int64_t base_id = store_.size();
+  {
+    PhaseTimer timer(&stats.wall_eval_seconds);
+    // Materialize every match into the store first (ids are sequential in
+    // match order, exactly as the serial append-per-match produced them);
+    // rows are disjoint, so chunks project concurrently.
+    store_.Reserve(store_.size() + num_matches);
+    store_.AppendUninitialized(num_matches);
+    const int project_chunks = NumChunks(pool_, num_matches,
+                                         /*min_chunk=*/512);
+    RunChunks(pool_, project_chunks, [&](int c) {
+      const auto [begin, end] = ChunkRange(num_matches, project_chunks, c);
+      std::vector<double> values;
+      for (int64_t i = begin; i < end; ++i) {
+        const JoinMatch& match = matches_[i];
+        workload.Project(part_r_->table(), match.row_r, part_t_->table(),
+                         match.row_t, values);
+        std::copy(values.begin(), values.end(),
+                  store_.mutable_row(base_id + i));
+      }
+    });
+
+    // Plan groups own disjoint evaluators and disjoint query sets, so
+    // they consume the match stream concurrently. Each group sees the
+    // matches in stream order, which makes every per-query event
+    // sequence — and each group's comparison count — identical to the
+    // serial interleaving.
+    std::vector<PlanGroup*> active;
+    for (const auto& group : groups_) {
+      if (group->evaluator == nullptr) continue;
+      if (((slots_mask >> group->slot) & 1) == 0) continue;
+      if (!region.rql.Intersects(group->query_set)) continue;
+      active.push_back(group.get());
+    }
+    std::vector<int64_t> group_cmps(active.size(), 0);
+    RunChunks(active.size() > 1 ? pool_ : nullptr,
+              static_cast<int>(active.size()), [&](int gi) {
+      PlanGroup* group = active[gi];
+      int64_t cmps = 0;
+      for (int64_t i = 0; i < num_matches; ++i) {
+        const JoinMatch& match = matches_[i];
+        if (((match.slot_mask >> group->slot) & 1) == 0) continue;
+        // The group's common selections must hold for this join pair.
+        bool passes = true;
+        for (const SelectionRange& sel : group->selections) {
+          const double v =
+              sel.on_r ? part_r_->table().attr(match.row_r, sel.attr)
+                       : part_t_->table().attr(match.row_t, sel.attr);
+          if (v < sel.lo || v > sel.hi) {
+            passes = false;
+            break;
+          }
+        }
+        if (!passes) continue;
+        const int64_t id = base_id + i;
+        const SharedInsertOutcome outcome =
+            group->evaluator->Insert(store_.row(id), id, &cmps);
+        outcome.accepted.ForEach([&](int local) {
+          const int q = group->queries[local];
+          // Retired members keep their cuboid node alive until the whole
+          // group retires; drop their events (no-op in the batch path).
+          if (!group->query_set.Contains(q)) return;
+          accepted_events_[q].push_back(id);
+        });
+        for (const auto& [local, ids] : outcome.evictions) {
+          const int q = group->queries[local];
+          if (!group->query_set.Contains(q)) continue;
+          std::vector<int64_t>& sink = evicted_events_[q];
+          sink.insert(sink.end(), ids.begin(), ids.end());
+        }
+      }
+      group_cmps[gi] = cmps;
+    });
+    for (int64_t cmps : group_cmps) stats.dominance_cmps += cmps;
+  }
+  clock_->ChargeDominanceCmps(stats.dominance_cmps - cmps_before);
+
+  // ---- Region complete. ----
+  (*pending_)[rid] = 0;
+  --(*pending_count_);
+  ++stats.regions_processed;
+  if (scheduler_ != nullptr) scheduler_->OnRegionRemoved(rid);
+
+  // Apply this region's evictions to the emission manager *before* any
+  // discard/resolution scan: a parked candidate dominated by one of this
+  // region's tuples must be deregistered before resolutions can unpark
+  // (and wrongly emit) it.
+  std::vector<std::unordered_set<int64_t>> dead(workload.num_queries());
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    for (int64_t id : evicted_events_[q]) {
+      emission_.OnEvicted(q, id);
+      dead[q].insert(id);
+    }
+  }
+
+  std::vector<std::pair<int, int64_t>> resolved_emits;
+  // ---- Dominated-region discarding (Section 6, tuple level). ----
+  // Every accepted tuple is a real join result; even if later evicted,
+  // what it dominates stays dominated (its evictor dominates more).
+  //
+  // Per query, a read-only dominance scan over the surviving regions runs
+  // chunked on the pool; lineage pruning then applies serially in region
+  // order. In the serial original, the only state a query's scan mutates
+  // is the region being pruned — and its test count stops at the pruning
+  // hit — so the split charges the exact same discard_ops and fires the
+  // same events in the same order.
+  int64_t discard_ops = 0;
+  {
+    PhaseTimer timer(&stats.wall_discard_seconds);
+    const int64_t num_regions = static_cast<int64_t>(rc_->regions.size());
+    if (discard_tests_.size() < static_cast<size_t>(num_regions)) {
+      discard_tests_.resize(num_regions, 0);
+      discard_hits_.resize(num_regions, 0);
+    }
+    for (int q = 0;
+         options_.tuple_discard && q < workload.num_queries(); ++q) {
+      if (accepted_events_[q].empty()) continue;
+      const std::vector<int>& dims = workload.query(q).preference;
+      // Gather this query's accepted tuples once, in event order; every
+      // region then scans the same contiguous block with the batch
+      // kernel, which stops (and counts) exactly where the serial
+      // per-tuple loop broke.
+      const int64_t accepted_n =
+          static_cast<int64_t>(accepted_events_[q].size());
+      accepted_view_.Reset(dims);
+      accepted_view_.Reserve(accepted_n);
+      for (int64_t id : accepted_events_[q]) {
+        accepted_view_.PushPoint(store_.row(id));
+      }
+      // Below this much total work (region × tuple tests) the fork/join
+      // overhead exceeds the scan itself; stay on the calling thread.
+      // Counts and hits are identical either way.
+      constexpr int64_t kParallelMinWork = 8192;
+      ThreadPool* const scan_pool =
+          num_regions * accepted_n >= kParallelMinWork ? pool_ : nullptr;
+      // Phase 1 (parallel, read-only): per region, count dominance tests
+      // up to and including the first dominating tuple, if any.
+      ParallelFor(scan_pool, num_regions, /*min_chunk=*/16, [&](int64_t i) {
+        const OutputRegion& other = rc_->regions[i];
+        discard_tests_[i] = 0;
+        discard_hits_[i] = 0;
+        if (!(*pending_)[other.id] || !other.rql.Contains(q)) return;
+        bool hit = false;
+        discard_tests_[i] =
+            ScanPointsFullyDominatingRegion(accepted_view_, other, &hit);
+        discard_hits_[i] = hit ? 1 : 0;
+      });
+      // Phase 2 (serial, region order): apply prunes and resolutions.
+      for (int64_t i = 0; i < num_regions; ++i) {
+        discard_ops += discard_tests_[i];
+        if (!discard_hits_[i]) continue;
+        OutputRegion& other = rc_->regions[i];
+        other.rql.Remove(q);
+        Record(ExecEvent::Kind::kQueryPruned, other.id, q, 0);
+        emission_.OnRegionResolvedForQuery(other.id, q, resolved_emits);
+        if (other.rql.empty()) {
+          (*pending_)[other.id] = 0;
+          --(*pending_count_);
+          ++stats.regions_discarded;
+          Record(ExecEvent::Kind::kRegionDiscarded, other.id, -1, 0);
+          if (scheduler_ != nullptr) scheduler_->OnRegionRemoved(other.id);
+          emission_.OnRegionResolved(other.id, resolved_emits);
+        }
+      }
+    }
+  }
+  stats.coarse_ops += discard_ops;
+  clock_->ChargeCoarseOps(discard_ops);
+
+  // ---- Progressive emission. ----
+  const int64_t emission_ops_before = emission_.coarse_ops();
+  emission_.OnRegionResolved(rid, resolved_emits);
+  std::vector<int64_t> direct_emits;
+  std::vector<int64_t> emitted_per_query(workload.num_queries(), 0);
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    direct_emits.clear();
+    for (int64_t id : accepted_events_[q]) {
+      if (dead[q].contains(id)) continue;
+      emission_.OnAccepted(q, id, direct_emits);
+    }
+    for (int64_t id : direct_emits) EmitResult(q, id);
+    emitted_per_query[q] += static_cast<int64_t>(direct_emits.size());
+  }
+  for (const auto& [q, id] : resolved_emits) {
+    EmitResult(q, id);
+    ++emitted_per_query[q];
+  }
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    if (emitted_per_query[q] > 0) {
+      Record(ExecEvent::Kind::kResultsEmitted, rid, q, emitted_per_query[q]);
+    }
+  }
+  const int64_t emission_ops = emission_.coarse_ops() - emission_ops_before;
+  stats.coarse_ops += emission_ops;
+  clock_->ChargeCoarseOps(emission_ops);
+}
+
+Status RegionPipeline::FinalDrain() {
+  // With every region resolved, nothing can remain parked.
+  std::vector<std::pair<int, int64_t>> leftovers;
+  emission_.DrainAll(leftovers);
+  CAQE_DCHECK(leftovers.empty());
+  for (const auto& [q, id] : leftovers) EmitResult(q, id);
+  return Status::OK();
+}
+
+}  // namespace caqe

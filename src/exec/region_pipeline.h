@@ -1,0 +1,182 @@
+// The per-region tuple-level pipeline (paper Sections 4-6) factored out of
+// the batch execution loop so both RunSharedCore and the online serving
+// layer (src/serve/) can drive it.
+//
+// A RegionPipeline owns everything a region's tuple-level processing needs
+// — join kernel, tuple store, plan groups (min-max cuboids + shared skyline
+// evaluators), and the safe-emission manager — while the caller owns the
+// scheduling state (pending flags, scheduler, the loop itself). Calling
+// ProcessRegion(rid) performs exactly the batch loop body: join, project,
+// shared skyline evaluation, dominated-region discarding, and progressive
+// emission, charging the identical operation counts to the virtual clock.
+//
+// The serving layer additionally mutates the pipeline between regions:
+// AddPlanGroup splices a grafted query batch in, RemoveQueryFromGroups
+// retires one, and the per-event query_set membership filter makes both
+// invisible to the batch path (where memberships never change).
+#ifndef CAQE_EXEC_REGION_PIPELINE_H_
+#define CAQE_EXEC_REGION_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/virtual_clock.h"
+#include "contracts/tracker.h"
+#include "cuboid/min_max_cuboid.h"
+#include "cuboid/shared_skyline.h"
+#include "exec/emission.h"
+#include "exec/join_kernel.h"
+#include "exec/options.h"
+#include "metrics/report.h"
+#include "optimizer/scheduler.h"
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "region/region_builder.h"
+#include "skyline/dominance_batch.h"
+#include "skyline/point_set.h"
+
+namespace caqe {
+
+/// Queries sharing one join predicate *and* the same selections share a
+/// min-max cuboid plan: they see the same join-tuple stream, so their
+/// subspace skylines can be evaluated together (Section 4.1 restricts
+/// sharing to queries identical up to their skyline dimensions).
+struct PlanGroup {
+  int slot = 0;
+  /// Workload-local query indices, in group order (= cuboid query order).
+  /// Stable for the group's lifetime — local indices into the cuboid.
+  std::vector<int> queries;
+  /// The *current* members as a set; retirement removes queries here while
+  /// `queries` keeps the local-index mapping intact.
+  QuerySet query_set;
+  /// The group's common selections (shared by every member).
+  std::vector<SelectionRange> selections;
+  MinMaxCuboid cuboid;
+  std::unique_ptr<SharedSkylineEvaluator> evaluator;
+};
+
+/// Canonical grouping key for a query's selections (order-insensitive).
+std::string PlanGroupSelectionKey(const SjQuery& query);
+
+/// Knobs of the per-region pipeline (reduced from CoreOptions).
+struct PipelineOptions {
+  /// Tuple-level dominated-region discarding (Section 6).
+  bool tuple_discard = true;
+  /// Theorem-1 feeder gating in the shared skyline evaluators.
+  bool dva_mode = true;
+  /// Capture per-result values into the reports vector.
+  bool capture_results = false;
+  /// Optional event sink (see ExecOptions::trace).
+  std::vector<ExecEvent>* trace = nullptr;
+  /// Optional streaming consumer, called with global query ids.
+  std::function<void(int query, double time, double utility)> on_result;
+  /// Serving-layer emission hook: (global query, tuple id, virtual time,
+  /// utility) for every emitted result, fired after on_result. The tuple id
+  /// indexes store().
+  std::function<void(int query, int64_t id, double time, double utility)>
+      on_emit;
+};
+
+/// Tuple-level processing of one region collection. See file comment.
+class RegionPipeline {
+ public:
+  /// All pointers must outlive the pipeline. `pending`/`pending_count` are
+  /// caller-owned scheduling state mutated by ProcessRegion (the processed
+  /// region completes; discard scans may resolve others). Construction
+  /// starts the join-kernel index prefetch; the emission manager's witness
+  /// scan lists are built from the current lineages (safe to build before a
+  /// coarse prune — resolved entries are skipped by the pending/lineage
+  /// checks without charging, so operation counts are unchanged).
+  RegionPipeline(const PartitionedTable* part_r,
+                 const PartitionedTable* part_t, const Workload* workload,
+                 RegionCollection* rc, std::vector<char>* pending,
+                 int64_t* pending_count, SatisfactionTracker* tracker,
+                 VirtualClock* clock, EngineStats* stats,
+                 std::vector<QueryReport>* reports, ThreadPool* pool,
+                 PipelineOptions options);
+
+  /// Maps workload query index -> tracker/report index. Identity for the
+  /// shared engines and the server; a singleton for per-query baselines.
+  void SetGlobalQueryIds(std::vector<int> ids) {
+    global_query_ids_ = std::move(ids);
+  }
+
+  /// The scheduler notified of region removals (processed or discarded by
+  /// the scans ProcessRegion runs). May be null (static-scan policy).
+  void set_scheduler(ContractDrivenScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+
+  /// Batch setup: builds one plan group per (predicate slot, selection key)
+  /// over the workload's current queries (Section 4.1 sharing).
+  Status BuildPlanGroups();
+
+  /// Serving graft: builds one plan group for `queries` (identical
+  /// selections, same predicate slot). The group's evaluator starts empty —
+  /// sound because every member sees exactly the join tuples of regions
+  /// processed from now on.
+  Status AddPlanGroup(int slot, std::vector<int> queries);
+
+  /// Serving retirement: removes query `q` from its plan group. A group
+  /// left without members drops its evaluator; otherwise the evaluator
+  /// releases the subspace skylines only `q` needed (see
+  /// SharedSkylineEvaluator::ReleaseQueries).
+  void RemoveQueryFromGroups(int q);
+
+  /// Processes region `rid` tuple-level: the exact batch loop body (charge
+  /// schedule step, join, project, evaluate, discard scan, emission).
+  /// Requires (*pending)[rid] on entry.
+  void ProcessRegion(int rid);
+
+  /// Final drain: asserts nothing is parked (holds whenever every region
+  /// was resolved) and emits leftovers defensively.
+  Status FinalDrain();
+
+  EmissionManager& emission() { return emission_; }
+  CellJoinKernel& kernel() { return kernel_; }
+  const PointSet& store() const { return store_; }
+
+ private:
+  void EmitResult(int q, int64_t id);
+  void Record(ExecEvent::Kind kind, int region, int query, int64_t count);
+  /// Grows per-query scratch to the workload's current size (no-op in the
+  /// batch path where the workload never grows).
+  void EnsureQueryCapacity();
+
+  const PartitionedTable* part_r_;
+  const PartitionedTable* part_t_;
+  const Workload* workload_;
+  RegionCollection* rc_;
+  std::vector<char>* pending_;
+  int64_t* pending_count_;
+  SatisfactionTracker* tracker_;
+  VirtualClock* clock_;
+  EngineStats* stats_;
+  std::vector<QueryReport>* reports_;
+  ThreadPool* pool_;
+  PipelineOptions options_;
+  ContractDrivenScheduler* scheduler_ = nullptr;
+
+  std::vector<int> global_query_ids_;
+  CellJoinKernel kernel_;
+  PointSet store_;
+  EmissionManager emission_;
+  std::vector<std::unique_ptr<PlanGroup>> groups_;
+
+  // Per-region scratch, reused across calls.
+  std::vector<JoinMatch> matches_;
+  std::vector<std::vector<int64_t>> accepted_events_;
+  std::vector<std::vector<int64_t>> evicted_events_;
+  std::vector<int64_t> discard_tests_;
+  std::vector<char> discard_hits_;
+  SubspaceView accepted_view_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_EXEC_REGION_PIPELINE_H_

@@ -1,80 +1,18 @@
 #include "exec/shared_core.h"
 
-#include <algorithm>
-#include <chrono>
-#include <map>
 #include <memory>
-#include <string>
-#include <tuple>
 #include <optional>
-#include <unordered_set>
+#include <vector>
 
 #include "common/thread_pool.h"
-#include "cuboid/min_max_cuboid.h"
-#include "cuboid/shared_skyline.h"
-#include "exec/emission.h"
-#include "exec/join_kernel.h"
+#include "exec/phase_timer.h"
+#include "exec/region_pipeline.h"
 #include "optimizer/scheduler.h"
 #include "region/dependency_graph.h"
 #include "region/region_builder.h"
-#include "region/region_dominance.h"
 #include "skyline/cardinality.h"
-#include "skyline/point_set.h"
 
 namespace caqe {
-namespace {
-
-/// Queries sharing one join predicate *and* the same selections share a
-/// min-max cuboid plan: they see the same join-tuple stream, so their
-/// subspace skylines can be evaluated together (Section 4.1 restricts
-/// sharing to queries identical up to their skyline dimensions).
-struct PlanGroup {
-  int slot = 0;
-  /// Workload-local query indices, in group order (= cuboid query order).
-  std::vector<int> queries;
-  /// Same members as `queries`, as a set (fast lineage intersection).
-  QuerySet query_set;
-  /// The group's common selections (shared by every member).
-  std::vector<SelectionRange> selections;
-  MinMaxCuboid cuboid;
-  std::unique_ptr<SharedSkylineEvaluator> evaluator;
-};
-
-// Canonical grouping key for a query's selections.
-std::string SelectionKey(const SjQuery& query) {
-  std::vector<SelectionRange> sorted = query.selections;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const SelectionRange& a, const SelectionRange& b) {
-              return std::tie(a.on_r, a.attr, a.lo, a.hi) <
-                     std::tie(b.on_r, b.attr, b.lo, b.hi);
-            });
-  std::string key;
-  for (const SelectionRange& sel : sorted) {
-    key += (sel.on_r ? "r" : "t") + std::to_string(sel.attr) + ":" +
-           std::to_string(sel.lo) + ".." + std::to_string(sel.hi) + ";";
-  }
-  return key;
-}
-
-/// Wall-clock accumulator for the per-phase EngineStats breakdown. The
-/// measured phases are exactly the parallel ones, so the benchmark can
-/// attribute speedup; every deterministic quantity is untouched by timing.
-class PhaseTimer {
- public:
-  explicit PhaseTimer(double* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
-    *sink_ += std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start_)
-                  .count();
-  }
-
- private:
-  double* sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
 
 Status RunSharedCore(const PartitionedTable& part_r,
                      const PartitionedTable& part_t, const Workload& workload,
@@ -89,9 +27,9 @@ Status RunSharedCore(const PartitionedTable& part_r,
   // Worker pool for the parallel phases. The calling thread always
   // participates in chunked work, so `num_threads` total threads means
   // `num_threads - 1` pool workers; 1 keeps today's fully serial path.
-  // Declared before the join kernel: the kernel's destructor waits for any
-  // in-flight prefetch task before the pool (declared earlier, destroyed
-  // later) joins its workers.
+  // Declared before the pipeline: the pipeline's join kernel waits for any
+  // in-flight prefetch task in its destructor before the pool (declared
+  // earlier, destroyed later) joins its workers.
   const int num_threads = ResolveNumThreads(core_options.num_threads);
   std::unique_ptr<ThreadPool> pool_owner;
   if (num_threads > 1) {
@@ -110,12 +48,25 @@ Status RunSharedCore(const PartitionedTable& part_r,
   stats.coarse_ops += rc.coarse_ops;
   clock.ChargeCoarseOps(rc.coarse_ops);
 
-  // Kick off background construction of the join-kernel hash indexes the
-  // regions will need, overlapping the coarse prune / plan build /
-  // scheduler setup below (probe counters are charged at first use, so the
-  // prefetch is invisible to EngineStats and the virtual clock).
-  CellJoinKernel kernel(&part_r, &part_t);
-  kernel.PrefetchIndexes(rc, pool);
+  // Scheduling state the pipeline mutates (region completion + discards).
+  std::vector<char> pending(rc.regions.size(), 0);
+  int64_t pending_count = 0;
+
+  // The pipeline starts the join-kernel index prefetch in its constructor,
+  // overlapping the coarse prune / plan build / scheduler setup below. Its
+  // emission manager is built from the pre-prune lineages, which charges
+  // the identical operation counts (the witness scan skips non-pending
+  // regions and non-serving lineage entries before charging anything).
+  PipelineOptions pipe_options;
+  pipe_options.tuple_discard = core_options.tuple_discard;
+  pipe_options.dva_mode = core_options.dva_mode;
+  pipe_options.capture_results = core_options.capture_results;
+  pipe_options.trace = core_options.trace;
+  pipe_options.on_result = core_options.on_result;
+  RegionPipeline pipeline(&part_r, &part_t, &workload, &rc, &pending,
+                          &pending_count, &tracker, &clock, &stats, &reports,
+                          pool, std::move(pipe_options));
+  pipeline.SetGlobalQueryIds(global_query_ids);
 
   // ---- Coarse skyline prune (MQLA). ----
   if (core_options.coarse_prune) {
@@ -126,35 +77,7 @@ Status RunSharedCore(const PartitionedTable& part_r,
   }
 
   // ---- Per-(predicate, selections) min-max cuboid plans. ----
-  // Groups live behind unique_ptr so the evaluator's pointer into the
-  // group's cuboid stays valid.
-  std::vector<std::unique_ptr<PlanGroup>> groups;
-  for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
-    if (rc.queries_of_slot[s].empty()) continue;
-    // Partition the slot's queries by identical selections.
-    std::map<std::string, std::vector<int>> by_selection;
-    rc.queries_of_slot[s].ForEach([&](int q) {
-      by_selection[SelectionKey(workload.query(q))].push_back(q);
-    });
-    for (auto& [key, members] : by_selection) {
-      (void)key;
-      auto group = std::make_unique<PlanGroup>();
-      group->slot = s;
-      group->queries = std::move(members);
-      for (int q : group->queries) group->query_set.Add(q);
-      group->selections = workload.query(group->queries.front()).selections;
-      std::vector<Subspace> prefs;
-      for (int q : group->queries) {
-        prefs.push_back(Subspace::FromDims(workload.query(q).preference));
-      }
-      Result<MinMaxCuboid> cuboid = MinMaxCuboid::Build(prefs);
-      CAQE_RETURN_NOT_OK(cuboid.status());
-      group->cuboid = std::move(cuboid).value();
-      group->evaluator = std::make_unique<SharedSkylineEvaluator>(
-          workload.num_output_dims(), &group->cuboid, core_options.dva_mode);
-      groups.push_back(std::move(group));
-    }
-  }
+  CAQE_RETURN_NOT_OK(pipeline.BuildPlanGroups());
 
   // ---- Result-cardinality estimates for cardinality contracts. ----
   for (int q = 0; q < workload.num_queries(); ++q) {
@@ -173,8 +96,6 @@ Status RunSharedCore(const PartitionedTable& part_r,
   }
 
   // ---- Scheduling state. ----
-  std::vector<char> pending(rc.regions.size(), 0);
-  int64_t pending_count = 0;
   for (const OutputRegion& region : rc.regions) {
     if (!region.rql.empty()) {
       pending[region.id] = 1;
@@ -190,47 +111,9 @@ Status RunSharedCore(const PartitionedTable& part_r,
   if (core_options.policy != SchedulePolicy::kStaticScan) {
     scheduler.emplace(&rc, &workload, &tracker, &clock.cost_model(),
                       sched_options);
+    pipeline.set_scheduler(&scheduler.value());
   }
   int static_cursor = 0;
-
-  PointSet store(workload.num_output_dims());
-  EmissionManager emission(&workload, &rc, &store, &pending);
-
-  std::vector<JoinMatch> matches;
-  // Per-query accepted/evicted events of the current region.
-  std::vector<std::vector<int64_t>> accepted_events(workload.num_queries());
-  std::vector<std::vector<int64_t>> evicted_events(workload.num_queries());
-  // Per-region scratch of the two-phase dominated-region discard scan, plus
-  // the column-gathered accepted tuples of the query being scanned (batch
-  // kernel input, rebuilt per query in event order).
-  std::vector<int64_t> discard_tests(rc.regions.size(), 0);
-  std::vector<char> discard_hits(rc.regions.size(), 0);
-  SubspaceView accepted_view;
-
-  auto record = [&](ExecEvent::Kind kind, int region, int query,
-                    int64_t count) {
-    if (core_options.trace == nullptr) return;
-    core_options.trace->push_back(
-        ExecEvent{kind, clock.Now(), region, query, count});
-  };
-
-  auto emit_result = [&](int q, int64_t id) {
-    const int global_q = global_query_ids[q];
-    const double now = clock.Now();
-    const double utility = tracker.OnResult(global_q, now);
-    clock.ChargeEmits(1);
-    ++stats.emitted_results;
-    if (core_options.on_result) core_options.on_result(global_q, now, utility);
-    if (core_options.capture_results) {
-      ReportedResult result;
-      result.tuple_id = id;
-      result.time = now;
-      result.utility = utility;
-      result.values.assign(store.row(id),
-                           store.row(id) + store.width());
-      reports[global_q].tuples.push_back(std::move(result));
-    }
-  };
 
   while (pending_count > 0) {
     // ---- Pick the next region. ----
@@ -248,231 +131,16 @@ Status RunSharedCore(const PartitionedTable& part_r,
       CAQE_CHECK(static_cursor < static_cast<int>(pending.size()));
       rid = static_cursor;
     }
-    clock.ChargeScheduleSteps(1);
-    record(ExecEvent::Kind::kRegionScheduled, rid, -1, 0);
-    OutputRegion& region = rc.regions[rid];
 
-    // ---- Tuple-level join over the slots still serving queries. ----
-    uint32_t slots_mask = 0;
-    for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
-      if (region.join_sizes[s] > 0 &&
-          region.rql.Intersects(rc.queries_of_slot[s])) {
-        slots_mask |= uint32_t{1} << s;
-      }
-    }
-    matches.clear();
-    {
-      PhaseTimer timer(&stats.wall_join_seconds);
-      const int64_t probes_before = stats.join_probes;
-      const int64_t results_before = stats.join_results;
-      kernel.Join(rc, region, slots_mask, matches, stats, pool);
-      clock.ChargeJoinProbes(stats.join_probes - probes_before);
-      clock.ChargeJoinResults(stats.join_results - results_before);
-    }
-
-    // ---- Project and evaluate over the shared cuboid plans. ----
-    for (auto& events : accepted_events) events.clear();
-    for (auto& events : evicted_events) events.clear();
-    const int64_t cmps_before = stats.dominance_cmps;
-    const int64_t num_matches = static_cast<int64_t>(matches.size());
-    {
-      PhaseTimer timer(&stats.wall_eval_seconds);
-      // Materialize every match into the store first (ids are sequential in
-      // match order, exactly as the serial append-per-match produced them);
-      // rows are disjoint, so chunks project concurrently.
-      store.Reserve(store.size() + num_matches);
-      const int64_t base_id = store.AppendUninitialized(num_matches);
-      const int project_chunks = NumChunks(pool, num_matches,
-                                           /*min_chunk=*/512);
-      RunChunks(pool, project_chunks, [&](int c) {
-        const auto [begin, end] = ChunkRange(num_matches, project_chunks, c);
-        std::vector<double> values;
-        for (int64_t i = begin; i < end; ++i) {
-          const JoinMatch& match = matches[i];
-          workload.Project(part_r.table(), match.row_r, part_t.table(),
-                           match.row_t, values);
-          std::copy(values.begin(), values.end(),
-                    store.mutable_row(base_id + i));
-        }
-      });
-
-      // Plan groups own disjoint evaluators and disjoint query sets, so
-      // they consume the match stream concurrently. Each group sees the
-      // matches in stream order, which makes every per-query event
-      // sequence — and each group's comparison count — identical to the
-      // serial interleaving.
-      std::vector<PlanGroup*> active;
-      for (const auto& group : groups) {
-        if (((slots_mask >> group->slot) & 1) == 0) continue;
-        if (!region.rql.Intersects(group->query_set)) continue;
-        active.push_back(group.get());
-      }
-      std::vector<int64_t> group_cmps(active.size(), 0);
-      RunChunks(active.size() > 1 ? pool : nullptr,
-                static_cast<int>(active.size()), [&](int gi) {
-        PlanGroup* group = active[gi];
-        int64_t cmps = 0;
-        for (int64_t i = 0; i < num_matches; ++i) {
-          const JoinMatch& match = matches[i];
-          if (((match.slot_mask >> group->slot) & 1) == 0) continue;
-          // The group's common selections must hold for this join pair.
-          bool passes = true;
-          for (const SelectionRange& sel : group->selections) {
-            const double v =
-                sel.on_r ? part_r.table().attr(match.row_r, sel.attr)
-                         : part_t.table().attr(match.row_t, sel.attr);
-            if (v < sel.lo || v > sel.hi) {
-              passes = false;
-              break;
-            }
-          }
-          if (!passes) continue;
-          const int64_t id = base_id + i;
-          const SharedInsertOutcome outcome =
-              group->evaluator->Insert(store.row(id), id, &cmps);
-          outcome.accepted.ForEach([&](int local) {
-            accepted_events[group->queries[local]].push_back(id);
-          });
-          for (const auto& [local, ids] : outcome.evictions) {
-            std::vector<int64_t>& sink =
-                evicted_events[group->queries[local]];
-            sink.insert(sink.end(), ids.begin(), ids.end());
-          }
-        }
-        group_cmps[gi] = cmps;
-      });
-      for (int64_t cmps : group_cmps) stats.dominance_cmps += cmps;
-    }
-    clock.ChargeDominanceCmps(stats.dominance_cmps - cmps_before);
-
-    // ---- Region complete. ----
-    pending[rid] = 0;
-    --pending_count;
-    ++stats.regions_processed;
-    if (scheduler.has_value()) scheduler->OnRegionRemoved(rid);
-
-    // Apply this region's evictions to the emission manager *before* any
-    // discard/resolution scan: a parked candidate dominated by one of this
-    // region's tuples must be deregistered before resolutions can unpark
-    // (and wrongly emit) it.
-    std::vector<std::unordered_set<int64_t>> dead(workload.num_queries());
-    for (int q = 0; q < workload.num_queries(); ++q) {
-      for (int64_t id : evicted_events[q]) {
-        emission.OnEvicted(q, id);
-        dead[q].insert(id);
-      }
-    }
-
-    std::vector<std::pair<int, int64_t>> resolved_emits;
-    // ---- Dominated-region discarding (Section 6, tuple level). ----
-    // Every accepted tuple is a real join result; even if later evicted,
-    // what it dominates stays dominated (its evictor dominates more).
-    //
-    // Per query, a read-only dominance scan over the surviving regions runs
-    // chunked on the pool; lineage pruning then applies serially in region
-    // order. In the serial original, the only state a query's scan mutates
-    // is the region being pruned — and its test count stops at the pruning
-    // hit — so the split charges the exact same discard_ops and fires the
-    // same events in the same order.
-    int64_t discard_ops = 0;
-    {
-      PhaseTimer timer(&stats.wall_discard_seconds);
-      const int64_t num_regions = static_cast<int64_t>(rc.regions.size());
-      for (int q = 0;
-           core_options.tuple_discard && q < workload.num_queries(); ++q) {
-        if (accepted_events[q].empty()) continue;
-        const std::vector<int>& dims = workload.query(q).preference;
-        // Gather this query's accepted tuples once, in event order; every
-        // region then scans the same contiguous block with the batch
-        // kernel, which stops (and counts) exactly where the serial
-        // per-tuple loop broke.
-        const int64_t accepted_n =
-            static_cast<int64_t>(accepted_events[q].size());
-        accepted_view.Reset(dims);
-        accepted_view.Reserve(accepted_n);
-        for (int64_t id : accepted_events[q]) {
-          accepted_view.PushPoint(store.row(id));
-        }
-        // Below this much total work (region × tuple tests) the fork/join
-        // overhead exceeds the scan itself; stay on the calling thread.
-        // Counts and hits are identical either way.
-        constexpr int64_t kParallelMinWork = 8192;
-        ThreadPool* const scan_pool =
-            num_regions * accepted_n >= kParallelMinWork ? pool : nullptr;
-        // Phase 1 (parallel, read-only): per region, count dominance tests
-        // up to and including the first dominating tuple, if any.
-        ParallelFor(scan_pool, num_regions, /*min_chunk=*/16, [&](int64_t i) {
-          const OutputRegion& other = rc.regions[i];
-          discard_tests[i] = 0;
-          discard_hits[i] = 0;
-          if (!pending[other.id] || !other.rql.Contains(q)) return;
-          bool hit = false;
-          discard_tests[i] =
-              ScanPointsFullyDominatingRegion(accepted_view, other, &hit);
-          discard_hits[i] = hit ? 1 : 0;
-        });
-        // Phase 2 (serial, region order): apply prunes and resolutions.
-        for (int64_t i = 0; i < num_regions; ++i) {
-          discard_ops += discard_tests[i];
-          if (!discard_hits[i]) continue;
-          OutputRegion& other = rc.regions[i];
-          other.rql.Remove(q);
-          record(ExecEvent::Kind::kQueryPruned, other.id, q, 0);
-          emission.OnRegionResolvedForQuery(other.id, q, resolved_emits);
-          if (other.rql.empty()) {
-            pending[other.id] = 0;
-            --pending_count;
-            ++stats.regions_discarded;
-            record(ExecEvent::Kind::kRegionDiscarded, other.id, -1, 0);
-            if (scheduler.has_value()) scheduler->OnRegionRemoved(other.id);
-            emission.OnRegionResolved(other.id, resolved_emits);
-          }
-        }
-      }
-    }
-    stats.coarse_ops += discard_ops;
-    clock.ChargeCoarseOps(discard_ops);
-
-    // ---- Progressive emission. ----
-    const int64_t emission_ops_before = emission.coarse_ops();
-    emission.OnRegionResolved(rid, resolved_emits);
-    std::vector<int64_t> direct_emits;
-    std::vector<int64_t> emitted_per_query(workload.num_queries(), 0);
-    for (int q = 0; q < workload.num_queries(); ++q) {
-      direct_emits.clear();
-      for (int64_t id : accepted_events[q]) {
-        if (dead[q].contains(id)) continue;
-        emission.OnAccepted(q, id, direct_emits);
-      }
-      for (int64_t id : direct_emits) emit_result(q, id);
-      emitted_per_query[q] += static_cast<int64_t>(direct_emits.size());
-    }
-    for (const auto& [q, id] : resolved_emits) {
-      emit_result(q, id);
-      ++emitted_per_query[q];
-    }
-    for (int q = 0; q < workload.num_queries(); ++q) {
-      if (emitted_per_query[q] > 0) {
-        record(ExecEvent::Kind::kResultsEmitted, rid, q,
-               emitted_per_query[q]);
-      }
-    }
-    const int64_t emission_ops =
-        emission.coarse_ops() - emission_ops_before;
-    stats.coarse_ops += emission_ops;
-    clock.ChargeCoarseOps(emission_ops);
+    // ---- Tuple-level processing (join, project, evaluate, discard,
+    // emission) — see RegionPipeline::ProcessRegion. ----
+    pipeline.ProcessRegion(rid);
 
     // ---- Satisfaction feedback (Eq. 11). ----
     if (scheduler.has_value()) scheduler->UpdateWeights();
   }
 
-  // With every region resolved, nothing can remain parked.
-  std::vector<std::pair<int, int64_t>> leftovers;
-  emission.DrainAll(leftovers);
-  CAQE_DCHECK(leftovers.empty());
-  for (const auto& [q, id] : leftovers) emit_result(q, id);
-
-  return Status::OK();
+  return pipeline.FinalDrain();
 }
 
 }  // namespace caqe

@@ -51,6 +51,42 @@ std::string UtilityTraceCsv(const ExecutionReport& report) {
   return table.RenderCsv();
 }
 
+const char* ExecEventKindName(ExecEvent::Kind kind) {
+  switch (kind) {
+    case ExecEvent::Kind::kRegionScheduled:
+      return "region_scheduled";
+    case ExecEvent::Kind::kRegionDiscarded:
+      return "region_discarded";
+    case ExecEvent::Kind::kQueryPruned:
+      return "query_pruned";
+    case ExecEvent::Kind::kResultsEmitted:
+      return "results_emitted";
+    case ExecEvent::Kind::kQueryAdmitted:
+      return "query_admitted";
+    case ExecEvent::Kind::kQueryRetired:
+      return "query_retired";
+  }
+  return "unknown";
+}
+
+std::string ExecEventsJsonl(const std::vector<ExecEvent>& events) {
+  std::string out;
+  for (const ExecEvent& event : events) {
+    out += "{\"kind\":\"";
+    out += ExecEventKindName(event.kind);
+    out += "\",\"vtime\":";
+    out += FormatDouble(event.vtime, 9);
+    out += ",\"region\":";
+    out += std::to_string(event.region);
+    out += ",\"query\":";
+    out += std::to_string(event.query);
+    out += ",\"count\":";
+    out += std::to_string(event.count);
+    out += "}\n";
+  }
+  return out;
+}
+
 Status WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

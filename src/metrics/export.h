@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/options.h"
 #include "metrics/report.h"
 
 namespace caqe {
@@ -24,6 +25,20 @@ std::string QueryBreakdownCsv(const ExecutionReport& report);
 /// curves behind the progressiveness plots).
 /// Columns: engine, query, time, utility.
 std::string UtilityTraceCsv(const ExecutionReport& report);
+
+/// Human/tool-readable name of an ExecEvent kind (stable identifiers:
+/// "region_scheduled", "region_discarded", "query_pruned",
+/// "results_emitted", "query_admitted", "query_retired").
+const char* ExecEventKindName(ExecEvent::Kind kind);
+
+/// One JSON object per line per event, in stream order:
+///   {"kind":"region_scheduled","vtime":0.000123,"region":4,"query":-1,
+///    "count":0}
+/// Virtual times print with 9 decimals (the repository's deterministic
+/// time format), so two runs' exports byte-match iff their event streams
+/// match. This makes serving-mode scheduling decisions post-hoc
+/// inspectable with standard JSONL tooling.
+std::string ExecEventsJsonl(const std::vector<ExecEvent>& events);
 
 /// Writes `content` to `path`, overwriting. Returns an error Status on I/O
 /// failure.

@@ -15,9 +15,10 @@ ContractDrivenScheduler::ContractDrivenScheduler(
       workload_(workload),
       tracker_(tracker),
       cost_(cost),
-      options_(options),
-      dg_(DependencyGraph::Build(*rc, *workload)) {
+      options_(options) {
   const int n = static_cast<int>(rc_->regions.size());
+  dg_ = options_.dynamic_workload ? DependencyGraph::AllActive(n)
+                                  : DependencyGraph::Build(*rc, *workload);
   pending_.assign(n, 0);
   for (int i = 0; i < n; ++i) {
     if (!rc_->regions[i].rql.empty()) {
@@ -26,8 +27,9 @@ ContractDrivenScheduler::ContractDrivenScheduler(
     }
   }
   weights_.assign(workload_->num_queries(), 1.0);
-  dom_frac_cache_.assign(
-      static_cast<size_t>(n) * workload_->num_queries(), DomFrac{});
+  active_.assign(workload_->num_queries(), 1);
+  query_stride_ = std::max(1, workload_->num_queries());
+  dom_frac_cache_.assign(static_cast<size_t>(n) * query_stride_, DomFrac{});
   // Witness -1 means "not yet computed"; mark with NaN-free sentinel: use
   // witness == -2 for "computed, no dominator". Start all entries stale.
   for (DomFrac& d : dom_frac_cache_) d.witness = -1;
@@ -68,8 +70,7 @@ double ContractDrivenScheduler::ComputeDominatedFrac(int region, int q,
 ContractDrivenScheduler::DomFrac& ContractDrivenScheduler::CachedDomFrac(
     int region, int q) const {
   DomFrac& entry =
-      dom_frac_cache_[static_cast<size_t>(region) * workload_->num_queries() +
-                      q];
+      dom_frac_cache_[static_cast<size_t>(region) * query_stride_ + q];
   const bool stale =
       entry.witness == -1 ||
       (entry.witness >= 0 &&
@@ -116,6 +117,7 @@ double ContractDrivenScheduler::Csm(int region, double now) const {
   const double t_c = EstimateCost(region);
   double score = 0.0;
   r.rql.ForEach([&](int q) {
+    if (q >= static_cast<int>(active_.size()) || !active_[q]) return;
     const double n_est = EstimateBenefit(region, q);
     if (n_est <= 0.0) return;
     if (options_.contract_driven) {
@@ -167,22 +169,81 @@ void ContractDrivenScheduler::OnRegionRemoved(int region) {
   if (!pending_[region]) return;
   pending_[region] = 0;
   --pending_count_;
-  dg_.Deactivate(region);
+  // Dynamic mode keeps the (edge-free) graph node active so a later graft
+  // can re-activate a discarded-but-unprocessed region.
+  if (!options_.dynamic_workload) dg_.Deactivate(region);
+}
+
+void ContractDrivenScheduler::OnRegionActivated(int region) {
+  CAQE_DCHECK(options_.dynamic_workload);
+  CAQE_DCHECK(region >= 0 && region < static_cast<int>(pending_.size()));
+  if (pending_[region]) return;
+  pending_[region] = 1;
+  ++pending_count_;
+  // The region's dominated-fraction estimates were computed against the
+  // old lineage landscape; recompute lazily.
+  for (int q = 0; q < query_stride_; ++q) {
+    dom_frac_cache_[static_cast<size_t>(region) * query_stride_ + q].witness =
+        -1;
+  }
+}
+
+void ContractDrivenScheduler::AddQuery(int q) {
+  CAQE_DCHECK(options_.dynamic_workload);
+  CAQE_DCHECK(q >= 0 && q < workload_->num_queries());
+  if (q >= static_cast<int>(weights_.size())) {
+    weights_.resize(workload_->num_queries(), 1.0);
+    active_.resize(workload_->num_queries(), 0);
+  }
+  weights_[q] = 1.0;
+  active_[q] = 1;
+  const int n = static_cast<int>(rc_->regions.size());
+  if (q >= query_stride_) {
+    // Re-stride the cache geometrically; everything restarts stale (one
+    // lazy recompute per touched entry, deterministic either way).
+    const int new_stride = std::max(q + 1, 2 * query_stride_);
+    dom_frac_cache_.assign(static_cast<size_t>(n) * new_stride, DomFrac{});
+    for (DomFrac& d : dom_frac_cache_) d.witness = -1;
+    query_stride_ = new_stride;
+  } else {
+    // Reused slot: invalidate the query's column only.
+    for (int r = 0; r < n; ++r) {
+      dom_frac_cache_[static_cast<size_t>(r) * query_stride_ + q].witness = -1;
+    }
+  }
+}
+
+void ContractDrivenScheduler::RetireQuery(int q) {
+  CAQE_DCHECK(options_.dynamic_workload);
+  if (q < 0 || q >= static_cast<int>(active_.size()) || !active_[q]) return;
+  // The retired query's weight mass simply vanishes; survivors keep their
+  // weights untouched. Rescaling them would perturb subsequent CSM scores
+  // relative to a run where the retired query was never admitted — the
+  // serving layer's cancellation-equivalence guarantee forbids that. Eq. 11
+  // feedback (which only uses weight *differences* among active queries)
+  // rebalances the active set from the next region on.
+  active_[q] = 0;
+  weights_[q] = 0.0;
 }
 
 void ContractDrivenScheduler::UpdateWeights() {
   if (!options_.feedback_enabled) return;
-  const int n = workload_->num_queries();
+  const int n = static_cast<int>(weights_.size());
   double v_max = 0.0;
+  bool any = false;
   for (int q = 0; q < n; ++q) {
+    if (!active_[q]) continue;
     v_max = std::max(v_max, tracker_->RuntimeMetric(q));
+    any = true;
   }
+  if (!any) return;
   double denom = 0.0;
   for (int q = 0; q < n; ++q) {
-    denom += v_max - tracker_->RuntimeMetric(q);
+    if (active_[q]) denom += v_max - tracker_->RuntimeMetric(q);
   }
   if (denom <= 0.0) return;  // All queries equally satisfied.
   for (int q = 0; q < n; ++q) {
+    if (!active_[q]) continue;
     weights_[q] += (v_max - tracker_->RuntimeMetric(q)) / denom;
   }
 }

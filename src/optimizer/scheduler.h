@@ -34,6 +34,11 @@ struct SchedulerOptions {
   /// term degenerates to estimated result count per second — the
   /// count-driven policy of ProgXe+.
   bool contract_driven = true;
+  /// Serving mode: the workload grows (grafted queries) and shrinks
+  /// (retired queries) while regions can be re-activated by later grafts.
+  /// Uses an edge-free dependency graph (lineage churn invalidates any
+  /// precomputed ordering) and keeps removed regions re-activatable.
+  bool dynamic_workload = false;
 };
 
 /// Implements Algorithm 1 over a region collection whose lineages the
@@ -65,8 +70,29 @@ class ContractDrivenScheduler {
   int PickNext(double now, int64_t* coarse_ops = nullptr);
 
   /// Marks a region processed or discarded: removes it from the dependency
-  /// graph and from the benefit-model caches.
+  /// graph and from the benefit-model caches. In dynamic mode the region
+  /// stays re-activatable (graft-extended lineage may revive it).
   void OnRegionRemoved(int region);
+
+  /// Dynamic mode only: a graft extended `region`'s lineage, making it
+  /// schedulable (again). Invalidates the region's benefit-cache row.
+  void OnRegionActivated(int region);
+
+  /// Dynamic mode only: registers workload query `q` (new slot or a reused
+  /// retired slot) with weight 1, growing per-query state as needed and
+  /// invalidating the query's benefit-cache column.
+  void AddQuery(int q);
+
+  /// Dynamic mode only: deactivates query `q` and zeroes its weight.
+  /// Survivors' weights are deliberately untouched, so retiring a query
+  /// whose regions were never processed leaves the schedule identical to a
+  /// run where it was never admitted (the serving layer's
+  /// cancellation-equivalence guarantee).
+  void RetireQuery(int q);
+
+  bool IsActiveQuery(int q) const {
+    return q < static_cast<int>(active_.size()) && active_[q] != 0;
+  }
 
   /// Recomputes query weights from the tracker's run-time satisfaction
   /// metrics (Eq. 11). No-op when feedback is disabled.
@@ -107,9 +133,13 @@ class ContractDrivenScheduler {
   std::vector<char> pending_;
   int64_t pending_count_ = 0;
   std::vector<double> weights_;
+  /// Per-query activity mask (all 1 in batch mode; serving retires slots).
+  std::vector<char> active_;
   /// Row-major [region][query] dominated-fraction cache; entries with a
-  /// dead witness are recomputed lazily.
+  /// dead witness are recomputed lazily. `query_stride_` is the row width
+  /// (== num_queries in batch mode; grows geometrically in dynamic mode).
   mutable std::vector<DomFrac> dom_frac_cache_;
+  int query_stride_ = 0;
   mutable int64_t scan_ops_ = 0;
 };
 

@@ -102,6 +102,17 @@ class Workload {
     return static_cast<int>(queries_.size()) - 1;
   }
 
+  /// Rebinds query slot `i` (the serving layer reuses retired slots so
+  /// QuerySet bitmasks stay dense). Same validity requirements as AddQuery.
+  void SetQuery(int i, SjQuery query) {
+    CAQE_DCHECK(i >= 0 && i < num_queries());
+    CAQE_CHECK(!query.preference.empty());
+    for (int dim : query.preference) {
+      CAQE_CHECK(dim >= 0 && dim < num_output_dims());
+    }
+    queries_[i] = std::move(query);
+  }
+
   int num_output_dims() const {
     return static_cast<int>(output_dims_.size());
   }

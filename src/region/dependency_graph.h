@@ -45,6 +45,12 @@ class DependencyGraph {
                                const Workload& workload,
                                int64_t* coarse_ops = nullptr);
 
+  /// Edge-free graph with `n` active regions, all roots. The serving
+  /// layer's dynamic workload uses this shape: lineages change as queries
+  /// come and go, so no precomputed ordering constraint stays valid and
+  /// every pending region remains a scheduling candidate.
+  static DependencyGraph AllActive(int n);
+
   int num_regions() const { return static_cast<int>(out_edges_.size()); }
 
   const std::vector<std::pair<int, QuerySet>>& out_edges(int region) const {

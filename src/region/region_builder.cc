@@ -4,16 +4,9 @@
 
 namespace caqe {
 
-namespace {
-
-/// Coarse selection test of one query against a cell pair: kDisjoint when
-/// some selection range misses the relevant cell box entirely (no joined
-/// pair can qualify), kContained when the boxes lie inside every range
-/// (every joined pair qualifies), kOverlap otherwise.
-enum class SelectionCoarse { kDisjoint, kContained, kOverlap };
-
-SelectionCoarse CoarseSelection(const SjQuery& query, const LeafCell& cell_r,
-                                const LeafCell& cell_t) {
+SelectionCoarse CoarseSelectionTest(const SjQuery& query,
+                                    const LeafCell& cell_r,
+                                    const LeafCell& cell_t) {
   bool contained = true;
   for (const SelectionRange& sel : query.selections) {
     const LeafCell& cell = sel.on_r ? cell_r : cell_t;
@@ -26,8 +19,6 @@ SelectionCoarse CoarseSelection(const SjQuery& query, const LeafCell& cell_r,
   }
   return contained ? SelectionCoarse::kContained : SelectionCoarse::kOverlap;
 }
-
-}  // namespace
 
 namespace {
 
@@ -96,7 +87,7 @@ Result<RegionCollection> BuildRegions(const PartitionedTable& part_r,
           // Per query: fold the selection ranges into the coarse test.
           rc.queries_of_slot[s].ForEach([&](int q) {
             ++stripe.coarse_ops;
-            switch (CoarseSelection(workload.query(q), cell_r, cell_t)) {
+            switch (CoarseSelectionTest(workload.query(q), cell_r, cell_t)) {
               case SelectionCoarse::kDisjoint:
                 break;
               case SelectionCoarse::kContained:

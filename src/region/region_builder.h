@@ -35,6 +35,18 @@ struct RegionCollection {
   int64_t coarse_ops = 0;
 };
 
+/// Coarse outcome of one query's selection ranges against a cell pair:
+/// kDisjoint when some range misses the relevant cell box entirely (no
+/// joined pair can qualify), kContained when the boxes lie inside every
+/// range (every joined pair qualifies), kOverlap otherwise. Used by the
+/// region build and by the serving layer's workload grafter, which
+/// re-derives a new query's region lineage with exactly this test.
+enum class SelectionCoarse { kDisjoint, kContained, kOverlap };
+
+SelectionCoarse CoarseSelectionTest(const SjQuery& query,
+                                    const LeafCell& cell_r,
+                                    const LeafCell& cell_t);
+
 /// Builds the region collection for `workload` over partitioned inputs.
 /// A region is emitted per (cell_r, cell_t) pair whose signatures intersect
 /// on at least one workload predicate; its lineage holds exactly the

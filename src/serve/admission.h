@@ -1,0 +1,98 @@
+// Contract-aware admission control for the online serving layer.
+//
+// An arrival is scored against the *current* execution state: its would-be
+// region lineage (every region whose predicate slot matches and whose cell
+// boxes survive the coarse selection test — already-processed regions are
+// resurrected and reprocessed for the newcomer, so every query sees the
+// full data), the cost-model estimate of its own work, and the backlog of
+// already-admitted work. The
+// contract previews the utility a result would earn at the optimistic
+// first-result time and at the pessimistic drain time; a request whose
+// expected utility is below the policy floor — or whose deadline cannot be
+// met even optimistically — is rejected outright, and a feasible request is
+// deferred while the server is at capacity.
+//
+// Everything here is control-plane work: operations are counted in
+// `control_ops` but never charged to the virtual clock, so admission
+// decisions do not perturb the data-plane timeline (the cancellation-
+// equivalence guarantee relies on this).
+#ifndef CAQE_SERVE_ADMISSION_H_
+#define CAQE_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "contracts/utility.h"
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "region/region_builder.h"
+#include "serve/serving.h"
+
+namespace caqe {
+
+/// Everything the admission controller may look at when scoring one
+/// arrival. All pointers are borrowed for the duration of the call.
+struct AdmissionInput {
+  const RegionCollection* rc = nullptr;
+  const PartitionedTable* part_r = nullptr;
+  const PartitionedTable* part_t = nullptr;
+  /// Regions still awaiting tuple-level processing (live backlog).
+  const std::vector<char>* pending = nullptr;
+  const CostModel* cost = nullptr;
+  /// Current virtual time and the request's arrival time (now >= submit).
+  double now = 0.0;
+  double submit_time = 0.0;
+  /// Request deadline in seconds after submission; <= 0 disables.
+  double deadline_seconds = 0.0;
+  /// Currently running (admitted, unretired) queries.
+  int active_queries = 0;
+  /// Whether a workload slot is available for grafting.
+  bool slot_available = true;
+  const ServeOptions* options = nullptr;
+};
+
+/// Admission verdict plus the estimates that produced it (surfaced in the
+/// request report for post-hoc inspection).
+struct AdmissionEstimate {
+  AdmissionDecision decision = AdmissionDecision::kReject;
+  /// Stable short reason: "admitted", "capacity", "no-predicate",
+  /// "no-data", "deadline", "low-utility".
+  const char* reason = "";
+  /// Expected per-result utility over the estimated service window.
+  double expected_utility = 0.0;
+  /// Optimistic seconds (from submission) to the first result: the
+  /// cheapest lineage region processed immediately.
+  double est_first_seconds = 0.0;
+  /// Pessimistic seconds (from submission) to the last result: the full
+  /// current backlog plus all of the request's own work.
+  double est_finish_seconds = 0.0;
+  /// Regions the request's lineage would contain.
+  int64_t lineage_regions = 0;
+  /// Buchta (Eq. 9) estimate of the request's final result cardinality
+  /// over its graftable join output.
+  double estimated_results = 0.0;
+};
+
+/// Cost-model estimate (virtual seconds) of tuple-processing `region` for
+/// one predicate slot alone: probes over both cell row sets, the slot's
+/// exact join output, an n log n dominance term, and the scheduling step.
+/// Mirrors ContractDrivenScheduler::EstimateCost restricted to one slot.
+double RegionSlotCost(const OutputRegion& region, int slot,
+                      const CostModel& cost);
+
+/// Virtual-seconds estimate of the live backlog: the summed cost of every
+/// pending region over the predicate slots it currently serves.
+double BacklogCost(const RegionCollection& rc,
+                   const std::vector<char>& pending, const CostModel& cost);
+
+/// Scores one arrival. Increments `*control_ops` by the number of
+/// control-plane steps taken (region scans, cost sums).
+AdmissionEstimate EvaluateAdmission(const SjQuery& query,
+                                    const Contract& contract,
+                                    const AdmissionInput& in,
+                                    int64_t* control_ops);
+
+}  // namespace caqe
+
+#endif  // CAQE_SERVE_ADMISSION_H_

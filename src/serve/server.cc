@@ -1,0 +1,545 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "exec/engine.h"
+#include "serve/admission.h"
+#include "skyline/cardinality.h"
+
+namespace caqe {
+
+CaqeServer::CaqeServer(Table r, Table t, ServeOptions options)
+    : options_(std::move(options)),
+      r_(std::move(r)),
+      t_(std::move(t)),
+      clock_(options_.cost) {}
+
+Result<std::unique_ptr<CaqeServer>> CaqeServer::Create(
+    Table r, Table t, std::vector<MappingFunction> output_dims,
+    std::vector<int> join_keys, ServeOptions options) {
+  if (output_dims.empty()) {
+    return Status::InvalidArgument("at least one output dimension required");
+  }
+  std::sort(join_keys.begin(), join_keys.end());
+  join_keys.erase(std::unique(join_keys.begin(), join_keys.end()),
+                  join_keys.end());
+  if (join_keys.empty()) {
+    return Status::InvalidArgument("at least one join key required");
+  }
+  std::unique_ptr<CaqeServer> server(
+      new CaqeServer(std::move(r), std::move(t), std::move(options)));
+  CAQE_RETURN_NOT_OK(
+      server->Bootstrap(std::move(output_dims), std::move(join_keys)));
+  return server;
+}
+
+Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
+                             std::vector<int> join_keys) {
+  for (const MappingFunction& f : output_dims) workload_.AddOutputDim(f);
+  std::vector<int> all_dims(workload_.num_output_dims());
+  for (int k = 0; k < workload_.num_output_dims(); ++k) all_dims[k] = k;
+  // One synthetic full-coverage query per configured join key: regions only
+  // exist for predicates some build-time query matched, so the bootstrap
+  // workload makes every (cell pair, key) region materialize. The synthetic
+  // slots are cleared right after the build and become the free slot pool.
+  for (size_t i = 0; i < join_keys.size(); ++i) {
+    workload_.AddQuery(SjQuery{"__bootstrap" + std::to_string(i),
+                               join_keys[i], all_dims, 1.0, {}});
+  }
+  CAQE_RETURN_NOT_OK(workload_.Validate(r_, t_));
+
+  ExecOptions exec;
+  exec.cost = options_.cost;
+  exec.partition_strategy = options_.partition_strategy;
+  exec.cells_per_dim = options_.cells_per_dim;
+  exec.target_regions = options_.target_regions;
+  const int target = AdaptiveTargetRegions(exec, r_, t_, workload_);
+  Result<PartitionedTable> part_r = PartitionForRegions(r_, exec, target);
+  CAQE_RETURN_NOT_OK(part_r.status());
+  part_r_.emplace(std::move(part_r).value());
+  Result<PartitionedTable> part_t = PartitionForRegions(t_, exec, target);
+  CAQE_RETURN_NOT_OK(part_t.status());
+  part_t_.emplace(std::move(part_t).value());
+
+  const int num_threads = ResolveNumThreads(options_.num_threads);
+  if (num_threads > 1) {
+    pool_owner_ = std::make_unique<ThreadPool>(num_threads - 1);
+  }
+  pool_ = pool_owner_.get();
+
+  Result<RegionCollection> rc =
+      BuildRegions(*part_r_, *part_t_, workload_, pool_);
+  CAQE_RETURN_NOT_OK(rc.status());
+  rc_ = std::move(rc).value();
+  stats_.regions_built += static_cast<int64_t>(rc_.regions.size());
+  stats_.coarse_ops += rc_.coarse_ops;
+  clock_.ChargeCoarseOps(rc_.coarse_ops);
+
+  // Clear the bootstrap lineages: the server starts with no live work.
+  for (OutputRegion& region : rc_.regions) {
+    region.rql = QuerySet();
+    region.guaranteed = QuerySet();
+  }
+  for (QuerySet& queries : rc_.queries_of_slot) queries = QuerySet();
+  pending_.assign(rc_.regions.size(), 0);
+
+  const int slots = workload_.num_queries();
+  std::vector<Contract> placeholders(
+      slots, MakeTimeStepContract(1.0));  // Rebound on every graft.
+  tracker_.emplace(std::move(placeholders));
+  query_reports_.resize(slots);
+  identity_.resize(slots);
+  for (int q = 0; q < slots; ++q) identity_[q] = q;
+  slot_request_.assign(slots, -1);
+  free_slots_.resize(slots);
+  for (int q = 0; q < slots; ++q) free_slots_[q] = q;
+
+  PipelineOptions pipe_options;
+  pipe_options.tuple_discard = options_.tuple_discard;
+  pipe_options.dva_mode = options_.dva_mode;
+  pipe_options.capture_results = false;
+  pipe_options.trace = options_.trace;
+  pipe_options.on_emit = [this](int query, int64_t id, double time,
+                                double utility) {
+    const int request_id = slot_request_[query];
+    if (request_id < 0) return;
+    RequestState& request = requests_[request_id];
+    if (request.time_to_first_result < 0.0) {
+      request.time_to_first_result = time - request.submit_time;
+    }
+    if (request.callback) request.callback(request_id, id, time, utility);
+  };
+  pipeline_ = std::make_unique<RegionPipeline>(
+      &*part_r_, &*part_t_, &workload_, &rc_, &pending_, &pending_count_,
+      &*tracker_, &clock_, &stats_, &query_reports_, pool_,
+      std::move(pipe_options));
+  pipeline_->SetGlobalQueryIds(identity_);
+
+  if (options_.policy != SchedulePolicy::kStaticScan) {
+    SchedulerOptions sched_options;
+    sched_options.feedback_enabled = options_.feedback;
+    sched_options.contract_driven =
+        options_.policy == SchedulePolicy::kContractDriven;
+    sched_options.dynamic_workload = true;
+    scheduler_.emplace(&rc_, &workload_, &*tracker_, &clock_.cost_model(),
+                       sched_options);
+    // The bootstrap slots start dormant: no weight, no Eq. 11 share.
+    for (int q = 0; q < slots; ++q) scheduler_->RetireQuery(q);
+    pipeline_->set_scheduler(&*scheduler_);
+  }
+  return Status::OK();
+}
+
+int CaqeServer::Submit(SjQuery query, Contract contract, double arrival_time,
+                       double deadline_seconds, ResultCallback callback) {
+  CAQE_CHECK(!ran_);
+  CAQE_CHECK(contract != nullptr);
+  RequestState request;
+  request.id = static_cast<int>(requests_.size());
+  request.query = std::move(query);
+  request.contract = std::move(contract);
+  request.callback = std::move(callback);
+  request.submit_time = std::max(0.0, arrival_time);
+  request.deadline_seconds = deadline_seconds;
+  events_.push_back(TraceEvent{request.submit_time,
+                               static_cast<int>(events_.size()),
+                               TraceEvent::Kind::kArrival, request.id});
+  requests_.push_back(std::move(request));
+  return requests_.back().id;
+}
+
+Status CaqeServer::Cancel(int request_id, double cancel_time) {
+  if (ran_) return Status::FailedPrecondition("server already ran");
+  if (request_id < 0 || request_id >= static_cast<int>(requests_.size())) {
+    return Status::InvalidArgument("unknown request id: " +
+                                   std::to_string(request_id));
+  }
+  events_.push_back(TraceEvent{std::max(0.0, cancel_time),
+                               static_cast<int>(events_.size()),
+                               TraceEvent::Kind::kCancel, request_id});
+  return Status::OK();
+}
+
+int CaqeServer::ActiveQueries() const {
+  int active = 0;
+  for (int request_id : slot_request_) {
+    if (request_id >= 0) ++active;
+  }
+  return active;
+}
+
+bool CaqeServer::SlotAvailable() const {
+  return !free_slots_.empty() ||
+         workload_.num_queries() < QuerySet::kMaxQueries;
+}
+
+void CaqeServer::RecordEvent(ExecEvent::Kind kind, int region, int query,
+                             int64_t count) {
+  if (options_.trace == nullptr) return;
+  options_.trace->push_back(
+      ExecEvent{kind, clock_.Now(), region, query, count});
+}
+
+AdmissionDecision CaqeServer::Decide(RequestState& request) {
+  AdmissionInput in;
+  in.rc = &rc_;
+  in.part_r = &*part_r_;
+  in.part_t = &*part_t_;
+  in.pending = &pending_;
+  in.cost = &clock_.cost_model();
+  in.now = clock_.Now();
+  in.submit_time = request.submit_time;
+  in.deadline_seconds = request.deadline_seconds;
+  in.active_queries = ActiveQueries();
+  in.slot_available = SlotAvailable();
+  in.options = &options_;
+  const AdmissionEstimate est =
+      EvaluateAdmission(request.query, request.contract, in, &control_ops_);
+  request.expected_utility = est.expected_utility;
+  request.lineage_regions = est.lineage_regions;
+  request.reason = est.reason;
+  switch (est.decision) {
+    case AdmissionDecision::kAdmit: {
+      request.decision_time = clock_.Now();
+      const Status grafted = Graft(request);
+      CAQE_CHECK(grafted.ok());
+      request.status = RequestStatus::kRunning;
+      ++admitted_count_;
+      break;
+    }
+    case AdmissionDecision::kDefer:
+      request.status = RequestStatus::kDeferred;
+      ++request.defers;
+      break;
+    case AdmissionDecision::kReject:
+      request.decision_time = clock_.Now();
+      request.finish_time = clock_.Now();
+      request.status = RequestStatus::kRejected;
+      break;
+  }
+  return est.decision;
+}
+
+Status CaqeServer::Graft(RequestState& request) {
+  int pslot = -1;
+  for (int s = 0; s < static_cast<int>(rc_.predicate_slots.size()); ++s) {
+    if (rc_.predicate_slots[s] == request.query.join_key) {
+      pslot = s;
+      break;
+    }
+  }
+  CAQE_CHECK(pslot >= 0);  // Admission rejects unknown predicates.
+
+  // Acquire a workload slot: lowest free slot, else append a new one.
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.front();
+    free_slots_.erase(free_slots_.begin());
+    workload_.SetQuery(slot, request.query);
+    rc_.slot_of_query[slot] = pslot;
+    tracker_->ResetQuery(slot, request.contract, request.submit_time);
+    query_reports_[slot] = QueryReport{};
+  } else {
+    CAQE_CHECK(workload_.num_queries() < QuerySet::kMaxQueries);
+    slot = workload_.AddQuery(request.query);
+    rc_.slot_of_query.push_back(pslot);
+    identity_.push_back(slot);
+    slot_request_.push_back(-1);
+    query_reports_.push_back(QueryReport{});
+    const int tracker_slot =
+        tracker_->AddQuery(request.contract, request.submit_time);
+    CAQE_CHECK(tracker_slot == slot);
+    pipeline_->SetGlobalQueryIds(identity_);
+  }
+  query_reports_[slot].name = request.query.name;
+  rc_.queries_of_slot[pslot].Add(slot);
+
+  // Re-derive the region lineage: every region whose predicate matches and
+  // whose cell boxes survive the coarse selection test joins the lineage.
+  // Non-pending regions — discarded by earlier pruning or already
+  // processed — are resurrected for reprocessing; their stale lineage is
+  // cleared first so the rerun feeds only the newcomer (the old members
+  // already consumed those tuples).
+  int64_t live = 0;
+  double join_total = 0.0;
+  for (OutputRegion& region : rc_.regions) {
+    ++control_ops_;
+    if (region.join_sizes[pslot] <= 0) continue;
+    const SelectionCoarse coarse =
+        CoarseSelectionTest(request.query, part_r_->cell(region.cell_r),
+                            part_t_->cell(region.cell_t));
+    if (coarse == SelectionCoarse::kDisjoint) continue;
+    if (!pending_[region.id]) {
+      region.rql = QuerySet();
+      region.guaranteed = QuerySet();
+      pending_[region.id] = 1;
+      ++pending_count_;
+      if (scheduler_.has_value()) scheduler_->OnRegionActivated(region.id);
+    }
+    region.rql.Add(slot);
+    if (coarse == SelectionCoarse::kContained) region.guaranteed.Add(slot);
+    join_total += static_cast<double>(region.join_sizes[pslot]);
+    ++live;
+  }
+  request.lineage_regions = live;
+
+  const int dims = static_cast<int>(request.query.preference.size());
+  const double estimated_total =
+      join_total > 0.0 ? BuchtaSkylineCardinality(join_total, dims) : 1.0;
+  tracker_->SetEstimatedTotal(slot, estimated_total);
+
+  if (scheduler_.has_value()) scheduler_->AddQuery(slot);
+  CAQE_RETURN_NOT_OK(pipeline_->AddPlanGroup(pslot, {slot}));
+  // After the lineage extension, so the witness scan list holds exactly
+  // this query's regions.
+  pipeline_->emission().AddQuery(slot);
+
+  slot_request_[slot] = request.id;
+  request.slot = slot;
+  RecordEvent(ExecEvent::Kind::kQueryAdmitted, -1, slot, live);
+  return Status::OK();
+}
+
+void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
+  const int slot = request.slot;
+  CAQE_CHECK(slot >= 0);
+  const double now = clock_.Now();
+
+  // Prune the lineage; regions left with an empty lineage stop being
+  // schedulable (but stay graftable for future arrivals).
+  for (OutputRegion& region : rc_.regions) {
+    ++control_ops_;
+    if (!region.rql.Contains(slot)) continue;
+    region.rql.Remove(slot);
+    region.guaranteed.Remove(slot);
+    if (region.rql.empty() && pending_[region.id]) {
+      pending_[region.id] = 0;
+      --pending_count_;
+      if (scheduler_.has_value()) scheduler_->OnRegionRemoved(region.id);
+    }
+  }
+  rc_.queries_of_slot[rc_.slot_of_query[slot]].Remove(slot);
+
+  // Parked candidates of a retired query are dropped, never emitted.
+  std::vector<int64_t> flushed;
+  pipeline_->emission().RetireQuery(slot, &flushed);
+  request.parked_dropped = static_cast<int64_t>(flushed.size());
+  pipeline_->RemoveQueryFromGroups(slot);
+  if (scheduler_.has_value()) scheduler_->RetireQuery(slot);
+
+  const QuerySatisfaction& satisfaction = tracker_->satisfaction(slot);
+  request.results = satisfaction.results;
+  request.pscore = satisfaction.pscore;
+  request.satisfaction = satisfaction.average();
+  request.finish_time = now;
+  request.status = final_status;
+
+  slot_request_[slot] = -1;
+  request.slot = -1;
+  free_slots_.insert(
+      std::lower_bound(free_slots_.begin(), free_slots_.end(), slot), slot);
+  capacity_freed_ = true;
+  RecordEvent(ExecEvent::Kind::kQueryRetired, -1, slot,
+              request.parked_dropped);
+}
+
+void CaqeServer::HandleArrival(RequestState& request) {
+  if (request.status != RequestStatus::kQueued) return;  // Pre-cancelled.
+  Decide(request);
+}
+
+void CaqeServer::HandleCancel(RequestState& request) {
+  switch (request.status) {
+    case RequestStatus::kQueued:
+    case RequestStatus::kDeferred:
+      request.status = RequestStatus::kCancelled;
+      request.finish_time = clock_.Now();
+      break;
+    case RequestStatus::kRunning:
+      Retire(request, RequestStatus::kCancelled);
+      break;
+    case RequestStatus::kCompleted:
+    case RequestStatus::kCancelled:
+    case RequestStatus::kExpired:
+    case RequestStatus::kRejected:
+      break;  // Already finished; cancellation is a no-op.
+  }
+}
+
+void CaqeServer::RetryDeferred() {
+  if (!capacity_freed_) return;
+  capacity_freed_ = false;
+  for (RequestState& request : requests_) {
+    if (request.status != RequestStatus::kDeferred) continue;
+    ++control_ops_;
+    Decide(request);
+  }
+}
+
+void CaqeServer::CheckExpiry() {
+  const double now = clock_.Now();
+  for (RequestState& request : requests_) {
+    if (request.deadline_seconds <= 0.0) continue;
+    if (request.status != RequestStatus::kRunning &&
+        request.status != RequestStatus::kDeferred) {
+      continue;
+    }
+    ++control_ops_;
+    if (now < request.submit_time + request.deadline_seconds) continue;
+    if (request.status == RequestStatus::kRunning) {
+      Retire(request, RequestStatus::kExpired);
+    } else {
+      request.status = RequestStatus::kExpired;
+      request.finish_time = now;
+    }
+  }
+}
+
+void CaqeServer::CheckCompletion() {
+  QuerySet live;
+  for (const OutputRegion& region : rc_.regions) {
+    ++control_ops_;
+    if (pending_[region.id]) live = live.Union(region.rql);
+  }
+  for (RequestState& request : requests_) {
+    if (request.status != RequestStatus::kRunning) continue;
+    ++control_ops_;
+    if (!live.Contains(request.slot)) {
+      Retire(request, RequestStatus::kCompleted);
+    }
+  }
+}
+
+int CaqeServer::PickRegion() {
+  if (scheduler_.has_value()) {
+    int64_t pick_ops = 0;
+    const int rid = scheduler_->PickNext(clock_.Now(), &pick_ops);
+    stats_.coarse_ops += pick_ops;
+    clock_.ChargeCoarseOps(pick_ops);
+    return rid;
+  }
+  for (int i = 0; i < static_cast<int>(pending_.size()); ++i) {
+    if (pending_[i]) return i;
+  }
+  CAQE_CHECK(false);
+  return -1;
+}
+
+Result<ServingReport> CaqeServer::Run() {
+  if (ran_) return Status::FailedPrecondition("CaqeServer::Run called twice");
+  ran_ = true;
+
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.seq < b.seq;
+                   });
+
+  size_t cursor = 0;
+  while (true) {
+    // Idle server: jump straight to the next arrival/cancel.
+    if (pending_count_ == 0 && cursor < events_.size()) {
+      clock_.AdvanceTo(events_[cursor].time);
+    }
+    // Fire every due event in (time, submission order).
+    while (cursor < events_.size() &&
+           events_[cursor].time <= clock_.Now()) {
+      const TraceEvent& event = events_[cursor++];
+      RequestState& request = requests_[event.request_id];
+      if (event.kind == TraceEvent::Kind::kArrival) {
+        HandleArrival(request);
+      } else {
+        HandleCancel(request);
+      }
+    }
+    RetryDeferred();
+    CheckExpiry();
+    CheckCompletion();
+
+    if (pending_count_ > 0) {
+      const int rid = PickRegion();
+      pipeline_->ProcessRegion(rid);
+      if (scheduler_.has_value()) scheduler_->UpdateWeights();
+      continue;
+    }
+    if (cursor < events_.size()) {
+      clock_.AdvanceTo(events_[cursor].time);
+      continue;
+    }
+    // No live work and no future events. Give still-deferred requests one
+    // forced retry (capacity must be free now); whatever still defers —
+    // e.g. a zero-capacity configuration — is rejected so the loop drains.
+    bool any_deferred = false;
+    for (const RequestState& request : requests_) {
+      if (request.status == RequestStatus::kDeferred) any_deferred = true;
+    }
+    if (any_deferred) {
+      capacity_freed_ = true;
+      RetryDeferred();
+      for (RequestState& request : requests_) {
+        if (request.status != RequestStatus::kDeferred) continue;
+        request.decision_time = clock_.Now();
+        request.finish_time = clock_.Now();
+        request.status = RequestStatus::kRejected;
+        request.reason = "capacity";
+      }
+      continue;
+    }
+    break;
+  }
+  CAQE_RETURN_NOT_OK(pipeline_->FinalDrain());
+
+  ServingReport report;
+  report.submitted = static_cast<int64_t>(requests_.size());
+  report.admitted = admitted_count_;
+  for (const RequestState& request : requests_) {
+    RequestReport out;
+    out.request_id = request.id;
+    out.name = request.query.name;
+    out.status = request.status;
+    out.submit_time = request.submit_time;
+    out.decision_time = request.decision_time;
+    out.finish_time = request.finish_time;
+    out.time_to_first_result = request.time_to_first_result;
+    out.defers = request.defers;
+    out.results = request.results;
+    out.pscore = request.pscore;
+    out.satisfaction = request.satisfaction;
+    out.expected_utility = request.expected_utility;
+    out.lineage_regions = request.lineage_regions;
+    out.parked_dropped = request.parked_dropped;
+    out.reason = request.reason;
+    report.requests.push_back(std::move(out));
+    switch (request.status) {
+      case RequestStatus::kCompleted:
+        ++report.completed;
+        break;
+      case RequestStatus::kCancelled:
+        ++report.cancelled;
+        break;
+      case RequestStatus::kExpired:
+        ++report.expired;
+        break;
+      case RequestStatus::kRejected:
+        ++report.rejected;
+        break;
+      default:
+        break;
+    }
+    report.cumulative_pscore += request.pscore;
+  }
+  report.admission_rate =
+      report.submitted > 0
+          ? static_cast<double>(report.admitted) /
+                static_cast<double>(report.submitted)
+          : 0.0;
+  report.finish_vtime = clock_.Now();
+  report.control_ops = control_ops_;
+  report.stats = stats_;
+  report.stats.virtual_seconds = clock_.Now();
+  return report;
+}
+
+}  // namespace caqe

@@ -1,0 +1,200 @@
+// CaqeServer: a long-lived contract-aware serving loop over one table pair.
+//
+// The server is created once over tables (R, T) with a fixed set of output
+// dimensions and join-key predicates. Clients Submit() queries with
+// progressiveness contracts (and optionally Cancel() them); Run() then
+// replays the arrival trace to completion on the deterministic virtual
+// clock, streaming each admitted query's results to its callback as the
+// emission manager releases them.
+//
+// ## Startup: the bootstrap region build
+//
+// Regions exist only for (cell pair, predicate) combinations some query's
+// predicate matched at build time, so the server builds its region
+// collection once at startup over a *bootstrap workload* — one synthetic
+// full-coverage query per configured join key — then clears every region's
+// lineage. The bootstrap queries' workload slots become the server's free
+// slot pool; grafted queries reuse them (Workload::SetQuery), keeping
+// QuerySet bitmasks dense.
+//
+// ## Grafting and retirement
+//
+// Admission (see serve/admission.h) walks the regions; a graft splices the
+// new query into the running shared state: region lineages extend, with
+// non-pending regions (discarded by pruning, or already processed for
+// earlier queries) resurrected for reprocessing so every query sees the
+// full data, a fresh plan group and shared skyline evaluator attach to the
+// pipeline, and the scheduler, satisfaction tracker, and emission manager
+// register the slot — all without touching in-flight regions. Retirement (completion, expiry,
+// cancellation) reverses the graft: lineage pruned, plan-group membership
+// dropped, scheduler weight zeroed, parked emissions discarded.
+//
+// ## Determinism
+//
+// Data-plane work (joins, skyline evaluation, emission) charges the virtual
+// clock exactly as in batch mode and is bit-identical across thread counts
+// and SIMD builds. Control-plane work (admission, graft, retire, completion
+// scans) is counted in control_ops but never charged, which yields the
+// cancellation-equivalence guarantee: retiring a query whose regions were
+// never processed leaves every survivor's report byte-identical to a run
+// where that query was never admitted.
+#ifndef CAQE_SERVE_SERVER_H_
+#define CAQE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/virtual_clock.h"
+#include "contracts/tracker.h"
+#include "contracts/utility.h"
+#include "data/table.h"
+#include "exec/region_pipeline.h"
+#include "metrics/report.h"
+#include "optimizer/scheduler.h"
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "region/region_builder.h"
+#include "serve/serving.h"
+#include "skyline/point_set.h"
+
+namespace caqe {
+
+class CaqeServer {
+ public:
+  /// Streaming consumer of one request's results: (request id, tuple id
+  /// into store(), virtual report time, contract utility). Invoked
+  /// synchronously from Run() in emission order.
+  using ResultCallback =
+      std::function<void(int request_id, int64_t tuple_id, double vtime,
+                         double utility)>;
+
+  /// Builds a server over the table pair: registers `output_dims` as the
+  /// global output space, accepts queries on any join key in `join_keys`
+  /// (deduplicated, sorted), partitions the inputs, and runs the bootstrap
+  /// region build. Returns InvalidArgument for empty dimension/key sets or
+  /// tables the bootstrap workload fails to validate against.
+  static Result<std::unique_ptr<CaqeServer>> Create(
+      Table r, Table t, std::vector<MappingFunction> output_dims,
+      std::vector<int> join_keys, ServeOptions options);
+
+  /// Enqueues a query arrival at virtual time `arrival_time` (>= 0).
+  /// `deadline_seconds` (> 0) retires the query unconditionally that many
+  /// seconds after arrival. Returns the request id. Must be called before
+  /// Run().
+  int Submit(SjQuery query, Contract contract, double arrival_time,
+             double deadline_seconds = 0.0, ResultCallback callback = nullptr);
+
+  /// Enqueues a cancellation of `request_id` at virtual time `cancel_time`.
+  /// Cancelling a request that already finished by then is a no-op.
+  /// Must be called before Run().
+  Status Cancel(int request_id, double cancel_time);
+
+  /// Replays the submitted trace to completion and returns the serving
+  /// report. Callable once.
+  Result<ServingReport> Run();
+
+  /// Tuple store backing the callbacks' tuple ids (output values).
+  const PointSet& store() const { return pipeline_->store(); }
+
+  int num_requests() const { return static_cast<int>(requests_.size()); }
+
+ private:
+  struct RequestState {
+    int id = -1;
+    SjQuery query;
+    Contract contract;
+    ResultCallback callback;
+    double submit_time = 0.0;
+    double deadline_seconds = 0.0;
+    RequestStatus status = RequestStatus::kQueued;
+    /// Workload slot while running; -1 otherwise.
+    int slot = -1;
+    double decision_time = -1.0;
+    double finish_time = -1.0;
+    double time_to_first_result = -1.0;
+    int defers = 0;
+    double expected_utility = 0.0;
+    int64_t lineage_regions = 0;
+    int64_t parked_dropped = 0;
+    int64_t results = 0;
+    double pscore = 0.0;
+    double satisfaction = 0.0;
+    const char* reason = "";
+  };
+
+  struct TraceEvent {
+    enum class Kind { kArrival, kCancel };
+    double time = 0.0;
+    int seq = 0;
+    Kind kind = Kind::kArrival;
+    int request_id = -1;
+  };
+
+  CaqeServer(Table r, Table t, ServeOptions options);
+
+  Status Bootstrap(std::vector<MappingFunction> output_dims,
+                   std::vector<int> join_keys);
+
+  void HandleArrival(RequestState& request);
+  void HandleCancel(RequestState& request);
+  /// Re-evaluates deferred requests in id order (capacity may have freed).
+  void RetryDeferred();
+  /// Retires running/deferred requests whose deadline passed.
+  void CheckExpiry();
+  /// Retires running requests with no live region left in their lineage.
+  void CheckCompletion();
+  /// Admission verdict for `request` at the current virtual time.
+  AdmissionDecision Decide(RequestState& request);
+  /// Splices an admitted request into the running shared state.
+  Status Graft(RequestState& request);
+  /// Reverses the graft and finalizes the request's report fields.
+  void Retire(RequestState& request, RequestStatus final_status);
+  /// Picks the next region per the configured policy.
+  int PickRegion();
+  void RecordEvent(ExecEvent::Kind kind, int region, int query,
+                   int64_t count);
+  int ActiveQueries() const;
+  bool SlotAvailable() const;
+
+  ServeOptions options_;
+  Table r_;
+  Table t_;
+  Workload workload_;
+  std::unique_ptr<ThreadPool> pool_owner_;
+  ThreadPool* pool_ = nullptr;
+  std::optional<PartitionedTable> part_r_;
+  std::optional<PartitionedTable> part_t_;
+  RegionCollection rc_;
+  std::vector<char> pending_;
+  int64_t pending_count_ = 0;
+  std::optional<SatisfactionTracker> tracker_;
+  VirtualClock clock_;
+  EngineStats stats_;
+  std::vector<QueryReport> query_reports_;
+  std::unique_ptr<RegionPipeline> pipeline_;
+  std::optional<ContractDrivenScheduler> scheduler_;
+  /// Identity map workload slot -> tracker/report index.
+  std::vector<int> identity_;
+  /// Free workload slots, ascending.
+  std::vector<int> free_slots_;
+  /// slot -> id of the request currently running there (-1 when free).
+  std::vector<int> slot_request_;
+  std::vector<RequestState> requests_;
+  std::vector<TraceEvent> events_;
+  int64_t control_ops_ = 0;
+  bool ran_ = false;
+  /// Set when capacity may have freed (a slot returned); gates deferred
+  /// retries so they happen exactly when something could have changed.
+  bool capacity_freed_ = false;
+  int64_t admitted_count_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_SERVE_SERVER_H_

@@ -1,0 +1,167 @@
+// Online serving layer types: requests, admission outcomes, and the
+// deterministic serving report.
+//
+// The serving layer (src/serve/) keeps one CaqeServer alive over a fixed
+// table pair and processes an *arrival trace* of contract-carrying
+// skyline-over-join queries: each request is admitted, deferred, or
+// rejected by a contract-aware admission controller; admitted queries are
+// grafted into the running shared execution state without restarting
+// in-flight regions; completed, expired, or cancelled queries are retired
+// mid-run. Everything is driven by the deterministic VirtualClock, so a
+// trace replays bit-identically at any thread count and with the SIMD
+// kernels on or off — ServingReportText deliberately excludes every
+// non-deterministic quantity (wall time, thread counts).
+#ifndef CAQE_SERVE_SERVING_H_
+#define CAQE_SERVE_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "exec/options.h"
+#include "metrics/report.h"
+
+namespace caqe {
+
+/// Admission controller verdict for one (query, contract) arrival.
+enum class AdmissionDecision {
+  /// Graft into the running workload now.
+  kAdmit,
+  /// Feasible but no capacity (active-query cap or no free workload slot);
+  /// retried when capacity frees up.
+  kDefer,
+  /// Infeasible: no predicate slot, empty lineage, expected utility below
+  /// the floor, or the deadline cannot be met.
+  kReject,
+};
+
+const char* AdmissionDecisionName(AdmissionDecision decision);
+
+/// Lifecycle state of one serving request.
+enum class RequestStatus {
+  /// Submitted; arrival event not yet processed.
+  kQueued,
+  /// Evaluated and parked by the admission controller awaiting capacity.
+  kDeferred,
+  /// Admitted and grafted; regions of its lineage are being processed.
+  kRunning,
+  /// All lineage regions resolved; the result stream is complete.
+  kCompleted,
+  /// Cancelled by the client before completion.
+  kCancelled,
+  /// Deadline passed before completion (or before admission).
+  kExpired,
+  /// Refused by the admission controller.
+  kRejected,
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+/// Serving knobs: the batch execution knobs plus the admission policy.
+struct ServeOptions {
+  /// Virtual-time cost model used for contract timestamps.
+  CostModel cost;
+  /// Worker threads for the parallel execution phases; reports are
+  /// bit-identical at every value (only wall time changes).
+  int num_threads = 1;
+  /// Input partitioning structure and granularity (see ExecOptions).
+  PartitionStrategy partition_strategy = PartitionStrategy::kGrid;
+  int cells_per_dim = 0;
+  int target_regions = 512;
+  /// Region scheduling policy for admitted work. Contract-driven is the
+  /// CAQE default; count-driven is the ProgXe+-style ablation the serving
+  /// benchmark compares against.
+  SchedulePolicy policy = SchedulePolicy::kContractDriven;
+  /// Eq. 11 satisfaction feedback on the scheduler weights.
+  bool feedback = true;
+  /// Tuple-level dominated-region discarding (Section 6).
+  bool tuple_discard = true;
+  /// Theorem-1 feeder gating in the shared skyline evaluators.
+  bool dva_mode = true;
+  /// ---- Admission policy ----
+  /// Bypass the utility/deadline rejection tests (structural rejects — an
+  /// unknown join predicate — still apply). Capacity deferral still holds.
+  bool admit_all = false;
+  /// Reject when the expected per-result utility over the request's
+  /// estimated service window falls below this floor.
+  double min_expected_utility = 0.05;
+  /// Defer arrivals while this many queries are running.
+  int max_active_queries = 16;
+  /// Optional event sink: admission/retirement/scheduling events land here
+  /// with virtual timestamps (export with ExecEventsJsonl).
+  std::vector<ExecEvent>* trace = nullptr;
+};
+
+/// Final per-request outcome, embedded in the ServingReport.
+struct RequestReport {
+  int request_id = -1;
+  std::string name;
+  RequestStatus status = RequestStatus::kQueued;
+  /// Arrival (virtual) time of the request.
+  double submit_time = 0.0;
+  /// Time of the final admission decision (admit or reject); -1 if the
+  /// request never got one (cancelled while deferred).
+  double decision_time = -1.0;
+  /// Time the request left the system (completed/cancelled/expired/
+  /// rejected); -1 while running (never in a final report).
+  double finish_time = -1.0;
+  /// Seconds from submission to the first streamed result; -1 if none.
+  double time_to_first_result = -1.0;
+  /// Times the admission controller deferred the request.
+  int defers = 0;
+  /// Results streamed to the request's callback.
+  int64_t results = 0;
+  /// pScore (Eq. 7) over the streamed results.
+  double pscore = 0.0;
+  /// Average utility per streamed result.
+  double satisfaction = 0.0;
+  /// Admission-time expected per-result utility estimate.
+  double expected_utility = 0.0;
+  /// Live regions grafted into the request's lineage at admission.
+  int64_t lineage_regions = 0;
+  /// Parked (accepted but unemitted) candidates dropped at retirement.
+  int64_t parked_dropped = 0;
+  /// Stable short reason string for the admission outcome.
+  std::string reason;
+};
+
+/// Outcome of one CaqeServer::Run over a submitted trace.
+struct ServingReport {
+  /// Per-request outcomes, by request id.
+  std::vector<RequestReport> requests;
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t cancelled = 0;
+  int64_t expired = 0;
+  int64_t completed = 0;
+  /// admitted / submitted (0 when nothing was submitted).
+  double admission_rate = 0.0;
+  /// Sum of per-request pScores (the serving analogue of Eq. 6).
+  double cumulative_pscore = 0.0;
+  /// Virtual time when the trace drained.
+  double finish_vtime = 0.0;
+  /// Control-plane operations (admission scans, graft/retire lineage
+  /// edits, completion checks). Deliberately *not* charged to the virtual
+  /// clock: retiring a query must leave the survivors' timeline identical
+  /// to a run where it was never admitted.
+  int64_t control_ops = 0;
+  /// Data-plane operation counters (identical across thread counts except
+  /// the wall_* fields, which the report text excludes).
+  EngineStats stats;
+};
+
+/// One deterministic line describing a request's final outcome. Two runs
+/// produce byte-identical lines iff the request's observable outcome
+/// matched.
+std::string RequestReportLine(const RequestReport& request);
+
+/// Deterministic multi-line rendering of the full report: summary counters,
+/// data-plane stats (excluding wall times), then one RequestReportLine per
+/// request. Byte-identical across thread counts and SIMD builds.
+std::string ServingReportText(const ServingReport& report);
+
+}  // namespace caqe
+
+#endif  // CAQE_SERVE_SERVING_H_

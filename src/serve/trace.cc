@@ -1,0 +1,98 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace caqe {
+
+namespace {
+
+/// Draws a contract from the Table 2 classes, scaled to `ref` seconds.
+Contract DrawContract(Rng& rng, double ref) {
+  const int index = static_cast<int>(rng.UniformInt(0, 4));
+  switch (index) {
+    case 0:
+      return MakeTimeStepContract(rng.Uniform(0.3, 1.2) * ref);
+    case 1:
+      return MakeLogDecayContract(ref / 50.0);
+    case 2:
+      return MakeHyperbolicDecayContract(0.2 * ref, ref / 10.0);
+    case 3:
+      return MakeCardinalityContract(0.1, ref / 10.0);
+    default:
+      return MakeHybridContract(0.1, ref / 10.0, ref / 10.0);
+  }
+}
+
+}  // namespace
+
+std::vector<TraceRequest> MakeSyntheticTrace(const TraceConfig& config,
+                                             const std::vector<int>& join_keys,
+                                             int num_output_dims) {
+  CAQE_CHECK(!join_keys.empty());
+  CAQE_CHECK(num_output_dims > 0);
+  Rng rng(config.seed);
+  const double ref = std::max(1e-9, config.reference_seconds);
+  const double rate = std::max(1e-9, config.arrival_rate);
+  const int max_dims =
+      std::max(1, std::min(config.max_preference_dims, num_output_dims));
+
+  std::vector<TraceRequest> trace;
+  double now = 0.0;
+  std::vector<int> dim_pool(num_output_dims);
+  for (int k = 0; k < num_output_dims; ++k) dim_pool[k] = k;
+  for (int i = 0; i < config.num_requests; ++i) {
+    // Exponential inter-arrival gap at the configured rate.
+    now += -std::log(1.0 - rng.Uniform(0.0, 1.0)) / rate;
+
+    TraceRequest request;
+    request.arrival_time = now;
+    request.query.name = "S" + std::to_string(i);
+    request.query.join_key = join_keys[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(join_keys.size()) - 1))];
+    const int dims = static_cast<int>(rng.UniformInt(1, max_dims));
+    // Partial Fisher-Yates: the first `dims` entries become a uniform
+    // distinct sample of the output dimensions.
+    for (int j = 0; j < dims; ++j) {
+      const int swap_with =
+          static_cast<int>(rng.UniformInt(j, num_output_dims - 1));
+      std::swap(dim_pool[j], dim_pool[swap_with]);
+    }
+    request.query.preference.assign(dim_pool.begin(), dim_pool.begin() + dims);
+    std::sort(request.query.preference.begin(),
+              request.query.preference.end());
+    request.query.priority = rng.Uniform(0.0, 1.0);
+    request.contract = DrawContract(rng, ref);
+    if (rng.Bernoulli(config.deadline_fraction)) {
+      request.deadline_seconds = rng.Uniform(0.5, 2.0) * ref;
+    }
+    if (rng.Bernoulli(config.cancel_fraction)) {
+      const double window =
+          request.deadline_seconds > 0.0 ? request.deadline_seconds : ref;
+      request.cancel_time =
+          request.arrival_time + rng.Uniform(0.1, 0.9) * window;
+    }
+    trace.push_back(std::move(request));
+  }
+  return trace;
+}
+
+std::vector<int> SubmitTrace(CaqeServer& server,
+                             const std::vector<TraceRequest>& trace,
+                             CaqeServer::ResultCallback callback) {
+  std::vector<int> ids;
+  for (const TraceRequest& request : trace) {
+    const int id =
+        server.Submit(request.query, request.contract, request.arrival_time,
+                      request.deadline_seconds, callback);
+    ids.push_back(id);
+    if (request.cancel_time >= 0.0) {
+      CAQE_CHECK(server.Cancel(id, request.cancel_time).ok());
+    }
+  }
+  return ids;
+}
+
+}  // namespace caqe

@@ -615,6 +615,8 @@ TEST(TraceTest, EventTraceIsCoherent) {
         EXPECT_GE(event.query, 0);
         break;
       case ExecEvent::Kind::kQueryPruned:
+      case ExecEvent::Kind::kQueryAdmitted:
+      case ExecEvent::Kind::kQueryRetired:
         break;
     }
   }

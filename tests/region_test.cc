@@ -307,6 +307,103 @@ TEST_F(RegionBuilderTest, DeactivationPromotesRoots) {
   }
 }
 
+// Serial reference for the batched CoarseSkylinePrune: per (query, victim),
+// scan candidate dominators in ascending region id and stop at the first
+// guaranteed region whose upper corner fully dominates the victim, charging
+// one coarse op per scalar test.
+CoarsePruneStats ReferenceCoarsePrune(RegionCollection& rc,
+                                      const Workload& workload) {
+  CoarsePruneStats stats;
+  const int n = static_cast<int>(rc.regions.size());
+  std::vector<QuerySet> original(n);
+  std::vector<QuerySet> before(n);
+  for (int i = 0; i < n; ++i) {
+    original[i] = rc.regions[i].guaranteed;
+    before[i] = rc.regions[i].rql;
+  }
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    const std::vector<int>& dims = workload.query(q).preference;
+    for (int j = 0; j < n; ++j) {
+      OutputRegion& victim = rc.regions[j];
+      if (!victim.rql.Contains(q)) continue;
+      for (int i = 0; i < n; ++i) {
+        if (i == j || !original[i].Contains(q)) continue;
+        ++stats.coarse_ops;
+        if (PointFullyDominatesRegion(rc.regions[i].upper.data(), victim,
+                                      dims)) {
+          victim.rql.Remove(q);
+          victim.guaranteed.Remove(q);
+          ++stats.pruned_pairs;
+          break;
+        }
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    if (!before[j].empty() && rc.regions[j].rql.empty()) ++stats.pruned_regions;
+  }
+  return stats;
+}
+
+TEST_F(RegionBuilderTest, BatchedCoarsePruneMatchesSerialReference) {
+  RegionCollection batched = *rc_;
+  RegionCollection serial = *rc_;
+  const CoarsePruneStats batched_stats = CoarseSkylinePrune(batched, workload_);
+  const CoarsePruneStats serial_stats =
+      ReferenceCoarsePrune(serial, workload_);
+  EXPECT_EQ(batched_stats.pruned_pairs, serial_stats.pruned_pairs);
+  EXPECT_EQ(batched_stats.pruned_regions, serial_stats.pruned_regions);
+  EXPECT_EQ(batched_stats.coarse_ops, serial_stats.coarse_ops);
+  ASSERT_EQ(batched.regions.size(), serial.regions.size());
+  for (size_t i = 0; i < batched.regions.size(); ++i) {
+    EXPECT_EQ(batched.regions[i].rql, serial.regions[i].rql) << i;
+    EXPECT_EQ(batched.regions[i].guaranteed, serial.regions[i].guaranteed)
+        << i;
+  }
+}
+
+TEST_F(RegionBuilderTest, BatchedDependencyGraphMatchesScalarCompareRegions) {
+  RegionCollection pruned = *rc_;
+  CoarseSkylinePrune(pruned, workload_);
+  int64_t batched_ops = 0;
+  const DependencyGraph dg =
+      DependencyGraph::Build(pruned, workload_, &batched_ops);
+
+  // Serial reference straight from Definition 8: edge i -> j annotated with
+  // q iff i fully dominates j, or i partially dominates j while j is
+  // incomparable back. Both directions' box tests are charged.
+  const int n = static_cast<int>(pruned.regions.size());
+  int64_t serial_ops = 0;
+  int edges = 0;
+  for (int i = 0; i < n; ++i) {
+    const OutputRegion& a = pruned.regions[i];
+    std::vector<std::pair<int, QuerySet>> expected_out;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const OutputRegion& b = pruned.regions[j];
+      const QuerySet common = a.rql.Intersect(b.rql);
+      if (common.empty()) continue;
+      QuerySet annotated;
+      common.ForEach([&](int q) {
+        serial_ops += 2;
+        const std::vector<int>& dims = workload_.query(q).preference;
+        const RegionDomResult forward = CompareRegions(a, b, dims);
+        if (forward == RegionDomResult::kIncomparable) return;
+        if (forward == RegionDomResult::kPartiallyDominates &&
+            CompareRegions(b, a, dims) != RegionDomResult::kIncomparable) {
+          return;
+        }
+        annotated.Add(q);
+      });
+      if (!annotated.empty()) expected_out.emplace_back(j, annotated);
+    }
+    EXPECT_EQ(dg.out_edges(i), expected_out) << "region " << i;
+    edges += static_cast<int>(expected_out.size());
+  }
+  EXPECT_EQ(batched_ops, serial_ops);
+  EXPECT_GT(edges, 0);  // The fixture produces a nontrivial graph.
+}
+
 TEST(RegionBuilderErrorTest, RejectsInvalidWorkload) {
   auto [r, t] = MakeTables(Distribution::kIndependent, 50, 2, 0.1);
   const PartitionedTable pr = PartitionTable(r, 2).value();

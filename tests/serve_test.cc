@@ -1,0 +1,439 @@
+// Serving layer tests (src/serve/): contract-aware admission, dynamic
+// workload grafting, mid-run retirement, streaming emission, and the
+// determinism and cancellation-equivalence guarantees.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "contracts/utility.h"
+#include "data/generator.h"
+#include "exec/emission.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "serve/serving.h"
+#include "serve/trace.h"
+#include "test_util.h"
+
+namespace caqe {
+namespace {
+
+/// (R, T) with `num_keys` join-key columns so the server bootstraps one
+/// workload slot per key.
+std::pair<Table, Table> MakeServeTables(int num_keys, int64_t rows = 200,
+                                        uint64_t seed = 11) {
+  GeneratorConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities.assign(num_keys, 0.05);
+  cfg.distribution = Distribution::kIndependent;
+  cfg.seed = seed;
+  Table r = GenerateTable("R", cfg).value();
+  cfg.seed = seed + 1;
+  Table t = GenerateTable("T", cfg).value();
+  return {std::move(r), std::move(t)};
+}
+
+std::vector<MappingFunction> ThreeDims() {
+  return {MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
+}
+
+ServeOptions SmallServeOptions() {
+  ServeOptions options;
+  options.target_regions = 64;
+  return options;
+}
+
+TEST(CaqeServerTest, CreateValidatesInputs) {
+  auto [r, t] = MakeServeTables(1);
+  EXPECT_EQ(CaqeServer::Create(r, t, {}, {0}, SmallServeOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CaqeServer::Create(r, t, ThreeDims(), {}, SmallServeOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// A single admitted query must stream exactly its oracle skyline: the graft
+// path (bootstrap regions + re-derived lineage) loses and invents nothing
+// relative to a batch run over the same data.
+TEST(CaqeServerTest, SingleQueryStreamsExactSkyline) {
+  auto [r, t] = MakeServeTables(1, 300);
+  Workload reference;
+  for (const MappingFunction& f : ThreeDims()) reference.AddOutputDim(f);
+  const SjQuery query{"Q0", 0, {0, 1, 2}, 1.0, {}};
+  reference.AddQuery(query);
+
+  auto server =
+      CaqeServer::Create(r, t, ThreeDims(), {0}, SmallServeOptions()).value();
+  std::vector<int64_t> streamed;
+  double last_time = 0.0;
+  const int id = server->Submit(
+      query, MakeTimeStepContract(10.0), 0.0, 0.0,
+      [&](int request_id, int64_t tuple_id, double vtime, double utility) {
+        EXPECT_EQ(request_id, 0);
+        EXPECT_GE(vtime, last_time);
+        EXPECT_GE(utility, 0.0);
+        last_time = vtime;
+        streamed.push_back(tuple_id);
+      });
+  EXPECT_EQ(id, 0);
+  const ServingReport report = server->Run().value();
+
+  ASSERT_EQ(report.requests.size(), 1u);
+  const RequestReport& request = report.requests[0];
+  EXPECT_EQ(request.status, RequestStatus::kCompleted);
+  EXPECT_EQ(request.results, static_cast<int64_t>(streamed.size()));
+  EXPECT_GE(request.time_to_first_result, 0.0);
+  EXPECT_GT(request.pscore, 0.0);
+  EXPECT_EQ(report.completed, 1);
+  EXPECT_EQ(report.admission_rate, 1.0);
+
+  std::vector<std::vector<double>> rows;
+  for (int64_t tuple : streamed) {
+    const double* values = server->store().row(tuple);
+    rows.push_back(::caqe::testing::ProjectReported(
+        std::vector<double>(values, values + 3), reference, 0));
+  }
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, ::caqe::testing::OracleSkyline(r, t, reference, 0));
+}
+
+// The full trace replay is a pure function of the trace: byte-identical
+// serving reports across thread counts and across reruns.
+TEST(CaqeServerTest, ReportIsDeterministicAcrossThreads) {
+  TraceConfig config;
+  config.num_requests = 10;
+  config.arrival_rate = 30.0;
+  config.reference_seconds = 0.05;
+  config.deadline_fraction = 0.3;
+  config.cancel_fraction = 0.2;
+  const auto run = [&](int threads) {
+    auto [r, t] = MakeServeTables(2, 300);
+    ServeOptions options = SmallServeOptions();
+    options.num_threads = threads;
+    auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                     {0, 1}, options)
+                      .value();
+    const std::vector<TraceRequest> trace =
+        MakeSyntheticTrace(config, {0, 1}, 3);
+    SubmitTrace(*server, trace);
+    const ServingReport report = server->Run().value();
+    EXPECT_GE(report.admitted, 1);
+    return ServingReportText(report);
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(8));
+  EXPECT_EQ(serial, run(1));
+}
+
+TEST(CaqeServerTest, RejectsUnknownJoinPredicate) {
+  auto [r, t] = MakeServeTables(1);
+  auto server =
+      CaqeServer::Create(std::move(r), std::move(t), ThreeDims(), {0},
+                         SmallServeOptions())
+          .value();
+  server->Submit(SjQuery{"bad", 2, {0, 1}, 1.0, {}},
+                 MakeTimeStepContract(10.0), 0.0);
+  const ServingReport report = server->Run().value();
+  EXPECT_EQ(report.requests[0].status, RequestStatus::kRejected);
+  EXPECT_EQ(report.requests[0].reason, "no-predicate");
+  EXPECT_EQ(report.rejected, 1);
+}
+
+TEST(CaqeServerTest, RejectsHopelessContract) {
+  auto [r, t] = MakeServeTables(1);
+  ServeOptions options = SmallServeOptions();
+  auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                   {0}, options)
+                    .value();
+  // A step contract whose deadline is below any feasible first-result time
+  // previews to zero utility everywhere in the service window.
+  server->Submit(SjQuery{"hopeless", 0, {0, 1}, 1.0, {}},
+                 MakeTimeStepContract(1e-12), 0.0);
+  const ServingReport report = server->Run().value();
+  EXPECT_EQ(report.requests[0].status, RequestStatus::kRejected);
+  EXPECT_EQ(report.requests[0].reason, "low-utility");
+}
+
+// With one active-query slot, a simultaneous second arrival defers and is
+// admitted once the first completes; both finish.
+TEST(CaqeServerTest, DefersOnCapacityThenAdmits) {
+  auto [r, t] = MakeServeTables(1, 300);
+  ServeOptions options = SmallServeOptions();
+  options.max_active_queries = 1;
+  auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                   {0}, options)
+                    .value();
+  server->Submit(SjQuery{"first", 0, {0, 1}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0);
+  server->Submit(SjQuery{"second", 0, {1, 2}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0);
+  const ServingReport report = server->Run().value();
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.requests[0].defers, 0);
+  EXPECT_GE(report.requests[1].defers, 1);
+  // The deferred query only started after the first finished.
+  EXPECT_GE(report.requests[1].decision_time,
+            report.requests[0].finish_time);
+}
+
+// Slots recycle: many more requests than concurrent capacity all complete.
+TEST(CaqeServerTest, SlotsRecycleAcrossManyRequests) {
+  auto [r, t] = MakeServeTables(1, 200);
+  ServeOptions options = SmallServeOptions();
+  options.max_active_queries = 2;
+  auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                   {0}, options)
+                    .value();
+  for (int i = 0; i < 6; ++i) {
+    // Step contracts keep full utility while queued, so deferred requests
+    // stay admissible once capacity frees (a fast-decaying contract would
+    // legitimately reject as low-utility by then).
+    server->Submit(SjQuery{"W" + std::to_string(i), 0,
+                           {i % 3, (i + 1) % 3}, 1.0, {}},
+                   MakeTimeStepContract(10.0), 0.0);
+  }
+  const ServingReport report = server->Run().value();
+  EXPECT_EQ(report.admitted, 6);
+  EXPECT_EQ(report.completed, 6);
+  for (const RequestReport& request : report.requests) {
+    EXPECT_EQ(request.status, RequestStatus::kCompleted);
+    EXPECT_GT(request.results, 0);
+  }
+}
+
+// A deadlined query admitted under admit_all expires mid-run; the other
+// query's stream and report stay valid.
+TEST(CaqeServerTest, ExpiresMidRunWithoutDisturbingSurvivors) {
+  auto [r, t] = MakeServeTables(1, 300);
+  ServeOptions options = SmallServeOptions();
+  options.admit_all = true;
+  auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                   {0}, options)
+                    .value();
+  server->Submit(SjQuery{"slow", 0, {0, 1, 2}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0);
+  int64_t doomed_results = 0;
+  double last_doomed_vtime = -1.0;
+  server->Submit(SjQuery{"doomed", 0, {0, 1}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0,
+                 /*deadline_seconds=*/1e-4,
+                 [&](int, int64_t, double vtime, double) {
+                   ++doomed_results;
+                   last_doomed_vtime = vtime;
+                 });
+  const ServingReport report = server->Run().value();
+  EXPECT_EQ(report.requests[0].status, RequestStatus::kCompleted);
+  EXPECT_GT(report.requests[0].results, 0);
+  EXPECT_EQ(report.requests[1].status, RequestStatus::kExpired);
+  EXPECT_EQ(report.requests[1].results, doomed_results);
+  EXPECT_EQ(report.expired, 1);
+  // Expiry is enforced at region boundaries (in-flight regions are never
+  // restarted): nothing streams after the retirement time, and the query
+  // is retired at the first boundary past its deadline.
+  EXPECT_GE(report.requests[1].finish_time, 1e-4);
+  EXPECT_LE(last_doomed_vtime, report.requests[1].finish_time);
+}
+
+// The cancellation-equivalence guarantee: a query grafted and cancelled
+// before any of its regions is processed leaves every survivor's report
+// line byte-identical to a run where it was never submitted.
+TEST(CaqeServerTest, CancellationIsEquivalentToNeverAdmitted) {
+  // Three join keys -> three bootstrap slots, so the cancelled query reuses
+  // free slot 2 instead of growing the workload.
+  const auto make_server = [] {
+    auto [r, t] = MakeServeTables(3, 200);
+    return CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                              {0, 1, 2}, SmallServeOptions())
+        .value();
+  };
+  const SjQuery s0{"S0", 0, {0, 1}, 1.0, {}};
+  const SjQuery s1{"S1", 1, {1, 2}, 0.8, {}};
+  const SjQuery doomed{"C", 2, {0, 2}, 0.5, {}};
+  const Contract contract = MakeLogDecayContract(0.001);
+  const double cancel_time = 0.0005;
+
+  auto with_cancel = make_server();
+  with_cancel->Submit(s0, contract, 0.0);
+  with_cancel->Submit(s1, contract, 0.0);
+  int64_t doomed_emissions = 0;
+  const int doomed_id = with_cancel->Submit(
+      doomed, contract, cancel_time, 0.0,
+      [&](int, int64_t, double, double) { ++doomed_emissions; });
+  ASSERT_TRUE(with_cancel->Cancel(doomed_id, cancel_time).ok());
+  const ServingReport cancelled_run = with_cancel->Run().value();
+
+  auto without = make_server();
+  without->Submit(s0, contract, 0.0);
+  without->Submit(s1, contract, 0.0);
+  const ServingReport clean_run = without->Run().value();
+
+  EXPECT_EQ(cancelled_run.requests[doomed_id].status,
+            RequestStatus::kCancelled);
+  EXPECT_EQ(cancelled_run.requests[doomed_id].results, 0);
+  EXPECT_EQ(doomed_emissions, 0);
+  for (int q = 0; q < 2; ++q) {
+    EXPECT_EQ(RequestReportLine(cancelled_run.requests[q]),
+              RequestReportLine(clean_run.requests[q]))
+        << "survivor " << q;
+  }
+  EXPECT_EQ(cancelled_run.finish_vtime, clean_run.finish_vtime);
+}
+
+TEST(CaqeServerTest, CancelBeforeArrivalIsCleanRejectionOfWork) {
+  auto [r, t] = MakeServeTables(1);
+  auto server =
+      CaqeServer::Create(std::move(r), std::move(t), ThreeDims(), {0},
+                         SmallServeOptions())
+          .value();
+  const int id = server->Submit(SjQuery{"late", 0, {0, 1}, 1.0, {}},
+                                MakeTimeStepContract(10.0), 1.0);
+  ASSERT_TRUE(server->Cancel(id, 0.5).ok());
+  const ServingReport report = server->Run().value();
+  EXPECT_EQ(report.requests[0].status, RequestStatus::kCancelled);
+  EXPECT_EQ(report.requests[0].results, 0);
+  EXPECT_EQ(report.admitted, 0);
+}
+
+// Serving lifecycle events flow through the ExecEvent trace with
+// monotonically nondecreasing virtual timestamps.
+TEST(CaqeServerTest, TraceRecordsAdmissionAndRetirement) {
+  auto [r, t] = MakeServeTables(1, 200);
+  std::vector<ExecEvent> events;
+  ServeOptions options = SmallServeOptions();
+  options.trace = &events;
+  auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                   {0}, options)
+                    .value();
+  server->Submit(SjQuery{"traced", 0, {0, 1}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0);
+  server->Run().value();
+  int admitted = 0;
+  int retired = 0;
+  double last_time = 0.0;
+  for (const ExecEvent& event : events) {
+    EXPECT_GE(event.vtime, last_time);
+    last_time = event.vtime;
+    if (event.kind == ExecEvent::Kind::kQueryAdmitted) ++admitted;
+    if (event.kind == ExecEvent::Kind::kQueryRetired) ++retired;
+  }
+  EXPECT_EQ(admitted, 1);
+  EXPECT_EQ(retired, 1);
+}
+
+// ---- Emission-manager park/flush interplay with retirement ----
+
+/// One pending region whose box can still dominate the store's candidates,
+/// shared by two queries.
+struct EmissionFixture {
+  Workload workload;
+  RegionCollection rc;
+  PointSet store{2};
+  std::vector<char> pending{1};
+
+  EmissionFixture() {
+    workload.AddOutputDim(MappingFunction{0, 0});
+    workload.AddOutputDim(MappingFunction{1, 1});
+    workload.AddQuery(SjQuery{"Q0", 0, {0, 1}, 1.0, {}});
+    workload.AddQuery(SjQuery{"Q1", 0, {0, 1}, 1.0, {}});
+    rc.predicate_slots = {0};
+    rc.slot_of_query = {0, 0};
+    rc.queries_of_slot = {QuerySet::AllOf(2)};
+    OutputRegion blocker;
+    blocker.id = 0;
+    blocker.lower = {0.0, 0.0};
+    blocker.upper = {10.0, 10.0};
+    blocker.rql = QuerySet::AllOf(2);
+    rc.regions.push_back(std::move(blocker));
+    const double first[2] = {5.0, 5.0};
+    const double second[2] = {6.0, 4.0};
+    store.Append(first);
+    store.Append(second);
+  }
+};
+
+TEST(EmissionRetirementTest, RetiredQueryParkedTuplesAreDroppedNotEmitted) {
+  EmissionFixture fx;
+  EmissionManager manager(&fx.workload, &fx.rc, &fx.store, &fx.pending);
+  std::vector<int64_t> now;
+  manager.OnAccepted(0, 0, now);
+  manager.OnAccepted(0, 1, now);
+  manager.OnAccepted(1, 0, now);
+  manager.OnAccepted(1, 1, now);
+  EXPECT_TRUE(now.empty());  // All parked behind the pending blocker.
+  EXPECT_EQ(manager.parked(0), 2);
+  EXPECT_EQ(manager.parked(1), 2);
+
+  std::vector<int64_t> flushed;
+  manager.RetireQuery(0, &flushed);
+  EXPECT_EQ(flushed, (std::vector<int64_t>{0, 1}));  // Ascending ids.
+  EXPECT_EQ(manager.parked(0), 0);
+  EXPECT_EQ(manager.parked(1), 2);
+
+  // Resolving the blocker emits only the survivor's candidates.
+  fx.pending[0] = 0;
+  std::vector<std::pair<int, int64_t>> emitted;
+  manager.OnRegionResolved(0, emitted);
+  for (const auto& [q, id] : emitted) EXPECT_EQ(q, 1);
+  EXPECT_EQ(emitted.size(), 2u);
+  std::vector<std::pair<int, int64_t>> leftover;
+  manager.DrainAll(leftover);
+  EXPECT_TRUE(leftover.empty());
+}
+
+TEST(EmissionRetirementTest, SurvivorOrderingUnchangedByRetirement) {
+  // The survivor's emission sequence must be identical whether or not the
+  // other query existed and was retired.
+  EmissionFixture with_retiree;
+  EmissionManager noisy(&with_retiree.workload, &with_retiree.rc,
+                        &with_retiree.store, &with_retiree.pending);
+  std::vector<int64_t> now;
+  noisy.OnAccepted(0, 1, now);
+  noisy.OnAccepted(1, 0, now);
+  noisy.OnAccepted(0, 0, now);
+  noisy.OnAccepted(1, 1, now);
+  noisy.RetireQuery(0, nullptr);
+  with_retiree.pending[0] = 0;
+  std::vector<std::pair<int, int64_t>> noisy_emitted;
+  noisy.OnRegionResolved(0, noisy_emitted);
+
+  EmissionFixture clean_fx;
+  EmissionManager clean(&clean_fx.workload, &clean_fx.rc, &clean_fx.store,
+                        &clean_fx.pending);
+  clean.OnAccepted(1, 0, now);
+  clean.OnAccepted(1, 1, now);
+  clean_fx.pending[0] = 0;
+  std::vector<std::pair<int, int64_t>> clean_emitted;
+  clean.OnRegionResolved(0, clean_emitted);
+
+  EXPECT_EQ(noisy_emitted, clean_emitted);
+}
+
+// Admission cost estimates are internally consistent.
+TEST(AdmissionTest, EstimatesScaleWithBacklog) {
+  auto [r, t] = MakeServeTables(1, 300);
+  ServeOptions options = SmallServeOptions();
+  options.max_active_queries = 1;
+  auto server = CaqeServer::Create(std::move(r), std::move(t), ThreeDims(),
+                                   {0}, options)
+                    .value();
+  server->Submit(SjQuery{"a", 0, {0, 1}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0);
+  server->Submit(SjQuery{"b", 0, {1, 2}, 1.0, {}},
+                 MakeLogDecayContract(0.001), 0.0);
+  const ServingReport report = server->Run().value();
+  // Both carried positive utility expectations and a live lineage at
+  // admission time.
+  for (const RequestReport& request : report.requests) {
+    EXPECT_GT(request.expected_utility, 0.0);
+    EXPECT_GT(request.lineage_regions, 0);
+  }
+  EXPECT_GT(report.control_ops, 0);
+}
+
+}  // namespace
+}  // namespace caqe

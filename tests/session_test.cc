@@ -23,6 +23,15 @@ TEST(EngineFactoryTest, KnownAndUnknownNames) {
   EXPECT_EQ(MakeEngine("nope").status().code(), StatusCode::kNotFound);
 }
 
+TEST(EngineFactoryTest, NotFoundErrorEnumeratesRecognizedEngines) {
+  const Status status = MakeEngine("bogus").status();
+  ASSERT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+  for (const std::string& name : KnownEngineNames()) {
+    EXPECT_NE(status.message().find(name), std::string::npos) << name;
+  }
+}
+
 TEST(EngineFactoryTest, PaperEnginesInFigureOrder) {
   const auto engines = MakePaperEngines();
   ASSERT_EQ(engines.size(), 5u);

@@ -1,0 +1,111 @@
+// caqe_serve — replay a deterministic arrival trace through the online
+// serving layer and print the serving report.
+//
+// Usage:
+//   caqe_serve [--rows=1000] [--sel=0.01] [--requests=12] [--rate=40]
+//              [--seed=2014] [--threads=1] [--target-regions=128]
+//              [--policy=contract|count] [--cancel-fraction=0.1]
+//              [--deadline-fraction=0.25] [--admit-all=0]
+//              [--report-out=PATH]      # write ServingReportText to PATH
+//              [--trace-out=PATH]       # write the ExecEvent stream as JSONL
+//
+// The trace is a pure function of (--seed, --rate, --requests), and the
+// report text excludes every non-deterministic quantity, so two invocations
+// that differ only in --threads (or in the CAQE_SIMD build flag) must print
+// byte-identical reports — scripts/run_serving_matrix.sh diffs exactly this.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.h"
+#include "metrics/export.h"
+
+namespace caqe {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int64_t rows = args.GetInt("rows", 1000);
+  const double selectivity = args.GetDouble("sel", 0.01);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 2014));
+
+  GeneratorConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {selectivity, selectivity};
+  cfg.seed = seed;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = seed + 1;
+  const Table t = GenerateTable("T", cfg).value();
+  const std::vector<MappingFunction> dims = {
+      MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
+  const std::vector<int> keys = {0, 1};
+
+  std::vector<ExecEvent> events;
+  ServeOptions options;
+  options.num_threads = bench::ThreadsFromArgs(args);
+  options.target_regions = static_cast<int>(args.GetInt("target-regions", 128));
+  options.admit_all = args.GetInt("admit-all", 0) != 0;
+  options.trace = &events;
+  const std::string policy = args.GetString("policy", "contract");
+  if (policy == "contract") {
+    options.policy = SchedulePolicy::kContractDriven;
+  } else if (policy == "count") {
+    options.policy = SchedulePolicy::kCountDriven;
+  } else {
+    std::fprintf(stderr, "unknown policy: %s (use contract|count)\n",
+                 policy.c_str());
+    return 1;
+  }
+
+  Result<std::unique_ptr<CaqeServer>> server =
+      CaqeServer::Create(r, t, dims, keys, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  TraceConfig trace_config;
+  trace_config.num_requests = static_cast<int>(args.GetInt("requests", 12));
+  trace_config.arrival_rate = args.GetDouble("rate", 40.0);
+  trace_config.seed = seed;
+  trace_config.reference_seconds = args.GetDouble("reference", 0.1);
+  trace_config.deadline_fraction = args.GetDouble("deadline-fraction", 0.25);
+  trace_config.cancel_fraction = args.GetDouble("cancel-fraction", 0.1);
+  const std::vector<TraceRequest> trace =
+      MakeSyntheticTrace(trace_config, keys, 3);
+  SubmitTrace(**server, trace);
+
+  Result<ServingReport> report = (*server)->Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const std::string text = ServingReportText(*report);
+  std::printf("%s", text.c_str());
+
+  const std::string report_out = args.GetString("report-out", "");
+  if (!report_out.empty()) {
+    const Status status = WriteTextFile(report_out, text);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", report_out.c_str());
+  }
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    const Status status = WriteTextFile(trace_out, ExecEventsJsonl(events));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events)\n", trace_out.c_str(), events.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caqe
+
+int main(int argc, char** argv) { return caqe::Main(argc, argv); }
