@@ -4,6 +4,11 @@
 //
 // Flags: --rows=N --sel=SIGMA --dist=correlated|independent|anticorrelated
 //        --queries=K --seed=S --csv=1
+//        --trace-out=PATH --metrics-out=PATH   # attach the observability
+//        layer and dump a Chrome/Perfetto trace / Prometheus snapshot.
+//        Deliberately silent on stdout: the printed tables must stay
+//        byte-identical with tracing on or off (scripts/run_obs_matrix.sh
+//        diffs exactly this).
 //
 // Paper-expected shape: CAQE highest almost everywhere (about 2x the
 // non-shared baselines on strict contracts); S-JFSL competitive only on
@@ -12,12 +17,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "metrics/export.h"
 
 namespace caqe {
 namespace bench {
 namespace {
 
-void RunDistribution(Distribution dist, const Args& args) {
+void RunDistribution(Distribution dist, const Args& args,
+                     Observability* obs) {
   BenchConfig config;
   config.rows = args.GetInt("rows", 4000);
   config.selectivity = args.GetDouble("sel", 0.01);
@@ -59,6 +66,7 @@ void RunDistribution(Distribution dist, const Args& args) {
     ExecOptions options;
     options.known_result_counts = calibration.result_counts;
     options.num_threads = ThreadsFromArgs(args);
+    options.obs = obs;
     for (const std::string& engine : engines) {
       const ExecutionReport report =
           RunEngine(engine, r, t, workload, contracts, options);
@@ -89,15 +97,36 @@ int Main(int argc, char** argv) {
   const Args args(argc, argv);
   std::printf(
       "CAQE reproduction: Figure 9 — average contract satisfaction\n\n");
+  const std::string trace_out = args.GetString("trace-out", "");
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  Observability obs;
+  Observability* const obs_ptr =
+      (!trace_out.empty() || !metrics_out.empty()) ? &obs : nullptr;
   const std::string dist = args.GetString("dist", "all");
   if (dist == "all") {
     for (Distribution d :
          {Distribution::kCorrelated, Distribution::kIndependent,
           Distribution::kAntiCorrelated}) {
-      RunDistribution(d, args);
+      RunDistribution(d, args, obs_ptr);
     }
   } else {
-    RunDistribution(ParseDistribution(dist).value(), args);
+    RunDistribution(ParseDistribution(dist).value(), args, obs_ptr);
+  }
+  // File writes only — stdout must not change with tracing attached.
+  if (!trace_out.empty()) {
+    const Status written = WriteTextFile(trace_out, obs.ChromeTrace());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    const Status written =
+        WriteTextFile(metrics_out, obs.metrics.PrometheusText());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,166 @@
+// Overhead of the observability layer (src/obs): the Figure 9 workload runs
+// repeatedly with tracing OFF (ExecOptions::obs null — disabled spans cost
+// one branch) and ON (full span + metrics + contract-health collection),
+// comparing median wall times. The run aborts if any deterministic counter
+// or the contract objective moves between the two modes — observability
+// must be invisible to the engine.
+//
+// Flags: --rows=N --sel=SIGMA --dist=... --queries=K --seed=S --repeats=R
+//        --threads=T --out=PATH (default BENCH_obs.json)
+//
+// Budget (DESIGN.md §10): median overhead must stay under 2% of wall time.
+// The JSON records both medians, the overhead percentage, and the span /
+// health-sample counts of one traced run.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/export.h"
+
+namespace caqe {
+namespace bench {
+namespace {
+
+std::string JsonField(const std::string& key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key.c_str(), value);
+  return buf;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// The deterministic face of a report: every counter that must be identical
+/// with observability on or off.
+struct DeterministicStats {
+  int64_t join_probes, join_results, dominance_cmps, coarse_ops, emitted;
+  double virtual_seconds, workload_pscore;
+  bool operator==(const DeterministicStats&) const = default;
+};
+
+DeterministicStats DeterministicFace(const ExecutionReport& report) {
+  const EngineStats& s = report.stats;
+  return {s.join_probes,   s.join_results, s.dominance_cmps,  s.coarse_ops,
+          s.emitted_results, s.virtual_seconds, report.workload_pscore};
+}
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  BenchConfig config;
+  config.rows = args.GetInt("rows", 6000);
+  config.selectivity = args.GetDouble("sel", 0.01);
+  config.num_queries = static_cast<int>(args.GetInt("queries", 11));
+  config.seed = args.GetInt("seed", 2014);
+  config.distribution =
+      ParseDistribution(args.GetString("dist", "independent")).value();
+  const int repeats = static_cast<int>(args.GetInt("repeats", 7));
+  const std::string out_path = args.GetString("out", "BENCH_obs.json");
+
+  auto [r, t] = MakeBenchTables(config);
+  const Workload workload =
+      MakeSubspaceWorkload(config.num_attrs, 0, config.num_queries,
+                           PriorityPolicy::kUniform, config.seed)
+          .value();
+  const Calibration calibration = Calibrate(r, t, workload);
+  const std::vector<Contract> contracts(
+      workload.num_queries(),
+      MakeTableTwoContract(2, calibration.reference_seconds,
+                           DistributionTightness(config.distribution)));
+
+  ExecOptions options;
+  options.known_result_counts = calibration.result_counts;
+  options.num_threads = ThreadsFromArgs(args);
+
+  std::printf(
+      "obs overhead: dist=%s N=%lld sigma=%.4f |S_Q|=%d repeats=%d "
+      "threads=%d\n\n",
+      DistributionName(config.distribution),
+      static_cast<long long>(config.rows), config.selectivity,
+      config.num_queries, repeats, options.num_threads);
+
+  // Interleave OFF/ON runs so thermal / frequency drift hits both equally.
+  std::vector<double> wall_off, wall_on;
+  DeterministicStats face_off{}, face_on{};
+  size_t span_count = 0, health_count = 0;
+  int64_t metric_families = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    options.obs = nullptr;
+    const ExecutionReport off =
+        RunEngine("CAQE", r, t, workload, contracts, options);
+    wall_off.push_back(off.stats.wall_seconds);
+    if (rep == 0) face_off = DeterministicFace(off);
+    CAQE_CHECK(DeterministicFace(off) == face_off);
+
+    Observability obs;
+    options.obs = &obs;
+    const ExecutionReport on =
+        RunEngine("CAQE", r, t, workload, contracts, options);
+    wall_on.push_back(on.stats.wall_seconds);
+    if (rep == 0) {
+      face_on = DeterministicFace(on);
+      span_count = obs.spans.size();
+      health_count = obs.health.size();
+      const std::string prom = obs.metrics.PrometheusText();
+      for (size_t pos = prom.find("# TYPE"); pos != std::string::npos;
+           pos = prom.find("# TYPE", pos + 1)) {
+        ++metric_families;
+      }
+    }
+    CAQE_CHECK(DeterministicFace(on) == face_on);
+  }
+  // The whole point: the engine cannot tell whether it is being observed.
+  CAQE_CHECK(face_on == face_off);
+
+  const double median_off = Median(wall_off);
+  const double median_on = Median(wall_on);
+  const double overhead_pct =
+      median_off > 0.0 ? 100.0 * (median_on - median_off) / median_off : 0.0;
+
+  std::printf("wall median off: %.4fs  on: %.4fs  overhead: %+.2f%%\n",
+              median_off, median_on, overhead_pct);
+  std::printf("spans: %zu  health samples: %zu  metric families: %lld\n",
+              span_count, health_count,
+              static_cast<long long>(metric_families));
+  std::printf("deterministic counters identical off/on: yes\n");
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"obs_overhead\",\n";
+  json += "  \"engine\": \"CAQE\",\n";
+  json += "  \"distribution\": \"" +
+          std::string(DistributionName(config.distribution)) + "\",\n";
+  json += "  \"rows\": " + std::to_string(config.rows) + ",\n";
+  json += "  \"queries\": " + std::to_string(config.num_queries) + ",\n";
+  json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+  json += "  \"threads\": " + std::to_string(options.num_threads) + ",\n";
+  json += "  " + JsonField("wall_median_off_seconds", median_off) + ",\n";
+  json += "  " + JsonField("wall_median_on_seconds", median_on) + ",\n";
+  json += "  " + JsonField("overhead_pct", overhead_pct) + ",\n";
+  json += "  \"spans\": " + std::to_string(span_count) + ",\n";
+  json += "  \"health_samples\": " + std::to_string(health_count) + ",\n";
+  json += "  \"metric_families\": " + std::to_string(metric_families) + ",\n";
+  json += "  \"deterministic_counters_identical\": true,\n";
+  json += "  \"budget_pct\": 2.0,\n";
+  json += std::string("  \"within_budget\": ") +
+          (overhead_pct < 2.0 ? "true" : "false") + "\n";
+  json += "}\n";
+  const Status written = WriteTextFile(out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace caqe
+
+int main(int argc, char** argv) { return caqe::bench::Main(argc, argv); }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Proves the observability layer's determinism contract: attaching the
+# tracing/metrics sinks must not change a single byte of any report. The
+# Figure 9 benchmark is run over the full matrix of SIMD builds
+# (CAQE_SIMD=OFF/ON) x tracing (detached / --trace-out + --metrics-out);
+# its stdout tables must be byte-identical down every column, and the
+# traced cells must actually produce a non-empty Chrome trace and a
+# Prometheus snapshot.
+#
+#   scripts/run_obs_matrix.sh [EXTRA_CMAKE_FLAGS...]
+#
+# Reuses the build trees of scripts/run_simd_matrix.sh when present.
+set -euo pipefail
+
+FIG9_ARGS=(--rows=2000)
+declare -A REPORTS
+
+for simd in OFF ON; do
+  build_dir="build-simd-${simd,,}"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCAQE_SIMD="${simd}" \
+    "$@"
+  cmake --build "${build_dir}" -j"$(nproc)" --target bench_fig9
+  for tracing in off on; do
+    out="${build_dir}/fig9_obs_${tracing}.txt"
+    extra=()
+    if [[ "${tracing}" == on ]]; then
+      extra=(--trace-out="${build_dir}/fig9_trace.json"
+             --metrics-out="${build_dir}/fig9_metrics.prom")
+    fi
+    "./${build_dir}/bench/bench_fig9" "${FIG9_ARGS[@]}" "${extra[@]}" \
+      > "${out}"
+    REPORTS["${simd}_${tracing}"]="${out}"
+  done
+  # The traced cell must have written real artifacts.
+  grep -q '"traceEvents"' "${build_dir}/fig9_trace.json"
+  grep -q '^# TYPE caqe_engine_dominance_cmps_total counter$' \
+    "${build_dir}/fig9_metrics.prom"
+  echo "artifacts ok: ${build_dir}/fig9_trace.json," \
+       "${build_dir}/fig9_metrics.prom"
+done
+
+# Every cell must match the scalar untraced baseline.
+baseline="${REPORTS[OFF_off]}"
+status=0
+for key in OFF_off OFF_on ON_off ON_on; do
+  if diff -u "${baseline}" "${REPORTS[${key}]}" > /dev/null; then
+    echo "fig9 stdout identical: ${key} vs OFF_off"
+  else
+    echo "FAIL: fig9 stdout differs: ${key} vs OFF_off" >&2
+    diff -u "${baseline}" "${REPORTS[${key}]}" >&2 || true
+    status=1
+  fi
+done
+exit "${status}"

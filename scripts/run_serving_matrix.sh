@@ -2,8 +2,11 @@
 # Proves the serving layer's determinism contract: one fixed arrival trace
 # replayed through caqe_serve must produce a byte-identical serving report
 # across the full matrix of SIMD builds (CAQE_SIMD=OFF/ON) and worker
-# thread counts (1 and 8). The report text deliberately excludes every
-# non-deterministic quantity, so any diff is a real determinism bug.
+# thread counts (1 and 8), plus one cell per build with the observability
+# layer attached (--trace_out/--metrics_out) — tracing is read-only with
+# respect to the engine, so it must not move a byte either. The report text
+# deliberately excludes every non-deterministic quantity, so any diff is a
+# real determinism bug.
 #
 #   scripts/run_serving_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
@@ -29,12 +32,23 @@ for simd in OFF ON; do
       --threads="${threads}" --report-out="${out}" > /dev/null
     REPORTS["${simd}_${threads}"]="${out}"
   done
+  # Tracing-attached cell: the observability layer must not move a byte.
+  out="${build_dir}/serving_traced.txt"
+  "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+    --threads=1 --report-out="${out}" \
+    --trace_out="${build_dir}/serving_trace.json" \
+    --metrics_out="${build_dir}/serving_metrics.prom" \
+    --health_out="${build_dir}/serving_health.jsonl" > /dev/null
+  REPORTS["${simd}_traced"]="${out}"
+  grep -q '"traceEvents"' "${build_dir}/serving_trace.json"
+  grep -q '^# TYPE caqe_serve_admission_decisions_total counter$' \
+    "${build_dir}/serving_metrics.prom"
 done
 
 # Every cell of the matrix must match the scalar single-threaded baseline.
 baseline="${REPORTS[OFF_1]}"
 status=0
-for key in OFF_1 OFF_8 ON_1 ON_8; do
+for key in OFF_1 OFF_8 ON_1 ON_8 OFF_traced ON_traced; do
   if diff -u "${baseline}" "${REPORTS[${key}]}" > /dev/null; then
     echo "serving report identical: ${key} vs OFF_1"
   else

@@ -43,6 +43,10 @@
 #include "exec/shared_plan_engine.h"
 #include "metrics/printer.h"
 #include "metrics/report.h"
+#include "obs/health.h"
+#include "obs/metrics_registry.h"
+#include "obs/observability.h"
+#include "obs/span.h"
 #include "partition/partitioner.h"
 #include "query/query.h"
 #include "query/workload_generator.h"

@@ -1,0 +1,26 @@
+// JSON string escaping shared by every JSON/JSONL writer in the tree
+// (metrics/export, obs/span, obs/metrics_registry, obs/health).
+//
+// The repository serializes user-controlled strings — engine names, query
+// names, metric labels — into JSON by hand. Every such write must go
+// through JsonAppendString/JsonQuote so that names containing `"`, `\`, or
+// control characters still produce valid JSON.
+#ifndef CAQE_COMMON_JSON_UTIL_H_
+#define CAQE_COMMON_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace caqe {
+
+/// Appends `s` to `out` as a JSON string literal *including* the enclosing
+/// quotes: `"` -> `\"`, `\` -> `\\`, and control characters (< 0x20) to
+/// their short escapes (\b \f \n \r \t) or \u00XX.
+void JsonAppendString(std::string& out, std::string_view s);
+
+/// Returns `s` as a quoted JSON string literal.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace caqe
+
+#endif  // CAQE_COMMON_JSON_UTIL_H_

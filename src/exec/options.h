@@ -9,6 +9,8 @@
 
 namespace caqe {
 
+struct Observability;
+
 /// One observable event of an engine execution, for debugging and
 /// post-hoc analysis of scheduling decisions.
 struct ExecEvent {
@@ -104,6 +106,11 @@ struct ExecOptions {
   /// how an application consumes progressive results instead of waiting
   /// for the final report.
   std::function<void(int query, double time, double utility)> on_result;
+  /// Tracing + metrics + contract-health bundle (src/obs/). Null (default)
+  /// disables all observability at the cost of one branch per span.
+  /// Observability never feeds the deterministic counters or the virtual
+  /// clock: reports are byte-identical with or without it.
+  Observability* obs = nullptr;
 };
 
 }  // namespace caqe

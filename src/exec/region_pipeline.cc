@@ -7,7 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "exec/phase_timer.h"
+#include "obs/observability.h"
 #include "region/region_dominance.h"
 
 namespace caqe {
@@ -56,6 +56,16 @@ RegionPipeline::RegionPipeline(const PartitionedTable* part_r,
   // scheduler setup (probe counters are charged at first use, so the
   // prefetch is invisible to EngineStats and the virtual clock).
   kernel_.PrefetchIndexes(*rc_, pool_);
+  if (options_.obs != nullptr) {
+    // Resolve hot-path metrics once; observations are virtual-time deltas,
+    // so the histograms are identical across thread counts.
+    region_service_hist_ = &options_.obs->metrics.histogram(
+        "caqe_region_service_virtual_seconds",
+        ExponentialBuckets(1e-6, 4.0, 12));
+    emission_latency_hist_ = &options_.obs->metrics.histogram(
+        "caqe_emission_latency_virtual_seconds",
+        ExponentialBuckets(1e-6, 4.0, 12));
+  }
   accepted_events_.resize(workload_->num_queries());
   evicted_events_.resize(workload_->num_queries());
   discard_tests_.resize(rc_->regions.size(), 0);
@@ -143,6 +153,9 @@ void RegionPipeline::EmitResult(int q, int64_t id) {
   ++stats_->emitted_results;
   if (options_.on_result) options_.on_result(global_q, now, utility);
   if (options_.on_emit) options_.on_emit(global_q, id, now, utility);
+  if (emission_latency_hist_ != nullptr) {
+    emission_latency_hist_->Observe(now - region_vstart_);
+  }
   if (options_.capture_results) {
     ReportedResult result;
     result.tuple_id = id;
@@ -157,10 +170,12 @@ void RegionPipeline::ProcessRegion(int rid) {
   CAQE_DCHECK((*pending_)[rid]);
   EnsureQueryCapacity();
   clock_->ChargeScheduleSteps(1);
+  region_vstart_ = clock_->Now();
   Record(ExecEvent::Kind::kRegionScheduled, rid, -1, 0);
   OutputRegion& region = rc_->regions[rid];
   EngineStats& stats = *stats_;
   const Workload& workload = *workload_;
+  TraceSink* const spans = Observability::Spans(options_.obs);
 
   // ---- Tuple-level join over the slots still serving queries. ----
   uint32_t slots_mask = 0;
@@ -172,12 +187,14 @@ void RegionPipeline::ProcessRegion(int rid) {
   }
   matches_.clear();
   {
-    PhaseTimer timer(&stats.wall_join_seconds);
+    TraceSpan span(spans, "join", "pipeline", &stats.wall_join_seconds);
+    span.set_region(rid);
     const int64_t probes_before = stats.join_probes;
     const int64_t results_before = stats.join_results;
     kernel_.Join(*rc_, region, slots_mask, matches_, stats, pool_);
     clock_->ChargeJoinProbes(stats.join_probes - probes_before);
     clock_->ChargeJoinResults(stats.join_results - results_before);
+    span.set_arg("join_results", stats.join_results - results_before);
   }
 
   // ---- Project and evaluate over the shared cuboid plans. ----
@@ -187,7 +204,8 @@ void RegionPipeline::ProcessRegion(int rid) {
   const int64_t num_matches = static_cast<int64_t>(matches_.size());
   const int64_t base_id = store_.size();
   {
-    PhaseTimer timer(&stats.wall_eval_seconds);
+    TraceSpan span(spans, "eval", "pipeline", &stats.wall_eval_seconds);
+    span.set_region(rid);
     // Materialize every match into the store first (ids are sequential in
     // match order, exactly as the serial append-per-match produced them);
     // rows are disjoint, so chunks project concurrently.
@@ -259,6 +277,7 @@ void RegionPipeline::ProcessRegion(int rid) {
       group_cmps[gi] = cmps;
     });
     for (int64_t cmps : group_cmps) stats.dominance_cmps += cmps;
+    span.set_arg("dominance_cmps", stats.dominance_cmps - cmps_before);
   }
   clock_->ChargeDominanceCmps(stats.dominance_cmps - cmps_before);
 
@@ -293,7 +312,9 @@ void RegionPipeline::ProcessRegion(int rid) {
   // same events in the same order.
   int64_t discard_ops = 0;
   {
-    PhaseTimer timer(&stats.wall_discard_seconds);
+    TraceSpan span(spans, "discard", "pipeline",
+                   &stats.wall_discard_seconds);
+    span.set_region(rid);
     const int64_t num_regions = static_cast<int64_t>(rc_->regions.size());
     if (discard_tests_.size() < static_cast<size_t>(num_regions)) {
       discard_tests_.resize(num_regions, 0);
@@ -350,36 +371,47 @@ void RegionPipeline::ProcessRegion(int rid) {
         }
       }
     }
+    span.set_arg("discard_ops", discard_ops);
   }
   stats.coarse_ops += discard_ops;
   clock_->ChargeCoarseOps(discard_ops);
 
   // ---- Progressive emission. ----
-  const int64_t emission_ops_before = emission_.coarse_ops();
-  emission_.OnRegionResolved(rid, resolved_emits);
-  std::vector<int64_t> direct_emits;
-  std::vector<int64_t> emitted_per_query(workload.num_queries(), 0);
-  for (int q = 0; q < workload.num_queries(); ++q) {
-    direct_emits.clear();
-    for (int64_t id : accepted_events_[q]) {
-      if (dead[q].contains(id)) continue;
-      emission_.OnAccepted(q, id, direct_emits);
+  {
+    TraceSpan span(spans, "emission", "pipeline");
+    span.set_region(rid);
+    const int64_t emitted_before = stats.emitted_results;
+    const int64_t emission_ops_before = emission_.coarse_ops();
+    emission_.OnRegionResolved(rid, resolved_emits);
+    std::vector<int64_t> direct_emits;
+    std::vector<int64_t> emitted_per_query(workload.num_queries(), 0);
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      direct_emits.clear();
+      for (int64_t id : accepted_events_[q]) {
+        if (dead[q].contains(id)) continue;
+        emission_.OnAccepted(q, id, direct_emits);
+      }
+      for (int64_t id : direct_emits) EmitResult(q, id);
+      emitted_per_query[q] += static_cast<int64_t>(direct_emits.size());
     }
-    for (int64_t id : direct_emits) EmitResult(q, id);
-    emitted_per_query[q] += static_cast<int64_t>(direct_emits.size());
-  }
-  for (const auto& [q, id] : resolved_emits) {
-    EmitResult(q, id);
-    ++emitted_per_query[q];
-  }
-  for (int q = 0; q < workload.num_queries(); ++q) {
-    if (emitted_per_query[q] > 0) {
-      Record(ExecEvent::Kind::kResultsEmitted, rid, q, emitted_per_query[q]);
+    for (const auto& [q, id] : resolved_emits) {
+      EmitResult(q, id);
+      ++emitted_per_query[q];
     }
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      if (emitted_per_query[q] > 0) {
+        Record(ExecEvent::Kind::kResultsEmitted, rid, q,
+               emitted_per_query[q]);
+      }
+    }
+    const int64_t emission_ops = emission_.coarse_ops() - emission_ops_before;
+    stats.coarse_ops += emission_ops;
+    clock_->ChargeCoarseOps(emission_ops);
+    span.set_arg("emitted", stats.emitted_results - emitted_before);
   }
-  const int64_t emission_ops = emission_.coarse_ops() - emission_ops_before;
-  stats.coarse_ops += emission_ops;
-  clock_->ChargeCoarseOps(emission_ops);
+  if (region_service_hist_ != nullptr) {
+    region_service_hist_->Observe(clock_->Now() - region_vstart_);
+  }
 }
 
 Status RegionPipeline::FinalDrain() {

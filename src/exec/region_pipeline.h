@@ -42,6 +42,9 @@
 
 namespace caqe {
 
+class Histogram;
+struct Observability;
+
 /// Queries sharing one join predicate *and* the same selections share a
 /// min-max cuboid plan: they see the same join-tuple stream, so their
 /// subspace skylines can be evaluated together (Section 4.1 restricts
@@ -80,6 +83,8 @@ struct PipelineOptions {
   /// indexes store().
   std::function<void(int query, int64_t id, double time, double utility)>
       on_emit;
+  /// Optional tracing/metrics/health bundle (see ExecOptions::obs).
+  Observability* obs = nullptr;
 };
 
 /// Tuple-level processing of one region collection. See file comment.
@@ -163,6 +168,13 @@ class RegionPipeline {
   ContractDrivenScheduler* scheduler_ = nullptr;
 
   std::vector<int> global_query_ids_;
+  // Metrics resolved once at construction when an Observability is attached
+  // (null otherwise). Virtual-time histograms: deterministic observations.
+  Histogram* region_service_hist_ = nullptr;
+  Histogram* emission_latency_hist_ = nullptr;
+  /// Virtual time the region currently in ProcessRegion was scheduled at
+  /// (emission latency = emit vtime - this).
+  double region_vstart_ = 0.0;
   CellJoinKernel kernel_;
   PointSet store_;
   EmissionManager emission_;

@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
-#include "exec/phase_timer.h"
 #include "exec/region_pipeline.h"
+#include "obs/observability.h"
 #include "optimizer/scheduler.h"
 #include "region/dependency_graph.h"
 #include "region/region_builder.h"
@@ -37,9 +37,13 @@ Status RunSharedCore(const PartitionedTable& part_r,
   }
   ThreadPool* const pool = pool_owner.get();
 
+  Observability* const obs = core_options.obs;
+  TraceSink* const spans = Observability::Spans(obs);
+
   // ---- Multi-query output look-ahead: coarse join. ----
   Result<RegionCollection> rc_result = [&] {
-    PhaseTimer timer(&stats.wall_region_build_seconds);
+    TraceSpan span(spans, "region_build", "core",
+                   &stats.wall_region_build_seconds);
     return BuildRegions(part_r, part_t, workload, pool);
   }();
   CAQE_RETURN_NOT_OK(rc_result.status());
@@ -63,6 +67,7 @@ Status RunSharedCore(const PartitionedTable& part_r,
   pipe_options.capture_results = core_options.capture_results;
   pipe_options.trace = core_options.trace;
   pipe_options.on_result = core_options.on_result;
+  pipe_options.obs = obs;
   RegionPipeline pipeline(&part_r, &part_t, &workload, &rc, &pending,
                           &pending_count, &tracker, &clock, &stats, &reports,
                           pool, std::move(pipe_options));
@@ -107,6 +112,7 @@ Status RunSharedCore(const PartitionedTable& part_r,
   sched_options.feedback_enabled = core_options.feedback;
   sched_options.contract_driven =
       core_options.policy == SchedulePolicy::kContractDriven;
+  sched_options.obs = obs;
   std::optional<ContractDrivenScheduler> scheduler;
   if (core_options.policy != SchedulePolicy::kStaticScan) {
     scheduler.emplace(&rc, &workload, &tracker, &clock.cost_model(),
@@ -114,6 +120,27 @@ Status RunSharedCore(const PartitionedTable& part_r,
     pipeline.set_scheduler(&scheduler.value());
   }
   int static_cursor = 0;
+
+  // Contract-health introspection: bind query names once, then sample the
+  // (pScore, results, weight) triple after every region at virtual time —
+  // deduped by ContractHealth, deterministic across thread counts.
+  if (obs != nullptr) {
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      obs->health.SetName(global_query_ids[q], workload.query(q).name);
+    }
+  }
+  auto sample_health = [&] {
+    if (obs == nullptr) return;
+    const double now = clock.Now();
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      const int global_q = global_query_ids[q];
+      const QuerySatisfaction& sat = tracker.satisfaction(global_q);
+      const double weight =
+          scheduler.has_value() ? scheduler->weight(q) : 1.0;
+      obs->health.Sample(now, global_q, sat.results, sat.pscore, weight);
+    }
+  };
+  sample_health();
 
   while (pending_count > 0) {
     // ---- Pick the next region. ----
@@ -138,6 +165,7 @@ Status RunSharedCore(const PartitionedTable& part_r,
 
     // ---- Satisfaction feedback (Eq. 11). ----
     if (scheduler.has_value()) scheduler->UpdateWeights();
+    sample_health();
   }
 
   return pipeline.FinalDrain();

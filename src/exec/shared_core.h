@@ -43,6 +43,8 @@ struct CoreOptions {
   /// Optional streaming consumer, called with *global* query ids (see
   /// ExecOptions::on_result).
   std::function<void(int query, double time, double utility)> on_result;
+  /// Optional tracing/metrics/health bundle (see ExecOptions::obs).
+  Observability* obs = nullptr;
 };
 
 /// Executes `workload` over the partitioned inputs with the shared

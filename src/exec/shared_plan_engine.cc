@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/observability.h"
+
 namespace caqe {
 
 
@@ -45,6 +47,7 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
   core.known_result_counts = options.known_result_counts;
   core.trace = options.trace;
   core.on_result = options.on_result;
+  core.obs = options.obs;
 
   CAQE_RETURN_NOT_OK(RunSharedCore(*part_r, *part_t, workload, identity,
                                    tracker, clock, report.stats,
@@ -67,6 +70,9 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  if (options.obs != nullptr) {
+    RecordEngineStats(options.obs->metrics, report.stats);
+  }
   return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/json_util.h"
 #include "metrics/printer.h"
 
 namespace caqe {
@@ -69,7 +70,8 @@ const char* ExecEventKindName(ExecEvent::Kind kind) {
   return "unknown";
 }
 
-std::string ExecEventsJsonl(const std::vector<ExecEvent>& events) {
+std::string ExecEventsJsonl(const std::vector<ExecEvent>& events,
+                            const std::vector<std::string>& query_names) {
   std::string out;
   for (const ExecEvent& event : events) {
     out += "{\"kind\":\"";
@@ -80,6 +82,11 @@ std::string ExecEventsJsonl(const std::vector<ExecEvent>& events) {
     out += std::to_string(event.region);
     out += ",\"query\":";
     out += std::to_string(event.query);
+    if (event.query >= 0 &&
+        event.query < static_cast<int>(query_names.size())) {
+      out += ",\"name\":";
+      JsonAppendString(out, query_names[event.query]);
+    }
     out += ",\"count\":";
     out += std::to_string(event.count);
     out += "}\n";

@@ -38,7 +38,12 @@ const char* ExecEventKindName(ExecEvent::Kind kind);
 /// time format), so two runs' exports byte-match iff their event streams
 /// match. This makes serving-mode scheduling decisions post-hoc
 /// inspectable with standard JSONL tooling.
-std::string ExecEventsJsonl(const std::vector<ExecEvent>& events);
+///
+/// `query_names`, when non-empty, adds a `"name"` field to every event with
+/// a resolvable query index (names[event.query]). Names are caller data and
+/// are JSON-escaped — a query named `a"b\c` exports as `"a\"b\\c"`.
+std::string ExecEventsJsonl(const std::vector<ExecEvent>& events,
+                            const std::vector<std::string>& query_names = {});
 
 /// Writes `content` to `path`, overwriting. Returns an error Status on I/O
 /// failure.

@@ -1,0 +1,82 @@
+#include "obs/health.h"
+
+#include <cstdio>
+
+#include "common/json_util.h"
+
+namespace caqe {
+
+namespace {
+
+std::string HealthDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", v);
+  return buf;
+}
+
+}  // namespace
+
+void ContractHealth::SetName(int id, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  names_[id] = std::move(name);
+}
+
+void ContractHealth::Sample(double vtime, int id, int64_t results,
+                            double pscore, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = last_.find(id);
+  if (it != last_.end() && it->second.results == results &&
+      it->second.pscore == pscore && it->second.weight == weight) {
+    return;  // Unchanged since the last sample.
+  }
+  const HealthSample sample{vtime, id, results, pscore, weight};
+  last_[id] = sample;
+  if (samples_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back(sample);
+}
+
+std::vector<HealthSample> ContractHealth::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::string ContractHealth::LabelOf(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = names_.find(id);
+  const std::string name = it == names_.end() ? "" : it->second;
+  return name + "#" + std::to_string(id);
+}
+
+std::string ContractHealth::Jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const HealthSample& sample : samples_) {
+    out += "{\"vtime\":" + HealthDouble(sample.vtime);
+    out += ",\"id\":" + std::to_string(sample.id);
+    const auto it = names_.find(sample.id);
+    if (it != names_.end()) {
+      out += ",\"name\":";
+      JsonAppendString(out, it->second);
+    }
+    out += ",\"results\":" + std::to_string(sample.results);
+    out += ",\"pscore\":" + HealthDouble(sample.pscore);
+    out += ",\"weight\":" + HealthDouble(sample.weight);
+    out += "}\n";
+  }
+  return out;
+}
+
+int64_t ContractHealth::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t ContractHealth::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+}  // namespace caqe

@@ -1,0 +1,72 @@
+// Contract-health introspection: per-query pScore trajectories and Eq. 11
+// satisfaction-weight timelines.
+//
+// The execution loops (RunSharedCore, CaqeServer::Run) sample every live
+// query after each region completes; a sample is recorded only when the
+// query's (results, pscore, weight) triple changed, so the timeline stays
+// proportional to actual progress instead of regions x queries. Samples
+// are stamped with *virtual* time, which makes trajectories deterministic
+// across thread counts and SIMD builds.
+//
+// Sampling is bounded: past `capacity` samples new ones are counted in
+// dropped() instead of silently truncating the timeline.
+#ifndef CAQE_OBS_HEALTH_H_
+#define CAQE_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caqe {
+
+/// One contract-health sample. `id` is caller-defined: the serving layer
+/// keys by request id, the batch engines by global query index.
+struct HealthSample {
+  double vtime = 0.0;
+  int id = -1;
+  int64_t results = 0;
+  double pscore = 0.0;
+  /// Scheduler satisfaction weight (Eq. 11); 1 when no scheduler runs.
+  double weight = 1.0;
+};
+
+class ContractHealth {
+ public:
+  /// Binds a display name to `id` (query/request name; escaped at export).
+  void SetName(int id, std::string name);
+
+  /// Records a sample unless it equals the previous sample for `id`.
+  void Sample(double vtime, int id, int64_t results, double pscore,
+              double weight);
+
+  /// All samples in record order (deterministic: sampling happens on the
+  /// serial driver thread at virtual timestamps).
+  std::vector<HealthSample> Snapshot() const;
+
+  /// "name#id" when a name is bound, "#id" otherwise.
+  std::string LabelOf(int id) const;
+
+  /// One JSON object per line per sample:
+  ///   {"vtime":...,"id":3,"name":"S3","results":5,"pscore":1.25,
+  ///    "weight":0.75}
+  std::string Jsonl() const;
+
+  int64_t dropped() const;
+  size_t size() const;
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_ = 1 << 18;
+  int64_t dropped_ = 0;
+  std::vector<HealthSample> samples_;
+  /// Last recorded sample per id (dedup state).
+  std::map<int, HealthSample> last_;
+  std::map<int, std::string> names_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_OBS_HEALTH_H_

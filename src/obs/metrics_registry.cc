@@ -1,0 +1,204 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/json_util.h"
+#include "common/macros.h"
+
+namespace caqe {
+
+namespace {
+
+/// Shortest round-trip double formatting (%g keeps bucket labels like
+/// "0.005" readable and locale-independent).
+std::string MetricDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Splits "base{labels}" into base and the label body (without braces).
+void SplitLabels(const std::string& name, std::string& base,
+                 std::string& labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// Renders "base{labels,extra}" (any of labels/extra may be empty).
+std::string WithLabels(const std::string& base, const std::string& labels,
+                       const std::string& extra) {
+  if (labels.empty() && extra.empty()) return base;
+  std::string out = base + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra + "}";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CAQE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);  // +Inf bucket last.
+}
+
+void Histogram::Observe(double v) {
+  // Prometheus `le` semantics: bucket i counts v <= bounds[i], so the
+  // target is the first bound >= v; past the last bound lands in +Inf.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[bucket] += 1;
+  count_ += 1;
+  sum_ += v;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  int64_t running = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    running += buckets_[i];
+    snapshot.cumulative.push_back(running);
+  }
+  return snapshot;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  CAQE_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> bounds;
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> RelativeErrorBuckets() {
+  const std::vector<double> ladder = {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0};
+  std::vector<double> bounds;
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+    bounds.push_back(-*it);
+  }
+  bounds.push_back(0.0);
+  for (double b : ladder) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, counter] : counters_) {
+    std::string base, labels;
+    SplitLabels(name, base, labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " counter\n";
+      last_base = base;
+    }
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    std::string base, labels;
+    SplitLabels(name, base, labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " gauge\n";
+      last_base = base;
+    }
+    out += name + " " + MetricDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string base, labels;
+    SplitLabels(name, base, labels);
+    out += "# TYPE " + base + " histogram\n";
+    const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+    for (size_t i = 0; i < snapshot.bounds.size(); ++i) {
+      out += WithLabels(base + "_bucket", labels,
+                        "le=\"" + MetricDouble(snapshot.bounds[i]) + "\"") +
+             " " + std::to_string(snapshot.cumulative[i]) + "\n";
+    }
+    out += WithLabels(base + "_bucket", labels, "le=\"+Inf\"") + " " +
+           std::to_string(snapshot.count) + "\n";
+    out += WithLabels(base + "_sum", labels, "") + " " +
+           MetricDouble(snapshot.sum) + "\n";
+    out += WithLabels(base + "_count", labels, "") + " " +
+           std::to_string(snapshot.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    JsonAppendString(out, name);
+    out += ":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    JsonAppendString(out, name);
+    out += ":" + MetricDouble(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    JsonAppendString(out, name);
+    const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+    out += ":{\"count\":" + std::to_string(snapshot.count);
+    out += ",\"sum\":" + MetricDouble(snapshot.sum);
+    out += ",\"buckets\":[";
+    for (size_t i = 0; i < snapshot.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"le\":" + MetricDouble(snapshot.bounds[i]) +
+             ",\"count\":" + std::to_string(snapshot.cumulative[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace caqe

@@ -1,0 +1,107 @@
+// Named metrics: counters, gauges, and fixed-bucket histograms with
+// Prometheus text exposition and a JSON snapshot writer.
+//
+// Metric names follow the Prometheus convention and may carry a baked-in
+// label set: `caqe_serve_admission_decisions_total{decision="admit"}`.
+// Registration is get-or-create and returns a stable reference, so hot
+// paths resolve their metrics once and then update lock-free (counters and
+// gauges are atomics; histogram observation takes a short per-histogram
+// lock).
+//
+// Everything here is observability-only: nothing in this file may feed a
+// deterministic counter, the virtual clock, or any scheduling decision —
+// reports must stay byte-identical with metrics enabled or disabled.
+#ifndef CAQE_OBS_METRICS_REGISTRY_H_
+#define CAQE_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caqe {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+/// order; an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    /// Cumulative counts per bound (Prometheus `le` semantics), excluding
+    /// the +Inf bucket (== count).
+    std::vector<int64_t> cumulative;
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;  // Per-bucket (non-cumulative), +Inf last.
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Upper bounds start, start*factor, ... (count values) — the usual
+/// latency-histogram ladder.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+/// Symmetric relative-error bounds around zero:
+/// {-b_k..-b_1, 0, b_1..b_k} for b = {0.05, 0.1, 0.25, 0.5, 1, 2, 5}.
+std::vector<double> RelativeErrorBuckets();
+
+/// Thread-safe name -> metric registry. References returned by the
+/// accessors stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get-or-create; `bounds` are only consulted on first creation.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Prometheus text exposition (sorted by name; one `# TYPE` line per
+  /// metric family). Deterministic given deterministic metric values.
+  std::string PrometheusText() const;
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Names are JSON-escaped, so hostile query names in labels stay valid.
+  std::string JsonSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,44 @@
+// Observability bundle: one object owning the trace sink, the metrics
+// registry, and the contract-health sampler for a run.
+//
+// Pass a pointer to an Observability through ExecOptions / ServeOptions to
+// enable tracing and metrics; leave it null (the default) for zero-cost
+// disabled spans. The bundle is observability-only by construction — no
+// engine code may read it to make a decision, so deterministic reports stay
+// byte-identical whether or not one is attached (scripts/run_obs_matrix.sh
+// proves this).
+#ifndef CAQE_OBS_OBSERVABILITY_H_
+#define CAQE_OBS_OBSERVABILITY_H_
+
+#include "obs/health.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+
+namespace caqe {
+
+struct EngineStats;
+
+struct Observability {
+  TraceSink spans;
+  MetricsRegistry metrics;
+  ContractHealth health;
+
+  /// Convenience: sink for spans, or nullptr when `obs` is null.
+  static TraceSink* Spans(Observability* obs) {
+    return obs == nullptr ? nullptr : &obs->spans;
+  }
+
+  /// Chrome/Perfetto trace of everything collected (spans + health tracks).
+  std::string ChromeTrace() const {
+    return ChromeTraceJson(spans.Snapshot(), &health);
+  }
+};
+
+/// Mirrors the deterministic EngineStats counters and the wall_* phase
+/// buckets into `registry` as caqe_engine_* gauges/counters. Call once per
+/// completed run.
+void RecordEngineStats(MetricsRegistry& registry, const EngineStats& stats);
+
+}  // namespace caqe
+
+#endif  // CAQE_OBS_OBSERVABILITY_H_

@@ -1,0 +1,151 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json_util.h"
+#include "obs/health.h"
+
+namespace caqe {
+
+namespace {
+
+/// Fixed-width double formatting for JSON (enough digits for microsecond
+/// timestamps, no locale dependence).
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::atomic<int> g_next_thread_id{0};
+
+}  // namespace
+
+int LogicalThreadId() {
+  thread_local int id = g_next_thread_id.fetch_add(1);
+  return id;
+}
+
+void TraceSink::Record(SpanRecord record) {
+  Shard& shard = shards_[LogicalThreadId() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.records.push_back(record);
+}
+
+std::vector<SpanRecord> TraceSink::Snapshot() const {
+  std::vector<SpanRecord> merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.insert(merged.end(), shard.records.begin(), shard.records.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+size_t TraceSink::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.records.size();
+  }
+  return total;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
+                            const ContractHealth* health) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto append_event = [&](const std::string& body) {
+    if (!first) out += ",\n";
+    first = false;
+    out += body;
+  };
+
+  // Process metadata: pid 0 carries the wall-clock spans, pid 1 the
+  // virtual-time contract-health counters (their timestamps are virtual
+  // seconds, a different clock domain than the spans').
+  append_event(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"caqe wall clock\"}}");
+  if (health != nullptr) {
+    append_event(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"caqe virtual clock (contract health)\"}}");
+  }
+
+  for (const SpanRecord& span : spans) {
+    std::string event = "{\"name\":";
+    JsonAppendString(event, span.name);
+    event += ",\"cat\":";
+    JsonAppendString(event, span.category);
+    event += ",\"ph\":\"X\",\"ts\":" + JsonDouble(span.start_us);
+    event += ",\"dur\":" + JsonDouble(span.dur_us);
+    event += ",\"pid\":0,\"tid\":" + std::to_string(span.tid);
+    event += ",\"args\":{\"seq\":" + std::to_string(span.seq);
+    if (span.region >= 0) {
+      event += ",\"region\":" + std::to_string(span.region);
+    }
+    if (span.query >= 0) event += ",\"query\":" + std::to_string(span.query);
+    if (span.arg_name != nullptr) {
+      event += ',';
+      JsonAppendString(event, span.arg_name);
+      event += ':' + std::to_string(span.arg_value);
+    }
+    event += "}}";
+    append_event(event);
+  }
+
+  if (health != nullptr) {
+    // Counter tracks: one pScore and one weight series per query, stamped
+    // in virtual microseconds so trajectories render as Perfetto counters.
+    for (const HealthSample& sample : health->Snapshot()) {
+      const std::string label = health->LabelOf(sample.id);
+      std::string event = "{\"name\":";
+      JsonAppendString(event, "pscore " + label);
+      event += ",\"ph\":\"C\",\"ts\":" + JsonDouble(sample.vtime * 1e6);
+      event += ",\"pid\":1,\"tid\":0,\"args\":{\"pscore\":" +
+               JsonDouble(sample.pscore) + "}}";
+      append_event(event);
+      event = "{\"name\":";
+      JsonAppendString(event, "weight " + label);
+      event += ",\"ph\":\"C\",\"ts\":" + JsonDouble(sample.vtime * 1e6);
+      event += ",\"pid\":1,\"tid\":0,\"args\":{\"weight\":" +
+               JsonDouble(sample.weight) + "}}";
+      append_event(event);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string SpansJsonl(const std::vector<SpanRecord>& spans,
+                       bool include_timing) {
+  std::string out;
+  for (const SpanRecord& span : spans) {
+    out += "{\"name\":";
+    JsonAppendString(out, span.name);
+    out += ",\"cat\":";
+    JsonAppendString(out, span.category);
+    out += ",\"seq\":" + std::to_string(span.seq);
+    out += ",\"region\":" + std::to_string(span.region);
+    out += ",\"query\":" + std::to_string(span.query);
+    if (span.arg_name != nullptr) {
+      out += ",\"arg\":";
+      JsonAppendString(out, span.arg_name);
+      out += ",\"value\":" + std::to_string(span.arg_value);
+    }
+    if (include_timing) {
+      out += ",\"ts_us\":" + JsonDouble(span.start_us);
+      out += ",\"dur_us\":" + JsonDouble(span.dur_us);
+      out += ",\"tid\":" + std::to_string(span.tid);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace caqe

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observability.h"
 #include "skyline/cardinality.h"
 
 namespace caqe {
@@ -33,6 +34,13 @@ ContractDrivenScheduler::ContractDrivenScheduler(
   // Witness -1 means "not yet computed"; mark with NaN-free sentinel: use
   // witness == -2 for "computed, no dominator". Start all entries stale.
   for (DomFrac& d : dom_frac_cache_) d.witness = -1;
+  if (options_.obs != nullptr) {
+    MetricsRegistry& metrics = options_.obs->metrics;
+    picks_counter_ = &metrics.counter("caqe_scheduler_picks_total");
+    scan_ops_counter_ = &metrics.counter("caqe_scheduler_scan_ops_total");
+    csm_hist_ = &metrics.histogram("caqe_scheduler_csm_score",
+                                   ExponentialBuckets(1e-3, 10.0, 10));
+  }
 }
 
 double ContractDrivenScheduler::ComputeDominatedFrac(int region, int q,
@@ -161,6 +169,11 @@ int ContractDrivenScheduler::PickNext(double now, int64_t* coarse_ops) {
   }
   if (coarse_ops != nullptr) *coarse_ops += scan_ops_;
   CAQE_CHECK(best >= 0);
+  if (picks_counter_ != nullptr) {
+    picks_counter_->Inc();
+    scan_ops_counter_->Inc(scan_ops_);
+    if (best_score >= 0.0) csm_hist_->Observe(best_score);
+  }
   return best;
 }
 

@@ -25,6 +25,10 @@
 
 namespace caqe {
 
+class Counter;
+class Histogram;
+struct Observability;
+
 /// Scheduling policy knobs (ablations flip these).
 struct SchedulerOptions {
   /// Apply Eq. 11 weight feedback after every region (CAQE default). When
@@ -39,6 +43,9 @@ struct SchedulerOptions {
   /// Uses an edge-free dependency graph (lineage churn invalidates any
   /// precomputed ordering) and keeps removed regions re-activatable.
   bool dynamic_workload = false;
+  /// Optional metrics bundle: PickNext records pick counts, scoring-scan
+  /// ops, and the winning CSM score. Never feeds a scheduling decision.
+  Observability* obs = nullptr;
 };
 
 /// Implements Algorithm 1 over a region collection whose lineages the
@@ -141,6 +148,10 @@ class ContractDrivenScheduler {
   mutable std::vector<DomFrac> dom_frac_cache_;
   int query_stride_ = 0;
   mutable int64_t scan_ops_ = 0;
+  // Metrics resolved once at construction when options_.obs is attached.
+  Counter* picks_counter_ = nullptr;
+  Counter* scan_ops_counter_ = nullptr;
+  Histogram* csm_hist_ = nullptr;
 };
 
 }  // namespace caqe

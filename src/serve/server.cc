@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/engine.h"
+#include "obs/observability.h"
 #include "serve/admission.h"
 #include "skyline/cardinality.h"
 
@@ -101,6 +102,7 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
   pipe_options.dva_mode = options_.dva_mode;
   pipe_options.capture_results = false;
   pipe_options.trace = options_.trace;
+  pipe_options.obs = options_.obs;
   pipe_options.on_emit = [this](int query, int64_t id, double time,
                                 double utility) {
     const int request_id = slot_request_[query];
@@ -108,9 +110,19 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
     RequestState& request = requests_[request_id];
     if (request.time_to_first_result < 0.0) {
       request.time_to_first_result = time - request.submit_time;
+      if (ttfr_hist_ != nullptr) {
+        ttfr_hist_->Observe(request.time_to_first_result);
+      }
     }
     if (request.callback) request.callback(request_id, id, time, utility);
   };
+  if (options_.obs != nullptr) {
+    ttfr_hist_ = &options_.obs->metrics.histogram(
+        "caqe_serve_time_to_first_result_vseconds",
+        ExponentialBuckets(1e-4, 4.0, 14));
+    svc_err_hist_ = &options_.obs->metrics.histogram(
+        "caqe_serve_service_time_relative_error", RelativeErrorBuckets());
+  }
   pipeline_ = std::make_unique<RegionPipeline>(
       &*part_r_, &*part_t_, &workload_, &rc_, &pending_, &pending_count_,
       &*tracker_, &clock_, &stats_, &query_reports_, pool_,
@@ -123,6 +135,7 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
     sched_options.contract_driven =
         options_.policy == SchedulePolicy::kContractDriven;
     sched_options.dynamic_workload = true;
+    sched_options.obs = options_.obs;
     scheduler_.emplace(&rc_, &workload_, &*tracker_, &clock_.cost_model(),
                        sched_options);
     // The bootstrap slots start dormant: no weight, no Eq. 11 share.
@@ -183,6 +196,10 @@ void CaqeServer::RecordEvent(ExecEvent::Kind kind, int region, int query,
 }
 
 AdmissionDecision CaqeServer::Decide(RequestState& request) {
+  // Admission is control-plane: the span is wall-only and the counters are
+  // observability-only, never charged to the virtual clock.
+  TraceSpan span(Observability::Spans(options_.obs), "admission", "serve");
+  span.set_query(request.id);
   AdmissionInput in;
   in.rc = &rc_;
   in.part_r = &*part_r_;
@@ -200,6 +217,16 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
   request.expected_utility = est.expected_utility;
   request.lineage_regions = est.lineage_regions;
   request.reason = est.reason;
+  request.est_first_seconds = est.est_first_seconds;
+  request.est_finish_seconds = est.est_finish_seconds;
+  if (options_.obs != nullptr) {
+    options_.obs->metrics
+        .counter(std::string("caqe_serve_admission_decisions_total{"
+                             "decision=\"") +
+                 AdmissionDecisionName(est.decision) + "\",reason=\"" +
+                 est.reason + "\"}")
+        .Inc();
+  }
   switch (est.decision) {
     case AdmissionDecision::kAdmit: {
       request.decision_time = clock_.Now();
@@ -223,6 +250,8 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
 }
 
 Status CaqeServer::Graft(RequestState& request) {
+  TraceSpan span(Observability::Spans(options_.obs), "graft", "serve");
+  span.set_query(request.id);
   int pslot = -1;
   for (int s = 0; s < static_cast<int>(rc_.predicate_slots.size()); ++s) {
     if (rc_.predicate_slots[s] == request.query.join_key) {
@@ -298,11 +327,17 @@ Status CaqeServer::Graft(RequestState& request) {
 
   slot_request_[slot] = request.id;
   request.slot = slot;
+  if (options_.obs != nullptr) {
+    options_.obs->health.SetName(request.id, request.query.name);
+  }
+  span.set_arg("lineage_regions", live);
   RecordEvent(ExecEvent::Kind::kQueryAdmitted, -1, slot, live);
   return Status::OK();
 }
 
 void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
+  TraceSpan span(Observability::Spans(options_.obs), "retire", "serve");
+  span.set_query(request.id);
   const int slot = request.slot;
   CAQE_CHECK(slot >= 0);
   const double now = clock_.Now();
@@ -341,6 +376,20 @@ void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
   free_slots_.insert(
       std::lower_bound(free_slots_.begin(), free_slots_.end(), slot), slot);
   capacity_freed_ = true;
+  if (options_.obs != nullptr) {
+    options_.obs->metrics
+        .counter(std::string("caqe_serve_retired_total{status=\"") +
+                 RequestStatusName(final_status) + "\"}")
+        .Inc();
+    // Estimation quality: completed requests compare the admission-time
+    // service estimate against the observed (virtual) service time.
+    if (final_status == RequestStatus::kCompleted &&
+        svc_err_hist_ != nullptr && request.est_finish_seconds > 0.0) {
+      const double observed = now - request.submit_time;
+      svc_err_hist_->Observe((observed - request.est_finish_seconds) /
+                             request.est_finish_seconds);
+    }
+  }
   RecordEvent(ExecEvent::Kind::kQueryRetired, -1, slot,
               request.parked_dropped);
 }
@@ -462,6 +511,21 @@ Result<ServingReport> CaqeServer::Run() {
       const int rid = PickRegion();
       pipeline_->ProcessRegion(rid);
       if (scheduler_.has_value()) scheduler_->UpdateWeights();
+      // Contract-health trajectories, keyed by *request id* (workload slots
+      // are reused across requests; request ids are not).
+      if (options_.obs != nullptr) {
+        const double now = clock_.Now();
+        for (int slot = 0; slot < static_cast<int>(slot_request_.size());
+             ++slot) {
+          const int request_id = slot_request_[slot];
+          if (request_id < 0) continue;
+          const QuerySatisfaction& sat = tracker_->satisfaction(slot);
+          const double weight =
+              scheduler_.has_value() ? scheduler_->weight(slot) : 1.0;
+          options_.obs->health.Sample(now, request_id, sat.results,
+                                      sat.pscore, weight);
+        }
+      }
       continue;
     }
     if (cursor < events_.size()) {
@@ -539,6 +603,14 @@ Result<ServingReport> CaqeServer::Run() {
   report.control_ops = control_ops_;
   report.stats = stats_;
   report.stats.virtual_seconds = clock_.Now();
+  if (options_.obs != nullptr) {
+    MetricsRegistry& metrics = options_.obs->metrics;
+    RecordEngineStats(metrics, report.stats);
+    metrics.gauge("caqe_serve_admission_rate").Set(report.admission_rate);
+    metrics.gauge("caqe_serve_finish_vtime_seconds").Set(report.finish_vtime);
+    metrics.counter("caqe_serve_control_ops_total").Inc(report.control_ops);
+    metrics.counter("caqe_serve_submitted_total").Inc(report.submitted);
+  }
   return report;
 }
 

@@ -120,6 +120,10 @@ class CaqeServer {
     double time_to_first_result = -1.0;
     int defers = 0;
     double expected_utility = 0.0;
+    /// Admission-time service estimates (seconds from submission), kept for
+    /// the observed-vs-estimated error metric.
+    double est_first_seconds = 0.0;
+    double est_finish_seconds = 0.0;
     int64_t lineage_regions = 0;
     int64_t parked_dropped = 0;
     int64_t results = 0;
@@ -188,6 +192,11 @@ class CaqeServer {
   std::vector<RequestState> requests_;
   std::vector<TraceEvent> events_;
   int64_t control_ops_ = 0;
+  // Metrics resolved once in Bootstrap when options_.obs is attached.
+  // Observations are virtual-time quantities, so both histograms are
+  // deterministic across thread counts.
+  Histogram* ttfr_hist_ = nullptr;
+  Histogram* svc_err_hist_ = nullptr;
   bool ran_ = false;
   /// Set when capacity may have freed (a slot returned); gates deferred
   /// retries so they happen exactly when something could have changed.

@@ -91,6 +91,10 @@ struct ServeOptions {
   /// Optional event sink: admission/retirement/scheduling events land here
   /// with virtual timestamps (export with ExecEventsJsonl).
   std::vector<ExecEvent>* trace = nullptr;
+  /// Tracing + metrics + contract-health bundle (see ExecOptions::obs).
+  /// Admission decisions, TTFR, and service-time estimation error are
+  /// recorded here; never read back — reports stay byte-identical.
+  Observability* obs = nullptr;
 };
 
 /// Final per-request outcome, embedded in the ServingReport.

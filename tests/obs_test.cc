@@ -1,0 +1,413 @@
+// Observability layer tests (src/obs/): span sink thread safety, metrics
+// registry exposition formats, contract-health timelines, export escaping,
+// and — most importantly — the determinism guarantees: attaching an
+// Observability must not change a single deterministic byte of any engine
+// or serving report.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "caqe/caqe.h"
+#include "metrics/export.h"
+#include "test_util.h"
+
+namespace caqe {
+namespace {
+
+using ::caqe::testing::MakeTables;
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistryTest, CounterAndGaugeRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("caqe_test_ops_total").Inc();
+  registry.counter("caqe_test_ops_total").Inc(4);
+  registry.gauge("caqe_test_level").Set(2.5);
+  EXPECT_EQ(registry.counter("caqe_test_ops_total").value(), 5);
+  EXPECT_EQ(registry.gauge("caqe_test_level").value(), 2.5);
+}
+
+TEST(MetricsRegistryTest, HistogramUsesInclusiveUpperBounds) {
+  Histogram hist({1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // <= 1
+  hist.Observe(1.0);    // <= 1 (inclusive le semantics)
+  hist.Observe(10.0);   // <= 10
+  hist.Observe(99.0);   // <= 100
+  hist.Observe(1000.0); // +Inf
+  const Histogram::Snapshot snap = hist.TakeSnapshot();
+  ASSERT_EQ(snap.cumulative.size(), 3u);
+  EXPECT_EQ(snap.cumulative[0], 2);
+  EXPECT_EQ(snap.cumulative[1], 3);
+  EXPECT_EQ(snap.cumulative[2], 4);
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 10.0 + 99.0 + 1000.0);
+}
+
+TEST(MetricsRegistryTest, BucketLadders) {
+  const std::vector<double> exp = ExponentialBuckets(1e-3, 10.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1e-3);
+  EXPECT_DOUBLE_EQ(exp[3], 1.0);
+
+  const std::vector<double> rel = RelativeErrorBuckets();
+  ASSERT_EQ(rel.size(), 15u);  // 7 negative, zero, 7 positive.
+  EXPECT_DOUBLE_EQ(rel.front(), -5.0);
+  EXPECT_DOUBLE_EQ(rel[7], 0.0);
+  EXPECT_DOUBLE_EQ(rel.back(), 5.0);
+  EXPECT_TRUE(std::is_sorted(rel.begin(), rel.end()));
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("caqe_decisions_total{decision=\"admit\"}").Inc(3);
+  registry.counter("caqe_decisions_total{decision=\"reject\"}").Inc();
+  registry.gauge("caqe_rate").Set(0.75);
+  registry.histogram("caqe_lat_seconds", {0.1, 1.0}).Observe(0.05);
+  registry.histogram("caqe_lat_seconds", {0.1, 1.0}).Observe(5.0);
+  const std::string text = registry.PrometheusText();
+
+  // One # TYPE line per family, shared across the label variants.
+  EXPECT_NE(text.find("# TYPE caqe_decisions_total counter\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE caqe_decisions_total counter",
+                      text.find("# TYPE caqe_decisions_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("caqe_decisions_total{decision=\"admit\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caqe_decisions_total{decision=\"reject\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE caqe_rate gauge\ncaqe_rate 0.75\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf == count, _sum and _count lines.
+  EXPECT_NE(text.find("caqe_lat_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caqe_lat_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caqe_lat_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caqe_lat_seconds_sum 5.05\n"), std::string::npos);
+  EXPECT_NE(text.find("caqe_lat_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotEscapesHostileNames) {
+  MetricsRegistry registry;
+  registry.counter("evil{name=\"a\\\"b\\\\c\"}").Inc(7);
+  const std::string json = registry.JsonSnapshot();
+  // The raw quote/backslash inside the label value must come out escaped.
+  EXPECT_NE(json.find("\"evil{name=\\\"a\\\\\\\"b\\\\\\\\c\\\"}\":7"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spans and the sink.
+
+TEST(TraceSpanTest, DisabledSpanRecordsNothing) {
+  // Null sink + null wall accumulator: the span must be inert.
+  { TraceSpan span(nullptr, "noop", "test"); }
+  TraceSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSpanTest, WallSinkAccumulatesWithoutASink) {
+  double wall = 0.0;
+  { TraceSpan span(nullptr, "timed", "test", &wall); }
+  { TraceSpan span(nullptr, "timed", "test", &wall); }
+  EXPECT_GT(wall, 0.0);
+}
+
+TEST(TraceSpanTest, RecordsDeterministicAttribution) {
+  TraceSink sink;
+  {
+    TraceSpan span(&sink, "eval", "pipeline");
+    span.set_region(4);
+    span.set_query(2);
+    span.set_arg("dominance_cmps", 123);
+  }
+  const std::vector<SpanRecord> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "eval");
+  EXPECT_STREQ(spans[0].category, "pipeline");
+  EXPECT_EQ(spans[0].region, 4);
+  EXPECT_EQ(spans[0].query, 2);
+  EXPECT_STREQ(spans[0].arg_name, "dominance_cmps");
+  EXPECT_EQ(spans[0].arg_value, 123);
+  EXPECT_GE(spans[0].dur_us, 0.0);
+}
+
+// The cross-thread path: many threads record into one sink concurrently.
+// Run under ThreadSanitizer (build-tsan) this is the data-race proof for
+// the sharded sink; the single-writer `wall_sink` contract is exercised
+// everywhere else on the serial driver thread only.
+TEST(TraceSinkTest, ConcurrentRecordingIsSafeAndLossless) {
+  TraceSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&sink] {
+      for (int j = 0; j < kSpansPerThread; ++j) {
+        TraceSpan span(&sink, "worker", "test");
+        span.set_arg("iteration", j);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sink.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  // Snapshot is seq-sorted and loses nothing.
+  const std::vector<SpanRecord> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].seq, spans[i].seq);
+  }
+}
+
+TEST(TraceExportTest, ChromeTraceJsonShape) {
+  TraceSink sink;
+  {
+    TraceSpan span(&sink, "join", "pipeline");
+    span.set_region(1);
+    span.set_arg("join_results", 42);
+  }
+  ContractHealth health;
+  health.SetName(0, "S\"3\\");  // Hostile name must be escaped.
+  health.Sample(0.5, 0, 10, 1.25, 0.75);
+  const std::string json = ChromeTraceJson(sink.Snapshot(), &health);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // Span event.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // Counter track.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // Process names.
+  EXPECT_NE(json.find("\"region\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"join_results\":42"), std::string::npos);
+  EXPECT_NE(json.find("pscore S\\\"3\\\\#0"), std::string::npos);
+  // No raw (unescaped) quote inside the hostile name.
+  EXPECT_EQ(json.find("S\"3"), std::string::npos);
+}
+
+TEST(TraceExportTest, SpansJsonlExcludesTimingByDefault) {
+  TraceSink sink;
+  {
+    TraceSpan span(&sink, "discard", "pipeline");
+    span.set_region(7);
+  }
+  const std::string bare = SpansJsonl(sink.Snapshot());
+  EXPECT_NE(bare.find("\"name\":\"discard\""), std::string::npos);
+  EXPECT_NE(bare.find("\"region\":7"), std::string::npos);
+  EXPECT_EQ(bare.find("ts_us"), std::string::npos);
+  const std::string timed = SpansJsonl(sink.Snapshot(), true);
+  EXPECT_NE(timed.find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(timed.find("\"dur_us\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Contract health.
+
+TEST(ContractHealthTest, DeduplicatesUnchangedSamples) {
+  ContractHealth health;
+  health.Sample(0.1, 3, 5, 1.0, 1.0);
+  health.Sample(0.2, 3, 5, 1.0, 1.0);  // Identical triple: dropped.
+  health.Sample(0.3, 3, 6, 1.2, 1.0);  // Results moved: recorded.
+  health.Sample(0.4, 3, 6, 1.2, 0.8);  // Weight moved: recorded.
+  const std::vector<HealthSample> samples = health.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].vtime, 0.1);
+  EXPECT_DOUBLE_EQ(samples[1].vtime, 0.3);
+  EXPECT_DOUBLE_EQ(samples[2].weight, 0.8);
+}
+
+TEST(ContractHealthTest, CapacityBoundsTheTimeline) {
+  ContractHealth health;
+  health.set_capacity(2);
+  health.Sample(0.1, 0, 1, 0.1, 1.0);
+  health.Sample(0.2, 0, 2, 0.2, 1.0);
+  health.Sample(0.3, 0, 3, 0.3, 1.0);  // Over capacity: counted as dropped.
+  EXPECT_EQ(health.size(), 2u);
+  EXPECT_EQ(health.dropped(), 1);
+}
+
+TEST(ContractHealthTest, JsonlEscapesNames) {
+  ContractHealth health;
+  health.SetName(5, "q\"uote\\slash");
+  health.Sample(0.25, 5, 2, 0.5, 1.0);
+  const std::string jsonl = health.Jsonl();
+  EXPECT_NE(jsonl.find("\"id\":5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"q\\\"uote\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"results\":2"), std::string::npos);
+  EXPECT_EQ(health.LabelOf(5), "q\"uote\\slash#5");
+  EXPECT_EQ(health.LabelOf(6), "#6");
+}
+
+// ---------------------------------------------------------------------------
+// ExecEventsJsonl escaping (export-layer satellite).
+
+TEST(ExecEventsJsonlTest, EscapesHostileQueryNames) {
+  std::vector<ExecEvent> events;
+  ExecEvent event;
+  event.kind = ExecEvent::Kind::kResultsEmitted;
+  event.vtime = 0.5;
+  event.query = 0;
+  event.count = 3;
+  events.push_back(event);
+  const std::string jsonl = ExecEventsJsonl(events, {"a\"b\\c"});
+  EXPECT_NE(jsonl.find("\"kind\":\"results_emitted\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"a\\\"b\\\\c\""), std::string::npos);
+  // The raw, unescaped name must not appear anywhere.
+  EXPECT_EQ(jsonl.find("a\"b\\c"), std::string::npos);
+
+  // Out-of-range or negative query indices simply omit the name field.
+  event.query = 7;
+  const std::string no_name = ExecEventsJsonl({event}, {"only-one"});
+  EXPECT_EQ(no_name.find("\"name\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: determinism, wall-phase accounting, span coverage.
+
+ExecutionReport RunCaqe(const Table& r, const Table& t,
+                        const Workload& workload, int num_threads,
+                        Observability* obs) {
+  std::vector<Contract> contracts;
+  for (int q = 0; q < workload.num_queries(); ++q) {
+    contracts.push_back(MakeLogDecayContract());
+  }
+  ExecOptions options;
+  options.num_threads = num_threads;
+  options.obs = obs;
+  std::unique_ptr<Engine> engine = MakeEngine("CAQE").value();
+  return engine->Execute(r, t, workload, contracts, options).value();
+}
+
+TEST(ObsIntegrationTest, AttachingObservabilityIsDeterminismNeutral) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, /*rows=*/400,
+                           /*attrs=*/4, /*selectivity=*/0.02);
+  const Workload workload =
+      MakeSubspaceWorkload(4, 0, 5, PriorityPolicy::kUniform).value();
+
+  const ExecutionReport off = RunCaqe(r, t, workload, 1, nullptr);
+  Observability obs;
+  const ExecutionReport on = RunCaqe(r, t, workload, 1, &obs);
+
+  EXPECT_EQ(on.workload_pscore, off.workload_pscore);
+  EXPECT_EQ(on.average_satisfaction, off.average_satisfaction);
+  EXPECT_EQ(on.stats.join_probes, off.stats.join_probes);
+  EXPECT_EQ(on.stats.join_results, off.stats.join_results);
+  EXPECT_EQ(on.stats.dominance_cmps, off.stats.dominance_cmps);
+  EXPECT_EQ(on.stats.coarse_ops, off.stats.coarse_ops);
+  EXPECT_EQ(on.stats.emitted_results, off.stats.emitted_results);
+  EXPECT_EQ(on.stats.virtual_seconds, off.stats.virtual_seconds);
+  ASSERT_EQ(on.queries.size(), off.queries.size());
+  for (size_t q = 0; q < on.queries.size(); ++q) {
+    EXPECT_EQ(on.queries[q].pscore, off.queries[q].pscore);
+    EXPECT_EQ(on.queries[q].results, off.queries[q].results);
+  }
+
+  // The traced run actually produced telemetry.
+  EXPECT_GT(obs.spans.size(), 0u);
+  EXPECT_GT(obs.health.size(), 0u);
+  const std::string prom = obs.metrics.PrometheusText();
+  EXPECT_NE(prom.find("caqe_engine_dominance_cmps_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("caqe_scheduler_picks_total"), std::string::npos);
+  EXPECT_NE(prom.find("caqe_region_service_virtual_seconds_bucket"),
+            std::string::npos);
+
+  // Span taxonomy: every pipeline phase shows up with region attribution.
+  bool saw_join = false, saw_eval = false, saw_region_build = false;
+  for (const SpanRecord& span : obs.spans.Snapshot()) {
+    const std::string name = span.name;
+    if (name == "join") saw_join = span.region >= 0;
+    if (name == "eval") saw_eval = span.region >= 0;
+    if (name == "region_build") saw_region_build = true;
+  }
+  EXPECT_TRUE(saw_join);
+  EXPECT_TRUE(saw_eval);
+  EXPECT_TRUE(saw_region_build);
+
+  // The Chrome export is non-trivial and structurally a trace.
+  const std::string trace = obs.ChromeTrace();
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// Wall-phase buckets are measured on the serial driver thread inside the
+// engine's overall wall interval, so their sum can never exceed
+// wall_seconds — at any thread count (the phase spans bracket the parallel
+// sections, they do not sum per-worker time).
+TEST(ObsIntegrationTest, WallPhaseBucketsSumBelowWallSeconds) {
+  auto [r, t] = MakeTables(Distribution::kIndependent, /*rows=*/600,
+                           /*attrs=*/4, /*selectivity=*/0.02);
+  const Workload workload =
+      MakeSubspaceWorkload(4, 0, 7, PriorityPolicy::kUniform).value();
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const ExecutionReport report =
+        RunCaqe(r, t, workload, threads, nullptr);
+    const EngineStats& s = report.stats;
+    const double phase_sum = s.wall_region_build_seconds +
+                             s.wall_join_seconds + s.wall_eval_seconds +
+                             s.wall_discard_seconds;
+    EXPECT_GT(phase_sum, 0.0);
+    EXPECT_LE(phase_sum, s.wall_seconds * (1.0 + 1e-9) + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serving integration: report text byte-identical with observability on.
+
+TEST(ObsServingTest, ServingReportIdenticalWithObservabilityAttached) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 300;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.02, 0.02};
+  cfg.seed = 2014;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = 2015;
+  const Table t = GenerateTable("T", cfg).value();
+  const std::vector<MappingFunction> dims = {
+      MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
+  const std::vector<int> keys = {0, 1};
+
+  TraceConfig trace_config;
+  trace_config.num_requests = 8;
+  trace_config.arrival_rate = 40.0;
+  trace_config.seed = 2014;
+  trace_config.reference_seconds = 0.1;
+  const std::vector<TraceRequest> trace =
+      MakeSyntheticTrace(trace_config, keys, 3);
+
+  auto run = [&](Observability* obs) {
+    ServeOptions options;
+    options.target_regions = 64;
+    options.obs = obs;
+    auto server = CaqeServer::Create(r, t, dims, keys, options).value();
+    SubmitTrace(*server, trace);
+    return ServingReportText(server->Run().value());
+  };
+
+  const std::string off = run(nullptr);
+  Observability obs;
+  const std::string on = run(&obs);
+  EXPECT_EQ(on, off);
+
+  // The serving run populated admission metrics, TTFR histogram, and
+  // per-request health timelines.
+  const std::string prom = obs.metrics.PrometheusText();
+  EXPECT_NE(prom.find("caqe_serve_admission_decisions_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("caqe_serve_time_to_first_result_vseconds_bucket"),
+            std::string::npos);
+  EXPECT_GT(obs.health.size(), 0u);
+  bool saw_admission = false;
+  for (const SpanRecord& span : obs.spans.Snapshot()) {
+    if (std::string(span.name) == "admission" && span.query >= 0) {
+      saw_admission = true;
+    }
+  }
+  EXPECT_TRUE(saw_admission);
+}
+
+}  // namespace
+}  // namespace caqe

@@ -7,6 +7,9 @@
 //            [--engines=CAQE,S-JFSL,JFSL,ProgXe+,SSMJ]
 //            [--out=PREFIX]          # write PREFIX_{summary,queries,trace}.csv
 //            [--trace=1]             # print per-query first/last emission
+//            [--trace_out=PATH]      # Chrome/Perfetto trace of every engine
+//                                    # run (spans + contract-health tracks)
+//            [--metrics_out=PATH]    # Prometheus text snapshot
 //
 // The contract's deadline/interval parameters are calibrated automatically
 // against a shared-pass reference run, exactly like the figure benchmarks.
@@ -80,6 +83,10 @@ int Main(int argc, char** argv) {
   options.known_result_counts = calibration.result_counts;
   options.capture_results = false;
   options.num_threads = bench::ThreadsFromArgs(args);
+  const std::string trace_out = args.GetString("trace_out", "");
+  const std::string metrics_out = args.GetString("metrics_out", "");
+  Observability obs;
+  if (!trace_out.empty() || !metrics_out.empty()) options.obs = &obs;
 
   std::printf(
       "caqe_cli: dist=%s N=%lld sigma=%.4f d=%d |S_Q|=%d contract=%s "
@@ -149,6 +156,24 @@ int Main(int argc, char** argv) {
     }
     std::printf("wrote %s_summary.csv and per-engine query/trace CSVs\n",
                 out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const Status status = WriteTextFile(trace_out, obs.ChromeTrace());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans, %zu health samples)\n",
+                trace_out.c_str(), obs.spans.size(), obs.health.size());
+  }
+  if (!metrics_out.empty()) {
+    const Status status =
+        WriteTextFile(metrics_out, obs.metrics.PrometheusText());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -8,11 +8,18 @@
 //              [--deadline-fraction=0.25] [--admit-all=0]
 //              [--report-out=PATH]      # write ServingReportText to PATH
 //              [--trace-out=PATH]       # write the ExecEvent stream as JSONL
+//              [--trace_out=PATH]       # write a Chrome/Perfetto trace
+//                                       # (spans + contract-health tracks;
+//                                       # load at ui.perfetto.dev)
+//              [--metrics_out=PATH]     # write a Prometheus text snapshot
+//              [--health_out=PATH]      # write contract-health JSONL
 //
 // The trace is a pure function of (--seed, --rate, --requests), and the
 // report text excludes every non-deterministic quantity, so two invocations
 // that differ only in --threads (or in the CAQE_SIMD build flag) must print
 // byte-identical reports — scripts/run_serving_matrix.sh diffs exactly this.
+// Attaching the observability flags never changes the report: the obs layer
+// is read-only with respect to the engine (scripts/run_obs_matrix.sh).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,6 +54,14 @@ int Main(int argc, char** argv) {
   options.target_regions = static_cast<int>(args.GetInt("target-regions", 128));
   options.admit_all = args.GetInt("admit-all", 0) != 0;
   options.trace = &events;
+  const std::string obs_trace_out = args.GetString("trace_out", "");
+  const std::string metrics_out = args.GetString("metrics_out", "");
+  const std::string health_out = args.GetString("health_out", "");
+  Observability obs;
+  if (!obs_trace_out.empty() || !metrics_out.empty() ||
+      !health_out.empty()) {
+    options.obs = &obs;
+  }
   const std::string policy = args.GetString("policy", "contract");
   if (policy == "contract") {
     options.policy = SchedulePolicy::kContractDriven;
@@ -101,6 +116,33 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s (%zu events)\n", trace_out.c_str(), events.size());
+  }
+  if (!obs_trace_out.empty()) {
+    const Status status = WriteTextFile(obs_trace_out, obs.ChromeTrace());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans, %zu health samples)\n",
+                obs_trace_out.c_str(), obs.spans.size(), obs.health.size());
+  }
+  if (!metrics_out.empty()) {
+    const Status status =
+        WriteTextFile(metrics_out, obs.metrics.PrometheusText());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  if (!health_out.empty()) {
+    const Status status = WriteTextFile(health_out, obs.health.Jsonl());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu samples)\n", health_out.c_str(),
+                obs.health.size());
   }
   return 0;
 }
