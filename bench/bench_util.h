@@ -79,6 +79,58 @@ inline int ThreadsFromArgs(const Args& args) {
   return static_cast<int>(args.GetInt("threads", 1));
 }
 
+/// Reads the shared --pipeline flag (inter-region pipelining; overlaps the
+/// predicted next region's join with the current region's tail phases).
+/// Like --threads it never changes a report — only wall time.
+inline bool PipelineFromArgs(const Args& args) {
+  return args.GetInt("pipeline", 0) != 0;
+}
+
+/// Deterministic 64-bit FNV-1a digest of a report's determinism-contract
+/// quantities — every counter, virtual time, and per-query outcome, and
+/// deliberately none of the wall_* fields. Two runs that differ only in
+/// --threads, --pipeline, or the CAQE_SIMD build flag must hash equal;
+/// benchmarks assert exactly that (see bench_parallel_scaling), and the
+/// matrix scripts enforce the same contract textually via
+/// tools/report_diff.sh.
+inline uint64_t ReportHash(const ExecutionReport& report) {
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  const EngineStats& s = report.stats;
+  mix(static_cast<uint64_t>(s.join_probes));
+  mix(static_cast<uint64_t>(s.join_results));
+  mix(static_cast<uint64_t>(s.dominance_cmps));
+  mix(static_cast<uint64_t>(s.coarse_ops));
+  mix(static_cast<uint64_t>(s.emitted_results));
+  mix(static_cast<uint64_t>(s.regions_built));
+  mix(static_cast<uint64_t>(s.regions_processed));
+  mix(static_cast<uint64_t>(s.regions_discarded));
+  mix_double(s.virtual_seconds);
+  mix_double(report.workload_pscore);
+  mix_double(report.average_satisfaction);
+  for (const QueryReport& query : report.queries) {
+    mix(static_cast<uint64_t>(query.results));
+    mix_double(query.pscore);
+    mix_double(query.satisfaction);
+    for (const UtilityTracePoint& point : query.utility_trace) {
+      mix_double(point.time);
+      mix_double(point.utility);
+    }
+  }
+  return h;
+}
+
 inline Result<Distribution> ParseDistribution(const std::string& name) {
   if (name == "independent") return Distribution::kIndependent;
   if (name == "correlated") return Distribution::kCorrelated;

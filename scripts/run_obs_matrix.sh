@@ -5,12 +5,15 @@
 # (CAQE_SIMD=OFF/ON) x tracing (detached / --trace-out + --metrics-out);
 # its stdout tables must be byte-identical down every column, and the
 # traced cells must actually produce a non-empty Chrome trace and a
-# Prometheus snapshot.
+# Prometheus snapshot. Two extra cells per build run at 8 threads with
+# inter-region pipelining off and on — the pipeline must not move a byte
+# either, traced or not.
 #
 #   scripts/run_obs_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
 # Reuses the build trees of scripts/run_simd_matrix.sh when present.
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
 FIG9_ARGS=(--rows=2000)
 declare -A REPORTS
@@ -33,6 +36,13 @@ for simd in OFF ON; do
       > "${out}"
     REPORTS["${simd}_${tracing}"]="${out}"
   done
+  # Pipeline cells: 8 threads, speculation off/on, untraced.
+  for pipeline in 0 1; do
+    out="${build_dir}/fig9_obs_pipe${pipeline}.txt"
+    "./${build_dir}/bench/bench_fig9" "${FIG9_ARGS[@]}" \
+      --threads=8 --pipeline="${pipeline}" > "${out}"
+    REPORTS["${simd}_pipe${pipeline}"]="${out}"
+  done
   # The traced cell must have written real artifacts.
   grep -q '"traceEvents"' "${build_dir}/fig9_trace.json"
   grep -q '^# TYPE caqe_engine_dominance_cmps_total counter$' \
@@ -42,15 +52,13 @@ for simd in OFF ON; do
 done
 
 # Every cell must match the scalar untraced baseline.
-baseline="${REPORTS[OFF_off]}"
 status=0
-for key in OFF_off OFF_on ON_off ON_on; do
-  if diff -u "${baseline}" "${REPORTS[${key}]}" > /dev/null; then
-    echo "fig9 stdout identical: ${key} vs OFF_off"
-  else
-    echo "FAIL: fig9 stdout differs: ${key} vs OFF_off" >&2
-    diff -u "${baseline}" "${REPORTS[${key}]}" >&2 || true
-    status=1
-  fi
-done
+tools/report_diff.sh "fig9 stdout vs OFF_off" "${REPORTS[OFF_off]}" \
+  "OFF_on=${REPORTS[OFF_on]}" \
+  "OFF_pipe0=${REPORTS[OFF_pipe0]}" \
+  "OFF_pipe1=${REPORTS[OFF_pipe1]}" \
+  "ON_off=${REPORTS[ON_off]}" \
+  "ON_on=${REPORTS[ON_on]}" \
+  "ON_pipe0=${REPORTS[ON_pipe0]}" \
+  "ON_pipe1=${REPORTS[ON_pipe1]}" || status=1
 exit "${status}"

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Proves the serving layer's determinism contract: one fixed arrival trace
 # replayed through caqe_serve must produce a byte-identical serving report
-# across the full matrix of SIMD builds (CAQE_SIMD=OFF/ON) and worker
-# thread counts (1 and 8), plus one cell per build with the observability
-# layer attached (--trace_out/--metrics_out) — tracing is read-only with
-# respect to the engine, so it must not move a byte either. The report text
-# deliberately excludes every non-deterministic quantity, so any diff is a
-# real determinism bug.
+# across the full matrix of SIMD builds (CAQE_SIMD=OFF/ON), worker thread
+# counts (1 and 8), and inter-region pipelining (--pipeline=0/1), plus one
+# cell per build with the observability layer attached
+# (--trace_out/--metrics_out) — tracing is read-only with respect to the
+# engine, so it must not move a byte either. The report text deliberately
+# excludes every non-deterministic quantity, so any diff is a real
+# determinism bug.
 #
 #   scripts/run_serving_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
 # Reuses the build trees of scripts/run_simd_matrix.sh when present.
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
 SERVE_ARGS=(--rows=1000 --requests=12 --rate=40 --seed=2014
             --cancel-fraction=0.1 --deadline-fraction=0.25)
@@ -27,10 +29,13 @@ for simd in OFF ON; do
     "$@"
   cmake --build "${build_dir}" -j"$(nproc)" --target caqe_serve_cli
   for threads in 1 8; do
-    out="${build_dir}/serving_t${threads}.txt"
-    "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
-      --threads="${threads}" --report-out="${out}" > /dev/null
-    REPORTS["${simd}_${threads}"]="${out}"
+    for pipeline in 0 1; do
+      out="${build_dir}/serving_t${threads}_p${pipeline}.txt"
+      "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+        --threads="${threads}" --pipeline="${pipeline}" \
+        --report-out="${out}" > /dev/null
+      REPORTS["${simd}_${threads}_${pipeline}"]="${out}"
+    done
   done
   # Tracing-attached cell: the observability layer must not move a byte.
   out="${build_dir}/serving_traced.txt"
@@ -45,16 +50,17 @@ for simd in OFF ON; do
     "${build_dir}/serving_metrics.prom"
 done
 
-# Every cell of the matrix must match the scalar single-threaded baseline.
-baseline="${REPORTS[OFF_1]}"
+# Every cell of the matrix must match the scalar single-threaded
+# non-pipelined baseline.
 status=0
-for key in OFF_1 OFF_8 ON_1 ON_8 OFF_traced ON_traced; do
-  if diff -u "${baseline}" "${REPORTS[${key}]}" > /dev/null; then
-    echo "serving report identical: ${key} vs OFF_1"
-  else
-    echo "FAIL: serving report differs: ${key} vs OFF_1" >&2
-    diff -u "${baseline}" "${REPORTS[${key}]}" >&2 || true
-    status=1
-  fi
-done
+tools/report_diff.sh "serving report vs OFF_1_0" "${REPORTS[OFF_1_0]}" \
+  "OFF_1_pipeline=${REPORTS[OFF_1_1]}" \
+  "OFF_8=${REPORTS[OFF_8_0]}" \
+  "OFF_8_pipeline=${REPORTS[OFF_8_1]}" \
+  "ON_1=${REPORTS[ON_1_0]}" \
+  "ON_1_pipeline=${REPORTS[ON_1_1]}" \
+  "ON_8=${REPORTS[ON_8_0]}" \
+  "ON_8_pipeline=${REPORTS[ON_8_1]}" \
+  "OFF_traced=${REPORTS[OFF_traced]}" \
+  "ON_traced=${REPORTS[ON_traced]}" || status=1
 exit "${status}"

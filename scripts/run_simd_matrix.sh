@@ -2,14 +2,17 @@
 # Builds and tests the suite with the SIMD batch dominance kernels OFF and
 # ON, then proves the determinism contract: the Figure 9 report must be
 # byte-identical between the forced-scalar and SIMD builds at 1 and 8
-# threads (the batch kernels charge the exact dominance_cmps counts of the
-# serial scalar loops, so no report quantity may move).
+# threads, with inter-region pipelining off and on (the batch kernels charge
+# the exact dominance_cmps counts of the serial scalar loops, and the
+# pipeline commits its speculative work serially, so no report quantity may
+# move).
 #
 #   scripts/run_simd_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
 # Pair with scripts/run_tsan.sh, which accepts -DCAQE_SIMD=OFF/ON the same
 # way for a sanitized run of either kernel path.
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
 FIG9_ARGS=(--rows=4000)
 declare -A REPORTS
@@ -24,20 +27,23 @@ for simd in OFF ON; do
   cmake --build "${build_dir}" -j"$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
   for threads in 1 8; do
-    out="${build_dir}/fig9_t${threads}.txt"
-    "./${build_dir}/bench/bench_fig9" "${FIG9_ARGS[@]}" \
-      --threads="${threads}" > "${out}"
-    REPORTS["${simd}_${threads}"]="${out}"
+    for pipeline in 0 1; do
+      out="${build_dir}/fig9_t${threads}_p${pipeline}.txt"
+      "./${build_dir}/bench/bench_fig9" "${FIG9_ARGS[@]}" \
+        --threads="${threads}" --pipeline="${pipeline}" > "${out}"
+      REPORTS["${simd}_${threads}_${pipeline}"]="${out}"
+    done
   done
 done
 
+# Per thread count, every (SIMD, pipeline) cell must match the scalar
+# non-pipelined report.
 status=0
 for threads in 1 8; do
-  if diff -u "${REPORTS[OFF_${threads}]}" "${REPORTS[ON_${threads}]}"; then
-    echo "fig9 report identical scalar vs SIMD at threads=${threads}"
-  else
-    echo "FAIL: fig9 report differs scalar vs SIMD at threads=${threads}" >&2
-    status=1
-  fi
+  tools/report_diff.sh "fig9 report (threads=${threads})" \
+    "${REPORTS[OFF_${threads}_0]}" \
+    "OFF_pipeline=${REPORTS[OFF_${threads}_1]}" \
+    "ON_scalar_path=${REPORTS[ON_${threads}_0]}" \
+    "ON_pipeline=${REPORTS[ON_${threads}_1]}" || status=1
 done
 exit "${status}"

@@ -57,6 +57,7 @@ Result<ExecutionReport> ProgXeEngine::Execute(
   CoreOptions core;
   core.policy = SchedulePolicy::kCountDriven;
   core.num_threads = options.num_threads;
+  core.pipeline_regions = options.pipeline_regions;
   core.coarse_prune = true;  // ProgXe prunes its output space.
   core.feedback = false;     // Count-driven, not satisfaction-driven.
   core.dva_mode = options.dva_mode;

@@ -11,31 +11,30 @@ EmissionManager::EmissionManager(const Workload* workload,
                                  const PointSet* store,
                                  const std::vector<char>* pending)
     : workload_(workload), rc_(rc), store_(store), pending_(pending) {
-  const int n = workload_->num_queries();
-  parked_.resize(n);
-  witness_of_.resize(n);
-  serving_.resize(n);
+  shards_.resize(workload_->num_queries());
   for (const OutputRegion& region : rc_->regions) {
-    region.rql.ForEach([&](int q) { serving_[q].push_back(region.id); });
+    region.rql.ForEach(
+        [&](int q) { shards_[q].serving.push_back(region.id); });
   }
 }
 
 int EmissionManager::FindWitness(int q, int64_t id) {
+  QueryShard& shard = shards_[q];
   const double* point = store_->row(id);
   const std::vector<int>& dims = workload_->query(q).preference;
-  for (int region_id : serving_[q]) {
+  for (int region_id : shard.serving) {
     if (!(*pending_)[region_id]) continue;
     const OutputRegion& region = rc_->regions[region_id];
     if (!region.rql.Contains(q)) continue;  // Pruned for q meanwhile.
-    ++coarse_ops_;
+    ++shard.coarse_ops;
     if (RegionCanDominatePoint(region, point, dims)) return region_id;
   }
   return -1;
 }
 
 void EmissionManager::Park(int q, int64_t id, int witness) {
-  parked_[q][witness].push_back(id);
-  witness_of_[q][id] = witness;
+  shards_[q].parked[witness].push_back(id);
+  shards_[q].witness_of[id] = witness;
 }
 
 void EmissionManager::OnAccepted(int q, int64_t id,
@@ -49,22 +48,23 @@ void EmissionManager::OnAccepted(int q, int64_t id,
 }
 
 void EmissionManager::OnEvicted(int q, int64_t id) {
-  // Stale entries stay in parked_ buckets; witness_of_ is authoritative.
-  witness_of_[q].erase(id);
+  // Stale entries stay in parked buckets; witness_of is authoritative.
+  shards_[q].witness_of.erase(id);
 }
 
 void EmissionManager::OnRegionResolvedForQuery(
     int region, int q, std::vector<std::pair<int, int64_t>>& emit_now) {
-  auto bucket = parked_[q].find(region);
-  if (bucket == parked_[q].end()) return;
+  QueryShard& shard = shards_[q];
+  auto bucket = shard.parked.find(region);
+  if (bucket == shard.parked.end()) return;
   std::vector<int64_t> ids = std::move(bucket->second);
-  parked_[q].erase(bucket);
+  shard.parked.erase(bucket);
   for (int64_t id : ids) {
-    auto it = witness_of_[q].find(id);
-    if (it == witness_of_[q].end() || it->second != region) {
+    auto it = shard.witness_of.find(id);
+    if (it == shard.witness_of.end() || it->second != region) {
       continue;  // Evicted or re-parked meanwhile.
     }
-    witness_of_[q].erase(it);
+    shard.witness_of.erase(it);
     const int witness = FindWitness(q, id);
     if (witness < 0) {
       emit_now.emplace_back(q, id);
@@ -74,64 +74,126 @@ void EmissionManager::OnRegionResolvedForQuery(
   }
 }
 
-void EmissionManager::AddQuery(int q) {
-  if (q >= static_cast<int>(parked_.size())) {
-    parked_.resize(q + 1);
-    witness_of_.resize(q + 1);
-    serving_.resize(q + 1);
+void EmissionManager::ResolveAndRegister(int region, int q,
+                                         const std::vector<int64_t>* accepted,
+                                         const std::unordered_set<int64_t>* dead,
+                                         std::vector<int64_t>& resolved,
+                                         std::vector<int64_t>& direct) {
+  // Bucket resolution first, then acceptance registration — the relative
+  // order the serial emission phase used within this query.
+  QueryShard& shard = shards_[q];
+  auto bucket = shard.parked.find(region);
+  if (bucket != shard.parked.end()) {
+    std::vector<int64_t> ids = std::move(bucket->second);
+    shard.parked.erase(bucket);
+    for (int64_t id : ids) {
+      auto it = shard.witness_of.find(id);
+      if (it == shard.witness_of.end() || it->second != region) continue;
+      shard.witness_of.erase(it);
+      const int witness = FindWitness(q, id);
+      if (witness < 0) {
+        resolved.push_back(id);
+      } else {
+        Park(q, id, witness);
+      }
+    }
   }
-  parked_[q].clear();
-  witness_of_[q].clear();
-  serving_[q].clear();
+  if (accepted == nullptr) return;
+  for (int64_t id : *accepted) {
+    if (dead != nullptr && dead->contains(id)) continue;
+    OnAccepted(q, id, direct);
+  }
+}
+
+void EmissionManager::FlushRegion(
+    int region, const std::vector<std::vector<int64_t>>& accepted,
+    const std::vector<std::unordered_set<int64_t>>& dead, ThreadPool* pool,
+    std::vector<std::vector<int64_t>>& resolved,
+    std::vector<std::vector<int64_t>>& direct) {
+  const int64_t n = static_cast<int64_t>(shards_.size());
+  if (static_cast<int64_t>(resolved.size()) < n) resolved.resize(n);
+  if (static_cast<int64_t>(direct.size()) < n) direct.resize(n);
+  // One task per chunk of shards. Shards share no mutable state and the
+  // witness-scan inputs (store rows, pending flags, lineages, scan lists)
+  // are frozen during the emission phase, so the concurrent flush leaves
+  // every shard — park state, outputs, coarse ops — exactly as the serial
+  // q-order sweep would.
+  ParallelFor(pool, n, /*min_chunk=*/1, [&](int64_t q) {
+    resolved[q].clear();
+    direct[q].clear();
+    const size_t uq = static_cast<size_t>(q);
+    ResolveAndRegister(region, static_cast<int>(q),
+                       uq < accepted.size() ? &accepted[uq] : nullptr,
+                       uq < dead.size() ? &dead[uq] : nullptr, resolved[q],
+                       direct[q]);
+  });
+}
+
+void EmissionManager::AddQuery(int q) {
+  if (q >= static_cast<int>(shards_.size())) {
+    shards_.resize(q + 1);
+  }
+  QueryShard& shard = shards_[q];
+  shard.parked.clear();
+  shard.witness_of.clear();
+  shard.serving.clear();
   // The query's scan list is its post-graft lineage, ascending region id —
   // the same order the constructor produces for initial queries.
   for (const OutputRegion& region : rc_->regions) {
-    if (region.rql.Contains(q)) serving_[q].push_back(region.id);
+    if (region.rql.Contains(q)) shard.serving.push_back(region.id);
   }
 }
 
 void EmissionManager::RetireQuery(int q, std::vector<int64_t>* flushed) {
-  if (q < 0 || q >= static_cast<int>(parked_.size())) return;
+  if (q < 0 || q >= static_cast<int>(shards_.size())) return;
+  QueryShard& shard = shards_[q];
   if (flushed != nullptr) {
-    for (const auto& [id, witness] : witness_of_[q]) {
+    for (const auto& [id, witness] : shard.witness_of) {
       (void)witness;
       flushed->push_back(id);
     }
-    // witness_of_ iteration order is hash-dependent; ascending tuple id
+    // witness_of iteration order is hash-dependent; ascending tuple id
     // (= acceptance order within a region, region order across) makes the
     // flush deterministic.
     std::sort(flushed->begin(), flushed->end());
   }
-  parked_[q].clear();
-  witness_of_[q].clear();
-  serving_[q].clear();
+  shard.parked.clear();
+  shard.witness_of.clear();
+  shard.serving.clear();
 }
 
 void EmissionManager::OnRegionResolved(
     int region, std::vector<std::pair<int, int64_t>>& emit_now) {
-  for (int q = 0; q < static_cast<int>(parked_.size()); ++q) {
+  for (int q = 0; q < static_cast<int>(shards_.size()); ++q) {
     OnRegionResolvedForQuery(region, q, emit_now);
   }
 }
 
 void EmissionManager::DrainAll(
     std::vector<std::pair<int, int64_t>>& emit_now) {
-  for (int q = 0; q < static_cast<int>(parked_.size()); ++q) {
-    for (auto& [region, ids] : parked_[q]) {
+  for (int q = 0; q < static_cast<int>(shards_.size()); ++q) {
+    QueryShard& shard = shards_[q];
+    for (auto& [region, ids] : shard.parked) {
       for (int64_t id : ids) {
-        auto it = witness_of_[q].find(id);
-        if (it == witness_of_[q].end()) continue;
-        witness_of_[q].erase(it);
+        auto it = shard.witness_of.find(id);
+        if (it == shard.witness_of.end()) continue;
+        shard.witness_of.erase(it);
         emit_now.emplace_back(q, id);
       }
     }
-    parked_[q].clear();
+    shard.parked.clear();
   }
 }
 
+int64_t EmissionManager::coarse_ops() const {
+  int64_t total = 0;
+  for (const QueryShard& shard : shards_) total += shard.coarse_ops;
+  return total;
+}
+
 int64_t EmissionManager::parked(int q) const {
-  CAQE_DCHECK(q >= 0 && q < static_cast<int>(witness_of_.size()));
-  return static_cast<int64_t>(witness_of_[q].size());
+  CAQE_DCHECK(q >= 0 && q < static_cast<int>(shards_.size()));
+  return static_cast<int64_t>(shards_[q].witness_of.size());
 }
 
 }  // namespace caqe

@@ -11,14 +11,24 @@
 // region that blocks it and is re-examined only when that witness is
 // resolved (processed, discarded, or pruned for the query), which keeps the
 // re-scan cost proportional to actual state changes.
+//
+// The park set is sharded per query: each query owns its parked buckets,
+// witness map, scan list, and safety-scan op counter, and no shard ever
+// reads another shard's state. That makes the per-region flush barrier
+// (FlushRegion) embarrassingly parallel without a single lock — the shared
+// inputs of a witness scan (store rows, pending flags, region lineages) are
+// frozen for the duration of the emission phase — while every serial entry
+// point keeps working on one shard at a time, byte-identically.
 #ifndef CAQE_EXEC_EMISSION_H_
 #define CAQE_EXEC_EMISSION_H_
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "query/query.h"
 #include "region/region_builder.h"
 #include "skyline/point_set.h"
@@ -54,12 +64,30 @@ class EmissionManager {
   void OnRegionResolved(int region,
                         std::vector<std::pair<int, int64_t>>& emit_now);
 
+  /// The flush barrier of one processed region, all queries at once: per
+  /// query, resolves the region's parked bucket (appending newly safe ids
+  /// to `resolved[q]`) and then registers the query's accepted tuples of
+  /// this region — `accepted[q]` minus `dead[q]` — appending immediately
+  /// safe ones to `direct[q]`. Exactly the serial
+  /// OnRegionResolved + per-query OnAccepted sequence, shard by shard; with
+  /// a pool the shards run concurrently (they share no mutable state, and
+  /// the witness-scan inputs are frozen during the emission phase), so
+  /// outputs, park state, and per-shard coarse ops are identical at any
+  /// thread count. The caller merges `direct`/`resolved` in the serial emit
+  /// order (see RegionPipeline).
+  void FlushRegion(int region,
+                   const std::vector<std::vector<int64_t>>& accepted,
+                   const std::vector<std::unordered_set<int64_t>>& dead,
+                   ThreadPool* pool,
+                   std::vector<std::vector<int64_t>>& resolved,
+                   std::vector<std::vector<int64_t>>& direct);
+
   /// Emits whatever is still parked (used as a final drain; with correct
   /// resolution bookkeeping it returns nothing and the engine asserts so).
   void DrainAll(std::vector<std::pair<int, int64_t>>& emit_now);
 
   /// Serving graft: (re)initializes query `q`'s emission state, growing
-  /// per-query storage as needed. The scan list is rebuilt from the current
+  /// the shard vector as needed. The scan list is rebuilt from the current
   /// region lineages, which at graft time contain exactly `q`'s regions.
   void AddQuery(int q);
 
@@ -70,31 +98,52 @@ class EmissionManager {
   /// otherwise never emitted.
   void RetireQuery(int q, std::vector<int64_t>* flushed = nullptr);
 
-  /// Coarse-level operations spent on safety scans.
-  int64_t coarse_ops() const { return coarse_ops_; }
+  /// Coarse-level operations spent on safety scans (sum over the per-query
+  /// shards; addition is order-free, so the total is identical whether the
+  /// shards were flushed serially or in parallel).
+  int64_t coarse_ops() const;
 
   /// Number of currently parked (accepted, unemitted, unevicted)
   /// candidates of query `q`.
   int64_t parked(int q) const;
 
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
  private:
+  /// Everything one query's emission logic touches. Shards are mutually
+  /// disjoint by construction — the basis of the lock-free parallel flush.
+  struct QueryShard {
+    /// Witness region -> parked candidate ids (may contain stale ids of
+    /// evicted candidates; filtered on resolution).
+    std::unordered_map<int, std::vector<int64_t>> parked;
+    /// id -> current witness (absent once emitted or evicted);
+    /// authoritative over `parked`.
+    std::unordered_map<int64_t, int> witness_of;
+    /// Region ids serving the query (scan list for witness search).
+    std::vector<int> serving;
+    /// Safety-scan operations charged by this shard.
+    int64_t coarse_ops = 0;
+  };
+
   /// Returns a pending region id blocking (q, id), or -1 when safe.
+  /// Charges shard q's coarse_ops; reads only flush-frozen shared state.
   int FindWitness(int q, int64_t id);
 
   void Park(int q, int64_t id, int witness);
+
+  /// One shard's share of FlushRegion: resolve the region's bucket, then
+  /// register the accepted survivors — the serial order within the shard.
+  void ResolveAndRegister(int region, int q,
+                          const std::vector<int64_t>* accepted,
+                          const std::unordered_set<int64_t>* dead,
+                          std::vector<int64_t>& resolved,
+                          std::vector<int64_t>& direct);
 
   const Workload* workload_;
   const RegionCollection* rc_;
   const PointSet* store_;
   const std::vector<char>* pending_;
-  /// Per query: witness region -> parked candidate ids (may contain stale
-  /// ids of evicted candidates; filtered on resolution).
-  std::vector<std::unordered_map<int, std::vector<int64_t>>> parked_;
-  /// Per query: id -> current witness (absent once emitted or evicted).
-  std::vector<std::unordered_map<int64_t, int>> witness_of_;
-  /// Initial region ids serving each query (scan list for witness search).
-  std::vector<std::vector<int>> serving_;
-  int64_t coarse_ops_ = 0;
+  std::vector<QueryShard> shards_;
 };
 
 }  // namespace caqe

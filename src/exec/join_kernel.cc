@@ -1,6 +1,5 @@
 #include "exec/join_kernel.h"
 
-#include <bit>
 #include <unordered_set>
 #include <utility>
 
@@ -72,14 +71,39 @@ const CellJoinKernel::KeyIndex& CellJoinKernel::IndexFor(int cell_t,
   return entry.index;
 }
 
+const CellJoinKernel::KeyIndex& CellJoinKernel::IndexForSpeculation(
+    int cell_t, int key_column, std::vector<int64_t>& uncharged) {
+  const int64_t cache_key = CacheKey(cell_t, key_column);
+  auto it = index_cache_.find(cache_key);
+  if (it == index_cache_.end()) {
+    it = index_cache_.try_emplace(cache_key).first;
+    BuildInto(cell_t, key_column, it->second.index);
+  }
+  CacheEntry& entry = it->second;
+  if (entry.ready.valid()) entry.ready.get();
+  // Leave `charged` untouched: the cost is claimed only if the caller
+  // validates the speculation and calls CommitSpeculation.
+  if (!entry.charged) uncharged.push_back(cache_key);
+  return entry.index;
+}
+
+void CellJoinKernel::CommitSpeculation(
+    const std::vector<int64_t>& uncharged_keys, EngineStats& stats) {
+  for (const int64_t cache_key : uncharged_keys) {
+    CacheEntry& entry = index_cache_.at(cache_key);
+    if (entry.charged) continue;
+    entry.charged = true;
+    const int cell_t = static_cast<int>(cache_key >> 32);
+    stats.join_probes +=
+        static_cast<int64_t>(part_t_->cell(cell_t).rows.size());
+  }
+}
+
 void CellJoinKernel::Join(const RegionCollection& rc,
                           const OutputRegion& region, uint32_t slots_mask,
                           std::vector<JoinMatch>& out, EngineStats& stats,
                           ThreadPool* pool) {
   if (slots_mask == 0) return;
-  const LeafCell& cell_r = part_r_->cell(region.cell_r);
-  const Table& r = part_r_->table();
-  const bool single_slot = std::popcount(slots_mask) == 1;
 
   // Resolve the indexes up front so probing is tight (this is also where
   // lazy builds and first-use charging happen, on the calling thread).
@@ -90,6 +114,42 @@ void CellJoinKernel::Join(const RegionCollection& rc,
           s, &IndexFor(region.cell_t, rc.predicate_slots[s], stats));
     }
   }
+  int64_t probes = 0;
+  int64_t results = 0;
+  ProbeRows(rc, region, slot_indexes, out, probes, results, pool);
+  stats.join_probes += probes;
+  stats.join_results += results;
+}
+
+void CellJoinKernel::JoinForSpeculation(const RegionCollection& rc,
+                                        const OutputRegion& region,
+                                        uint32_t slots_mask,
+                                        SpeculativeJoin& out) {
+  out.Clear();
+  if (slots_mask == 0) return;
+  std::vector<std::pair<int, const KeyIndex*>> slot_indexes;
+  for (int s = 0; s < static_cast<int>(rc.predicate_slots.size()); ++s) {
+    if ((slots_mask >> s) & 1) {
+      slot_indexes.emplace_back(
+          s, &IndexForSpeculation(region.cell_t, rc.predicate_slots[s],
+                                  out.uncharged_keys));
+    }
+  }
+  // Serial probing (single chunk): the match order is the canonical one
+  // every chunked merge reproduces, so a consumed speculation is
+  // indistinguishable from a fresh Join.
+  ProbeRows(rc, region, slot_indexes, out.matches, out.probes, out.results,
+            /*pool=*/nullptr);
+}
+
+void CellJoinKernel::ProbeRows(
+    const RegionCollection& rc, const OutputRegion& region,
+    const std::vector<std::pair<int, const KeyIndex*>>& slot_indexes,
+    std::vector<JoinMatch>& out, int64_t& probes, int64_t& results,
+    ThreadPool* pool) const {
+  const LeafCell& cell_r = part_r_->cell(region.cell_r);
+  const Table& r = part_r_->table();
+  const bool single_slot = slot_indexes.size() == 1;
 
   const int64_t num_rows = static_cast<int64_t>(cell_r.rows.size());
   constexpr int64_t kMinRowsPerChunk = 128;
@@ -144,8 +204,8 @@ void CellJoinKernel::Join(const RegionCollection& rc,
   // every thread count.
   for (Shard& shard : shards) {
     out.insert(out.end(), shard.out.begin(), shard.out.end());
-    stats.join_probes += shard.probes;
-    stats.join_results += shard.results;
+    probes += shard.probes;
+    results += shard.results;
   }
 }
 

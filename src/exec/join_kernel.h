@@ -22,6 +22,27 @@ struct JoinMatch {
   uint32_t slot_mask = 0;
 };
 
+/// Output of JoinForSpeculation: the match sequence plus the probe/result
+/// counts and the consumed-but-uncharged index cache keys. Nothing is
+/// charged to EngineStats until the caller validates the speculation and
+/// commits serially (CommitSpeculation + adding probes/results), so a
+/// mispredicted region costs nothing observable.
+struct SpeculativeJoin {
+  std::vector<JoinMatch> matches;
+  int64_t probes = 0;
+  int64_t results = 0;
+  /// CacheKey values of indexes this join consumed whose build cost had not
+  /// been charged yet at speculation time.
+  std::vector<int64_t> uncharged_keys;
+
+  void Clear() {
+    matches.clear();
+    probes = 0;
+    results = 0;
+    uncharged_keys.clear();
+  }
+};
+
 /// Evaluates the equi-join between the cells of one output region over a
 /// subset of predicate slots. Hash indexes over T-cells are built lazily
 /// and cached across regions (each T-cell/key pair is indexed once per
@@ -55,6 +76,24 @@ class CellJoinKernel {
             uint32_t slots_mask, std::vector<JoinMatch>& out,
             EngineStats& stats, ThreadPool* pool = nullptr);
 
+  /// Speculative variant of Join for the inter-region pipeline: produces
+  /// the identical match sequence (serial probe order) but mutates no
+  /// EngineStats and no first-use `charged` flags — counts and consumed
+  /// uncharged cache keys are recorded in `out` instead. Safe to run on a
+  /// worker thread while the owner is *not* calling Join/IndexFor (the
+  /// pipeline serializes all index-cache access on the speculation future).
+  void JoinForSpeculation(const RegionCollection& rc,
+                          const OutputRegion& region, uint32_t slots_mask,
+                          SpeculativeJoin& out);
+
+  /// Serially commits the index build costs a validated speculation
+  /// consumed: charges each still-uncharged key's cell rows to
+  /// `stats.join_probes`, exactly what first-use charging in IndexFor would
+  /// have done. Idempotent per key; a dropped speculation simply never
+  /// commits and the next real consumer charges instead.
+  void CommitSpeculation(const std::vector<int64_t>& uncharged_keys,
+                         EngineStats& stats);
+
   /// Collision-free cache key for a (T-cell, key-column) pair: cell in the
   /// high 32 bits, column in the low 32. Exposed for the regression test —
   /// the previous `cell * 64 + column` scheme aliased whenever
@@ -80,6 +119,14 @@ class CellJoinKernel {
 
   void BuildInto(int cell_t, int key_column, KeyIndex& index) const;
   const KeyIndex& IndexFor(int cell_t, int key_column, EngineStats& stats);
+  /// IndexFor without side effects on stats/charged: records the key in
+  /// `uncharged` when its build cost is still unclaimed.
+  const KeyIndex& IndexForSpeculation(int cell_t, int key_column,
+                                      std::vector<int64_t>& uncharged);
+  void ProbeRows(const RegionCollection& rc, const OutputRegion& region,
+                 const std::vector<std::pair<int, const KeyIndex*>>& indexes,
+                 std::vector<JoinMatch>& out, int64_t& probes,
+                 int64_t& results, ThreadPool* pool) const;
 
   const PartitionedTable* part_r_;
   const PartitionedTable* part_t_;

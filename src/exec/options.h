@@ -88,6 +88,15 @@ struct ExecOptions {
   bool capture_results = false;
   /// Apply Eq. 11 satisfaction feedback (CAQE default; ablation knob).
   bool feedback_enabled = true;
+  /// Overlap the region pipeline across scheduler picks: while region k
+  /// runs its discard scan and emission flush, the join + projection of the
+  /// *predicted* next region execute speculatively on the worker pool, and
+  /// the sharded emission park set is flushed in parallel. Speculation is
+  /// validated against the actual pick (Algorithm 1's order is never
+  /// altered) and all counters are committed serially, so reports, events
+  /// and obs spans are byte-identical with the flag on or off at any
+  /// num_threads. Requires num_threads > 1 to have any effect. Default off.
+  bool pipeline_regions = false;
   /// Run the coarse-level (MQLA) skyline prune before scheduling (CAQE
   /// default; ablation knob).
   bool coarse_prune = true;

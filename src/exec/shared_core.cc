@@ -68,6 +68,7 @@ Status RunSharedCore(const PartitionedTable& part_r,
   pipe_options.trace = core_options.trace;
   pipe_options.on_result = core_options.on_result;
   pipe_options.obs = obs;
+  pipe_options.pipeline_regions = core_options.pipeline_regions;
   RegionPipeline pipeline(&part_r, &part_t, &workload, &rc, &pending,
                           &pending_count, &tracker, &clock, &stats, &reports,
                           pool, std::move(pipe_options));

@@ -26,6 +26,9 @@ struct CoreOptions {
   /// the virtual clock charge the same totals (see DESIGN.md, "Concurrency
   /// model").
   int num_threads = 1;
+  /// Inter-region pipelining (see ExecOptions::pipeline_regions). Needs
+  /// num_threads > 1 to have any effect; reports stay bit-identical.
+  bool pipeline_regions = false;
   bool coarse_prune = true;
   bool feedback = true;
   /// Tuple-level dominated-region discarding (Section 6). CAQE's source of

@@ -39,6 +39,7 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
   CoreOptions core;
   core.policy = policy_;
   core.num_threads = options.num_threads;
+  core.pipeline_regions = options.pipeline_regions;
   core.coarse_prune = coarse_prune_ && options.coarse_prune;
   core.feedback = feedback_ && options.feedback_enabled;
   core.tuple_discard = tuple_discard_;

@@ -76,6 +76,13 @@ class ContractDrivenScheduler {
   /// OnRegionRemoved for the returned region.
   int PickNext(double now, int64_t* coarse_ops = nullptr);
 
+  /// The second-best region of the most recent PickNext scan (-1 when the
+  /// scan had no runner-up). Recorded from scores the scan already charged
+  /// for, so reading it never perturbs coarse_ops or the dom-frac cache —
+  /// the region pipeline uses it to predict the next pick for speculative
+  /// execution, re-scoring only at stage boundaries (the real PickNext).
+  int runner_up() const { return runner_up_; }
+
   /// Marks a region processed or discarded: removes it from the dependency
   /// graph and from the benefit-model caches. In dynamic mode the region
   /// stays re-activatable (graft-extended lineage may revive it).
@@ -148,6 +155,7 @@ class ContractDrivenScheduler {
   mutable std::vector<DomFrac> dom_frac_cache_;
   int query_stride_ = 0;
   mutable int64_t scan_ops_ = 0;
+  int runner_up_ = -1;
   // Metrics resolved once at construction when options_.obs is attached.
   Counter* picks_counter_ = nullptr;
   Counter* scan_ops_counter_ = nullptr;

@@ -103,6 +103,7 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
   pipe_options.capture_results = false;
   pipe_options.trace = options_.trace;
   pipe_options.obs = options_.obs;
+  pipe_options.pipeline_regions = options_.pipeline_regions;
   pipe_options.on_emit = [this](int query, int64_t id, double time,
                                 double utility) {
     const int request_id = slot_request_[query];
@@ -252,6 +253,10 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
 Status CaqeServer::Graft(RequestState& request) {
   TraceSpan span(Observability::Spans(options_.obs), "graft", "serve");
   span.set_query(request.id);
+  // Stage boundary: a graft mutates lineages, pending flags, and the
+  // workload, so drop any speculative join still in flight (its deferred
+  // charges were never committed — the pipeline re-joins fresh).
+  pipeline_->CancelSpeculation();
   int pslot = -1;
   for (int s = 0; s < static_cast<int>(rc_.predicate_slots.size()); ++s) {
     if (rc_.predicate_slots[s] == request.query.join_key) {
@@ -338,6 +343,9 @@ Status CaqeServer::Graft(RequestState& request) {
 void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
   TraceSpan span(Observability::Spans(options_.obs), "retire", "serve");
   span.set_query(request.id);
+  // Stage boundary: retirement prunes lineages and pending flags; see
+  // Graft for why in-flight speculation is dropped first.
+  pipeline_->CancelSpeculation();
   const int slot = request.slot;
   CAQE_CHECK(slot >= 0);
   const double now = clock_.Now();

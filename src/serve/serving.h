@@ -65,6 +65,12 @@ struct ServeOptions {
   /// Worker threads for the parallel execution phases; reports are
   /// bit-identical at every value (only wall time changes).
   int num_threads = 1;
+  /// Inter-region pipelining (see ExecOptions::pipeline_regions): overlap
+  /// the predicted next region's join with the current region's tail phases
+  /// and flush the sharded park set in parallel. Grafts and retirements
+  /// cancel any in-flight speculation first, so admission-time mutations
+  /// never race it. Needs num_threads > 1; reports stay byte-identical.
+  bool pipeline_regions = false;
   /// Input partitioning structure and granularity (see ExecOptions).
   PartitionStrategy partition_strategy = PartitionStrategy::kGrid;
   int cells_per_dim = 0;

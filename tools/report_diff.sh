@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Shared byte-diff gate of the determinism matrix scripts
+# (run_simd_matrix.sh, run_serving_matrix.sh, run_obs_matrix.sh): compares
+# report files against a baseline and fails on any difference. Every
+# compared report deliberately excludes non-deterministic quantities (wall
+# times), so a diff is a real determinism bug, never noise.
+#
+#   tools/report_diff.sh LABEL BASELINE KEY=FILE [KEY=FILE...]
+#
+# Prints one line per comparison. On a mismatch the unified diff goes to
+# stderr and the final exit status is 1 — after checking every file, so one
+# run reports all divergent cells at once.
+set -euo pipefail
+
+if [[ $# -lt 3 ]]; then
+  echo "usage: $0 LABEL BASELINE KEY=FILE [KEY=FILE...]" >&2
+  exit 2
+fi
+
+label="$1"
+baseline="$2"
+shift 2
+
+status=0
+for pair in "$@"; do
+  key="${pair%%=*}"
+  file="${pair#*=}"
+  if diff -u "${baseline}" "${file}" > /dev/null; then
+    echo "${label} identical: ${key}"
+  else
+    echo "FAIL: ${label} differs: ${key}" >&2
+    diff -u "${baseline}" "${file}" >&2 || true
+    status=1
+  fi
+done
+exit "${status}"
