@@ -1,0 +1,211 @@
+// Tree-indexed coarse phase: end-to-end CAQE runs at growing table sizes
+// with --coarse_index off vs on, gated on full report-hash equality
+// (ReportHash: every counter, virtual time, and per-query outcome — the
+// indexed coarse phase must be invisible in the report, down to the last
+// coarse_op).
+//
+// For each indexed run the packed-box-tree traversal counters are read back
+// through the observability registry and compared against `scan_equiv` —
+// the exact number of per-entry tests the grid-scan coarse phase performs
+// on the same input. At N >= 500K the bench *requires* the index to visit
+// strictly fewer nodes+entries than the scan tests (the branch-and-bound
+// payoff), so a regression that degenerates the tree into a scan fails
+// loudly instead of shipping a silent slowdown.
+//
+// Flags: --rows=50000,500000,2000000   (CSV list of table sizes)
+//        --queries=7 --dims=4 --seed=2014 --target_regions=4096
+//        --dist=independent --out=BENCH_coarse.json
+//
+// The join selectivity is fixed at 1/N per size so join output stays O(N)
+// and the coarse phase — not the join — dominates the size sweep.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "metrics/export.h"
+
+namespace caqe {
+namespace bench {
+namespace {
+
+struct CoarsePoint {
+  int64_t rows = 0;
+  bool index = false;
+  double wall_seconds = 0.0;
+  double region_build_seconds = 0.0;
+  int64_t coarse_ops = 0;
+  // Indexed runs only (from the caqe_coarse_index_* counters).
+  int64_t trees = 0;
+  int64_t nodes_visited = 0;
+  int64_t nodes_pruned = 0;
+  int64_t entries_tested = 0;
+  int64_t entries_bulk = 0;
+  int64_t visits = 0;      // nodes_visited + entries_tested.
+  int64_t scan_equiv = 0;  // Entry tests the scan path would have done.
+};
+
+std::vector<int64_t> ParseRowsList(const std::string& csv) {
+  std::vector<int64_t> rows;
+  std::string current;
+  for (char c : csv + ",") {
+    if (c == ',') {
+      if (!current.empty()) rows.push_back(std::stoll(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return rows;
+}
+
+std::string JsonField(const std::string& key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key.c_str(), value);
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::vector<int64_t> row_counts =
+      ParseRowsList(args.GetString("rows", "50000,500000,2000000"));
+  const int num_queries = static_cast<int>(args.GetInt("queries", 7));
+  const int dims = static_cast<int>(args.GetInt("dims", 4));
+  const int64_t seed = args.GetInt("seed", 2014);
+  const int target_regions =
+      static_cast<int>(args.GetInt("target_regions", 4096));
+  const Distribution dist =
+      ParseDistribution(args.GetString("dist", "independent")).value();
+  const std::string out_path = args.GetString("out", "BENCH_coarse.json");
+
+  std::printf(
+      "coarse-index sweep: dist=%s |S_Q|=%d d=%d target_regions=%d "
+      "(sigma = 1/N per size)\n\n",
+      DistributionName(dist), num_queries, dims, target_regions);
+  std::printf("%9s %6s %10s %14s %14s %14s %8s\n", "rows", "index", "wall_s",
+              "coarse_ops", "index_visits", "scan_equiv", "ratio");
+
+  std::vector<CoarsePoint> points;
+  for (const int64_t rows : row_counts) {
+    BenchConfig config;
+    config.rows = rows;
+    config.num_attrs = dims;
+    config.num_queries = num_queries;
+    config.seed = seed;
+    config.distribution = dist;
+    config.selectivity = 1.0 / static_cast<double>(rows);
+    auto [r, t] = MakeBenchTables(config);
+    const Workload workload =
+        MakeSubspaceWorkload(dims, 0, num_queries, PriorityPolicy::kUniform,
+                             config.seed)
+            .value();
+    // Log-decay contracts need no deadline calibration, so the sweep skips
+    // the throwaway S-JFSL pass (it would dwarf the coarse phase at 2M).
+    const std::vector<Contract> contracts(workload.num_queries(),
+                                          MakeLogDecayContract());
+
+    uint64_t reference_hash = 0;
+    for (int index = 0; index < 2; ++index) {
+      ExecOptions options;
+      options.capture_results = false;
+      options.target_regions = target_regions;
+      options.coarse_index = index != 0;
+      Observability obs;
+      if (index != 0) options.obs = &obs;
+      const ExecutionReport report =
+          RunEngine("CAQE", r, t, workload, contracts, options);
+      const uint64_t hash = ReportHash(report);
+      if (index == 0) {
+        reference_hash = hash;
+      }
+      // The determinism gate: the tree-indexed coarse phase must reproduce
+      // the scan path's report bit for bit (regions, discards, coarse_ops,
+      // utility traces — everything ReportHash covers).
+      CAQE_CHECK(hash == reference_hash);
+
+      CoarsePoint point;
+      point.rows = rows;
+      point.index = index != 0;
+      point.wall_seconds = report.stats.wall_seconds;
+      point.region_build_seconds = report.stats.wall_region_build_seconds;
+      point.coarse_ops = report.stats.coarse_ops;
+      if (index != 0) {
+        MetricsRegistry& m = obs.metrics;
+        point.trees = m.counter("caqe_coarse_index_trees_total").value();
+        point.nodes_visited =
+            m.counter("caqe_coarse_index_nodes_visited_total").value();
+        point.nodes_pruned =
+            m.counter("caqe_coarse_index_nodes_pruned_total").value();
+        point.entries_tested =
+            m.counter("caqe_coarse_index_entries_tested_total").value();
+        point.entries_bulk =
+            m.counter("caqe_coarse_index_entries_bulk_total").value();
+        point.visits = point.nodes_visited + point.entries_tested;
+        point.scan_equiv =
+            m.counter("caqe_coarse_index_scan_equiv_total").value();
+        // The payoff gate: at large N the branch-and-bound traversal must
+        // touch strictly fewer nodes+entries than the scan path tests.
+        if (rows >= 500000) {
+          CAQE_CHECK(point.visits < point.scan_equiv);
+        }
+      }
+      const double ratio =
+          point.scan_equiv > 0
+              ? static_cast<double>(point.visits) /
+                    static_cast<double>(point.scan_equiv)
+              : 0.0;
+      std::printf("%9lld %6s %10.4f %14lld %14lld %14lld %8.3f\n",
+                  static_cast<long long>(rows), point.index ? "on" : "off",
+                  point.wall_seconds,
+                  static_cast<long long>(point.coarse_ops),
+                  static_cast<long long>(point.visits),
+                  static_cast<long long>(point.scan_equiv), ratio);
+      points.push_back(point);
+    }
+  }
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"coarse_index\",\n";
+  json += "  \"engine\": \"CAQE\",\n";
+  json += "  \"distribution\": \"" + std::string(DistributionName(dist)) +
+          "\",\n";
+  json += "  \"queries\": " + std::to_string(num_queries) + ",\n";
+  json += "  \"dims\": " + std::to_string(dims) + ",\n";
+  json += "  \"target_regions\": " + std::to_string(target_regions) + ",\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const CoarsePoint& p = points[i];
+    json += "    {\"rows\": " + std::to_string(p.rows) +
+            ", \"coarse_index\": " + (p.index ? "true" : "false") + ", " +
+            JsonField("wall_seconds", p.wall_seconds) + ", " +
+            JsonField("region_build_seconds", p.region_build_seconds) +
+            ", \"coarse_ops\": " + std::to_string(p.coarse_ops);
+    if (p.index) {
+      json += ", \"trees\": " + std::to_string(p.trees) +
+              ", \"nodes_visited\": " + std::to_string(p.nodes_visited) +
+              ", \"nodes_pruned\": " + std::to_string(p.nodes_pruned) +
+              ", \"entries_tested\": " + std::to_string(p.entries_tested) +
+              ", \"entries_bulk\": " + std::to_string(p.entries_bulk) +
+              ", \"index_visits\": " + std::to_string(p.visits) +
+              ", \"scan_equiv\": " + std::to_string(p.scan_equiv);
+    }
+    json += "}";
+    json += (i + 1 < points.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  const Status written = WriteTextFile(out_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (report hash identical at every cell)\n",
+              out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace caqe
+
+int main(int argc, char** argv) { return caqe::bench::Main(argc, argv); }

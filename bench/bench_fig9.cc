@@ -67,6 +67,7 @@ void RunDistribution(Distribution dist, const Args& args,
     options.known_result_counts = calibration.result_counts;
     options.num_threads = ThreadsFromArgs(args);
     options.pipeline_regions = PipelineFromArgs(args);
+    options.coarse_index = CoarseIndexFromArgs(args);
     options.obs = obs;
     for (const std::string& engine : engines) {
       const ExecutionReport report =

@@ -78,6 +78,14 @@ int Main(int argc, char** argv) {
       DistributionName(config.distribution),
       static_cast<long long>(config.rows), config.selectivity,
       config.num_queries, repeats, cpus);
+  if (cpus < 2) {
+    std::printf(
+        "*** WARNING: cpus_available=%u — every multi-thread cell runs on "
+        "one hardware CPU. ***\n"
+        "*** Speedups below are expected to read ~1.0x; this sweep only "
+        "validates determinism here. ***\n\n",
+        cpus);
+  }
 
   double reference_pscore = 0.0;
   std::vector<ScalingPoint> points;
@@ -133,6 +141,8 @@ int Main(int argc, char** argv) {
   json += "  \"queries\": " + std::to_string(config.num_queries) + ",\n";
   json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
   json += "  \"cpus_available\": " + std::to_string(cpus) + ",\n";
+  json += std::string("  \"cpu_constrained\": ") +
+          (cpus < 2 ? "true" : "false") + ",\n";
   json += "  " + JsonField("workload_pscore", reference_pscore) + ",\n";
   json += "  \"results\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
@@ -221,6 +231,12 @@ int Main(int argc, char** argv) {
   char hash_hex[32];
   std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
                 static_cast<unsigned long long>(reference_hash));
+  if (cpus < 2) {
+    std::printf(
+        "*** WARNING: cpus_available=%u — pipeline overlap has no second "
+        "CPU to run on; speedup_vs_off ~1.0x is expected. ***\n\n",
+        cpus);
+  }
   std::printf(
       "pipeline sweep, min-of-%d wall times (report hash %s identical at "
       "every cell):\n%s\n",
@@ -235,6 +251,8 @@ int Main(int argc, char** argv) {
   pjson += "  \"queries\": " + std::to_string(config.num_queries) + ",\n";
   pjson += "  \"repeats\": " + std::to_string(repeats) + ",\n";
   pjson += "  \"cpus_available\": " + std::to_string(cpus) + ",\n";
+  pjson += std::string("  \"cpu_constrained\": ") +
+          (cpus < 2 ? "true" : "false") + ",\n";
   pjson += "  \"report_hash\": \"" + std::string(hash_hex) + "\",\n";
   pjson += "  " + JsonField("workload_pscore", reference_pscore) + ",\n";
   pjson += "  \"results\": [\n";

@@ -86,6 +86,14 @@ inline bool PipelineFromArgs(const Args& args) {
   return args.GetInt("pipeline", 0) != 0;
 }
 
+/// Reads the shared --coarse_index flag (packed box trees over partition
+/// cells driving the coarse phase via branch-and-bound instead of full
+/// scans). Charges serial-identical coarse_ops, so like --threads and
+/// --pipeline it never changes a report — only traversal work.
+inline bool CoarseIndexFromArgs(const Args& args) {
+  return args.GetInt("coarse_index", 0) != 0;
+}
+
 /// Deterministic 64-bit FNV-1a digest of a report's determinism-contract
 /// quantities — every counter, virtual time, and per-query outcome, and
 /// deliberately none of the wall_* fields. Two runs that differ only in

@@ -6,14 +6,21 @@
 # its stdout tables must be byte-identical down every column, and the
 # traced cells must actually produce a non-empty Chrome trace and a
 # Prometheus snapshot. Two extra cells per build run at 8 threads with
-# inter-region pipelining off and on — the pipeline must not move a byte
-# either, traced or not.
+# inter-region pipelining off and on, and two more with the tree-indexed
+# coarse phase (--coarse_index=1) at 1 and 8 threads — neither the
+# pipeline nor the coarse index may move a byte, traced or not.
 #
 #   scripts/run_obs_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
 # Reuses the build trees of scripts/run_simd_matrix.sh when present.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if (( $(nproc) < 2 )); then
+  echo "WARNING: nproc=$(nproc) — the 8-thread cells all run on one" \
+       "hardware CPU; the matrix still proves determinism, but not" \
+       "parallel speedup." >&2
+fi
 
 FIG9_ARGS=(--rows=2000)
 declare -A REPORTS
@@ -43,6 +50,14 @@ for simd in OFF ON; do
       --threads=8 --pipeline="${pipeline}" > "${out}"
     REPORTS["${simd}_pipe${pipeline}"]="${out}"
   done
+  # Coarse-index cells: the tree-indexed coarse phase at 1 and 8 threads
+  # must reproduce the scan-phase stdout byte for byte.
+  for threads in 1 8; do
+    out="${build_dir}/fig9_obs_coarse_t${threads}.txt"
+    "./${build_dir}/bench/bench_fig9" "${FIG9_ARGS[@]}" \
+      --threads="${threads}" --coarse_index=1 > "${out}"
+    REPORTS["${simd}_coarse_t${threads}"]="${out}"
+  done
   # The traced cell must have written real artifacts.
   grep -q '"traceEvents"' "${build_dir}/fig9_trace.json"
   grep -q '^# TYPE caqe_engine_dominance_cmps_total counter$' \
@@ -60,5 +75,9 @@ tools/report_diff.sh "fig9 stdout vs OFF_off" "${REPORTS[OFF_off]}" \
   "ON_off=${REPORTS[ON_off]}" \
   "ON_on=${REPORTS[ON_on]}" \
   "ON_pipe0=${REPORTS[ON_pipe0]}" \
-  "ON_pipe1=${REPORTS[ON_pipe1]}" || status=1
+  "ON_pipe1=${REPORTS[ON_pipe1]}" \
+  "OFF_coarse_t1=${REPORTS[OFF_coarse_t1]}" \
+  "OFF_coarse_t8=${REPORTS[OFF_coarse_t8]}" \
+  "ON_coarse_t1=${REPORTS[ON_coarse_t1]}" \
+  "ON_coarse_t8=${REPORTS[ON_coarse_t8]}" || status=1
 exit "${status}"

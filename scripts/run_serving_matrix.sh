@@ -2,8 +2,9 @@
 # Proves the serving layer's determinism contract: one fixed arrival trace
 # replayed through caqe_serve must produce a byte-identical serving report
 # across the full matrix of SIMD builds (CAQE_SIMD=OFF/ON), worker thread
-# counts (1 and 8), and inter-region pipelining (--pipeline=0/1), plus one
-# cell per build with the observability layer attached
+# counts (1 and 8), and inter-region pipelining (--pipeline=0/1), plus
+# tree-indexed coarse-phase cells (--coarse_index=1 at both worker counts)
+# and one cell per build with the observability layer attached
 # (--trace_out/--metrics_out) — tracing is read-only with respect to the
 # engine, so it must not move a byte either. The report text deliberately
 # excludes every non-deterministic quantity, so any diff is a real
@@ -14,6 +15,12 @@
 # Reuses the build trees of scripts/run_simd_matrix.sh when present.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if (( $(nproc) < 2 )); then
+  echo "WARNING: nproc=$(nproc) — the 8-worker cells all run on one" \
+       "hardware CPU; the matrix still proves determinism, but not" \
+       "parallel speedup." >&2
+fi
 
 SERVE_ARGS=(--rows=1000 --requests=12 --rate=40 --seed=2014
             --cancel-fraction=0.1 --deadline-fraction=0.25)
@@ -36,6 +43,15 @@ for simd in OFF ON; do
         --report-out="${out}" > /dev/null
       REPORTS["${simd}_${threads}_${pipeline}"]="${out}"
     done
+  done
+  # Coarse-index cells: the tree-indexed coarse phase must reproduce the
+  # scan-phase serving report byte for byte at both worker counts.
+  for threads in 1 8; do
+    out="${build_dir}/serving_t${threads}_coarse.txt"
+    "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+      --threads="${threads}" --coarse_index=1 \
+      --report-out="${out}" > /dev/null
+    REPORTS["${simd}_${threads}_coarse"]="${out}"
   done
   # Tracing-attached cell: the observability layer must not move a byte.
   out="${build_dir}/serving_traced.txt"
@@ -61,6 +77,10 @@ tools/report_diff.sh "serving report vs OFF_1_0" "${REPORTS[OFF_1_0]}" \
   "ON_1_pipeline=${REPORTS[ON_1_1]}" \
   "ON_8=${REPORTS[ON_8_0]}" \
   "ON_8_pipeline=${REPORTS[ON_8_1]}" \
+  "OFF_1_coarse=${REPORTS[OFF_1_coarse]}" \
+  "OFF_8_coarse=${REPORTS[OFF_8_coarse]}" \
+  "ON_1_coarse=${REPORTS[ON_1_coarse]}" \
+  "ON_8_coarse=${REPORTS[ON_8_coarse]}" \
   "OFF_traced=${REPORTS[OFF_traced]}" \
   "ON_traced=${REPORTS[ON_traced]}" || status=1
 exit "${status}"

@@ -25,14 +25,16 @@ int ChooseCellsPerDim(const ExecOptions& options, int num_attrs,
 
 Result<PartitionedTable> PartitionForRegions(const Table& table,
                                              const ExecOptions& options,
-                                             int target_regions) {
+                                             int target_regions,
+                                             ThreadPool* pool) {
   int64_t target_cells = std::max<int64_t>(
       1, static_cast<int64_t>(std::llround(
              std::sqrt(static_cast<double>(target_regions)))));
   target_cells = std::max<int64_t>(
       1, std::min(target_cells, table.num_rows() / 8));
   if (options.partition_strategy == PartitionStrategy::kQuadTree) {
-    return PartitionTableQuadTreeTarget(table, target_cells);
+    return PartitionTableQuadTreeTarget(table, target_cells,
+                                        /*max_depth=*/16, pool);
   }
   if (options.cells_per_dim > 0) {
     return PartitionTable(table, options.cells_per_dim);

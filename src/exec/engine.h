@@ -43,9 +43,12 @@ int64_t ExactTotalJoinSize(const Table& r, const Table& t, int key);
 /// Partitions a table for region-based execution: honors an explicit
 /// options.cells_per_dim, otherwise chooses a slice vector targeting
 /// sqrt(target_regions) cells (bounded so cells keep >= 8 rows on average).
+/// With a pool, the quad-tree strategy finalizes cells concurrently
+/// (deterministic stripes — identical cells at any thread count).
 Result<PartitionedTable> PartitionForRegions(const Table& table,
                                              const ExecOptions& options,
-                                             int target_regions);
+                                             int target_regions,
+                                             ThreadPool* pool = nullptr);
 
 /// Scales the region-count target down for small workloads so the coarse
 /// machinery (region build, dependency graph, benefit scans) stays

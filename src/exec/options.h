@@ -97,6 +97,15 @@ struct ExecOptions {
   /// and obs spans are byte-identical with the flag on or off at any
   /// num_threads. Requires num_threads > 1 to have any effect. Default off.
   bool pipeline_regions = false;
+  /// Drive the coarse phase from bulk-loaded packed box trees instead of
+  /// flat scans: region discovery classifies each query's selection ranges
+  /// against a cell R-tree (whole subtrees accepted/rejected via their
+  /// MBRs) and the coarse skyline prune finds each region's first
+  /// dominator by best-first branch-and-bound. Op charging is
+  /// serial-identical, so reports are byte-identical with the flag on or
+  /// off at any num_threads — only wall time and the caqe_coarse_index_*
+  /// metrics change. Default off.
+  bool coarse_index = false;
   /// Run the coarse-level (MQLA) skyline prune before scheduling (CAQE
   /// default; ablation knob).
   bool coarse_prune = true;

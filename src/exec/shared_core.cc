@@ -32,19 +32,38 @@ Status RunSharedCore(const PartitionedTable& part_r,
   // earlier, destroyed later) joins its workers.
   const int num_threads = ResolveNumThreads(core_options.num_threads);
   std::unique_ptr<ThreadPool> pool_owner;
-  if (num_threads > 1) {
+  ThreadPool* pool = core_options.pool;
+  if (pool == nullptr && num_threads > 1) {
     pool_owner = std::make_unique<ThreadPool>(num_threads - 1);
+    pool = pool_owner.get();
   }
-  ThreadPool* const pool = pool_owner.get();
 
   Observability* const obs = core_options.obs;
   TraceSink* const spans = Observability::Spans(obs);
 
   // ---- Multi-query output look-ahead: coarse join. ----
+  // With coarse_index on, the per-side selection classes are derived once
+  // from packed box trees and the per-pair query loop becomes bit-set
+  // algebra; the index build is charged to the region-build wall span so
+  // the off/on wall comparison stays honest.  Traversal counters live in
+  // CoarseIndexStats (outside the report) and are exported as metrics.
+  SelectionClassIndex sel_index;
+  CoarseIndexStats index_stats;
   Result<RegionCollection> rc_result = [&] {
     TraceSpan span(spans, "region_build", "core",
                    &stats.wall_region_build_seconds);
-    return BuildRegions(part_r, part_t, workload, pool);
+    RegionBuildOptions build_options;
+    build_options.pool = pool;
+    if (core_options.coarse_index) {
+      TraceSpan index_span(spans, "coarse_index_build", "core");
+      sel_index = BuildSelectionClassIndex(part_r, part_t, workload,
+                                           &index_stats);
+      index_span.set_arg("cells",
+                         part_r.num_cells() + part_t.num_cells());
+      build_options.selection_index = &sel_index;
+      build_options.index_stats = &index_stats;
+    }
+    return BuildRegions(part_r, part_t, workload, build_options);
   }();
   CAQE_RETURN_NOT_OK(rc_result.status());
   RegionCollection rc = std::move(rc_result).value();
@@ -76,10 +95,20 @@ Status RunSharedCore(const PartitionedTable& part_r,
 
   // ---- Coarse skyline prune (MQLA). ----
   if (core_options.coarse_prune) {
-    const CoarsePruneStats prune = CoarseSkylinePrune(rc, workload);
+    CoarsePruneOptions prune_options;
+    prune_options.use_index = core_options.coarse_index;
+    if (core_options.coarse_index) prune_options.index_stats = &index_stats;
+    const CoarsePruneStats prune =
+        CoarseSkylinePrune(rc, workload, prune_options);
     stats.coarse_ops += prune.coarse_ops;
     stats.regions_discarded += prune.pruned_regions;
     clock.ChargeCoarseOps(prune.coarse_ops);
+  }
+
+  // Export the index traversal shape through obs (never the report: the
+  // report is byte-identical across coarse_index off/on by construction).
+  if (obs != nullptr && core_options.coarse_index) {
+    RecordCoarseIndexStats(obs->metrics, index_stats);
   }
 
   // ---- Per-(predicate, selections) min-max cuboid plans. ----

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/virtual_clock.h"
 #include "contracts/tracker.h"
 #include "exec/options.h"
@@ -29,6 +30,15 @@ struct CoreOptions {
   /// Inter-region pipelining (see ExecOptions::pipeline_regions). Needs
   /// num_threads > 1 to have any effect; reports stay bit-identical.
   bool pipeline_regions = false;
+  /// Tree-indexed coarse phase (see ExecOptions::coarse_index): drive the
+  /// region build's selection tests and the coarse prune from packed box
+  /// trees instead of flat scans. Reports stay bit-identical.
+  bool coarse_index = false;
+  /// Optional externally owned worker pool. When set, the core uses it for
+  /// all parallel phases instead of creating its own (the pool must have
+  /// been sized consistently with num_threads); callers that partition
+  /// with the same pool avoid a second thread spin-up.
+  ThreadPool* pool = nullptr;
   bool coarse_prune = true;
   bool feedback = true;
   /// Tuple-level dominated-region discarding (Section 6). CAQE's source of

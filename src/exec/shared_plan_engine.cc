@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "obs/observability.h"
 
 namespace caqe {
@@ -18,10 +20,22 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
   }
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // One pool serves partitioning and the execution core (the core only
+  // creates its own when none is handed in). The calling thread always
+  // participates in chunked work, so num_threads total = pool size + 1.
+  const int num_threads = ResolveNumThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool_owner;
+  if (num_threads > 1) {
+    pool_owner = std::make_unique<ThreadPool>(num_threads - 1);
+  }
+  ThreadPool* const pool = pool_owner.get();
+
   const int target_regions = AdaptiveTargetRegions(options, r, t, workload);
-  Result<PartitionedTable> part_r = PartitionForRegions(r, options, target_regions);
+  Result<PartitionedTable> part_r =
+      PartitionForRegions(r, options, target_regions, pool);
   CAQE_RETURN_NOT_OK(part_r.status());
-  Result<PartitionedTable> part_t = PartitionForRegions(t, options, target_regions);
+  Result<PartitionedTable> part_t =
+      PartitionForRegions(t, options, target_regions, pool);
   CAQE_RETURN_NOT_OK(part_t.status());
 
   SatisfactionTracker tracker(contracts);
@@ -40,6 +54,8 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
   core.policy = policy_;
   core.num_threads = options.num_threads;
   core.pipeline_regions = options.pipeline_regions;
+  core.coarse_index = options.coarse_index;
+  core.pool = pool;
   core.coarse_prune = coarse_prune_ && options.coarse_prune;
   core.feedback = feedback_ && options.feedback_enabled;
   core.tuple_discard = tuple_discard_;

@@ -16,6 +16,7 @@
 
 namespace caqe {
 
+struct CoarseIndexStats;
 struct EngineStats;
 
 struct Observability {
@@ -38,6 +39,13 @@ struct Observability {
 /// buckets into `registry` as caqe_engine_* gauges/counters. Call once per
 /// completed run.
 void RecordEngineStats(MetricsRegistry& registry, const EngineStats& stats);
+
+/// Accumulates the tree-indexed coarse phase's traversal counters into
+/// `registry` as caqe_coarse_index_* counters. These never feed the
+/// deterministic report — they describe the index's work (and the flat
+/// scan's equivalent) for introspection and the coarse-index bench.
+void RecordCoarseIndexStats(MetricsRegistry& registry,
+                            const CoarseIndexStats& stats);
 
 }  // namespace caqe
 

@@ -38,6 +38,13 @@ ContractDrivenScheduler::ContractDrivenScheduler(
     MetricsRegistry& metrics = options_.obs->metrics;
     picks_counter_ = &metrics.counter("caqe_scheduler_picks_total");
     scan_ops_counter_ = &metrics.counter("caqe_scheduler_scan_ops_total");
+    // Attribution split of the scoring scan: region scoring (CSM over the
+    // roots) vs dominated-fraction candidate scans. The two sum to the
+    // aggregate scan-ops counter above.
+    csm_scan_ops_counter_ =
+        &metrics.counter("caqe_scheduler_csm_scan_ops_total");
+    domfrac_scan_ops_counter_ =
+        &metrics.counter("caqe_scheduler_domfrac_scan_ops_total");
     csm_hist_ = &metrics.histogram("caqe_scheduler_csm_score",
                                    ExponentialBuckets(1e-3, 10.0, 10));
   }
@@ -52,6 +59,7 @@ double ContractDrivenScheduler::ComputeDominatedFrac(int region, int q,
   for (const OutputRegion& f : rc_->regions) {
     if (f.id == region || !pending_[f.id] || !f.rql.Contains(q)) continue;
     ++scan_ops_;
+    ++domfrac_ops_;
     double frac = 1.0;
     for (int k : dims) {
       const double width = c.upper[k] - c.lower[k];
@@ -144,6 +152,7 @@ double ContractDrivenScheduler::Csm(int region, double now) const {
 int ContractDrivenScheduler::PickNext(double now, int64_t* coarse_ops) {
   CAQE_CHECK(pending_count_ > 0);
   scan_ops_ = 0;
+  domfrac_ops_ = 0;
   const std::vector<int> roots = dg_.Roots();
   int best = -1;
   double best_score = -1.0;
@@ -180,6 +189,8 @@ int ContractDrivenScheduler::PickNext(double now, int64_t* coarse_ops) {
   if (picks_counter_ != nullptr) {
     picks_counter_->Inc();
     scan_ops_counter_->Inc(scan_ops_);
+    csm_scan_ops_counter_->Inc(scan_ops_ - domfrac_ops_);
+    domfrac_scan_ops_counter_->Inc(domfrac_ops_);
     if (best_score >= 0.0) csm_hist_->Observe(best_score);
   }
   return best;

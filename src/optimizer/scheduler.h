@@ -155,10 +155,17 @@ class ContractDrivenScheduler {
   mutable std::vector<DomFrac> dom_frac_cache_;
   int query_stride_ = 0;
   mutable int64_t scan_ops_ = 0;
+  /// Share of scan_ops_ spent inside dominated-fraction recomputation
+  /// (candidate-region scans), as opposed to CSM root scoring. Purely an
+  /// attribution split for metrics: the deterministic coarse-op total the
+  /// engine charges is always scan_ops_.
+  mutable int64_t domfrac_ops_ = 0;
   int runner_up_ = -1;
   // Metrics resolved once at construction when options_.obs is attached.
   Counter* picks_counter_ = nullptr;
   Counter* scan_ops_counter_ = nullptr;
+  Counter* csm_scan_ops_counter_ = nullptr;
+  Counter* domfrac_scan_ops_counter_ = nullptr;
   Histogram* csm_hist_ = nullptr;
 };
 

@@ -1,0 +1,306 @@
+#include "partition/cell_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace caqe {
+namespace {
+
+/// True when `lower` fully dominates the point `victim`: lower[k] <=
+/// victim[k] everywhere with at least one strict coordinate.  Mirrors
+/// region_dominance's PointFullyDominatesRegion.  Applied to a node MBR
+/// lower corner this is a sound pruning bound: the MBR lower is the
+/// coordinate-wise min of the entry corners, so if any entry dominated
+/// the victim the MBR lower would too — a failing node cannot hide a
+/// dominating entry.
+bool LowerFullyDominates(const double* lower, const double* victim,
+                         int width) {
+  bool strict = false;
+  for (int k = 0; k < width; ++k) {
+    if (lower[k] > victim[k]) return false;
+    if (lower[k] < victim[k]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+void PackedBoxTree::Build(int width, int64_t n, const CornerFn& lower_of,
+                          const CornerFn& upper_of) {
+  CAQE_CHECK(width >= 0);
+  CAQE_CHECK(n >= 0);
+  width_ = width;
+  num_entries_ = n;
+  nodes_.clear();
+  child_ids_.clear();
+  node_lo_.clear();
+  node_hi_.clear();
+  entry_pos_.clear();
+  entry_lo_.clear();
+  entry_hi_.clear();
+  if (n == 0) return;
+  // Stage the boxes by original id so the recursion can sort and slice
+  // without re-invoking the accessors.
+  std::vector<double> staged_lo(static_cast<size_t>(n) * width);
+  std::vector<double> staged_hi(static_cast<size_t>(n) * width);
+  for (int64_t i = 0; width > 0 && i < n; ++i) {
+    std::memcpy(staged_lo.data() + i * width, lower_of(i),
+                sizeof(double) * static_cast<size_t>(width));
+    std::memcpy(staged_hi.data() + i * width, upper_of(i),
+                sizeof(double) * static_cast<size_t>(width));
+  }
+  // The recursion permutes ids; entry arrays are filled leaf-by-leaf in
+  // DFS order, which is what makes every subtree's slot range contiguous.
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  entry_lo_.assign(static_cast<size_t>(n) * width, 0.0);
+  entry_hi_.assign(static_cast<size_t>(n) * width, 0.0);
+  entry_pos_.assign(static_cast<size_t>(n), 0);
+  build_lo_ = &staged_lo;
+  build_hi_ = &staged_hi;
+  next_slot_ = 0;
+  BuildNode(perm, 0, n, /*depth=*/0);
+  build_lo_ = nullptr;
+  build_hi_ = nullptr;
+  CAQE_CHECK(next_slot_ == n);
+}
+
+void PackedBoxTree::BuildPoints(int width, int64_t n, const double* points) {
+  const auto row = [points, width](int64_t i) { return points + i * width; };
+  Build(width, n, row, row);
+}
+
+int32_t PackedBoxTree::BuildNode(std::vector<int64_t>& perm, int64_t lo,
+                                 int64_t hi, int depth) {
+  const int64_t count = hi - lo;
+  CAQE_CHECK(count > 0);
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  node_lo_.resize(node_lo_.size() + static_cast<size_t>(width_));
+  node_hi_.resize(node_hi_.size() + static_cast<size_t>(width_));
+  const std::vector<double>& by_id_lo = *build_lo_;
+  const std::vector<double>& by_id_hi = *build_hi_;
+
+  if (count <= kLeafCap) {
+    // Leaf: copy the run's boxes into the packed arrays in id-sorted order
+    // so leaf slots ascend by original id (FirstDominatorPos scans them).
+    std::sort(perm.begin() + lo, perm.begin() + hi);
+    const int64_t begin = next_slot_;
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t src = perm[static_cast<size_t>(s)];
+      std::memcpy(entry_lo_.data() + next_slot_ * width_,
+                  by_id_lo.data() + src * width_,
+                  sizeof(double) * static_cast<size_t>(width_));
+      std::memcpy(entry_hi_.data() + next_slot_ * width_,
+                  by_id_hi.data() + src * width_,
+                  sizeof(double) * static_cast<size_t>(width_));
+      entry_pos_[static_cast<size_t>(next_slot_)] = src;
+      ++next_slot_;
+    }
+    Node& node = nodes_[static_cast<size_t>(id)];
+    node.entry_begin = begin;
+    node.entry_end = next_slot_;
+    node.min_pos = perm[static_cast<size_t>(lo)];
+    double* nlo = node_lo_.data() + static_cast<int64_t>(id) * width_;
+    double* nhi = node_hi_.data() + static_cast<int64_t>(id) * width_;
+    for (int k = 0; k < width_; ++k) {
+      nlo[k] = entry_lo_[static_cast<size_t>(begin * width_ + k)];
+      nhi[k] = entry_hi_[static_cast<size_t>(begin * width_ + k)];
+    }
+    for (int64_t slot = begin + 1; slot < next_slot_; ++slot) {
+      const double* elo = entry_lo_.data() + slot * width_;
+      const double* ehi = entry_hi_.data() + slot * width_;
+      for (int k = 0; k < width_; ++k) {
+        nlo[k] = std::min(nlo[k], elo[k]);
+        nhi[k] = std::max(nhi[k], ehi[k]);
+      }
+    }
+    return id;
+  }
+
+  // Internal node: order the run along one alternating dimension by box
+  // center, breaking ties by original id (full determinism), then cut it
+  // into ~kFanout balanced slices.
+  const int dim = width_ > 0 ? depth % width_ : 0;
+  if (width_ > 0) {
+    std::sort(perm.begin() + lo, perm.begin() + hi,
+              [&](int64_t a, int64_t b) {
+                const double ca = by_id_lo[static_cast<size_t>(a * width_ +
+                                                               dim)] +
+                                  by_id_hi[static_cast<size_t>(a * width_ +
+                                                               dim)];
+                const double cb = by_id_lo[static_cast<size_t>(b * width_ +
+                                                               dim)] +
+                                  by_id_hi[static_cast<size_t>(b * width_ +
+                                                               dim)];
+                if (ca != cb) return ca < cb;
+                return a < b;
+              });
+  } else {
+    std::sort(perm.begin() + lo, perm.begin() + hi);
+  }
+  const int64_t max_children =
+      (count + kLeafCap - 1) / kLeafCap;  // Enough to respect kLeafCap.
+  const int64_t num_children =
+      std::min<int64_t>(kFanout, std::max<int64_t>(2, max_children));
+  std::vector<int32_t> children;
+  children.reserve(static_cast<size_t>(num_children));
+  for (int64_t c = 0; c < num_children; ++c) {
+    const int64_t child_lo = lo + count * c / num_children;
+    const int64_t child_hi = lo + count * (c + 1) / num_children;
+    if (child_lo >= child_hi) continue;
+    children.push_back(BuildNode(perm, child_lo, child_hi, depth + 1));
+  }
+  Node& node = nodes_[static_cast<size_t>(id)];
+  node.child_begin = static_cast<int32_t>(child_ids_.size());
+  node.child_count = static_cast<int32_t>(children.size());
+  child_ids_.insert(child_ids_.end(), children.begin(), children.end());
+  node.entry_begin = nodes_[static_cast<size_t>(children.front())].entry_begin;
+  node.entry_end = nodes_[static_cast<size_t>(children.back())].entry_end;
+  node.min_pos = nodes_[static_cast<size_t>(children.front())].min_pos;
+  double* nlo = node_lo_.data() + static_cast<int64_t>(id) * width_;
+  double* nhi = node_hi_.data() + static_cast<int64_t>(id) * width_;
+  bool first = true;
+  for (int32_t child : children) {
+    node.min_pos =
+        std::min(node.min_pos, nodes_[static_cast<size_t>(child)].min_pos);
+    const double* clo = node_lower(child);
+    const double* chi = node_upper(child);
+    for (int k = 0; k < width_; ++k) {
+      if (first) {
+        nlo[k] = clo[k];
+        nhi[k] = chi[k];
+      } else {
+        nlo[k] = std::min(nlo[k], clo[k]);
+        nhi[k] = std::max(nhi[k], chi[k]);
+      }
+    }
+    first = false;
+  }
+  return id;
+}
+
+void PackedBoxTree::ClassifyRanges(const std::vector<IndexRange>& ranges,
+                                   uint8_t* out,
+                                   CoarseIndexStats* stats) const {
+  if (num_entries_ == 0) return;
+  if (ranges.empty()) {
+    // No selection on this side: every cell is trivially contained.
+    std::memset(out, kIndexContained, static_cast<size_t>(num_entries_));
+    if (stats != nullptr) stats->entries_bulk += num_entries_;
+    return;
+  }
+  const auto mark = [&](const Node& node, uint8_t cls) {
+    for (int64_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
+      out[entry_pos_[static_cast<size_t>(slot)]] = cls;
+    }
+  };
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const int32_t v = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(v)];
+    if (stats != nullptr) ++stats->nodes_visited;
+    const double* nlo = node_lower(v);
+    const double* nhi = node_upper(v);
+    // A range that misses the node MBR misses every entry; a range that
+    // covers the MBR covers every entry.  Both tests are exact because
+    // the MBR is the coordinate-wise min/max of the entry boxes.
+    bool all_disjoint = false;
+    bool all_contained = true;
+    for (const IndexRange& range : ranges) {
+      const double lo = nlo[range.attr];
+      const double hi = nhi[range.attr];
+      if (lo > range.hi || hi < range.lo) {
+        all_disjoint = true;
+        break;
+      }
+      if (lo < range.lo || hi > range.hi) all_contained = false;
+    }
+    if (all_disjoint || all_contained) {
+      mark(node, all_disjoint ? kIndexDisjoint : kIndexContained);
+      if (stats != nullptr) {
+        ++stats->nodes_pruned;
+        stats->entries_bulk += node.entry_end - node.entry_begin;
+      }
+      continue;
+    }
+    if (node.child_count == 0) {
+      for (int64_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
+        if (stats != nullptr) ++stats->entries_tested;
+        const double* elo = slot_lower(slot);
+        const double* ehi = slot_upper(slot);
+        uint8_t cls = kIndexContained;
+        for (const IndexRange& range : ranges) {
+          if (elo[range.attr] > range.hi || ehi[range.attr] < range.lo) {
+            cls = kIndexDisjoint;
+            break;
+          }
+          if (elo[range.attr] < range.lo || ehi[range.attr] > range.hi) {
+            cls = kIndexOverlap;
+          }
+        }
+        out[entry_pos_[static_cast<size_t>(slot)]] = cls;
+      }
+      continue;
+    }
+    for (int32_t c = 0; c < node.child_count; ++c) {
+      stack.push_back(child_ids_[static_cast<size_t>(node.child_begin + c)]);
+    }
+  }
+}
+
+int64_t PackedBoxTree::FirstDominatorPos(const double* victim_lower,
+                                         CoarseIndexStats* stats) const {
+  if (num_entries_ == 0) return -1;
+  // Best-first on subtree min_pos: the frontier is ordered by the smallest
+  // original id a subtree could still contribute, so the first dominator
+  // found at id p closes the search as soon as every frontier bound is
+  // >= p — exactly the entry the serial ascending-id scan finds first.
+  using Frontier = std::pair<int64_t, int32_t>;  // (min_pos, node)
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier;
+  const Node& root = nodes_[0];
+  if (LowerFullyDominates(node_lower(0), victim_lower, width_)) {
+    frontier.emplace(root.min_pos, 0);
+  } else if (stats != nullptr) {
+    ++stats->nodes_pruned;
+  }
+  int64_t best = num_entries_;  // Sentinel: "no dominator in [0, n)".
+  while (!frontier.empty() && frontier.top().first < best) {
+    const int32_t v = frontier.top().second;
+    frontier.pop();
+    const Node& node = nodes_[static_cast<size_t>(v)];
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (node.child_count == 0) {
+      for (int64_t slot = node.entry_begin; slot < node.entry_end; ++slot) {
+        const int64_t pos = entry_pos_[static_cast<size_t>(slot)];
+        if (pos >= best) continue;
+        if (stats != nullptr) ++stats->entries_tested;
+        if (LowerFullyDominates(slot_lower(slot), victim_lower, width_)) {
+          best = pos;
+          break;  // Leaf slots ascend by id; later slots can't improve.
+        }
+      }
+      continue;
+    }
+    for (int32_t c = 0; c < node.child_count; ++c) {
+      const int32_t child =
+          child_ids_[static_cast<size_t>(node.child_begin + c)];
+      const Node& child_node = nodes_[static_cast<size_t>(child)];
+      if (child_node.min_pos >= best ||
+          !LowerFullyDominates(node_lower(child), victim_lower, width_)) {
+        if (stats != nullptr) ++stats->nodes_pruned;
+        continue;
+      }
+      frontier.emplace(child_node.min_pos, child);
+    }
+  }
+  return best == num_entries_ ? -1 : best;
+}
+
+}  // namespace caqe

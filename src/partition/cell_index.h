@@ -1,0 +1,165 @@
+// Packed spatial index over partition cells (and other box/point sets).
+//
+// The coarse MQLA phase compares axis-aligned boxes: selection ranges
+// against cell bounds during region discovery, and region corner points
+// against each other during the coarse skyline prune.  Both comparisons
+// are embarrassingly monotone — a subtree whose minimum bounding rectangle
+// fails a test cannot contain an entry that passes it — so a bulk-loaded
+// R-tree over the boxes turns the flat O(cells) scans into best-first
+// branch-and-bound traversals.
+//
+// Determinism contract: construction is a pure function of the entry
+// boxes (packed STR-style bulk load, sort ties broken by entry id), and
+// every traversal reports results in terms of the ORIGINAL entry ids, so
+// the indexed coarse phase can charge exactly the ops the flat scan would
+// have charged.  Traversal-shape counters (nodes visited/pruned, entries
+// tested) are kept in CoarseIndexStats, strictly outside ExecutionReport.
+#ifndef CAQE_PARTITION_CELL_INDEX_H_
+#define CAQE_PARTITION_CELL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace caqe {
+
+/// Traversal-shape statistics for the tree-indexed coarse phase.  These
+/// describe how much work the index did (and saved) and MUST stay out of
+/// EngineStats/ExecutionReport: reports are byte-identical across
+/// coarse_index off/on, while these counters obviously are not.  They are
+/// exported through the obs metrics registry as caqe_coarse_index_*.
+struct CoarseIndexStats {
+  int64_t trees_built = 0;     ///< Packed trees constructed.
+  int64_t build_entries = 0;   ///< Total entries across those trees.
+  int64_t nodes_visited = 0;   ///< Tree nodes popped/expanded during queries.
+  int64_t nodes_pruned = 0;    ///< Subtrees cut off without descending.
+  int64_t entries_tested = 0;  ///< Individual entries compared at leaves.
+  int64_t entries_bulk = 0;    ///< Entries classified wholesale via node MBRs.
+  int64_t scan_equiv = 0;      ///< Entry touches the flat scan would have made.
+
+  void Merge(const CoarseIndexStats& other) {
+    trees_built += other.trees_built;
+    build_entries += other.build_entries;
+    nodes_visited += other.nodes_visited;
+    nodes_pruned += other.nodes_pruned;
+    entries_tested += other.entries_tested;
+    entries_bulk += other.entries_bulk;
+    scan_equiv += other.scan_equiv;
+  }
+
+  /// Entry touches actually performed: node expansions plus per-entry leaf
+  /// tests.  Compared against scan_equiv to show the branch-and-bound win.
+  int64_t Visits() const { return nodes_visited + entries_tested; }
+};
+
+/// One per-attribute selection interval, in the index's coordinate space.
+struct IndexRange {
+  int attr = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Per-entry outcome of ClassifyRanges, mirroring SelectionCoarse.
+enum : uint8_t {
+  kIndexDisjoint = 0,
+  kIndexOverlap = 1,
+  kIndexContained = 2,
+};
+
+/// A packed (bulk-loaded) R-tree over `n` axis-aligned boxes of fixed
+/// width.  Construction recursively sorts entries along alternating
+/// dimensions by box center (STR-style packing; ties broken by entry id)
+/// and slices them into balanced runs, so every subtree owns a contiguous
+/// slot range and the layout is a pure function of the input.
+class PackedBoxTree {
+ public:
+  static constexpr int kLeafCap = 16;  ///< Max entries per leaf.
+  static constexpr int kFanout = 8;    ///< Target children per internal node.
+
+  /// Returns the `width`-vector lower/upper corner of entry `id`.
+  using CornerFn = std::function<const double*(int64_t)>;
+
+  /// Bulk loads the tree over boxes [lower_of(i), upper_of(i)].
+  void Build(int width, int64_t n, const CornerFn& lower_of,
+             const CornerFn& upper_of);
+
+  /// Bulk loads over degenerate boxes (points): row i of the row-major
+  /// `points` array is both corners of entry i.
+  void BuildPoints(int width, int64_t n, const double* points);
+
+  bool empty() const { return num_entries_ == 0; }
+  int width() const { return width_; }
+  int64_t num_entries() const { return num_entries_; }
+
+  /// Classifies every entry against a conjunction of per-attribute ranges:
+  /// out[id] = kIndexDisjoint / kIndexOverlap / kIndexContained, with the
+  /// exact semantics of region_builder's CoarseSelectionTest (disjoint if
+  /// any range misses the box entirely; contained iff every range covers
+  /// it; overlap otherwise).  Subtrees that are wholly disjoint or wholly
+  /// contained are marked in bulk without descending.  An empty range list
+  /// classifies everything as contained.  `out` must have num_entries()
+  /// slots indexed by ORIGINAL entry id.
+  void ClassifyRanges(const std::vector<IndexRange>& ranges, uint8_t* out,
+                      CoarseIndexStats* stats) const;
+
+  /// Best-first branch-and-bound for the coarse prune: returns the
+  /// smallest ORIGINAL entry id whose lower corner fully dominates the
+  /// point `victim_lower` (every coordinate <=, at least one <), or -1 if
+  /// no entry does.  This is exactly the entry the serial ascending-id
+  /// scan of ScanPointsFullyDominatingRegion would hit first, which is
+  /// what makes serial-identical op charging possible.  The tree must
+  /// have been built over points (lower == upper); only lower corners are
+  /// consulted.
+  int64_t FirstDominatorPos(const double* victim_lower,
+                            CoarseIndexStats* stats) const;
+
+  // --- Structural introspection (tests + DESIGN.md invariants) ---
+
+  struct Node {
+    int64_t entry_begin = 0;  ///< First slot of the subtree's entry run.
+    int64_t entry_end = 0;    ///< One past the last slot.
+    int32_t child_begin = 0;  ///< Index into child_ids(); 0 children = leaf.
+    int32_t child_count = 0;
+    int64_t min_pos = 0;      ///< Smallest original entry id in the subtree.
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<int32_t>& child_ids() const { return child_ids_; }
+  /// MBR corners of node `v` (width() doubles each).
+  const double* node_lower(int32_t v) const {
+    return node_lo_.data() + static_cast<int64_t>(v) * width_;
+  }
+  const double* node_upper(int32_t v) const {
+    return node_hi_.data() + static_cast<int64_t>(v) * width_;
+  }
+  /// Box corners stored at packed slot `slot`, and the original entry id
+  /// that slot holds.
+  const double* slot_lower(int64_t slot) const {
+    return entry_lo_.data() + slot * width_;
+  }
+  const double* slot_upper(int64_t slot) const {
+    return entry_hi_.data() + slot * width_;
+  }
+  int64_t slot_entry_id(int64_t slot) const { return entry_pos_[slot]; }
+
+ private:
+  int32_t BuildNode(std::vector<int64_t>& perm, int64_t lo, int64_t hi,
+                    int depth);
+
+  // Build-time scratch: by-id corner arrays and the next packed slot.
+  const std::vector<double>* build_lo_ = nullptr;
+  const std::vector<double>* build_hi_ = nullptr;
+  int64_t next_slot_ = 0;
+
+  int width_ = 0;
+  int64_t num_entries_ = 0;
+  std::vector<Node> nodes_;         // nodes_[0] is the root when non-empty.
+  std::vector<int32_t> child_ids_;  // Flat child lists, per-node contiguous.
+  std::vector<double> node_lo_, node_hi_;    // Node MBRs, width_ per node.
+  std::vector<double> entry_lo_, entry_hi_;  // Entry boxes in packed order.
+  std::vector<int64_t> entry_pos_;           // Packed slot -> original id.
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_PARTITION_CELL_INDEX_H_

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace caqe {
 
 bool SignaturesIntersect(const std::vector<int32_t>& a,
@@ -209,30 +211,61 @@ QuadNode QuadRoot(const Table& table) {
   return root;
 }
 
+// Below this many rows the chunk fork/join costs more than the work;
+// quadrant classification and leaf finalization run serially. The stripe
+// merge below makes the output identical at any chunk count, so the
+// cutoff cannot change results.
+constexpr int64_t kParallelMinRows = 4096;
+
 // Splits `node` at its box midpoint in every dimension into non-empty
-// children. Returns false (leaving `node` untouched) when the node cannot
-// be split (degenerate box, or all rows in one quadrant).
+// children, emitted in ascending quadrant-id order. Returns false (leaving
+// `node` untouched) when the node cannot be split (degenerate box, or all
+// rows in one quadrant). With a pool, row classification runs in
+// deterministic stripes: each chunk buckets its contiguous row slice, and
+// per-quadrant row lists are concatenated in chunk order — byte-identical
+// to the serial ascending-row classification at any thread count.
 bool QuadSplit(const Table& table, const QuadNode& node,
-               std::vector<QuadNode>& children_out) {
+               std::vector<QuadNode>& children_out, ThreadPool* pool) {
   const int d = table.num_attrs();
   if (node.lower == node.upper) return false;
   std::vector<double> mid(d);
   for (int k = 0; k < d; ++k) {
     mid[k] = 0.5 * (node.lower[k] + node.upper[k]);
   }
-  std::unordered_map<uint32_t, std::vector<int64_t>> children;
-  for (int64_t row : node.rows) {
-    uint32_t quadrant = 0;
-    for (int k = 0; k < d; ++k) {
-      if (table.attr(row, k) > mid[k]) quadrant |= uint32_t{1} << k;
+  const int64_t n = static_cast<int64_t>(node.rows.size());
+  ThreadPool* const split_pool = n >= kParallelMinRows ? pool : nullptr;
+  const int chunks = NumChunks(split_pool, n, /*min_chunk=*/1);
+  std::vector<std::unordered_map<uint32_t, std::vector<int64_t>>> stripes(
+      chunks);
+  RunChunks(split_pool, chunks, [&](int c) {
+    const auto [begin, end] = ChunkRange(n, chunks, c);
+    auto& local = stripes[c];
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t row = node.rows[static_cast<size_t>(i)];
+      uint32_t quadrant = 0;
+      for (int k = 0; k < d; ++k) {
+        if (table.attr(row, k) > mid[k]) quadrant |= uint32_t{1} << k;
+      }
+      local[quadrant].push_back(row);
     }
-    children[quadrant].push_back(row);
+  });
+  std::vector<uint32_t> quadrants;
+  for (const auto& stripe : stripes) {
+    for (const auto& [quadrant, rows] : stripe) quadrants.push_back(quadrant);
   }
-  if (children.size() <= 1) return false;
-  for (auto& [quadrant, rows] : children) {
+  std::sort(quadrants.begin(), quadrants.end());
+  quadrants.erase(std::unique(quadrants.begin(), quadrants.end()),
+                  quadrants.end());
+  if (quadrants.size() <= 1) return false;
+  for (uint32_t quadrant : quadrants) {
     QuadNode child;
     child.depth = node.depth + 1;
-    child.rows = std::move(rows);
+    for (auto& stripe : stripes) {
+      const auto it = stripe.find(quadrant);
+      if (it == stripe.end()) continue;
+      child.rows.insert(child.rows.end(), it->second.begin(),
+                        it->second.end());
+    }
     child.lower.resize(d);
     child.upper.resize(d);
     for (int k = 0; k < d; ++k) {
@@ -243,6 +276,26 @@ bool QuadSplit(const Table& table, const QuadNode& node,
     children_out.push_back(std::move(child));
   }
   return true;
+}
+
+// Finalizes the gathered leaf row lists concurrently (tight bounds +
+// signature sorts dominate the build) and appends the cells in gathering
+// order, so cell ids match the serial build at any thread count.
+void FinalizeLeaves(const Table& table,
+                    std::vector<std::vector<int64_t>>& leaf_rows,
+                    ThreadPool* pool, PartitionedTable& result) {
+  const int64_t num_leaves = static_cast<int64_t>(leaf_rows.size());
+  std::vector<LeafCell> cells(static_cast<size_t>(num_leaves));
+  int64_t total_rows = 0;
+  for (const auto& rows : leaf_rows) {
+    total_rows += static_cast<int64_t>(rows.size());
+  }
+  ThreadPool* const leaf_pool = total_rows >= kParallelMinRows ? pool : nullptr;
+  ParallelFor(leaf_pool, num_leaves, /*min_chunk=*/1, [&](int64_t i) {
+    cells[static_cast<size_t>(i)] =
+        MakeLeaf(table, std::move(leaf_rows[static_cast<size_t>(i)]));
+  });
+  for (LeafCell& cell : cells) result.AddCell(std::move(cell));
 }
 
 Status ValidateQuadArgs(const Table& table, int max_depth) {
@@ -263,13 +316,15 @@ Status ValidateQuadArgs(const Table& table, int max_depth) {
 
 Result<PartitionedTable> PartitionTableQuadTree(const Table& table,
                                                 int64_t max_rows_per_cell,
-                                                int max_depth) {
+                                                int max_depth,
+                                                ThreadPool* pool) {
   if (max_rows_per_cell < 1) {
     return Status::InvalidArgument("max_rows_per_cell must be >= 1");
   }
   CAQE_RETURN_NOT_OK(ValidateQuadArgs(table, max_depth));
 
   PartitionedTable result(&table, 0);
+  std::vector<std::vector<int64_t>> leaf_rows;
   std::vector<QuadNode> stack;
   stack.push_back(QuadRoot(table));
   while (!stack.empty()) {
@@ -277,25 +332,29 @@ Result<PartitionedTable> PartitionTableQuadTree(const Table& table,
     stack.pop_back();
     std::vector<QuadNode> children;
     if (static_cast<int64_t>(node.rows.size()) <= max_rows_per_cell ||
-        node.depth >= max_depth || !QuadSplit(table, node, children)) {
-      result.AddCell(MakeLeaf(table, std::move(node.rows)));
+        node.depth >= max_depth || !QuadSplit(table, node, children, pool)) {
+      leaf_rows.push_back(std::move(node.rows));
       continue;
     }
     for (QuadNode& child : children) stack.push_back(std::move(child));
   }
+  FinalizeLeaves(table, leaf_rows, pool, result);
   return result;
 }
 
 Result<PartitionedTable> PartitionTableQuadTreeTarget(const Table& table,
                                                       int64_t target_cells,
-                                                      int max_depth) {
+                                                      int max_depth,
+                                                      ThreadPool* pool) {
   if (target_cells < 1) {
     return Status::InvalidArgument("target_cells must be >= 1");
   }
   CAQE_RETURN_NOT_OK(ValidateQuadArgs(table, max_depth));
 
   // Greedily split the most populated splittable node until the leaf
-  // budget is met.
+  // budget is met. The heap loop stays serial (split order is part of the
+  // deterministic output); only the per-node row classification and the
+  // final leaf finalization parallelize.
   auto by_rows = [](const QuadNode& a, const QuadNode& b) {
     return a.rows.size() < b.rows.size();
   };
@@ -308,7 +367,7 @@ Result<PartitionedTable> PartitionTableQuadTreeTarget(const Table& table,
     QuadNode node = std::move(heap.back());
     heap.pop_back();
     std::vector<QuadNode> children;
-    if (node.depth >= max_depth || !QuadSplit(table, node, children)) {
+    if (node.depth >= max_depth || !QuadSplit(table, node, children, pool)) {
       leaves.push_back(std::move(node));
       continue;
     }
@@ -318,12 +377,11 @@ Result<PartitionedTable> PartitionTableQuadTreeTarget(const Table& table,
     }
   }
   PartitionedTable result(&table, 0);
-  for (QuadNode& node : heap) {
-    result.AddCell(MakeLeaf(table, std::move(node.rows)));
-  }
-  for (QuadNode& node : leaves) {
-    result.AddCell(MakeLeaf(table, std::move(node.rows)));
-  }
+  std::vector<std::vector<int64_t>> leaf_rows;
+  leaf_rows.reserve(heap.size() + leaves.size());
+  for (QuadNode& node : heap) leaf_rows.push_back(std::move(node.rows));
+  for (QuadNode& node : leaves) leaf_rows.push_back(std::move(node.rows));
+  FinalizeLeaves(table, leaf_rows, pool, result);
   return result;
 }
 

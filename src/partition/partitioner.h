@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/table.h"
 
 namespace caqe {
@@ -101,17 +102,26 @@ std::vector<int> ChooseSliceVector(int num_attrs, int64_t target_cells);
 /// balanced under skew.
 ///
 /// Returns InvalidArgument for non-positive limits or an empty table.
+///
+/// With a pool, per-node quadrant classification runs in deterministic
+/// row stripes and leaf finalization (bound + signature computation) runs
+/// concurrently across leaves; split order, tie-breaks, cell ids, and cell
+/// contents are byte-identical to the serial build at any thread count.
 Result<PartitionedTable> PartitionTableQuadTree(const Table& table,
                                                 int64_t max_rows_per_cell,
-                                                int max_depth = 16);
+                                                int max_depth = 16,
+                                                ThreadPool* pool = nullptr);
 
 /// Budgeted quad-tree partitioning: repeatedly splits the most populated
 /// node until at least `target_cells` leaves exist (or nothing can split).
 /// Controls granularity directly — a plain row cap can overshoot by 2^d
-/// cells per level in high dimensions.
+/// cells per level in high dimensions. Parallelizes like
+/// PartitionTableQuadTree; the greedy split loop itself stays serial.
 Result<PartitionedTable> PartitionTableQuadTreeTarget(const Table& table,
                                                       int64_t target_cells,
-                                                      int max_depth = 16);
+                                                      int max_depth = 16,
+                                                      ThreadPool* pool =
+                                                          nullptr);
 
 }  // namespace caqe
 

@@ -51,28 +51,49 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
   }
   CAQE_RETURN_NOT_OK(workload_.Validate(r_, t_));
 
-  ExecOptions exec;
-  exec.cost = options_.cost;
-  exec.partition_strategy = options_.partition_strategy;
-  exec.cells_per_dim = options_.cells_per_dim;
-  exec.target_regions = options_.target_regions;
-  const int target = AdaptiveTargetRegions(exec, r_, t_, workload_);
-  Result<PartitionedTable> part_r = PartitionForRegions(r_, exec, target);
-  CAQE_RETURN_NOT_OK(part_r.status());
-  part_r_.emplace(std::move(part_r).value());
-  Result<PartitionedTable> part_t = PartitionForRegions(t_, exec, target);
-  CAQE_RETURN_NOT_OK(part_t.status());
-  part_t_.emplace(std::move(part_t).value());
-
+  // The pool is created before partitioning so the quad-tree build and the
+  // region build share it.
   const int num_threads = ResolveNumThreads(options_.num_threads);
   if (num_threads > 1) {
     pool_owner_ = std::make_unique<ThreadPool>(num_threads - 1);
   }
   pool_ = pool_owner_.get();
 
+  ExecOptions exec;
+  exec.cost = options_.cost;
+  exec.partition_strategy = options_.partition_strategy;
+  exec.cells_per_dim = options_.cells_per_dim;
+  exec.target_regions = options_.target_regions;
+  const int target = AdaptiveTargetRegions(exec, r_, t_, workload_);
+  Result<PartitionedTable> part_r =
+      PartitionForRegions(r_, exec, target, pool_);
+  CAQE_RETURN_NOT_OK(part_r.status());
+  part_r_.emplace(std::move(part_r).value());
+  Result<PartitionedTable> part_t =
+      PartitionForRegions(t_, exec, target, pool_);
+  CAQE_RETURN_NOT_OK(part_t.status());
+  part_t_.emplace(std::move(part_t).value());
+
+  TraceSink* const spans = Observability::Spans(options_.obs);
+  SelectionClassIndex sel_index;
+  CoarseIndexStats index_stats;
+  RegionBuildOptions build_options;
+  build_options.pool = pool_;
+  if (options_.coarse_index) {
+    TraceSpan index_span(spans, "coarse_index_build", "serve");
+    sel_index =
+        BuildSelectionClassIndex(*part_r_, *part_t_, workload_, &index_stats);
+    index_span.set_arg("cells",
+                       part_r_->num_cells() + part_t_->num_cells());
+    build_options.selection_index = &sel_index;
+    build_options.index_stats = &index_stats;
+  }
   Result<RegionCollection> rc =
-      BuildRegions(*part_r_, *part_t_, workload_, pool_);
+      BuildRegions(*part_r_, *part_t_, workload_, build_options);
   CAQE_RETURN_NOT_OK(rc.status());
+  if (options_.obs != nullptr && options_.coarse_index) {
+    RecordCoarseIndexStats(options_.obs->metrics, index_stats);
+  }
   rc_ = std::move(rc).value();
   stats_.regions_built += static_cast<int64_t>(rc_.regions.size());
   stats_.coarse_ops += rc_.coarse_ops;

@@ -71,6 +71,10 @@ struct ServeOptions {
   /// cancel any in-flight speculation first, so admission-time mutations
   /// never race it. Needs num_threads > 1; reports stay byte-identical.
   bool pipeline_regions = false;
+  /// Tree-indexed coarse phase (see ExecOptions::coarse_index): the
+  /// bootstrap region build classifies selections through packed box
+  /// trees over the cells. Reports stay byte-identical.
+  bool coarse_index = false;
   /// Input partitioning structure and granularity (see ExecOptions).
   PartitionStrategy partition_strategy = PartitionStrategy::kGrid;
   int cells_per_dim = 0;

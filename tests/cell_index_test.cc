@@ -1,0 +1,389 @@
+// PackedBoxTree structural invariants plus differential tests for the
+// tree-indexed coarse phase: the indexed region build and coarse prune must
+// reproduce the flat-scan results (regions, lineages, discard decisions,
+// coarse_ops) exactly, and the large-N spot check runs the full engine
+// under the report-hash oracle across threads x coarse_index.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "../bench/bench_util.h"
+#include "common/rng.h"
+#include "partition/cell_index.h"
+#include "partition/partitioner.h"
+#include "query/workload_generator.h"
+#include "region/dependency_graph.h"
+#include "region/region_builder.h"
+#include "test_util.h"
+
+namespace caqe {
+namespace {
+
+using ::caqe::testing::MakeTables;
+
+struct BoxSet {
+  int width = 0;
+  std::vector<std::vector<double>> lo;
+  std::vector<std::vector<double>> hi;
+};
+
+BoxSet RandomBoxes(Rng& rng, int64_t n, int width, bool points) {
+  BoxSet boxes;
+  boxes.width = width;
+  boxes.lo.resize(static_cast<size_t>(n));
+  boxes.hi.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    auto& lo = boxes.lo[static_cast<size_t>(i)];
+    auto& hi = boxes.hi[static_cast<size_t>(i)];
+    lo.resize(width);
+    hi.resize(width);
+    for (int k = 0; k < width; ++k) {
+      // Quantized corners: exact ties across entries exercise the sort
+      // tie-break and the boundary cases of the classify/dominate tests.
+      const double a = static_cast<double>(rng.UniformInt(0, 20));
+      const double b = points ? a : static_cast<double>(rng.UniformInt(0, 20));
+      lo[k] = std::min(a, b);
+      hi[k] = std::max(a, b);
+    }
+  }
+  return boxes;
+}
+
+PackedBoxTree BuildTree(const BoxSet& boxes) {
+  PackedBoxTree tree;
+  tree.Build(
+      boxes.width, static_cast<int64_t>(boxes.lo.size()),
+      [&](int64_t i) { return boxes.lo[static_cast<size_t>(i)].data(); },
+      [&](int64_t i) { return boxes.hi[static_cast<size_t>(i)].data(); });
+  return tree;
+}
+
+// Recursively checks every structural invariant of one subtree and returns
+// the set of slots it covers.
+void CheckNode(const PackedBoxTree& tree, int32_t v, const BoxSet& boxes,
+               std::vector<int>& slot_seen) {
+  const PackedBoxTree::Node& node = tree.nodes()[static_cast<size_t>(v)];
+  const int w = tree.width();
+  ASSERT_LT(node.entry_begin, node.entry_end);
+  int64_t min_pos = tree.num_entries();
+  std::vector<double> mbr_lo(w, 1e300), mbr_hi(w, -1e300);
+  if (node.child_count == 0) {
+    // Leaf: within capacity, slots ascend by original entry id, and each
+    // packed slot holds an exact copy of its entry's box.
+    ASSERT_LE(node.entry_end - node.entry_begin, PackedBoxTree::kLeafCap);
+    int64_t prev_id = -1;
+    for (int64_t s = node.entry_begin; s < node.entry_end; ++s) {
+      const int64_t id = tree.slot_entry_id(s);
+      ASSERT_GT(id, prev_id) << "leaf slots must ascend by entry id";
+      prev_id = id;
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, tree.num_entries());
+      ++slot_seen[static_cast<size_t>(id)];
+      for (int k = 0; k < w; ++k) {
+        ASSERT_EQ(tree.slot_lower(s)[k],
+                  boxes.lo[static_cast<size_t>(id)][k]);
+        ASSERT_EQ(tree.slot_upper(s)[k],
+                  boxes.hi[static_cast<size_t>(id)][k]);
+        mbr_lo[k] = std::min(mbr_lo[k], tree.slot_lower(s)[k]);
+        mbr_hi[k] = std::max(mbr_hi[k], tree.slot_upper(s)[k]);
+      }
+      min_pos = std::min(min_pos, id);
+    }
+  } else {
+    // Internal: children cover the node's slot run contiguously in order,
+    // and fanout stays within target.
+    ASSERT_LE(node.child_count, PackedBoxTree::kFanout);
+    ASSERT_GE(node.child_count, 2);
+    int64_t cursor = node.entry_begin;
+    for (int32_t c = 0; c < node.child_count; ++c) {
+      const int32_t child =
+          tree.child_ids()[static_cast<size_t>(node.child_begin + c)];
+      const PackedBoxTree::Node& cn = tree.nodes()[static_cast<size_t>(child)];
+      ASSERT_EQ(cn.entry_begin, cursor)
+          << "children must tile the parent's slot run";
+      cursor = cn.entry_end;
+      CheckNode(tree, child, boxes, slot_seen);
+      min_pos = std::min(min_pos, cn.min_pos);
+      for (int k = 0; k < w; ++k) {
+        mbr_lo[k] = std::min(mbr_lo[k], tree.node_lower(child)[k]);
+        mbr_hi[k] = std::max(mbr_hi[k], tree.node_upper(child)[k]);
+      }
+    }
+    ASSERT_EQ(cursor, node.entry_end);
+  }
+  EXPECT_EQ(node.min_pos, min_pos);
+  for (int k = 0; k < w; ++k) {
+    EXPECT_EQ(tree.node_lower(v)[k], mbr_lo[k]) << "node " << v << " dim " << k;
+    EXPECT_EQ(tree.node_upper(v)[k], mbr_hi[k]) << "node " << v << " dim " << k;
+  }
+}
+
+TEST(PackedBoxTreeTest, StructuralInvariants) {
+  Rng rng(20140605);
+  for (const int64_t n : {int64_t{0}, int64_t{1}, int64_t{5}, int64_t{16},
+                          int64_t{17}, int64_t{100}, int64_t{1000}}) {
+    for (const int width : {1, 2, 3, 5}) {
+      const BoxSet boxes = RandomBoxes(rng, n, width, /*points=*/false);
+      const PackedBoxTree tree = BuildTree(boxes);
+      ASSERT_EQ(tree.num_entries(), n);
+      ASSERT_EQ(tree.width(), width);
+      if (n == 0) {
+        EXPECT_TRUE(tree.empty());
+        EXPECT_TRUE(tree.nodes().empty());
+        continue;
+      }
+      // Root is node 0 and covers every slot; the recursive walk verifies
+      // MBRs, min_pos, leaf capacity/order, fanout, and contiguity.
+      const PackedBoxTree::Node& root = tree.nodes()[0];
+      ASSERT_EQ(root.entry_begin, 0);
+      ASSERT_EQ(root.entry_end, n);
+      std::vector<int> slot_seen(static_cast<size_t>(n), 0);
+      CheckNode(tree, 0, boxes, slot_seen);
+      // Packed slots hold each original entry exactly once.
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(slot_seen[static_cast<size_t>(i)], 1) << "entry " << i;
+      }
+    }
+  }
+}
+
+TEST(PackedBoxTreeTest, DeterministicRebuild) {
+  Rng rng(7);
+  const BoxSet boxes = RandomBoxes(rng, 333, 3, /*points=*/false);
+  const PackedBoxTree a = BuildTree(boxes);
+  const PackedBoxTree b = BuildTree(boxes);
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (size_t v = 0; v < a.nodes().size(); ++v) {
+    EXPECT_EQ(a.nodes()[v].entry_begin, b.nodes()[v].entry_begin);
+    EXPECT_EQ(a.nodes()[v].entry_end, b.nodes()[v].entry_end);
+    EXPECT_EQ(a.nodes()[v].child_begin, b.nodes()[v].child_begin);
+    EXPECT_EQ(a.nodes()[v].child_count, b.nodes()[v].child_count);
+    EXPECT_EQ(a.nodes()[v].min_pos, b.nodes()[v].min_pos);
+  }
+  EXPECT_EQ(a.child_ids(), b.child_ids());
+  for (int64_t s = 0; s < a.num_entries(); ++s) {
+    EXPECT_EQ(a.slot_entry_id(s), b.slot_entry_id(s));
+  }
+}
+
+uint8_t ReferenceClassify(const std::vector<double>& lo,
+                          const std::vector<double>& hi,
+                          const std::vector<IndexRange>& ranges) {
+  bool contained = true;
+  for (const IndexRange& range : ranges) {
+    if (range.lo > hi[static_cast<size_t>(range.attr)] ||
+        range.hi < lo[static_cast<size_t>(range.attr)]) {
+      return kIndexDisjoint;
+    }
+    if (!(range.lo <= lo[static_cast<size_t>(range.attr)] &&
+          hi[static_cast<size_t>(range.attr)] <= range.hi)) {
+      contained = false;
+    }
+  }
+  return contained ? kIndexContained : kIndexOverlap;
+}
+
+TEST(PackedBoxTreeTest, ClassifyRangesMatchesBruteForce) {
+  Rng rng(99);
+  for (const int64_t n : {int64_t{1}, int64_t{17}, int64_t{100},
+                          int64_t{1000}}) {
+    for (const int width : {1, 2, 3, 5}) {
+      const BoxSet boxes = RandomBoxes(rng, n, width, /*points=*/false);
+      const PackedBoxTree tree = BuildTree(boxes);
+      for (int trial = 0; trial < 20; ++trial) {
+        // Between zero and `width` constrained attributes; narrow and wide
+        // intervals so all three classes occur.
+        std::vector<IndexRange> ranges;
+        for (int k = 0; k < width; ++k) {
+          if (trial > 0 && rng.Bernoulli(0.4)) continue;
+          IndexRange range;
+          range.attr = k;
+          const double a = static_cast<double>(rng.UniformInt(-2, 22));
+          const double b = static_cast<double>(rng.UniformInt(-2, 22));
+          range.lo = std::min(a, b);
+          range.hi = std::max(a, b);
+          ranges.push_back(range);
+        }
+        std::vector<uint8_t> out(static_cast<size_t>(n), 0xEE);
+        CoarseIndexStats stats;
+        tree.ClassifyRanges(ranges, out.data(), &stats);
+        // Every entry is accounted for exactly once: tested at a leaf or
+        // classified wholesale through a node MBR.
+        EXPECT_EQ(stats.entries_tested + stats.entries_bulk, n);
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(out[static_cast<size_t>(i)],
+                    ReferenceClassify(boxes.lo[static_cast<size_t>(i)],
+                                      boxes.hi[static_cast<size_t>(i)],
+                                      ranges))
+              << "entry " << i << " n=" << n << " width=" << width;
+        }
+      }
+    }
+  }
+}
+
+// Reference for FirstDominatorPos: the serial ascending-id scan.
+int64_t ReferenceFirstDominator(const BoxSet& boxes,
+                                const std::vector<double>& victim) {
+  const int w = boxes.width;
+  for (int64_t i = 0; i < static_cast<int64_t>(boxes.lo.size()); ++i) {
+    bool all = true;
+    bool strict = false;
+    for (int k = 0; k < w; ++k) {
+      const double v = boxes.lo[static_cast<size_t>(i)][k];
+      if (v > victim[static_cast<size_t>(k)]) {
+        all = false;
+        break;
+      }
+      if (v < victim[static_cast<size_t>(k)]) strict = true;
+    }
+    if (all && strict) return i;
+  }
+  return -1;
+}
+
+TEST(PackedBoxTreeTest, FirstDominatorPosMatchesLinearScan) {
+  Rng rng(4242);
+  for (const int64_t n : {int64_t{1}, int64_t{16}, int64_t{100},
+                          int64_t{1000}}) {
+    for (const int width : {1, 2, 4}) {
+      const BoxSet boxes = RandomBoxes(rng, n, width, /*points=*/true);
+      PackedBoxTree tree;
+      std::vector<double> flat;
+      for (const auto& row : boxes.lo) {
+        flat.insert(flat.end(), row.begin(), row.end());
+      }
+      tree.BuildPoints(width, n, flat.data());
+      for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> victim(width);
+        for (double& v : victim) {
+          v = static_cast<double>(rng.UniformInt(0, 20));
+        }
+        CoarseIndexStats stats;
+        EXPECT_EQ(tree.FirstDominatorPos(victim.data(), &stats),
+                  ReferenceFirstDominator(boxes, victim))
+            << "n=" << n << " width=" << width << " trial=" << trial;
+      }
+    }
+  }
+}
+
+// The tentpole differential: at every (dims, selectivity, seed) cell the
+// indexed region build and indexed coarse prune must reproduce the scan
+// path's region sets, lineages, guarantees, discard decisions, and
+// coarse_ops exactly.
+TEST(CoarseIndexDifferentialTest, IndexedCoarsePhaseMatchesScan) {
+  for (const int dims : {2, 3, 4}) {
+    for (const double selectivity : {0.02, 0.1}) {
+      for (const uint64_t seed : {11ull, 77ull}) {
+        auto [r, t] =
+            MakeTables(Distribution::kIndependent, 400, dims, selectivity,
+                       seed);
+        const int num_queries = dims == 2 ? 1 : 4;
+        const Workload workload =
+            MakeSubspaceWorkload(dims, 0, num_queries,
+                                 PriorityPolicy::kUniform, seed)
+                .value();
+        const PartitionedTable part_r =
+            PartitionTableQuadTreeTarget(r, 32).value();
+        const PartitionedTable part_t =
+            PartitionTableQuadTreeTarget(t, 32).value();
+
+        // Region build: scan vs selection-class index.
+        const RegionCollection scan_rc =
+            BuildRegions(part_r, part_t, workload).value();
+        CoarseIndexStats build_stats;
+        SelectionClassIndex sel_index =
+            BuildSelectionClassIndex(part_r, part_t, workload, &build_stats);
+        RegionBuildOptions build_options;
+        build_options.selection_index = &sel_index;
+        build_options.index_stats = &build_stats;
+        const RegionCollection indexed_rc =
+            BuildRegions(part_r, part_t, workload, build_options).value();
+
+        ASSERT_EQ(indexed_rc.regions.size(), scan_rc.regions.size());
+        EXPECT_EQ(indexed_rc.coarse_ops, scan_rc.coarse_ops);
+        EXPECT_EQ(indexed_rc.total_join_sizes, scan_rc.total_join_sizes);
+        for (size_t i = 0; i < scan_rc.regions.size(); ++i) {
+          const OutputRegion& a = indexed_rc.regions[i];
+          const OutputRegion& b = scan_rc.regions[i];
+          ASSERT_EQ(a.id, b.id);
+          ASSERT_EQ(a.cell_r, b.cell_r);
+          ASSERT_EQ(a.cell_t, b.cell_t);
+          EXPECT_EQ(a.rql, b.rql) << "region " << i;
+          EXPECT_EQ(a.guaranteed, b.guaranteed) << "region " << i;
+          EXPECT_EQ(a.join_sizes, b.join_sizes) << "region " << i;
+        }
+        EXPECT_EQ(build_stats.entries_tested + build_stats.entries_bulk,
+                  static_cast<int64_t>(num_queries) *
+                      (part_r.num_cells() + part_t.num_cells()));
+
+        // Coarse prune: scan vs best-first branch-and-bound.
+        RegionCollection scan_pruned = scan_rc;
+        RegionCollection indexed_pruned = indexed_rc;
+        const CoarsePruneStats scan_stats =
+            CoarseSkylinePrune(scan_pruned, workload);
+        CoarsePruneOptions prune_options;
+        prune_options.use_index = true;
+        CoarseIndexStats prune_index_stats;
+        prune_options.index_stats = &prune_index_stats;
+        const CoarsePruneStats indexed_stats =
+            CoarseSkylinePrune(indexed_pruned, workload, prune_options);
+        EXPECT_EQ(indexed_stats.coarse_ops, scan_stats.coarse_ops);
+        EXPECT_EQ(indexed_stats.pruned_pairs, scan_stats.pruned_pairs);
+        EXPECT_EQ(indexed_stats.pruned_regions, scan_stats.pruned_regions);
+        for (size_t i = 0; i < scan_pruned.regions.size(); ++i) {
+          EXPECT_EQ(indexed_pruned.regions[i].rql,
+                    scan_pruned.regions[i].rql)
+              << "region " << i;
+          EXPECT_EQ(indexed_pruned.regions[i].guaranteed,
+                    scan_pruned.regions[i].guaranteed)
+              << "region " << i;
+        }
+      }
+    }
+  }
+}
+
+// Large-N spot check under the full-report differential oracle: the engine
+// report (every counter, virtual time, per-query outcome) must hash equal
+// across coarse_index {off,on} x threads {1,8}.
+TEST(CoarseIndexDifferentialTest, LargeNReportHashInvariant) {
+  bench::BenchConfig config;
+  config.rows = 500000;
+  config.num_attrs = 3;
+  config.num_queries = 4;
+  config.seed = 2014;
+  config.selectivity = 1.0 / static_cast<double>(config.rows);
+  auto [r, t] = bench::MakeBenchTables(config);
+  const Workload workload =
+      MakeSubspaceWorkload(config.num_attrs, 0, config.num_queries,
+                           PriorityPolicy::kUniform, config.seed)
+          .value();
+  const std::vector<Contract> contracts(workload.num_queries(),
+                                        MakeLogDecayContract());
+  uint64_t reference = 0;
+  bool have_reference = false;
+  for (const int threads : {1, 8}) {
+    for (const bool coarse_index : {false, true}) {
+      ExecOptions options;
+      options.capture_results = false;
+      options.num_threads = threads;
+      options.coarse_index = coarse_index;
+      const ExecutionReport report =
+          bench::RunEngine("CAQE", r, t, workload, contracts, options);
+      const uint64_t hash = bench::ReportHash(report);
+      if (!have_reference) {
+        reference = hash;
+        have_reference = true;
+      }
+      EXPECT_EQ(hash, reference)
+          << "threads=" << threads << " coarse_index=" << coarse_index;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caqe

@@ -196,11 +196,66 @@ TEST(DominanceBatchTest, ZeroDimsIsEqualAndVacuouslyStrict) {
 
 TEST(DominanceBatchTest, DispatcherReportsKnownIsa) {
   const std::string isa = BatchKernelIsaName();
-  EXPECT_TRUE(isa == "avx2" || isa == "neon" || isa == "scalar") << isa;
+  EXPECT_TRUE(isa == "avx512" || isa == "avx2" || isa == "neon" ||
+              isa == "scalar")
+      << isa;
   EXPECT_EQ(BatchKernelSimdActive(), isa != "scalar");
 #if defined(CAQE_SIMD_DISABLED)
   EXPECT_EQ(isa, "scalar");
 #endif
+}
+
+TEST(DominanceBatchTest, AvailableIsasEndWithScalarAndIncludeDispatcher) {
+  const std::vector<const char*> isas = BatchKernelAvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_STREQ(isas.back(), "scalar");
+  bool found = false;
+  for (const char* isa : isas) {
+    if (std::strcmp(isa, BatchKernelIsaName()) == 0) found = true;
+  }
+  EXPECT_TRUE(found) << "dispatcher ISA missing from available list";
+  // An ISA that does not exist must be rejected without touching output.
+  SubspaceView view(std::vector<int>{0});
+  double probe = 0.0;
+  EXPECT_FALSE(
+      BatchDominanceFlagsForIsa("mmx", &probe, view, 0, 0, nullptr));
+}
+
+// Every backend the build + CPU can run (not just the dispatcher's pick)
+// must agree byte-for-byte with the scalar reference — this is what makes
+// reports bit-identical when CAQE_SIMD pins a narrower ISA.
+TEST(DominanceBatchTest, EveryAvailableIsaMatchesScalar) {
+  const std::vector<const char*> isas = BatchKernelAvailableIsas();
+  ForEachConfig([&isas](Rng& rng, int width, const std::vector<int>& dims,
+                        int64_t n, bool quantize) {
+    const Block block = MakeBlock(rng, width, dims, n, quantize);
+    std::vector<uint8_t> ref_flags(static_cast<size_t>(n) + 1, 0xCD);
+    std::vector<uint8_t> ref_weak(static_cast<size_t>(n) + 1, 0xCD);
+    BatchDominanceFlagsScalar(block.gathered_probe.data(), block.view, 0, n,
+                              ref_flags.data());
+    BatchWeaklyDominatesScalar(block.gathered_probe.data(), block.view, 0, n,
+                               ref_weak.data());
+    for (const char* isa : isas) {
+      std::vector<uint8_t> flags(static_cast<size_t>(n) + 1, 0xAB);
+      std::vector<uint8_t> weak(static_cast<size_t>(n) + 1, 0xAB);
+      ASSERT_TRUE(BatchDominanceFlagsForIsa(isa, block.gathered_probe.data(),
+                                            block.view, 0, n, flags.data()))
+          << isa;
+      ASSERT_TRUE(BatchWeaklyDominatesForIsa(isa, block.gathered_probe.data(),
+                                             block.view, 0, n, weak.data()))
+          << isa;
+      for (int64_t j = 0; j < n; ++j) {
+        ASSERT_EQ(flags[static_cast<size_t>(j)],
+                  ref_flags[static_cast<size_t>(j)])
+            << isa << " flags differ at row " << j;
+        ASSERT_EQ(weak[static_cast<size_t>(j)],
+                  ref_weak[static_cast<size_t>(j)])
+            << isa << " weak bits differ at row " << j;
+      }
+      EXPECT_EQ(flags[static_cast<size_t>(n)], 0xAB) << isa;
+      EXPECT_EQ(weak[static_cast<size_t>(n)], 0xAB) << isa;
+    }
+  });
 }
 
 }  // namespace

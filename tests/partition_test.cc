@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "partition/partitioner.h"
 
@@ -243,6 +244,44 @@ TEST(QuadTreeTest, BalancesSkewBetterThanGrid) {
   }
   EXPECT_LE(quad_max, 250u);
   EXPECT_GT(grid_max, quad_max);
+}
+
+TEST(QuadTreeTest, PoolBuildMatchesSerialBuild) {
+  // The parallel quad-tree build must be a pure work-split: cell order,
+  // bounds, and row lists stay byte-identical to the serial recursion
+  // regardless of pool size.
+  GeneratorConfig cfg;
+  cfg.num_rows = 3000;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.05};
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAntiCorrelated}) {
+    cfg.distribution = dist;
+    const Table t = GenerateTable("T", cfg).value();
+    const PartitionedTable serial = PartitionTableQuadTree(t, 64).value();
+    const PartitionedTable serial_target =
+        PartitionTableQuadTreeTarget(t, 40).value();
+    for (const int threads : {2, 7}) {
+      ThreadPool pool(threads);
+      const PartitionedTable pooled =
+          PartitionTableQuadTree(t, 64, /*max_depth=*/16, &pool).value();
+      const PartitionedTable pooled_target =
+          PartitionTableQuadTreeTarget(t, 40, /*max_depth=*/16, &pool)
+              .value();
+      const auto expect_identical = [](const PartitionedTable& a,
+                                       const PartitionedTable& b) {
+        ASSERT_EQ(a.num_cells(), b.num_cells());
+        for (int c = 0; c < a.num_cells(); ++c) {
+          EXPECT_EQ(a.cell(c).rows, b.cell(c).rows) << "cell " << c;
+          EXPECT_EQ(a.cell(c).lower, b.cell(c).lower) << "cell " << c;
+          EXPECT_EQ(a.cell(c).upper, b.cell(c).upper) << "cell " << c;
+        }
+      };
+      expect_identical(pooled, serial);
+      expect_identical(pooled_target, serial_target);
+    }
+  }
 }
 
 TEST(QuadTreeTest, IdenticalPointsTerminate) {

@@ -362,6 +362,35 @@ TEST_F(RegionBuilderTest, BatchedCoarsePruneMatchesSerialReference) {
   }
 }
 
+TEST_F(RegionBuilderTest, IndexedCoarsePruneMatchesSerialReference) {
+  RegionCollection indexed = *rc_;
+  RegionCollection serial = *rc_;
+  CoarsePruneOptions options;
+  options.use_index = true;
+  CoarseIndexStats index_stats;
+  options.index_stats = &index_stats;
+  const CoarsePruneStats indexed_stats =
+      CoarseSkylinePrune(indexed, workload_, options);
+  const CoarsePruneStats serial_stats =
+      ReferenceCoarsePrune(serial, workload_);
+  // The branch-and-bound traversal must land on the same first dominator
+  // the ascending-id scan finds, so every statistic — including the
+  // serial-identical coarse_ops charge — matches the reference exactly.
+  EXPECT_EQ(indexed_stats.pruned_pairs, serial_stats.pruned_pairs);
+  EXPECT_EQ(indexed_stats.pruned_regions, serial_stats.pruned_regions);
+  EXPECT_EQ(indexed_stats.coarse_ops, serial_stats.coarse_ops);
+  ASSERT_EQ(indexed.regions.size(), serial.regions.size());
+  for (size_t i = 0; i < indexed.regions.size(); ++i) {
+    EXPECT_EQ(indexed.regions[i].rql, serial.regions[i].rql) << i;
+    EXPECT_EQ(indexed.regions[i].guaranteed, serial.regions[i].guaranteed)
+        << i;
+  }
+  // The traversal actually used trees (one per (query, slot) candidate
+  // set) rather than silently falling back to the scan.
+  EXPECT_GT(index_stats.trees_built, 0);
+  EXPECT_GT(index_stats.nodes_visited, 0);
+}
+
 TEST_F(RegionBuilderTest, BatchedDependencyGraphMatchesScalarCompareRegions) {
   RegionCollection pruned = *rc_;
   CoarseSkylinePrune(pruned, workload_);
