@@ -53,6 +53,16 @@ for simd in OFF ON; do
       --report-out="${out}" > /dev/null
     REPORTS["${simd}_${threads}_coarse"]="${out}"
   done
+  # Compact-layout-off cells: the cache-conscious steady-state layout
+  # (flat CSR join indexes, arena scratch) is a pure layout change, so
+  # switching it off must reproduce the report byte for byte.
+  for threads in 1 8; do
+    out="${build_dir}/serving_t${threads}_mapidx.txt"
+    "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+      --threads="${threads}" --compact_layout=0 \
+      --report-out="${out}" > /dev/null
+    REPORTS["${simd}_${threads}_mapidx"]="${out}"
+  done
   # Tracing-attached cell: the observability layer must not move a byte.
   out="${build_dir}/serving_traced.txt"
   "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
@@ -64,6 +74,12 @@ for simd in OFF ON; do
   grep -q '"traceEvents"' "${build_dir}/serving_trace.json"
   grep -q '^# TYPE caqe_serve_admission_decisions_total counter$' \
     "${build_dir}/serving_metrics.prom"
+  # Alloc-gate cell: the steady-state allocation budget of the region hot
+  # path must hold in this build too. bench_alloc fails hard past the
+  # budget and cross-checks that the compact layout is report-neutral.
+  cmake --build "${build_dir}" -j"$(nproc)" --target bench_alloc
+  "./${build_dir}/bench/bench_alloc" --max_allocs_per_region=5 \
+    --out="${build_dir}/BENCH_alloc.json" > /dev/null
 done
 
 # Every cell of the matrix must match the scalar single-threaded
@@ -81,6 +97,10 @@ tools/report_diff.sh "serving report vs OFF_1_0" "${REPORTS[OFF_1_0]}" \
   "OFF_8_coarse=${REPORTS[OFF_8_coarse]}" \
   "ON_1_coarse=${REPORTS[ON_1_coarse]}" \
   "ON_8_coarse=${REPORTS[ON_8_coarse]}" \
+  "OFF_1_mapidx=${REPORTS[OFF_1_mapidx]}" \
+  "OFF_8_mapidx=${REPORTS[OFF_8_mapidx]}" \
+  "ON_1_mapidx=${REPORTS[ON_1_mapidx]}" \
+  "ON_8_mapidx=${REPORTS[ON_8_mapidx]}" \
   "OFF_traced=${REPORTS[OFF_traced]}" \
   "ON_traced=${REPORTS[ON_traced]}" || status=1
 exit "${status}"

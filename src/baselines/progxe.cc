@@ -58,6 +58,8 @@ Result<ExecutionReport> ProgXeEngine::Execute(
   core.policy = SchedulePolicy::kCountDriven;
   core.num_threads = options.num_threads;
   core.pipeline_regions = options.pipeline_regions;
+  core.compact_layout = options.compact_layout;
+  core.join_index_cache_entries = options.join_index_cache_entries;
   core.coarse_prune = true;  // ProgXe prunes its output space.
   core.feedback = false;     // Count-driven, not satisfaction-driven.
   core.dva_mode = options.dva_mode;

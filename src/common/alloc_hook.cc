@@ -1,0 +1,12 @@
+// Weak no-op flavor of the allocation-accounting hook (see alloc_hook.h).
+// Binaries that link caqe_alloc_hook ahead of caqe_common get the strong
+// counting definitions instead; everything else resolves to these.
+#include "common/alloc_hook.h"
+
+namespace caqe {
+
+__attribute__((weak)) bool AllocHookActive() { return false; }
+
+__attribute__((weak)) AllocCounts ThreadAllocCounts() { return {}; }
+
+}  // namespace caqe

@@ -1,0 +1,113 @@
+#include "common/arena.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CAQE_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define CAQE_ARENA_ASAN 1
+#endif
+
+#ifdef CAQE_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define CAQE_ARENA_POISON(ptr, size) ASAN_POISON_MEMORY_REGION(ptr, size)
+#define CAQE_ARENA_UNPOISON(ptr, size) ASAN_UNPOISON_MEMORY_REGION(ptr, size)
+#else
+#define CAQE_ARENA_POISON(ptr, size) ((void)(ptr), (void)(size))
+#define CAQE_ARENA_UNPOISON(ptr, size) ((void)(ptr), (void)(size))
+#endif
+
+namespace caqe {
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Arena::Arena(size_t initial_bytes) {
+  AddBlock(initial_bytes == 0 ? 64 : initial_bytes);
+}
+
+Arena::~Arena() {
+  // Blocks are poisoned while parked; unpoison before the allocator
+  // reclaims them so ASan does not flag the internal free.
+  for (Block& block : blocks_) {
+    CAQE_ARENA_UNPOISON(block.data.get(), block.size);
+  }
+}
+
+Arena::Block& Arena::AddBlock(size_t min_bytes) {
+  Block block;
+  block.size = NextPow2(min_bytes);
+  block.data = std::make_unique<char[]>(block.size);
+  CAQE_ARENA_POISON(block.data.get(), block.size);
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  CAQE_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  Block* block = &blocks_[current_];
+  // Alignment is computed on the absolute address: block bases come from
+  // operator new[] and only guarantee max_align_t, so aligning the offset
+  // alone would miss wider requests (e.g. 64-byte cache lines).
+  const auto align_from = [align](const Block& b, size_t offset) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+    const uintptr_t mask = static_cast<uintptr_t>(align) - 1;
+    return static_cast<size_t>(((base + offset + mask) & ~mask) - base);
+  };
+  size_t aligned = align_from(*block, offset_);
+  if (aligned + bytes > block->size) {
+    // Overflow: move to the next block (or grow a fresh one). Reset()
+    // coalesces, so overflow happens only while the high-water mark is
+    // still being discovered. The abandoned tail counts toward the epoch
+    // footprint so the coalesced block provably fits the whole epoch.
+    used_ += block->size - offset_;
+    const size_t need = bytes + align;  // Worst-case alignment padding.
+    if (current_ + 1 < blocks_.size() &&
+        blocks_[current_ + 1].size >= need) {
+      ++current_;
+    } else {
+      blocks_.resize(current_ + 1);  // Drop too-small successors.
+      AddBlock(need * 2 > block->size * 2 ? need * 2 : block->size * 2);
+      current_ = blocks_.size() - 1;
+    }
+    block = &blocks_[current_];
+    offset_ = 0;
+    aligned = align_from(*block, 0);
+    CAQE_DCHECK(aligned + bytes <= block->size);
+  }
+  void* ptr = block->data.get() + aligned;
+  CAQE_ARENA_UNPOISON(ptr, bytes);
+  used_ += (aligned - offset_) + bytes;
+  offset_ = aligned + bytes;
+  return ptr;
+}
+
+void Arena::Reset() {
+  ++epoch_;
+  if (blocks_.size() > 1) {
+    // The epoch spilled across blocks: replace them with one block sized
+    // to the epoch's footprint so the next epochs bump inside it alone.
+    const size_t need = NextPow2(used_ == 0 ? 64 : used_);
+    blocks_.clear();
+    AddBlock(need);
+  } else {
+    CAQE_ARENA_POISON(blocks_[0].data.get(), blocks_[0].size);
+  }
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+size_t Arena::bytes_capacity() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+}  // namespace caqe

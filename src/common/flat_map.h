@@ -1,0 +1,130 @@
+// Flat open-addressing hash map from int64 keys to small values.
+#ifndef CAQE_COMMON_FLAT_MAP_H_
+#define CAQE_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace caqe {
+
+/// Linear-probing map for hot paths where a node-based std::unordered_map
+/// would heap-allocate on every insert and free on every erase. Keys and
+/// values live in two parallel flat arrays; erasure uses backward-shift
+/// deletion, so there are no tombstones and lookup cost never degrades.
+/// The only allocations are capacity doublings — a map that returns to the
+/// same high-water size allocates nothing at steady state.
+///
+/// Keys may be any int64 except INT64_MIN (the empty sentinel). Value type
+/// must be trivially copyable (elements are moved by assignment during
+/// backward shifts).
+template <typename V>
+class FlatMap64 {
+ public:
+  static constexpr int64_t kEmptyKey = INT64_MIN;
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Drops every entry but keeps the capacity (O(capacity), no heap
+  /// traffic).
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    count_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` entries.
+  void reserve(size_t n) {
+    while (keys_.empty() || n > (mask_ + 1) / 2) Grow();
+  }
+
+  /// Pointer to `key`'s value, or nullptr when absent. Stable only until
+  /// the next insert or erase.
+  V* find(int64_t key) {
+    if (keys_.empty()) return nullptr;
+    size_t i = IdealSlot(key);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return &vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* find(int64_t key) const {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+
+  void insert_or_assign(int64_t key, V value) {
+    CAQE_DCHECK(key != kEmptyKey);
+    if (keys_.empty() || count_ + 1 > (mask_ + 1) / 2) Grow();
+    size_t i = IdealSlot(key);
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask_;
+    if (keys_[i] != key) {
+      keys_[i] = key;
+      ++count_;
+    }
+    vals_[i] = value;
+  }
+
+  /// Removes `key`; returns whether it was present. Backward-shift: every
+  /// element whose probe chain crossed the vacated slot moves one step
+  /// back, restoring the invariant without tombstones.
+  bool erase(int64_t key) {
+    V* v = find(key);
+    if (v == nullptr) return false;
+    size_t j = static_cast<size_t>(v - vals_.data());
+    size_t k = j;
+    while (true) {
+      k = (k + 1) & mask_;
+      if (keys_[k] == kEmptyKey) break;
+      const size_t ideal = IdealSlot(keys_[k]);
+      if (((k - ideal) & mask_) >= ((k - j) & mask_)) {
+        keys_[j] = keys_[k];
+        vals_[j] = vals_[k];
+        j = k;
+      }
+    }
+    keys_[j] = kEmptyKey;
+    --count_;
+    return true;
+  }
+
+  /// Visits every (key, value) pair in unspecified (slot) order. Callers
+  /// needing determinism must sort what they collect.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  size_t IdealSlot(int64_t key) const {
+    return static_cast<size_t>(
+               static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull >> 32) &
+           mask_;
+  }
+
+  void Grow() {
+    const size_t new_cap = keys_.empty() ? 64 : (mask_ + 1) * 2;
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(new_cap, kEmptyKey);
+    vals_.resize(new_cap);
+    mask_ = new_cap - 1;
+    count_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) insert_or_assign(old_keys[i], old_vals[i]);
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<V> vals_;
+  size_t mask_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_COMMON_FLAT_MAP_H_

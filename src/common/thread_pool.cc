@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <exception>
 
 #include "common/macros.h"
 
@@ -71,51 +70,6 @@ std::pair<int64_t, int64_t> ChunkRange(int64_t n, int chunks, int chunk) {
   const int64_t begin = chunk * base + std::min<int64_t>(chunk, rem);
   const int64_t extra = chunk < rem ? 1 : 0;
   return {begin, begin + base + extra};
-}
-
-void RunChunks(ThreadPool* pool, int chunks,
-               const std::function<void(int)>& fn) {
-  if (chunks <= 0) return;
-  if (pool == nullptr || chunks == 1) {
-    for (int c = 0; c < chunks; ++c) fn(c);
-    return;
-  }
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks - 1);
-  for (int c = 0; c < chunks - 1; ++c) {
-    futures.push_back(pool->Submit([&fn, c] { fn(c); }));
-  }
-  // The caller contributes the last chunk; its exception must not skip the
-  // waits below, so it is captured like any other chunk's.
-  std::vector<std::exception_ptr> errors(chunks);
-  try {
-    fn(chunks - 1);
-  } catch (...) {
-    errors[chunks - 1] = std::current_exception();
-  }
-  for (int c = 0; c < chunks - 1; ++c) {
-    try {
-      futures[c].get();
-    } catch (...) {
-      errors[c] = std::current_exception();
-    }
-  }
-  for (int c = 0; c < chunks; ++c) {
-    if (errors[c]) std::rethrow_exception(errors[c]);
-  }
-}
-
-void ParallelFor(ThreadPool* pool, int64_t n, int64_t min_chunk,
-                 const std::function<void(int64_t)>& fn) {
-  const int chunks = NumChunks(pool, n, min_chunk);
-  if (chunks <= 1) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  RunChunks(pool, chunks, [&](int c) {
-    const auto [begin, end] = ChunkRange(n, chunks, c);
-    for (int64_t i = begin; i < end; ++i) fn(i);
-  });
 }
 
 }  // namespace caqe

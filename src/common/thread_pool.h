@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -72,15 +73,59 @@ std::pair<int64_t, int64_t> ChunkRange(int64_t n, int chunks, int chunk);
 /// pool, the last runs on the calling thread. Blocks until every chunk
 /// completes; if any threw, the lowest-indexed chunk's exception is
 /// rethrown. `pool` may be null (or chunks 1), in which case every chunk
-/// runs inline on the caller.
-void RunChunks(ThreadPool* pool, int chunks,
-               const std::function<void(int)>& fn);
+/// runs inline on the caller. Templated on the callable so the inline
+/// path never builds a std::function: region phases call this once or
+/// more per region with capture lists well past the small-buffer limit,
+/// and the type-erased signature cost a heap allocation per call even
+/// single-threaded.
+template <typename Fn>
+void RunChunks(ThreadPool* pool, int chunks, Fn&& fn) {
+  if (chunks <= 0) return;
+  if (pool == nullptr || chunks == 1) {
+    for (int c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (int c = 0; c < chunks - 1; ++c) {
+    futures.push_back(pool->Submit([&fn, c] { fn(c); }));
+  }
+  // The caller contributes the last chunk; its exception must not skip the
+  // waits below, so it is captured like any other chunk's.
+  std::vector<std::exception_ptr> errors(chunks);
+  try {
+    fn(chunks - 1);
+  } catch (...) {
+    errors[chunks - 1] = std::current_exception();
+  }
+  for (int c = 0; c < chunks - 1; ++c) {
+    try {
+      futures[c].get();
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  }
+  for (int c = 0; c < chunks; ++c) {
+    if (errors[c]) std::rethrow_exception(errors[c]);
+  }
+}
 
 /// Elementwise parallel-for over [0, n): chunks the range with NumChunks /
 /// ChunkRange and invokes fn(i) for every i. Exceptions propagate as in
-/// RunChunks.
-void ParallelFor(ThreadPool* pool, int64_t n, int64_t min_chunk,
-                 const std::function<void(int64_t)>& fn);
+/// RunChunks; the callable is likewise taken by deduced type, never
+/// erased.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, int64_t n, int64_t min_chunk, Fn&& fn) {
+  const int chunks = NumChunks(pool, n, min_chunk);
+  if (chunks <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  RunChunks(pool, chunks, [&](int c) {
+    const auto [begin, end] = ChunkRange(n, chunks, c);
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
 
 }  // namespace caqe
 

@@ -49,6 +49,13 @@ void SatisfactionTracker::ResetQuery(int q, Contract contract,
 void SatisfactionTracker::SetEstimatedTotal(int q, double n) {
   CAQE_DCHECK(q >= 0 && q < num_queries());
   estimated_totals_[q] = std::max(1.0, n);
+  // The estimate bounds how many results the engine expects to stream, so
+  // size the per-result sample log now instead of doubling it repeatedly
+  // on the hot OnResult path (the estimate may be low; growth past it is
+  // still amortized-correct, just no longer the common case).
+  if (n > 0.0 && n < 1e9) {
+    samples_[q].reserve(static_cast<size_t>(n) + 1);
+  }
 }
 
 double SatisfactionTracker::OnResult(int q, double now) {

@@ -4,11 +4,12 @@ namespace caqe {
 
 SharedSkylineEvaluator::SharedSkylineEvaluator(int width,
                                                const MinMaxCuboid* cuboid,
-                                               bool dva_mode)
+                                               bool dva_mode,
+                                               const PointSet* backing)
     : width_(width), cuboid_(cuboid), dva_mode_(dva_mode) {
   CAQE_CHECK(cuboid_ != nullptr);
   root_ = std::make_unique<IncrementalSkyline>(
-      width_, cuboid_->union_space().Dims());
+      width_, cuboid_->union_space().Dims(), backing);
   const auto& nodes = cuboid_->nodes();
   node_skylines_.resize(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
@@ -16,7 +17,7 @@ SharedSkylineEvaluator::SharedSkylineEvaluator(int width,
       root_alias_node_ = static_cast<int>(i);
     } else {
       node_skylines_[i] = std::make_unique<IncrementalSkyline>(
-          width_, nodes[i].subspace.Dims());
+          width_, nodes[i].subspace.Dims(), backing);
     }
   }
   accepted_scratch_.resize(nodes.size(), 0);
@@ -25,24 +26,31 @@ SharedSkylineEvaluator::SharedSkylineEvaluator(int width,
 SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
                                                    int64_t id,
                                                    int64_t* comparisons) {
-  SharedInsertOutcome out;
+  return InsertReusing(values, id, comparisons);
+}
+
+const SharedInsertOutcome& SharedSkylineEvaluator::InsertReusing(
+    const double* values, int64_t id, int64_t* comparisons) {
+  SharedInsertOutcome& out = outcome_;
+  out.accepted = QuerySet{};
+  out.evictions.clear();
+
   // Every per-node insert below runs the batched dominance scans of
-  // IncrementalSkyline::Insert (one SIMD kernel call per window phase);
+  // IncrementalSkyline::InsertInto (one SIMD kernel call per window phase);
   // the strictly_dominated bit feeding the Theorem-1 gate comes from the
   // kernel's all-dimension strict flag, so gating decisions are identical
   // to the scalar path's.
-  const InsertOutcome root_outcome = root_->Insert(values, id, comparisons);
+  evicted_scratch_.clear();
+  bool root_strict = false;
+  const bool root_accepted = root_->InsertInto(
+      values, id, evicted_scratch_, &root_strict, comparisons);
   const auto& nodes = cuboid_->nodes();
 
   // Scratch codes: 0 = rejected by a strict dominator (gate children),
   // 1 = accepted, 2 = rejected by a tied dominator (children must still
   // see the tuple — a tie on their dimensions breaks Theorem 1's
   // strictness argument).
-  const auto code = [](const InsertOutcome& o) -> char {
-    if (o.accepted) return 1;
-    return o.strictly_dominated ? 0 : 2;
-  };
-  const char root_code = code(root_outcome);
+  const char root_code = root_accepted ? 1 : (root_strict ? 0 : 2);
 
   // Nodes are ordered feeders-first (descending subspace size), so
   // accepted_scratch_[feeder] is final before a fed node is visited.
@@ -57,9 +65,9 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
     if (static_cast<int>(i) == root_alias_node_) {
       accepted_scratch_[i] = root_code;
       node.preference_of.ForEach([&](int q) {
-        if (root_outcome.accepted) out.accepted.Add(q);
-        if (!root_outcome.evicted.empty()) {
-          out.evictions.emplace_back(q, root_outcome.evicted);
+        if (root_accepted) out.accepted.Add(q);
+        for (int64_t evicted_id : evicted_scratch_) {
+          out.evictions.emplace_back(q, evicted_id);
         }
       });
       continue;
@@ -73,13 +81,15 @@ SharedInsertOutcome SharedSkylineEvaluator::Insert(const double* values,
       accepted_scratch_[i] = 0;
       continue;
     }
-    const InsertOutcome node_outcome =
-        node_skylines_[i]->Insert(values, id, comparisons);
-    accepted_scratch_[i] = code(node_outcome);
+    node_evicted_scratch_.clear();
+    bool node_strict = false;
+    const bool node_accepted = node_skylines_[i]->InsertInto(
+        values, id, node_evicted_scratch_, &node_strict, comparisons);
+    accepted_scratch_[i] = node_accepted ? 1 : (node_strict ? 0 : 2);
     node.preference_of.ForEach([&](int q) {
-      if (node_outcome.accepted) out.accepted.Add(q);
-      if (!node_outcome.evicted.empty()) {
-        out.evictions.emplace_back(q, node_outcome.evicted);
+      if (node_accepted) out.accepted.Add(q);
+      for (int64_t evicted_id : node_evicted_scratch_) {
+        out.evictions.emplace_back(q, evicted_id);
       }
     });
   }

@@ -34,9 +34,12 @@ namespace caqe {
 struct SharedInsertOutcome {
   /// Queries at whose preference node the tuple was accepted.
   QuerySet accepted;
-  /// (query, evicted tuple ids) pairs for preference-node evictions caused
-  /// by this insert.
-  std::vector<std::pair<int, std::vector<int64_t>>> evictions;
+  /// Flat (query, evicted tuple id) pairs for preference-node evictions
+  /// caused by this insert, in node order then QuerySet order then member
+  /// order. Flat pairs (rather than per-query id vectors) keep the
+  /// steady-state insert free of nested-vector churn: the buffer is reused
+  /// across InsertReusing calls.
+  std::vector<std::pair<int, int64_t>> evictions;
 };
 
 /// Maintains one incremental skyline per min-max cuboid node plus a root
@@ -44,13 +47,22 @@ struct SharedInsertOutcome {
 class SharedSkylineEvaluator {
  public:
   /// `width` is the global output dimensionality; `cuboid` must outlive the
-  /// evaluator.
-  SharedSkylineEvaluator(int width, const MinMaxCuboid* cuboid, bool dva_mode);
+  /// evaluator. A non-null `backing` store (row index == inserted id) is
+  /// forwarded to every node skyline so accepted points are referenced, not
+  /// copied (see IncrementalSkyline's backing constructor).
+  SharedSkylineEvaluator(int width, const MinMaxCuboid* cuboid, bool dva_mode,
+                         const PointSet* backing = nullptr);
 
   /// Inserts one projected join tuple (width() values) with external id.
   /// Comparison counts accumulate into `comparisons` when non-null.
   SharedInsertOutcome Insert(const double* values, int64_t id,
                              int64_t* comparisons = nullptr);
+
+  /// Allocation-free Insert for the region hot path: returns a reference to
+  /// an internal outcome whose buffers are reused across calls. The
+  /// reference is valid until the next InsertReusing/Insert call.
+  const SharedInsertOutcome& InsertReusing(const double* values, int64_t id,
+                                           int64_t* comparisons = nullptr);
 
   /// Serving-layer retirement support: releases every cuboid node that no
   /// query in `active_locals` (local indices into the cuboid's query order)
@@ -86,6 +98,12 @@ class SharedSkylineEvaluator {
   /// Nodes released by ReleaseQueries (skipped in Insert). Empty until the
   /// first release, so the batch path pays nothing.
   std::vector<char> released_;
+  /// Reused buffers backing InsertReusing (per-insert scratch). The root's
+  /// evicted ids stay live across the node loop (the root-alias node reads
+  /// them), so node inserts use their own buffer.
+  SharedInsertOutcome outcome_;
+  std::vector<int64_t> evicted_scratch_;
+  std::vector<int64_t> node_evicted_scratch_;
 };
 
 }  // namespace caqe

@@ -12,6 +12,19 @@ EmissionManager::EmissionManager(const Workload* workload,
                                  const std::vector<char>* pending)
     : workload_(workload), rc_(rc), store_(store), pending_(pending) {
   shards_.resize(workload_->num_queries());
+  // Two passes: size every scan list first so the fills below never
+  // reallocate mid-growth, and pre-bucket the hot per-shard maps — parked
+  // candidates trickle in one at a time, and incremental rehashing of a
+  // default-sized table was pure churn.
+  std::vector<size_t> serving_counts(shards_.size(), 0);
+  for (const OutputRegion& region : rc_->regions) {
+    region.rql.ForEach([&](int q) { ++serving_counts[q]; });
+  }
+  for (size_t q = 0; q < shards_.size(); ++q) {
+    shards_[q].serving.reserve(serving_counts[q]);
+    shards_[q].parked_index.reserve(16);
+    shards_[q].witness_of.reserve(64);
+  }
   for (const OutputRegion& region : rc_->regions) {
     region.rql.ForEach(
         [&](int q) { shards_[q].serving.push_back(region.id); });
@@ -33,8 +46,46 @@ int EmissionManager::FindWitness(int q, int64_t id) {
 }
 
 void EmissionManager::Park(int q, int64_t id, int witness) {
-  shards_[q].parked[witness].push_back(id);
-  shards_[q].witness_of[id] = witness;
+  QueryShard& shard = shards_[q];
+  const int32_t* slot = shard.parked_index.find(witness);
+  if (slot == nullptr) {
+    int32_t fresh;
+    if (!shard.free_buckets.empty()) {
+      fresh = shard.free_buckets.back();
+      shard.free_buckets.pop_back();
+    } else {
+      fresh = static_cast<int32_t>(shard.bucket_pool.size());
+      shard.bucket_pool.emplace_back();
+    }
+    shard.parked_index.insert_or_assign(witness, fresh);
+    shard.bucket_pool[fresh].push_back(id);
+  } else {
+    shard.bucket_pool[*slot].push_back(id);
+  }
+  shard.witness_of.insert_or_assign(id, witness);
+}
+
+/// Detaches `region`'s parked bucket into `shard.resolve_scratch` and
+/// recycles the bucket slot. Returns false when the region has no parked
+/// candidates.
+bool EmissionManager::DetachBucket(QueryShard& shard, int region) {
+  const int32_t* slot = shard.parked_index.find(region);
+  if (slot == nullptr) return false;
+  const int32_t freed = *slot;
+  shard.resolve_scratch.swap(shard.bucket_pool[freed]);
+  shard.bucket_pool[freed].clear();
+  shard.parked_index.erase(region);
+  shard.free_buckets.push_back(freed);
+  return !shard.resolve_scratch.empty();
+}
+
+void EmissionManager::ReleaseAllBuckets(QueryShard& shard) {
+  shard.parked_index.clear();
+  shard.free_buckets.clear();
+  for (size_t i = 0; i < shard.bucket_pool.size(); ++i) {
+    shard.bucket_pool[i].clear();
+    shard.free_buckets.push_back(static_cast<int32_t>(i));
+  }
 }
 
 void EmissionManager::OnAccepted(int q, int64_t id,
@@ -55,16 +106,17 @@ void EmissionManager::OnEvicted(int q, int64_t id) {
 void EmissionManager::OnRegionResolvedForQuery(
     int region, int q, std::vector<std::pair<int, int64_t>>& emit_now) {
   QueryShard& shard = shards_[q];
-  auto bucket = shard.parked.find(region);
-  if (bucket == shard.parked.end()) return;
-  std::vector<int64_t> ids = std::move(bucket->second);
-  shard.parked.erase(bucket);
+  // The resolved region can never be re-picked as a witness here — it is
+  // no longer pending, or was pruned for q — so re-parks during the scan
+  // only touch other buckets (possibly recycling the slot just freed).
+  if (!DetachBucket(shard, region)) return;
+  std::vector<int64_t>& ids = shard.resolve_scratch;
   for (int64_t id : ids) {
-    auto it = shard.witness_of.find(id);
-    if (it == shard.witness_of.end() || it->second != region) {
+    const int* w = shard.witness_of.find(id);
+    if (w == nullptr || *w != region) {
       continue;  // Evicted or re-parked meanwhile.
     }
-    shard.witness_of.erase(it);
+    shard.witness_of.erase(id);
     const int witness = FindWitness(q, id);
     if (witness < 0) {
       emit_now.emplace_back(q, id);
@@ -72,24 +124,23 @@ void EmissionManager::OnRegionResolvedForQuery(
       Park(q, id, witness);
     }
   }
+  ids.clear();
 }
 
 void EmissionManager::ResolveAndRegister(int region, int q,
                                          const std::vector<int64_t>* accepted,
-                                         const std::unordered_set<int64_t>* dead,
+                                         const std::vector<int64_t>* dead,
                                          std::vector<int64_t>& resolved,
                                          std::vector<int64_t>& direct) {
   // Bucket resolution first, then acceptance registration — the relative
   // order the serial emission phase used within this query.
   QueryShard& shard = shards_[q];
-  auto bucket = shard.parked.find(region);
-  if (bucket != shard.parked.end()) {
-    std::vector<int64_t> ids = std::move(bucket->second);
-    shard.parked.erase(bucket);
+  if (DetachBucket(shard, region)) {
+    std::vector<int64_t>& ids = shard.resolve_scratch;
     for (int64_t id : ids) {
-      auto it = shard.witness_of.find(id);
-      if (it == shard.witness_of.end() || it->second != region) continue;
-      shard.witness_of.erase(it);
+      const int* w = shard.witness_of.find(id);
+      if (w == nullptr || *w != region) continue;
+      shard.witness_of.erase(id);
       const int witness = FindWitness(q, id);
       if (witness < 0) {
         resolved.push_back(id);
@@ -97,17 +148,21 @@ void EmissionManager::ResolveAndRegister(int region, int q,
         Park(q, id, witness);
       }
     }
+    ids.clear();
   }
   if (accepted == nullptr) return;
   for (int64_t id : *accepted) {
-    if (dead != nullptr && dead->contains(id)) continue;
+    if (dead != nullptr &&
+        std::binary_search(dead->begin(), dead->end(), id)) {
+      continue;
+    }
     OnAccepted(q, id, direct);
   }
 }
 
 void EmissionManager::FlushRegion(
     int region, const std::vector<std::vector<int64_t>>& accepted,
-    const std::vector<std::unordered_set<int64_t>>& dead, ThreadPool* pool,
+    const std::vector<std::vector<int64_t>>& dead, ThreadPool* pool,
     std::vector<std::vector<int64_t>>& resolved,
     std::vector<std::vector<int64_t>>& direct) {
   const int64_t n = static_cast<int64_t>(shards_.size());
@@ -124,8 +179,9 @@ void EmissionManager::FlushRegion(
     const size_t uq = static_cast<size_t>(q);
     ResolveAndRegister(region, static_cast<int>(q),
                        uq < accepted.size() ? &accepted[uq] : nullptr,
-                       uq < dead.size() ? &dead[uq] : nullptr, resolved[q],
-                       direct[q]);
+                       uq < dead.size() && !dead[uq].empty() ? &dead[uq]
+                                                             : nullptr,
+                       resolved[q], direct[q]);
   });
 }
 
@@ -134,7 +190,7 @@ void EmissionManager::AddQuery(int q) {
     shards_.resize(q + 1);
   }
   QueryShard& shard = shards_[q];
-  shard.parked.clear();
+  ReleaseAllBuckets(shard);
   shard.witness_of.clear();
   shard.serving.clear();
   // The query's scan list is its post-graft lineage, ascending region id —
@@ -148,16 +204,14 @@ void EmissionManager::RetireQuery(int q, std::vector<int64_t>* flushed) {
   if (q < 0 || q >= static_cast<int>(shards_.size())) return;
   QueryShard& shard = shards_[q];
   if (flushed != nullptr) {
-    for (const auto& [id, witness] : shard.witness_of) {
-      (void)witness;
-      flushed->push_back(id);
-    }
-    // witness_of iteration order is hash-dependent; ascending tuple id
+    shard.witness_of.ForEach(
+        [&](int64_t id, int) { flushed->push_back(id); });
+    // witness_of iteration order is slot (hash) order; ascending tuple id
     // (= acceptance order within a region, region order across) makes the
     // flush deterministic.
     std::sort(flushed->begin(), flushed->end());
   }
-  shard.parked.clear();
+  ReleaseAllBuckets(shard);
   shard.witness_of.clear();
   shard.serving.clear();
 }
@@ -173,15 +227,14 @@ void EmissionManager::DrainAll(
     std::vector<std::pair<int, int64_t>>& emit_now) {
   for (int q = 0; q < static_cast<int>(shards_.size()); ++q) {
     QueryShard& shard = shards_[q];
-    for (auto& [region, ids] : shard.parked) {
-      for (int64_t id : ids) {
-        auto it = shard.witness_of.find(id);
-        if (it == shard.witness_of.end()) continue;
-        shard.witness_of.erase(it);
+    shard.parked_index.ForEach([&](int64_t region, int32_t slot) {
+      (void)region;
+      for (int64_t id : shard.bucket_pool[slot]) {
+        if (!shard.witness_of.erase(id)) continue;
         emit_now.emplace_back(q, id);
       }
-    }
-    shard.parked.clear();
+    });
+    ReleaseAllBuckets(shard);
   }
 }
 

@@ -23,11 +23,10 @@
 #define CAQE_EXEC_EMISSION_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/thread_pool.h"
 #include "query/query.h"
 #include "region/region_builder.h"
@@ -68,7 +67,10 @@ class EmissionManager {
   /// query, resolves the region's parked bucket (appending newly safe ids
   /// to `resolved[q]`) and then registers the query's accepted tuples of
   /// this region — `accepted[q]` minus `dead[q]` — appending immediately
-  /// safe ones to `direct[q]`. Exactly the serial
+  /// safe ones to `direct[q]`. `dead[q]` must be sorted ascending (the
+  /// membership test is a binary search over the caller's reusable buffer
+  /// — a region's eviction count is small, so sorted vectors beat hash
+  /// sets and allocate nothing at steady state). Exactly the serial
   /// OnRegionResolved + per-query OnAccepted sequence, shard by shard; with
   /// a pool the shards run concurrently (they share no mutable state, and
   /// the witness-scan inputs are frozen during the emission phase), so
@@ -77,7 +79,7 @@ class EmissionManager {
   /// order (see RegionPipeline).
   void FlushRegion(int region,
                    const std::vector<std::vector<int64_t>>& accepted,
-                   const std::vector<std::unordered_set<int64_t>>& dead,
+                   const std::vector<std::vector<int64_t>>& dead,
                    ThreadPool* pool,
                    std::vector<std::vector<int64_t>>& resolved,
                    std::vector<std::vector<int64_t>>& direct);
@@ -113,14 +115,26 @@ class EmissionManager {
   /// Everything one query's emission logic touches. Shards are mutually
   /// disjoint by construction — the basis of the lock-free parallel flush.
   struct QueryShard {
-    /// Witness region -> parked candidate ids (may contain stale ids of
-    /// evicted candidates; filtered on resolution).
-    std::unordered_map<int, std::vector<int64_t>> parked;
+    /// Witness region -> slot in `bucket_pool` holding the region's parked
+    /// candidate ids (buckets may contain stale ids of evicted candidates;
+    /// filtered on resolution). Resolution returns the slot — cleared,
+    /// capacity kept — to `free_buckets`, so parking under a fresh witness
+    /// recycles an old bucket instead of heap-allocating: witnesses move
+    /// to ever-later regions as execution proceeds, and a map of owned
+    /// vectors here churned a node + vector per new witness per region.
+    FlatMap64<int32_t> parked_index;
+    std::vector<std::vector<int64_t>> bucket_pool;
+    std::vector<int32_t> free_buckets;
     /// id -> current witness (absent once emitted or evicted);
-    /// authoritative over `parked`.
-    std::unordered_map<int64_t, int> witness_of;
+    /// authoritative over the buckets. Flat map: a node-based map here
+    /// allocated on every park and freed on every emit/evict.
+    FlatMap64<int> witness_of;
     /// Region ids serving the query (scan list for witness search).
     std::vector<int> serving;
+    /// Reusable buffer a bucket's ids are swapped into during resolution
+    /// (re-parks push into other buckets mid-iteration, so the bucket
+    /// cannot be iterated in place).
+    std::vector<int64_t> resolve_scratch;
     /// Safety-scan operations charged by this shard.
     int64_t coarse_ops = 0;
   };
@@ -131,11 +145,19 @@ class EmissionManager {
 
   void Park(int q, int64_t id, int witness);
 
+  /// Moves `region`'s parked ids into `shard.resolve_scratch` and returns
+  /// the bucket slot to the free list. False when nothing was parked.
+  static bool DetachBucket(QueryShard& shard, int region);
+
+  /// Empties every bucket (capacity kept) and rebuilds the free list.
+  static void ReleaseAllBuckets(QueryShard& shard);
+
   /// One shard's share of FlushRegion: resolve the region's bucket, then
   /// register the accepted survivors — the serial order within the shard.
+  /// `dead`, when non-null, is sorted ascending.
   void ResolveAndRegister(int region, int q,
                           const std::vector<int64_t>* accepted,
-                          const std::unordered_set<int64_t>* dead,
+                          const std::vector<int64_t>* dead,
                           std::vector<int64_t>& resolved,
                           std::vector<int64_t>& direct);
 

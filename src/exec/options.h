@@ -109,6 +109,20 @@ struct ExecOptions {
   /// Run the coarse-level (MQLA) skyline prune before scheduling (CAQE
   /// default; ablation knob).
   bool coarse_prune = true;
+  /// Cache-conscious steady-state layout for the region hot path: flat
+  /// CSR join indexes instead of node-based maps, arena/SoA scratch for
+  /// the discard scan, and store-backed incremental skylines. Probe order
+  /// and every charge are identical either way, so reports are
+  /// byte-identical with the flag on or off — only memory layout, steady-
+  /// state allocation counts, and wall time change. Default on; the off
+  /// position exists for the alloc/perf A-B benchmark and as a
+  /// determinism cross-check in the matrix scripts.
+  bool compact_layout = true;
+  /// Bound on built join-index cache entries kept across regions; beyond
+  /// it, least-recently-used indexes are released deterministically
+  /// (<= 0 means unbounded — the pre-bound behavior). First-use charge
+  /// state survives eviction, so reports are identical at any value.
+  int64_t join_index_cache_entries = 4096;
   /// Optional exact final result cardinalities, one per query (index =
   /// query index). When provided, cardinality contracts (C4/C5) score
   /// against the true N of Table 2 instead of the Buchta estimate; entries

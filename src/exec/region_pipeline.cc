@@ -4,13 +4,21 @@
 #include <map>
 #include <string>
 #include <tuple>
-#include <unordered_set>
 #include <utility>
 
+#include "common/alloc_hook.h"
 #include "obs/observability.h"
 #include "region/region_dominance.h"
 
 namespace caqe {
+namespace {
+
+/// Regions the alloc accounting treats as warmup: caches, arenas, and
+/// reusable scratch discover their high-water marks here. Past the window
+/// the steady counters measure the residual churn the alloc gate bounds.
+constexpr int64_t kWarmupRegions = 32;
+
+}  // namespace
 
 std::string PlanGroupSelectionKey(const SjQuery& query) {
   std::vector<SelectionRange> sorted = query.selections;
@@ -50,12 +58,15 @@ RegionPipeline::RegionPipeline(const PartitionedTable* part_r,
       options_(std::move(options)),
       kernel_(part_r, part_t),
       store_(workload->num_output_dims()),
-      emission_(workload, rc, &store_, pending) {
-  // Kick off background construction of the join-kernel hash indexes the
-  // regions will need, overlapping the caller's coarse prune / plan build /
-  // scheduler setup (probe counters are charged at first use, so the
-  // prefetch is invisible to EngineStats and the virtual clock).
-  kernel_.PrefetchIndexes(*rc_, pool_);
+      emission_(workload, rc, &store_, pending),
+      active_groups_(&arena_),
+      group_cmps_(&arena_),
+      emitted_per_query_(&arena_),
+      dim_cols_(&arena_) {
+  // Configure the kernel before any index work starts: the layout and
+  // cache bound must be fixed by the time the prefetch builds indexes.
+  kernel_.set_compact_layout(options_.compact_layout);
+  kernel_.set_cache_capacity(options_.join_index_cache_entries);
   if (options_.obs != nullptr) {
     // Resolve hot-path metrics once; observations are virtual-time deltas,
     // so the histograms are identical across thread counts.
@@ -65,7 +76,33 @@ RegionPipeline::RegionPipeline(const PartitionedTable* part_r,
     emission_latency_hist_ = &options_.obs->metrics.histogram(
         "caqe_emission_latency_virtual_seconds",
         ExponentialBuckets(1e-6, 4.0, 12));
+    kernel_.SetObsCounters(
+        &options_.obs->metrics.counter("caqe_join_index_builds_total"),
+        &options_.obs->metrics.counter("caqe_join_index_evictions_total"));
+    if (AllocHookActive()) {
+      alloc_regions_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_regions_total");
+      alloc_warmup_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_warmup_allocs_total");
+      alloc_steady_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_steady_allocs_total");
+      alloc_steady_regions_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_steady_regions_total");
+      alloc_phase_join_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_steady_join_total");
+      alloc_phase_eval_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_steady_eval_total");
+      alloc_phase_discard_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_steady_discard_total");
+      alloc_phase_emission_counter_ =
+          &options_.obs->metrics.counter("caqe_alloc_steady_emission_total");
+    }
   }
+  // Kick off background construction of the join-kernel hash indexes the
+  // regions will need, overlapping the caller's coarse prune / plan build /
+  // scheduler setup (probe counters are charged at first use, so the
+  // prefetch is invisible to EngineStats and the virtual clock).
+  kernel_.PrefetchIndexes(*rc_, pool_);
   accepted_events_.resize(workload_->num_queries());
   evicted_events_.resize(workload_->num_queries());
   discard_tests_.resize(rc_->regions.size(), 0);
@@ -131,7 +168,7 @@ void RegionPipeline::MaybeLaunchSpeculation(int current_rid) {
     kernel_.JoinForSpeculation(*rc_, rc_->regions[next], mask, spec_.join);
     const int64_t n = static_cast<int64_t>(spec_.join.matches.size());
     spec_.projected.resize(static_cast<size_t>(n) * width);
-    std::vector<double> values;
+    std::vector<double>& values = spec_.project_values;
     for (int64_t i = 0; i < n; ++i) {
       const JoinMatch& match = spec_.join.matches[i];
       workload_->Project(part_r_->table(), match.row_r, part_t_->table(),
@@ -189,7 +226,8 @@ Status RegionPipeline::AddPlanGroup(int slot, std::vector<int> queries) {
   CAQE_RETURN_NOT_OK(cuboid.status());
   group->cuboid = std::move(cuboid).value();
   group->evaluator = std::make_unique<SharedSkylineEvaluator>(
-      workload_->num_output_dims(), &group->cuboid, options_.dva_mode);
+      workload_->num_output_dims(), &group->cuboid, options_.dva_mode,
+      options_.compact_layout ? &store_ : nullptr);
   groups_.push_back(std::move(group));
   return Status::OK();
 }
@@ -238,6 +276,29 @@ void RegionPipeline::EmitResult(int q, int64_t id) {
 
 void RegionPipeline::ProcessRegion(int rid) {
   CAQE_DCHECK((*pending_)[rid]);
+  // Control-thread heap traffic of this region, measured when the alloc
+  // interposer is linked in (bench/tests). Snapshot before any work.
+  AllocCounts alloc_before{};
+  if (alloc_regions_counter_ != nullptr) alloc_before = ThreadAllocCounts();
+  // Per-phase attribution for the steady window only: warmup growth is
+  // expected and uninteresting; the phase split tells the alloc gate where
+  // any residual steady churn lives.
+  const bool steady_accounting =
+      alloc_regions_counter_ != nullptr && regions_accounted_ >= kWarmupRegions;
+  AllocCounts phase_mark = alloc_before;
+  const auto take_phase = [&](Counter* phase_counter) {
+    if (!steady_accounting) return;
+    const AllocCounts now = ThreadAllocCounts();
+    phase_counter->Inc(static_cast<int64_t>(now.allocs - phase_mark.allocs));
+    phase_mark = now;
+  };
+  // New epoch: all arena scratch from the previous region is recycled.
+  arena_.Reset();
+  active_groups_.OnEpochReset();
+  group_cmps_.OnEpochReset();
+  emitted_per_query_.OnEpochReset();
+  dim_cols_.OnEpochReset();
+  column_block_.Clear();
   EnsureQueryCapacity();
   clock_->ChargeScheduleSteps(1);
   region_vstart_ = clock_->Now();
@@ -287,6 +348,7 @@ void RegionPipeline::ProcessRegion(int rid) {
   // Launch the predicted next region's join + projection now so it overlaps
   // this region's eval, discard, and emission phases.
   MaybeLaunchSpeculation(rid);
+  take_phase(alloc_phase_join_counter_);
 
   // ---- Project and evaluate over the shared cuboid plans. ----
   for (auto& events : accepted_events_) events.clear();
@@ -313,9 +375,12 @@ void RegionPipeline::ProcessRegion(int rid) {
     } else {
       const int project_chunks = NumChunks(pool_, num_matches,
                                            /*min_chunk=*/512);
+      if (project_scratch_.size() < static_cast<size_t>(project_chunks)) {
+        project_scratch_.resize(project_chunks);
+      }
       RunChunks(pool_, project_chunks, [&](int c) {
         const auto [begin, end] = ChunkRange(num_matches, project_chunks, c);
-        std::vector<double> values;
+        std::vector<double>& values = project_scratch_[c];
         for (int64_t i = begin; i < end; ++i) {
           const JoinMatch& match = matches_[i];
           workload.Project(part_r_->table(), match.row_r, part_t_->table(),
@@ -331,17 +396,20 @@ void RegionPipeline::ProcessRegion(int rid) {
     // matches in stream order, which makes every per-query event
     // sequence — and each group's comparison count — identical to the
     // serial interleaving.
-    std::vector<PlanGroup*> active;
+    active_groups_.clear();
     for (const auto& group : groups_) {
       if (group->evaluator == nullptr) continue;
       if (((slots_mask >> group->slot) & 1) == 0) continue;
       if (!region.rql.Intersects(group->query_set)) continue;
-      active.push_back(group.get());
+      active_groups_.push_back(group.get());
     }
-    std::vector<int64_t> group_cmps(active.size(), 0);
-    RunChunks(active.size() > 1 ? pool_ : nullptr,
-              static_cast<int>(active.size()), [&](int gi) {
-      PlanGroup* group = active[gi];
+    group_cmps_.clear();
+    for (size_t gi = 0; gi < active_groups_.size(); ++gi) {
+      group_cmps_.push_back(0);
+    }
+    RunChunks(active_groups_.size() > 1 ? pool_ : nullptr,
+              static_cast<int>(active_groups_.size()), [&](int gi) {
+      PlanGroup* group = active_groups_[gi];
       int64_t cmps = 0;
       for (int64_t i = 0; i < num_matches; ++i) {
         const JoinMatch& match = matches_[i];
@@ -359,8 +427,8 @@ void RegionPipeline::ProcessRegion(int rid) {
         }
         if (!passes) continue;
         const int64_t id = base_id + i;
-        const SharedInsertOutcome outcome =
-            group->evaluator->Insert(store_.row(id), id, &cmps);
+        const SharedInsertOutcome& outcome =
+            group->evaluator->InsertReusing(store_.row(id), id, &cmps);
         outcome.accepted.ForEach([&](int local) {
           const int q = group->queries[local];
           // Retired members keep their cuboid node alive until the whole
@@ -368,19 +436,19 @@ void RegionPipeline::ProcessRegion(int rid) {
           if (!group->query_set.Contains(q)) return;
           accepted_events_[q].push_back(id);
         });
-        for (const auto& [local, ids] : outcome.evictions) {
+        for (const auto& [local, evicted_id] : outcome.evictions) {
           const int q = group->queries[local];
           if (!group->query_set.Contains(q)) continue;
-          std::vector<int64_t>& sink = evicted_events_[q];
-          sink.insert(sink.end(), ids.begin(), ids.end());
+          evicted_events_[q].push_back(evicted_id);
         }
       }
-      group_cmps[gi] = cmps;
+      group_cmps_[gi] = cmps;
     });
-    for (int64_t cmps : group_cmps) stats.dominance_cmps += cmps;
+    for (int64_t cmps : group_cmps_) stats.dominance_cmps += cmps;
     span.set_arg("dominance_cmps", stats.dominance_cmps - cmps_before);
   }
   clock_->ChargeDominanceCmps(stats.dominance_cmps - cmps_before);
+  take_phase(alloc_phase_eval_counter_);
 
   // ---- Region complete. ----
   (*pending_)[rid] = 0;
@@ -391,16 +459,19 @@ void RegionPipeline::ProcessRegion(int rid) {
   // Apply this region's evictions to the emission manager *before* any
   // discard/resolution scan: a parked candidate dominated by one of this
   // region's tuples must be deregistered before resolutions can unpark
-  // (and wrongly emit) it.
-  std::vector<std::unordered_set<int64_t>> dead(workload.num_queries());
+  // (and wrongly emit) it. The per-query eviction lists double as the
+  // flush barrier's dead sets — sorted in place (a tuple is evicted from a
+  // query's preference node at most once, so they are duplicate-free) for
+  // the binary-search membership test in FlushRegion.
   for (int q = 0; q < workload.num_queries(); ++q) {
     for (int64_t id : evicted_events_[q]) {
       emission_.OnEvicted(q, id);
-      dead[q].insert(id);
     }
+    std::sort(evicted_events_[q].begin(), evicted_events_[q].end());
   }
 
-  std::vector<std::pair<int, int64_t>> resolved_emits;
+  resolved_emits_.clear();
+  std::vector<std::pair<int, int64_t>>& resolved_emits = resolved_emits_;
   // ---- Dominated-region discarding (Section 6, tuple level). ----
   // Every accepted tuple is a real join result; even if later evicted,
   // what it dominates stays dominated (its evictor dominates more).
@@ -432,9 +503,25 @@ void RegionPipeline::ProcessRegion(int rid) {
       const int64_t accepted_n =
           static_cast<int64_t>(accepted_events_[q].size());
       accepted_view_.Reset(dims);
-      accepted_view_.Reserve(accepted_n);
-      for (int64_t id : accepted_events_[q]) {
-        accepted_view_.PushPoint(store_.row(id));
+      if (options_.compact_layout) {
+        // Slice the region's SoA transpose: accepted ids all lie in
+        // [base_id, base_id + num_matches) (they were accepted this
+        // region), so each compared dimension is one unit-stride gather
+        // from the block's column. The block is built lazily at the first
+        // discarding query of the region and shared by the rest.
+        if (column_block_.size() == 0) {
+          column_block_.BuildFrom(store_, base_id, num_matches);
+        }
+        dim_cols_.clear();
+        for (int d : dims) dim_cols_.push_back(column_block_.col(d));
+        accepted_view_.AssignFromColumns(dim_cols_.data(), base_id,
+                                         accepted_events_[q].data(),
+                                         accepted_n);
+      } else {
+        accepted_view_.Reserve(accepted_n);
+        for (int64_t id : accepted_events_[q]) {
+          accepted_view_.PushPoint(store_.row(id));
+        }
       }
       // Below this much total work (region × tuple tests) the fork/join
       // overhead exceeds the scan itself; stay on the calling thread.
@@ -476,6 +563,7 @@ void RegionPipeline::ProcessRegion(int rid) {
   }
   stats.coarse_ops += discard_ops;
   clock_->ChargeCoarseOps(discard_ops);
+  take_phase(alloc_phase_discard_counter_);
 
   // ---- Progressive emission. ----
   {
@@ -495,28 +583,31 @@ void RegionPipeline::ProcessRegion(int rid) {
       flush_resolved_.resize(workload.num_queries());
       flush_direct_.resize(workload.num_queries());
     }
-    emission_.FlushRegion(rid, accepted_events_, dead,
+    emission_.FlushRegion(rid, accepted_events_, evicted_events_,
                           options_.pipeline_regions ? pool_ : nullptr,
                           flush_resolved_, flush_direct_);
-    std::vector<int64_t> emitted_per_query(workload.num_queries(), 0);
+    emitted_per_query_.clear();
+    for (int q = 0; q < workload.num_queries(); ++q) {
+      emitted_per_query_.push_back(0);
+    }
     for (int q = 0; q < workload.num_queries(); ++q) {
       for (int64_t id : flush_direct_[q]) EmitResult(q, id);
-      emitted_per_query[q] += static_cast<int64_t>(flush_direct_[q].size());
+      emitted_per_query_[q] += static_cast<int64_t>(flush_direct_[q].size());
     }
     for (const auto& [q, id] : resolved_emits) {
       EmitResult(q, id);
-      ++emitted_per_query[q];
+      ++emitted_per_query_[q];
     }
     for (int q = 0; q < workload.num_queries(); ++q) {
       for (int64_t id : flush_resolved_[q]) {
         EmitResult(q, id);
-        ++emitted_per_query[q];
+        ++emitted_per_query_[q];
       }
     }
     for (int q = 0; q < workload.num_queries(); ++q) {
-      if (emitted_per_query[q] > 0) {
+      if (emitted_per_query_[q] > 0) {
         Record(ExecEvent::Kind::kResultsEmitted, rid, q,
-               emitted_per_query[q]);
+               emitted_per_query_[q]);
       }
     }
     const int64_t emission_ops = emission_.coarse_ops() - emission_ops_before;
@@ -524,8 +615,25 @@ void RegionPipeline::ProcessRegion(int rid) {
     clock_->ChargeCoarseOps(emission_ops);
     span.set_arg("emitted", stats.emitted_results - emitted_before);
   }
+  take_phase(alloc_phase_emission_counter_);
   if (region_service_hist_ != nullptr) {
     region_service_hist_->Observe(clock_->Now() - region_vstart_);
+  }
+  ++regions_accounted_;
+  if (alloc_regions_counter_ != nullptr) {
+    // Warmup regions grow caches and scratch capacities; past the window
+    // the steady counters measure the residual churn the alloc gate bounds
+    // (allocs/region = steady_allocs_total / steady_regions_total).
+    const AllocCounts after = ThreadAllocCounts();
+    const int64_t delta =
+        static_cast<int64_t>(after.allocs - alloc_before.allocs);
+    alloc_regions_counter_->Inc();
+    if (regions_accounted_ <= kWarmupRegions) {
+      alloc_warmup_counter_->Inc(delta);
+    } else {
+      alloc_steady_counter_->Inc(delta);
+      alloc_steady_regions_counter_->Inc();
+    }
   }
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/virtual_clock.h"
@@ -43,6 +44,7 @@
 
 namespace caqe {
 
+class Counter;
 class Histogram;
 struct Observability;
 
@@ -92,6 +94,12 @@ struct PipelineOptions {
   /// parallel. Requires a pool to have any effect; byte-identical reports
   /// either way.
   bool pipeline_regions = false;
+  /// Cache-conscious steady-state layout (see ExecOptions::compact_layout):
+  /// flat CSR join indexes, SoA column-block discard gathers, store-backed
+  /// incremental skylines. Reports stay byte-identical.
+  bool compact_layout = true;
+  /// Join-index cache bound (see ExecOptions::join_index_cache_entries).
+  int64_t join_index_cache_entries = 4096;
 };
 
 /// Tuple-level processing of one region collection. See file comment.
@@ -198,6 +206,23 @@ class RegionPipeline {
   // (null otherwise). Virtual-time histograms: deterministic observations.
   Histogram* region_service_hist_ = nullptr;
   Histogram* emission_latency_hist_ = nullptr;
+  /// Allocation-accounting counters (non-null only with an Observability
+  /// *and* the bench/test alloc interposer linked in — see
+  /// common/alloc_hook.h). They count the control thread's heap traffic per
+  /// ProcessRegion, split warmup vs steady state; never read back, so
+  /// reports stay byte-identical whether or not the hook is present.
+  Counter* alloc_regions_counter_ = nullptr;
+  Counter* alloc_warmup_counter_ = nullptr;
+  Counter* alloc_steady_counter_ = nullptr;
+  Counter* alloc_steady_regions_counter_ = nullptr;
+  /// Steady-state attribution by pipeline phase (same gating as above):
+  /// which phase the residual churn comes from, for the alloc-gate table.
+  Counter* alloc_phase_join_counter_ = nullptr;
+  Counter* alloc_phase_eval_counter_ = nullptr;
+  Counter* alloc_phase_discard_counter_ = nullptr;
+  Counter* alloc_phase_emission_counter_ = nullptr;
+  /// ProcessRegion invocations so far (warmup window index).
+  int64_t regions_accounted_ = 0;
   /// Virtual time the region currently in ProcessRegion was scheduled at
   /// (emission latency = emit vtime - this).
   double region_vstart_ = 0.0;
@@ -206,7 +231,10 @@ class RegionPipeline {
   EmissionManager emission_;
   std::vector<std::unique_ptr<PlanGroup>> groups_;
 
-  // Per-region scratch, reused across calls.
+  // Per-region scratch, reused across calls. Together with the epoch arena
+  // below this is what makes a steady-state region allocation-free: every
+  // buffer either keeps its capacity across regions (the vectors here) or
+  // comes out of the arena, which converges to one block after warmup.
   std::vector<JoinMatch> matches_;
   std::vector<std::vector<int64_t>> accepted_events_;
   std::vector<std::vector<int64_t>> evicted_events_;
@@ -216,6 +244,25 @@ class RegionPipeline {
   // Emission flush-barrier scratch (per-query shard outputs).
   std::vector<std::vector<int64_t>> flush_resolved_;
   std::vector<std::vector<int64_t>> flush_direct_;
+  // Emission merge scratch (resolved (q, id) pairs of the discard phase).
+  std::vector<std::pair<int, int64_t>> resolved_emits_;
+  // Per-chunk projection scratch (chunks run on pool threads; each chunk
+  // owns its slot).
+  std::vector<std::vector<double>> project_scratch_;
+
+  /// Epoch arena for the small per-region control scratch (active-group
+  /// list, per-group comparison counts, emission tallies, column-pointer
+  /// tables). Reset at each ProcessRegion entry; only the control thread
+  /// allocates from it.
+  Arena arena_;
+  ArenaVector<PlanGroup*> active_groups_;
+  ArenaVector<int64_t> group_cmps_;
+  ArenaVector<int64_t> emitted_per_query_;
+  ArenaVector<const double*> dim_cols_;
+  /// SoA transpose of this region's appended store rows (compact_layout):
+  /// built lazily at the first discard scan of a region, sliced per query
+  /// into accepted_view_ via AssignFromColumns.
+  ColumnBlock column_block_;
 
   /// One in-flight speculation at a time: the stage-graph edge that lets
   /// region k+1's join/projection overlap region k's eval/discard/emission.
@@ -232,6 +279,9 @@ class RegionPipeline {
     SpeculativeJoin join;
     /// Row-major projected output values (matches x store width).
     std::vector<double> projected;
+    /// Per-row projection scratch of the worker task (owned by the task
+    /// until `done` is ready; reused across launches).
+    std::vector<double> project_values;
     std::future<void> done;
   };
   Speculation spec_;

@@ -88,6 +88,9 @@ Status RunSharedCore(const PartitionedTable& part_r,
   pipe_options.on_result = core_options.on_result;
   pipe_options.obs = obs;
   pipe_options.pipeline_regions = core_options.pipeline_regions;
+  pipe_options.compact_layout = core_options.compact_layout;
+  pipe_options.join_index_cache_entries =
+      core_options.join_index_cache_entries;
   RegionPipeline pipeline(&part_r, &part_t, &workload, &rc, &pending,
                           &pending_count, &tracker, &clock, &stats, &reports,
                           pool, std::move(pipe_options));

@@ -39,6 +39,11 @@ struct CoreOptions {
   /// been sized consistently with num_threads); callers that partition
   /// with the same pool avoid a second thread spin-up.
   ThreadPool* pool = nullptr;
+  /// Cache-conscious steady-state layout (see ExecOptions::compact_layout).
+  /// Reports stay byte-identical.
+  bool compact_layout = true;
+  /// Join-index cache bound (see ExecOptions::join_index_cache_entries).
+  int64_t join_index_cache_entries = 4096;
   bool coarse_prune = true;
   bool feedback = true;
   /// Tuple-level dominated-region discarding (Section 6). CAQE's source of

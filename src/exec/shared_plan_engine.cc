@@ -55,6 +55,8 @@ Result<ExecutionReport> SharedPlanEngine::Execute(
   core.num_threads = options.num_threads;
   core.pipeline_regions = options.pipeline_regions;
   core.coarse_index = options.coarse_index;
+  core.compact_layout = options.compact_layout;
+  core.join_index_cache_entries = options.join_index_cache_entries;
   core.pool = pool;
   core.coarse_prune = coarse_prune_ && options.coarse_prune;
   core.feedback = feedback_ && options.feedback_enabled;

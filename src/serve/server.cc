@@ -125,6 +125,8 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
   pipe_options.trace = options_.trace;
   pipe_options.obs = options_.obs;
   pipe_options.pipeline_regions = options_.pipeline_regions;
+  pipe_options.compact_layout = options_.compact_layout;
+  pipe_options.join_index_cache_entries = options_.join_index_cache_entries;
   pipe_options.on_emit = [this](int query, int64_t id, double time,
                                 double utility) {
     const int request_id = slot_request_[query];

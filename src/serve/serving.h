@@ -75,6 +75,13 @@ struct ServeOptions {
   /// bootstrap region build classifies selections through packed box
   /// trees over the cells. Reports stay byte-identical.
   bool coarse_index = false;
+  /// Cache-conscious steady-state layout (see ExecOptions::compact_layout).
+  /// Reports stay byte-identical.
+  bool compact_layout = true;
+  /// Join-index cache bound — matters most here, where a long trace
+  /// would otherwise grow the index cache without bound (see
+  /// ExecOptions::join_index_cache_entries).
+  int64_t join_index_cache_entries = 4096;
   /// Input partitioning structure and granularity (see ExecOptions).
   PartitionStrategy partition_strategy = PartitionStrategy::kGrid;
   int cells_per_dim = 0;

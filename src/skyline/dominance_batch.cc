@@ -354,7 +354,18 @@ void BatchDominanceFlags(const double* a, const SubspaceView& view,
   if (begin == end) return;
   const double* cols[kBatchMaxDims];
   const int ndims = PrepareCols(view, begin, cols);
-  ActiveKernels().flags(a, cols, end - begin, ndims, out);
+  const int64_t n = end - begin;
+  // Small batches (the common case: incremental skylines average O(1)
+  // candidates per insert) go straight to the scalar reference kernel —
+  // the vector backends would only run their scalar tail anyway, and the
+  // indirect dispatch plus vector-function prologue costs more than the
+  // comparisons themselves. Bit-identical by construction: every backend
+  // reproduces FlagsScalar byte for byte.
+  if (n < kBatchSmallN) {
+    FlagsScalar(a, cols, n, ndims, out);
+    return;
+  }
+  ActiveKernels().flags(a, cols, n, ndims, out);
 }
 
 void BatchDominanceFlagsScalar(const double* a, const SubspaceView& view,
@@ -387,7 +398,12 @@ void BatchWeaklyDominates(const double* a, const SubspaceView& view,
   if (begin == end) return;
   const double* cols[kBatchMaxDims];
   const int ndims = PrepareCols(view, begin, cols);
-  ActiveKernels().weak(a, cols, end - begin, ndims, out);
+  const int64_t n = end - begin;
+  if (n < kBatchSmallN) {
+    WeakScalar(a, cols, n, ndims, out);
+    return;
+  }
+  ActiveKernels().weak(a, cols, n, ndims, out);
 }
 
 void BatchWeaklyDominatesScalar(const double* a, const SubspaceView& view,

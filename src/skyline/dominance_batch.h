@@ -32,6 +32,14 @@ namespace caqe {
 /// (matches Subspace::kMaxDims with headroom; callers' dims are subspaces).
 inline constexpr int kBatchMaxDims = 64;
 
+/// Batches smaller than this bypass the ISA dispatch and run the scalar
+/// reference kernel directly. Incremental skylines average O(1) candidates
+/// per insert on typical workloads, where the indirect call + vector
+/// prologue cost more than the comparisons; the vector backends would
+/// execute only their scalar tail at these sizes anyway. Outcomes are
+/// bit-identical regardless of the path taken.
+inline constexpr int64_t kBatchSmallN = 16;
+
 /// Column-major (structure-of-arrays) gather of one dimension subset over a
 /// window of points. Each compared dimension is stored as its own
 /// contiguous array, so a one-vs-many kernel streams unit-stride loads
@@ -43,11 +51,15 @@ class SubspaceView {
   SubspaceView() = default;
   explicit SubspaceView(const std::vector<int>& dims) { Reset(dims); }
 
-  /// Binds the view to a dimension subset and clears all rows.
+  /// Binds the view to a dimension subset and clears all rows. The column
+  /// pool only grows: rebinding to fewer dimensions keeps the surplus
+  /// columns (and their capacity) for the next wider rebind, so a view
+  /// cycled across subspaces of varying width stops allocating once it has
+  /// seen the widest one.
   void Reset(const std::vector<int>& dims) {
     CAQE_CHECK(static_cast<int>(dims.size()) <= kBatchMaxDims);
     dims_ = dims;
-    cols_.resize(dims_.size());
+    if (cols_.size() < dims_.size()) cols_.resize(dims_.size());
     Clear();
   }
 
@@ -57,11 +69,13 @@ class SubspaceView {
   bool empty() const { return n_ == 0; }
 
   void Clear() {
-    for (auto& col : cols_) col.clear();
+    for (size_t k = 0; k < dims_.size(); ++k) cols_[k].clear();
     n_ = 0;
   }
   void Reserve(int64_t n) {
-    for (auto& col : cols_) col.reserve(static_cast<size_t>(n));
+    for (size_t k = 0; k < dims_.size(); ++k) {
+      cols_[k].reserve(static_cast<size_t>(n));
+    }
   }
 
   /// Gathers a full-width point's compared dimensions and appends the row.
@@ -89,18 +103,39 @@ class SubspaceView {
     ++n_;
   }
 
+  /// Replaces the view contents wholesale from per-dimension source
+  /// columns: row i takes cols_of_dim[k][ids[i] - base] for each compared
+  /// dimension k. This is the bulk companion of PushPoint for callers that
+  /// already hold their points column-major (e.g. a region's ColumnBlock
+  /// transpose): one pass per column, unit-stride writes, no per-row
+  /// dimension remapping.
+  void AssignFromColumns(const double* const* cols_of_dim, int64_t base,
+                         const int64_t* ids, int64_t n) {
+    for (size_t k = 0; k < dims_.size(); ++k) {
+      std::vector<double>& col = cols_[k];
+      col.resize(static_cast<size_t>(n));
+      const double* src = cols_of_dim[k];
+      for (int64_t i = 0; i < n; ++i) {
+        col[static_cast<size_t>(i)] = src[ids[i] - base];
+      }
+    }
+    n_ = n;
+  }
+
   /// Copies row `src` onto row `dst` (dst <= src): the stable-compaction
   /// primitive mirroring the consumers' window[keep++] = window[i] loops.
   void MoveRow(int64_t dst, int64_t src) {
     CAQE_DCHECK(dst >= 0 && dst <= src && src < n_);
     if (dst == src) return;
-    for (auto& col : cols_) col[dst] = col[src];
+    for (size_t k = 0; k < dims_.size(); ++k) cols_[k][dst] = cols_[k][src];
   }
 
   /// Truncates to the first `n` rows (ends a compaction pass).
   void Truncate(int64_t n) {
     CAQE_DCHECK(n >= 0 && n <= n_);
-    for (auto& col : cols_) col.resize(static_cast<size_t>(n));
+    for (size_t k = 0; k < dims_.size(); ++k) {
+      cols_[k].resize(static_cast<size_t>(n));
+    }
     n_ = n;
   }
 

@@ -20,6 +20,16 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
                                          int64_t external_id,
                                          int64_t* comparisons) {
   InsertOutcome outcome;
+  outcome.accepted = InsertInto(values, external_id, outcome.evicted,
+                                &outcome.strictly_dominated, comparisons);
+  return outcome;
+}
+
+bool IncrementalSkyline::InsertInto(const double* values, int64_t external_id,
+                                    std::vector<int64_t>& evicted,
+                                    bool* strictly_dominated,
+                                    int64_t* comparisons) {
+  *strictly_dominated = false;
   GatherPoint(values, dims_, probe_.data());
   // Summing the gathered values in view order reproduces ScoreOf's
   // dims_-order accumulation bit for bit.
@@ -45,20 +55,38 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
   // the kBatchBStrict bit) whose existence licenses subspace gating in the
   // shared evaluator, and the comparison charge stops where the serial
   // break did (at the strict dominator, else after the full prefix).
+  // The prefix is flagged in blocks of galloping size rather than one
+  // kernel call: the serial loop this walk replays usually breaks within
+  // the first few members (a strict dominator near the front), so flagging
+  // the whole prefix up front would compute hundreds of comparisons the
+  // walk never reads. Block boundaries cannot change any flag byte — each
+  // candidate's byte is a pure function of (probe, candidate) — and the
+  // walk below visits indexes in the same order with the same break rule,
+  // so outcome and comparison charge are identical to the one-shot call.
   bool dominated = false;
   if (prefix_end > 0) {
-    BatchDominanceFlags(probe_.data(), members_view_, 0,
-                        static_cast<int64_t>(prefix_end), flags_.data());
     size_t visited = prefix_end;
-    for (size_t i = 0; i < prefix_end; ++i) {
-      const uint8_t f = flags_[i];
-      if (!MemberDominatesProbe(f)) continue;
-      dominated = true;
-      if ((f & kBatchBStrict) != 0) {
-        outcome.strictly_dominated = true;
-        visited = i + 1;
-        break;
+    bool stop = false;
+    size_t block = 16;
+    for (size_t done = 0; done < prefix_end && !stop;) {
+      const size_t block_end = std::min(prefix_end, done + block);
+      BatchDominanceFlags(probe_.data(), members_view_,
+                          static_cast<int64_t>(done),
+                          static_cast<int64_t>(block_end),
+                          flags_.data() + done);
+      for (size_t i = done; i < block_end; ++i) {
+        const uint8_t f = flags_[i];
+        if (!MemberDominatesProbe(f)) continue;
+        dominated = true;
+        if ((f & kBatchBStrict) != 0) {
+          *strictly_dominated = true;
+          visited = i + 1;
+          stop = true;
+          break;
+        }
       }
+      done = block_end;
+      block *= 4;
     }
     if (comparisons != nullptr) {
       *comparisons += static_cast<int64_t>(visited);
@@ -66,7 +94,7 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
   }
   if (dominated) {
     // A dominated insertion evicts nothing (see phase 2 comment).
-    return outcome;
+    return false;
   }
 
   // Phase 2 (batched): evict larger-score members the new point dominates.
@@ -91,7 +119,7 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
                         flags_.data());
     for (; i < members_.size(); ++i) {
       if (ProbeDominatesMember(flags_[i - suffix_begin])) {
-        outcome.evicted.push_back(members_[i].external_id);
+        evicted.push_back(members_[i].external_id);
       } else {
         members_[keep] = members_[i];
         members_view_.MoveRow(static_cast<int64_t>(keep),
@@ -106,13 +134,15 @@ InsertOutcome IncrementalSkyline::Insert(const double* values,
   members_.resize(keep);
   members_view_.Truncate(static_cast<int64_t>(keep));
 
-  const int64_t row = points_.Append(values);
+  // With a backing store the member references the caller's row (row index
+  // == external id by the store invariant) instead of copying the point.
+  const int64_t row =
+      backing_ != nullptr ? external_id : points_.Append(values);
   members_.insert(members_.begin() + insert_at,
                   Member{row, external_id, score});
   members_view_.InsertGathered(static_cast<int64_t>(insert_at),
                                probe_.data());
-  outcome.accepted = true;
-  return outcome;
+  return true;
 }
 
 std::vector<int64_t> IncrementalSkyline::MemberIds() const {

@@ -35,8 +35,19 @@ struct InsertOutcome {
 class IncrementalSkyline {
  public:
   /// `width` is the point dimensionality; `dims` the compared subset.
-  IncrementalSkyline(int width, std::vector<int> dims)
-      : points_(width), dims_(std::move(dims)), probe_(dims_.size()) {
+  /// With a `backing` store (whose row index == the external id passed to
+  /// Insert — the engine's tuple store invariant) members reference the
+  /// caller's rows instead of copying every accepted point full-width into
+  /// an internal set: the dominance state lives entirely in the gathered
+  /// members_view_, so accepting a point allocates nothing beyond the
+  /// view's amortized column growth. Without it (default) the legacy
+  /// internal copy keeps standalone uses working.
+  explicit IncrementalSkyline(int width, std::vector<int> dims,
+                              const PointSet* backing = nullptr)
+      : points_(width),
+        backing_(backing),
+        dims_(std::move(dims)),
+        probe_(dims_.size()) {
     members_view_.Reset(dims_);
   }
 
@@ -44,6 +55,14 @@ class IncrementalSkyline {
   /// `comparisons` if non-null.
   InsertOutcome Insert(const double* values, int64_t external_id,
                        int64_t* comparisons = nullptr);
+
+  /// Allocation-free Insert variant for the hot path: evicted ids are
+  /// appended to the caller's reusable `evicted` vector (not cleared),
+  /// acceptance is the return value and strict domination lands in
+  /// `*strictly_dominated`. Outcome-equivalent to Insert.
+  bool InsertInto(const double* values, int64_t external_id,
+                  std::vector<int64_t>& evicted, bool* strictly_dominated,
+                  int64_t* comparisons = nullptr);
 
   /// Current number of skyline members.
   int64_t size() const { return static_cast<int64_t>(members_.size()); }
@@ -55,7 +74,8 @@ class IncrementalSkyline {
   template <typename Fn>
   void ForEachMember(Fn&& fn) const {
     for (const Member& m : members_) {
-      fn(m.external_id, points_.row(m.row));
+      fn(m.external_id,
+         backing_ != nullptr ? backing_->row(m.row) : points_.row(m.row));
     }
   }
 
@@ -63,12 +83,15 @@ class IncrementalSkyline {
 
  private:
   struct Member {
-    int64_t row;          // Row in points_.
+    int64_t row;          // Row in points_ (or in *backing_ == external_id).
     int64_t external_id;  // Caller-provided id.
     double score;         // Monotone sum over dims_ (window sort key).
   };
 
   PointSet points_;  // Append-only storage; evicted rows become garbage.
+  /// Optional external row store (see constructor); when set, points_
+  /// stays empty and members reference backing_ rows by external id.
+  const PointSet* backing_ = nullptr;
   std::vector<int> dims_;
   /// Current skyline, sorted by ascending score: only the smaller-score
   /// prefix can dominate a new point, only the larger-score suffix can be

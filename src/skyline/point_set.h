@@ -2,6 +2,7 @@
 #ifndef CAQE_SKYLINE_POINT_SET_H_
 #define CAQE_SKYLINE_POINT_SET_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -55,12 +56,69 @@ class PointSet {
     return Append(values.data());
   }
 
-  void Reserve(int64_t n) { data_.reserve(n * width_); }
+  /// Ensures capacity for `n` points. Grows geometrically: an exact
+  /// reserve on a monotonically growing store would reallocate (and copy
+  /// the whole store) on every call that extends it.
+  void Reserve(int64_t n) {
+    const size_t need = static_cast<size_t>(n) * width_;
+    if (need <= data_.capacity()) return;
+    data_.reserve(std::max(need, data_.capacity() * 2));
+  }
   void Clear() { data_.clear(); }
 
  private:
   int width_;
   std::vector<double> data_;
+};
+
+/// Column-major (structure-of-arrays) transpose of a contiguous row range
+/// [base, base + size) of a PointSet. Built once per region over the rows
+/// the region appended, it lets subspace consumers hand whole columns to
+/// SubspaceView::AssignFromColumns — a unit-stride gather per compared
+/// dimension — instead of walking row-major storage point by point. The
+/// column buffers are reused across BuildFrom calls (grow-only), so a
+/// steady-state region transposes without allocating.
+class ColumnBlock {
+ public:
+  /// (Re)builds the transpose over rows [base, base + n) of `store`.
+  void BuildFrom(const PointSet& store, int64_t base, int64_t n) {
+    CAQE_DCHECK(base >= 0 && n >= 0 && base + n <= store.size());
+    const int width = store.width();
+    if (static_cast<int>(cols_.size()) < width) cols_.resize(width);
+    for (int d = 0; d < width; ++d) {
+      cols_[d].resize(static_cast<size_t>(n));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const double* r = store.row(base + i);
+      for (int d = 0; d < width; ++d) {
+        cols_[d][static_cast<size_t>(i)] = r[d];
+      }
+    }
+    base_ = base;
+    n_ = n;
+    width_ = width;
+  }
+
+  void Clear() { n_ = 0; }
+
+  int64_t base() const { return base_; }
+  int64_t size() const { return n_; }
+  int width() const { return width_; }
+  /// True when row id `id` (a PointSet row index) is inside the block.
+  bool Contains(int64_t id) const { return id >= base_ && id < base_ + n_; }
+
+  /// Contiguous values of dimension `d`, one per row, for rows
+  /// [base(), base() + size()).
+  const double* col(int d) const {
+    CAQE_DCHECK(d >= 0 && d < width_);
+    return cols_[static_cast<size_t>(d)].data();
+  }
+
+ private:
+  std::vector<std::vector<double>> cols_;
+  int64_t base_ = 0;
+  int64_t n_ = 0;
+  int width_ = 0;
 };
 
 }  // namespace caqe

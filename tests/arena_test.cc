@@ -1,0 +1,165 @@
+// Tests for the epoch arena: alignment, epoch reset and block coalescing,
+// steady-state allocation freedom (asserted through the counting alloc
+// hook, which this binary links strongly — see tests/CMakeLists.txt), and
+// the ArenaVector facade. Under AddressSanitizer the arena additionally
+// poisons recycled capacity on Reset(), so a use-after-reset read faults
+// instead of returning a previous epoch's bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+
+#include "common/alloc_hook.h"
+#include "common/arena.h"
+
+namespace caqe {
+namespace {
+
+TEST(ArenaTest, AllocatesAlignedDistinctMemory) {
+  Arena arena(1 << 12);
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second);
+    std::memset(p, 0xAB, 24);  // Must be writable.
+  }
+  void* wide = arena.Allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(wide) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 100 * 24 + 64);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsAreValid) {
+  Arena arena(1 << 8);
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+}
+
+TEST(ArenaTest, ResetStartsANewEpoch) {
+  Arena arena(1 << 8);
+  EXPECT_EQ(arena.epoch(), 0u);
+  arena.Allocate(100);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.epoch(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Capacity is retained for reuse.
+  EXPECT_GT(arena.bytes_capacity(), 0u);
+}
+
+TEST(ArenaTest, OverflowEpochsCoalesceToOneBlock) {
+  // Force the first epoch to spill across several blocks, then verify
+  // Reset() coalesces to a single block that covers the whole footprint.
+  Arena arena(1 << 8);
+  constexpr size_t kPerAlloc = 300;
+  constexpr int kAllocs = 40;
+  for (int i = 0; i < kAllocs; ++i) arena.Allocate(kPerAlloc);
+  EXPECT_GT(arena.num_blocks(), 1u);
+  const size_t footprint = arena.bytes_used();
+  arena.Reset();
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_GE(arena.bytes_capacity(), footprint);
+}
+
+TEST(ArenaTest, SteadyStateEpochsAreHeapAllocationFree) {
+  Arena arena(1 << 8);
+  const auto run_epoch = [&arena] {
+    for (int i = 0; i < 50; ++i) arena.Allocate(200, 16);
+  };
+  // Warm up: one spilling epoch plus the coalescing reset.
+  run_epoch();
+  arena.Reset();
+  if (!AllocHookActive()) {
+    GTEST_SKIP() << "counting alloc hook not linked into this binary";
+  }
+  const AllocCounts before = ThreadAllocCounts();
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    run_epoch();
+    arena.Reset();
+  }
+  const AllocCounts after = ThreadAllocCounts();
+  EXPECT_EQ(after.allocs - before.allocs, 0u)
+      << "steady-state arena epochs must not touch the heap";
+}
+
+TEST(ArenaTest, EpochMemoryIsRecycledNotLeaked) {
+  // Many epochs of identical usage never grow capacity beyond the first
+  // converged block.
+  Arena arena(1 << 8);
+  for (int i = 0; i < 30; ++i) arena.Allocate(128);
+  arena.Reset();
+  const size_t converged = arena.bytes_capacity();
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (int i = 0; i < 30; ++i) arena.Allocate(128);
+    arena.Reset();
+  }
+  EXPECT_EQ(arena.bytes_capacity(), converged);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+}
+
+TEST(ArenaVectorTest, PushGrowsAndPreservesValues) {
+  Arena arena;
+  ArenaVector<int64_t> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (int64_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i * 3);
+  // Range iteration covers exactly the elements.
+  int64_t count = 0;
+  for (int64_t x : v) {
+    EXPECT_EQ(x, count * 3);
+    ++count;
+  }
+  EXPECT_EQ(count, 1000);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ArenaVectorTest, UsableAcrossEpochResets) {
+  Arena arena(1 << 8);
+  ArenaVector<int> v(&arena);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    arena.Reset();
+    v.OnEpochReset();
+    for (int i = 0; i < 100; ++i) v.push_back(epoch * 1000 + i);
+    ASSERT_EQ(v.size(), 100u);
+    EXPECT_EQ(v[0], epoch * 1000);
+    EXPECT_EQ(v[99], epoch * 1000 + 99);
+  }
+}
+
+TEST(ArenaVectorTest, EmplaceBuildsAggregates) {
+  struct Pair {
+    int a;
+    double b;
+  };
+  Arena arena;
+  ArenaVector<Pair> v(&arena);
+  v.emplace_back(7, 2.5);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].a, 7);
+  EXPECT_EQ(v[0].b, 2.5);
+}
+
+TEST(AllocHookTest, CountsWhenLinked) {
+  if (!AllocHookActive()) {
+    GTEST_SKIP() << "counting alloc hook not linked into this binary";
+  }
+  // Direct operator calls: a plain new-expression/delete pair is legally
+  // elidable at -O2, which would make the counters (correctly) stay flat.
+  const AllocCounts before = ThreadAllocCounts();
+  void* p = ::operator new(64);
+  const AllocCounts mid = ThreadAllocCounts();
+  EXPECT_GE(mid.allocs - before.allocs, 1u);
+  EXPECT_GE(mid.bytes - before.bytes, 64u);
+  ::operator delete(p);
+  const AllocCounts after = ThreadAllocCounts();
+  EXPECT_GE(after.deallocs - mid.deallocs, 1u);
+}
+
+}  // namespace
+}  // namespace caqe

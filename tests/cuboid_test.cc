@@ -198,7 +198,7 @@ TEST_P(SharedSkylineTest, ReportsAcceptanceAndEvictionPerQuery) {
   EXPECT_TRUE(second_out.accepted.Contains(0));
   ASSERT_EQ(second_out.evictions.size(), 1u);
   EXPECT_EQ(second_out.evictions[0].first, 0);
-  EXPECT_EQ(second_out.evictions[0].second, std::vector<int64_t>{1});
+  EXPECT_EQ(second_out.evictions[0].second, int64_t{1});
   const SharedInsertOutcome third =
       eval.Insert(std::vector<double>{2, 2}.data(), 3);
   EXPECT_TRUE(third.accepted.empty());

@@ -212,19 +212,23 @@ void RunStressSchedule(uint64_t seed, int num_queries, int num_regions,
     // Tuples accepted into skylines during this region's processing, with
     // a sprinkle of same-phase evictions (the `dead` sets).
     std::vector<std::vector<int64_t>> accepted(num_queries);
-    std::vector<std::unordered_set<int64_t>> dead(num_queries);
+    std::vector<std::vector<int64_t>> dead(num_queries);
     world.rc.regions[rid].rql.ForEach([&](int q) {
       const int count = static_cast<int>(rng() % 4);
       for (int i = 0; i < count; ++i) {
         const int64_t id = SamplePoint(world, world.rc.regions[rid], rng);
         accepted[q].push_back(id);
         if (rng() % 5 == 0) {
-          dead[q].insert(id);
+          dead[q].push_back(id);
         } else {
           live.emplace_back(q, id);
         }
       }
     });
+    // FlushRegion's dead sets are sorted vectors (binary-search lookup).
+    for (int q = 0; q < num_queries; ++q) {
+      std::sort(dead[q].begin(), dead[q].end());
+    }
 
     // The barrier: region rid is processed. All replicas observe the
     // pending flip; only `pooled` flushes concurrently.
@@ -240,7 +244,7 @@ void RunStressSchedule(uint64_t seed, int num_queries, int num_regions,
     std::vector<std::vector<int64_t>> direct_legacy(num_queries);
     for (int q = 0; q < num_queries; ++q) {
       for (int64_t id : accepted[q]) {
-        if (dead[q].contains(id)) continue;
+        if (std::binary_search(dead[q].begin(), dead[q].end(), id)) continue;
         legacy.OnAccepted(q, id, direct_legacy[q]);
       }
     }

@@ -4,7 +4,8 @@
 // Usage:
 //   caqe_serve [--rows=1000] [--sel=0.01] [--requests=12] [--rate=40]
 //              [--seed=2014] [--threads=1] [--pipeline=0]
-//              [--coarse_index=0] [--target-regions=128]
+//              [--coarse_index=0] [--compact_layout=1]
+//              [--join_cache_entries=4096] [--target-regions=128]
 //              [--policy=contract|count] [--cancel-fraction=0.1]
 //              [--deadline-fraction=0.25] [--admit-all=0]
 //              [--report-out=PATH]      # write ServingReportText to PATH
@@ -17,8 +18,9 @@
 //
 // The trace is a pure function of (--seed, --rate, --requests), and the
 // report text excludes every non-deterministic quantity, so two invocations
-// that differ only in --threads, --pipeline, --coarse_index, or the
-// CAQE_SIMD build flag must print byte-identical reports —
+// that differ only in --threads, --pipeline, --coarse_index,
+// --compact_layout, --join_cache_entries, or the CAQE_SIMD build flag must
+// print byte-identical reports —
 // scripts/run_serving_matrix.sh diffs exactly this.
 // Attaching the observability flags never changes the report: the obs layer
 // is read-only with respect to the engine (scripts/run_obs_matrix.sh).
@@ -55,6 +57,8 @@ int Main(int argc, char** argv) {
   options.num_threads = bench::ThreadsFromArgs(args);
   options.pipeline_regions = bench::PipelineFromArgs(args);
   options.coarse_index = bench::CoarseIndexFromArgs(args);
+  options.compact_layout = bench::CompactLayoutFromArgs(args);
+  options.join_index_cache_entries = bench::JoinCacheEntriesFromArgs(args);
   options.target_regions = static_cast<int>(args.GetInt("target-regions", 128));
   options.admit_all = args.GetInt("admit-all", 0) != 0;
   options.trace = &events;
