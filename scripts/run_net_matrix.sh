@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Proves the wall-clock front-end's record/replay determinism oracle end to
+# end, over real TCP:
+#
+#   1. Start `caqe_serve --listen` on an ephemeral loopback port with session
+#      recording on, drive a scripted client session (submits, a cancel,
+#      STATUS, DRAIN) through caqe_net_client, scrape /metrics and /healthz
+#      over HTTP while the server lingers post-drain, then STOP it.
+#   2. Replay the recorded session trace on the virtual clock across the
+#      full engine-knob matrix — threads {1,8} x pipeline {0,1} x
+#      compact_layout {0,1} — and byte-diff every replayed serving report
+#      (and exec event stream) against the live session's.
+#   3. Diff the live /metrics scrape against the server's --metrics_out
+#      snapshot, excluding the caqe_net_* series (the scrape itself perturbs
+#      the net counters; every engine series must match exactly).
+#   4. SIGTERM cell: a second live session is drained by SIGTERM instead of
+#      a DRAIN command; the exit code must report drain success and its
+#      trace must replay byte-identically too.
+#
+# The wall clock chooses the arrival quantum indices, so the live report is
+# only comparable to replays of the *same* recorded session — every diff in
+# this script is within one run.
+#
+#   scripts/run_net_matrix.sh [EXTRA_CMAKE_FLAGS...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="build-net"
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCAQE_BUILD_EXAMPLES=ON \
+  "$@"
+cmake --build "${build_dir}" -j"$(nproc)" --target caqe_serve_cli \
+  caqe_net_client
+
+out="${build_dir}/net"
+rm -rf "${out}"
+mkdir -p "${out}"
+
+serve="./${build_dir}/tools/caqe_serve"
+client="./${build_dir}/tools/caqe_net_client"
+DATA_ARGS=(--rows=400 --sel=0.02 --seed=2014 --target-regions=64)
+
+wait_for_port() {
+  local port_file=$1
+  for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: server never wrote ${port_file}" >&2
+  return 1
+}
+
+# ---- Cell 1: live wall-clock session, recorded --------------------------
+"${serve}" --listen=127.0.0.1:0 "${DATA_ARGS[@]}" \
+  --record="${out}/session.trace" \
+  --port_file="${out}/port" \
+  --linger=1 \
+  --report-out="${out}/live_report.txt" \
+  --trace-out="${out}/live_events.jsonl" \
+  --metrics_out="${out}/live_metrics.prom" \
+  > "${out}/live_stdout.txt" 2>&1 &
+server_pid=$!
+wait_for_port "${out}/port" || { kill "${server_pid}" 2>/dev/null; exit 1; }
+port=$(cat "${out}/port")
+
+"${client}" --port="${port}" --script=- > "${out}/client_transcript.txt" <<'EOF'
+SUBMIT name=m0 key=0 pref=0,1 CONTRACT step:5
+!expect QUEUED 0
+SUBMIT name=m1 key=1 pref=1,2 priority=0.5 deadline=30 CONTRACT hyper:0.01,0.05
+!expect QUEUED 1
+SUBMIT name=m2 key=0 pref=0,2 sel=r:0:0.2:0.9 CONTRACT card:0.9,1
+!expect QUEUED 2
+CANCEL 1
+STATUS
+!expect STATUS
+DRAIN
+!expect DRAINED
+EOF
+
+grep -q '^HELLO caqe/1' "${out}/client_transcript.txt"
+grep -q '^QUEUED 2'     "${out}/client_transcript.txt"
+grep -q '^DRAINED'      "${out}/client_transcript.txt"
+
+# Post-drain scrapes: --linger keeps STATUS and HTTP alive, and the engine
+# stats are final once the drain produced the report.
+"${client}" --port="${port}" --get=/metrics > "${out}/scrape_metrics.prom"
+"${client}" --port="${port}" --get=/healthz > "${out}/scrape_healthz.txt"
+grep -q '^ok state=drained' "${out}/scrape_healthz.txt"
+
+printf 'STOP\n' | "${client}" --port="${port}" --script=- > /dev/null
+server_rc=0
+wait "${server_pid}" || server_rc=$?
+if (( server_rc != 0 )); then
+  echo "FAIL: live server exited ${server_rc} (drain did not succeed)" >&2
+  cat "${out}/live_stdout.txt" >&2
+  exit 1
+fi
+
+# ---- Metrics: HTTP scrape vs --metrics_out snapshot ----------------------
+# The scrape connection itself moves the caqe_net_* series (connections,
+# bytes), so those are excluded; every engine series must match exactly.
+grep -v 'caqe_net_' "${out}/scrape_metrics.prom" > "${out}/scrape_engine.prom"
+grep -v 'caqe_net_' "${out}/live_metrics.prom"   > "${out}/snap_engine.prom"
+if ! diff -u "${out}/snap_engine.prom" "${out}/scrape_engine.prom"; then
+  echo "FAIL: /metrics scrape diverges from --metrics_out snapshot" >&2
+  exit 1
+fi
+echo "metrics scrape matches snapshot (caqe_net_* excluded)"
+grep -q '^caqe_net_connections_total' "${out}/scrape_metrics.prom"
+
+# ---- Replay matrix: threads x pipeline x compact_layout ------------------
+status=0
+diff_args=()
+for threads in 1 8; do
+  for pipeline in 0 1; do
+    for compact in 0 1; do
+      tag="t${threads}_p${pipeline}_c${compact}"
+      "${serve}" --replay="${out}/session.trace" \
+        --threads="${threads}" --pipeline="${pipeline}" \
+        --compact_layout="${compact}" \
+        --report-out="${out}/replay_${tag}.txt" \
+        --trace-out="${out}/replay_${tag}.jsonl" > /dev/null
+      diff_args+=("${tag}=${out}/replay_${tag}.txt")
+      if ! cmp -s "${out}/live_events.jsonl" "${out}/replay_${tag}.jsonl"; then
+        echo "FAIL: exec event stream ${tag} diverges from live session" >&2
+        status=1
+      fi
+    done
+  done
+done
+tools/report_diff.sh "net replay vs live session" "${out}/live_report.txt" \
+  "${diff_args[@]}" || status=1
+
+# ---- SIGTERM cell: graceful drain by signal ------------------------------
+"${serve}" --listen=127.0.0.1:0 "${DATA_ARGS[@]}" \
+  --record="${out}/sig.trace" \
+  --port_file="${out}/sig_port" \
+  --linger=0 \
+  --report-out="${out}/sig_report.txt" \
+  --trace-out="${out}/sig_events.jsonl" \
+  > "${out}/sig_stdout.txt" 2>&1 &
+sig_pid=$!
+wait_for_port "${out}/sig_port" || { kill "${sig_pid}" 2>/dev/null; exit 1; }
+sig_port=$(cat "${out}/sig_port")
+
+"${client}" --port="${sig_port}" --script=- > "${out}/sig_transcript.txt" <<'EOF'
+SUBMIT name=s0 key=0 pref=0,1,2 CONTRACT step:5
+!expect QUEUED 0
+SUBMIT name=s1 key=1 pref=0,2 CONTRACT log:0.1
+!expect QUEUED 1
+EOF
+
+kill -TERM "${sig_pid}"
+sig_rc=0
+wait "${sig_pid}" || sig_rc=$?
+if (( sig_rc != 0 )); then
+  echo "FAIL: SIGTERM drain exited ${sig_rc} (want 0 = drain success)" >&2
+  cat "${out}/sig_stdout.txt" >&2
+  exit 1
+fi
+echo "SIGTERM drain completed with exit 0"
+
+"${serve}" --replay="${out}/sig.trace" \
+  --report-out="${out}/sig_replay.txt" \
+  --trace-out="${out}/sig_replay.jsonl" > /dev/null
+tools/report_diff.sh "SIGTERM session replay vs live" \
+  "${out}/sig_report.txt" "replay=${out}/sig_replay.txt" || status=1
+cmp -s "${out}/sig_events.jsonl" "${out}/sig_replay.jsonl" || {
+  echo "FAIL: SIGTERM session exec events diverge on replay" >&2
+  status=1
+}
+
+exit "${status}"

@@ -1,0 +1,215 @@
+// Wall-clock TCP front-end for CaqeServer (the ISSUE 8 tentpole).
+//
+// NetServer owns a listening socket and a poll(2) event loop on the caller's
+// thread (the engine's parallelism lives inside CaqeServer's thread pool, so
+// one driver thread suffices). Protocol clients speak the line protocol of
+// net/protocol.h; HTTP clients (detected from the first bytes) get the
+// GET-only scrape endpoints `/metrics` (Prometheus text) and `/healthz`.
+//
+// ## Determinism
+//
+// Wall time never reaches the engine. Each SUBMIT/CANCEL is stamped with a
+// quantized virtual timestamp by ArrivalQuantizer, handed to
+// SubmitLive/CancelLive, and appended to the session recorder as an integer
+// quantum index. The engine is driven by StepLive between socket events, so
+// the engine-visible input is exactly the recorded (tq, command) sequence —
+// replaying the trace through Submit()+Run() yields a byte-identical
+// ServingReportText, which scripts/run_net_matrix.sh byte-diffs.
+//
+// ## Lifecycle
+//
+//   serving --(DRAIN cmd / RequestDrain)--> draining
+//   draining: SUBMITs get `ERR draining`; the engine steps until idle, then
+//             FinishLive produces the report (forced retry of deferred
+//             requests, final emission flush) and recording stops.
+//   drained:  with linger_after_drain, STATUS and HTTP stay served until
+//             STOP / RequestStop; otherwise every connection gets `BYE` and
+//             Serve() returns.
+//
+// RequestDrain/RequestStop are async-signal-safe (they write one byte to a
+// self-pipe), so SIGINT/SIGTERM handlers may call them directly; a second
+// signal hard-stops the loop without waiting for the drain.
+//
+// ## Hostile clients
+//
+// Connections are capped (`max_connections`), lines are capped (LineBuffer
+// overflow -> one `ERR line-too-long`, resync at the next newline), idle
+// protocol connections are closed after `idle_timeout_ms` (slow-loris), and
+// a connection whose unread output exceeds `max_output_bytes` is dropped
+// (slow consumer). Parse errors produce stable `ERR <code>` replies and
+// count in caqe_net_parse_errors_total; nothing a client sends can abort
+// the server.
+#ifndef CAQE_NET_NET_SERVER_H_
+#define CAQE_NET_NET_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/recorder.h"
+#include "obs/observability.h"
+#include "serve/server.h"
+
+namespace caqe {
+namespace net {
+
+struct NetServerOptions {
+  /// IPv4 address to bind (tests and the bench matrix use loopback).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Virtual-time quantum for arrival stamping (see ArrivalQuantizer).
+  double quantum = ArrivalQuantizer::kDefaultQuantum;
+  /// Close a protocol connection idle this long (<= 0 disables).
+  int idle_timeout_ms = 30000;
+  /// Drop a connection whose unread output exceeds this.
+  size_t max_output_bytes = 4u << 20;
+  /// Refuse connections beyond this many concurrent ones.
+  int max_connections = 64;
+  /// Parser caps (line length, name length, dims, selections).
+  ProtocolLimits limits;
+  /// Session trace path; empty disables recording.
+  std::string record_path;
+  /// Extra header attrs for the recorded trace (e.g. the data-generation
+  /// flags a replay needs to rebuild the server).
+  std::vector<std::pair<std::string, std::string>> record_attrs;
+  /// Metrics/health bundle; the caqe_net_* metrics register here. May be
+  /// null (endpoints then serve 404).
+  Observability* obs = nullptr;
+  /// After a drain, keep serving STATUS and HTTP until STOP/RequestStop
+  /// instead of returning immediately.
+  bool linger_after_drain = false;
+  /// Invoked once per event-loop round on the driver thread — the hook the
+  /// incremental trace flusher hangs off (never engine-visible).
+  std::function<void()> on_tick;
+};
+
+class NetServer {
+ public:
+  /// Switches `server` (not yet run; borrowed, must outlive the NetServer)
+  /// into live mode, installs the streaming observers, opens the recorder,
+  /// and binds + listens. The event loop starts with Serve().
+  static Result<std::unique_ptr<NetServer>> Create(CaqeServer* server,
+                                                   NetServerOptions options);
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Bound TCP port (resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// Runs the event loop until the session ends (see file comment for the
+  /// lifecycle). Returns OK iff the drain completed and produced a report;
+  /// a hard stop before the drain finishes is an error.
+  Status Serve();
+
+  /// Async-signal-safe: request a graceful drain.
+  void RequestDrain();
+  /// Async-signal-safe: request an immediate hard stop.
+  void RequestStop();
+
+  /// True once FinishLive produced the serving report.
+  bool drained() const { return drained_; }
+  /// Valid once drained().
+  const ServingReport& report() const { return report_; }
+
+ private:
+  enum class ConnKind { kUndecided, kProtocol, kHttp };
+  enum class State { kServing, kDraining, kDrained };
+
+  struct Connection {
+    int fd = -1;
+    ConnKind kind = ConnKind::kUndecided;
+    LineBuffer in;
+    std::string out;
+    /// Close once `out` drains.
+    bool closing = false;
+    std::chrono::steady_clock::time_point last_activity;
+    /// Wants a DRAINED notification.
+    bool awaiting_drained = false;
+    /// First line of an HTTP request once received (kHttp only).
+    std::string http_request_line;
+
+    Connection(int fd_in, size_t max_line,
+               std::chrono::steady_clock::time_point now)
+        : fd(fd_in), in(max_line), last_activity(now) {}
+  };
+
+  NetServer(CaqeServer* server, NetServerOptions options);
+
+  Status Listen();
+  void InstallObservers();
+
+  /// One poll round: accept, read, dispatch, write, reap. Returns false
+  /// when the loop should exit.
+  bool LoopOnce();
+  void AcceptPending();
+  void ReadFrom(Connection& conn);
+  /// Dispatches buffered input: protocol lines or the HTTP request.
+  void ProcessInput(Connection& conn);
+  void FlushTo(Connection& conn);
+  void CloseConn(Connection& conn);
+  void CloseIdle();
+  void DrainWakePipe();
+  /// Steps the engine; remembers whether it had work (drives poll timeout).
+  void StepEngine();
+  /// Runs FinishLive once the drain request meets an idle engine.
+  void FinishDrain();
+
+  void HandleLine(Connection& conn, const std::string& line);
+  void HandleSubmit(Connection& conn, SubmitCommand submit);
+  void HandleCancel(Connection& conn, int request_id);
+  void HandleHttp(Connection& conn);
+  void Reply(Connection& conn, const std::string& line);
+  void ReplyErr(Connection& conn, const std::string& code);
+  std::string StatusLine() const;
+  const char* StateName() const;
+
+  CaqeServer* server_;
+  NetServerOptions options_;
+  ArrivalQuantizer quantizer_;
+  std::unique_ptr<SessionRecorder> recorder_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  /// fd -> connection (poll set is rebuilt from this each round).
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  /// request id -> owning connection fd (erased when the request finishes
+  /// or the connection dies; results for unmapped requests are dropped).
+  std::map<int, int> request_conn_;
+  /// request id -> wall submit instant, for the TTFB histogram.
+  std::map<int, std::chrono::steady_clock::time_point> request_start_;
+
+  State state_ = State::kServing;
+  bool engine_busy_ = false;
+  bool stop_after_drain_ = false;
+  bool hard_stop_ = false;
+  bool drained_ = false;
+  Status drain_status_;
+  ServingReport report_;
+
+  // caqe_net_* metrics (null when options_.obs is null).
+  Counter* connections_total_ = nullptr;
+  Counter* bytes_in_total_ = nullptr;
+  Counter* bytes_out_total_ = nullptr;
+  Counter* parse_errors_total_ = nullptr;
+  Gauge* active_connections_ = nullptr;
+  Histogram* ttfb_hist_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace caqe
+
+#endif  // CAQE_NET_NET_SERVER_H_

@@ -1,0 +1,427 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace caqe {
+namespace net {
+
+namespace {
+
+/// All wire input must be printable ASCII: this sidesteps every encoding
+/// question (bad UTF-8, control bytes, NULs) with one stable check.
+bool PrintableAscii(std::string_view s) {
+  for (unsigned char c : s) {
+    if (c < 0x20 || c > 0x7e) return false;
+  }
+  return true;
+}
+
+bool ValidName(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Strict full-token double parse; rejects empty, trailing garbage, and
+/// non-finite values.
+bool ParseDoubleToken(std::string_view token, double* out) {
+  if (token.empty() || token.size() > 64) return false;
+  char buf[72];
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + token.size() || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseIntToken(std::string_view token, int64_t lo, int64_t hi,
+                   int64_t* out) {
+  if (token.empty() || token.size() > 20) return false;
+  char buf[24];
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (end != buf + token.size() || errno == ERANGE) return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::vector<std::string_view> SplitOn(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Status BadField(std::string_view field) {
+  return Status::InvalidArgument("bad-field " + std::string(field));
+}
+
+}  // namespace
+
+void LineBuffer::Append(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+LineBuffer::Pop LineBuffer::Next(std::string& out) {
+  while (true) {
+    const size_t nl = buffer_.find('\n');
+    if (discarding_) {
+      if (nl == std::string::npos) {
+        buffer_.clear();  // Still inside the oversized line.
+        return Pop::kNeedMore;
+      }
+      buffer_.erase(0, nl + 1);
+      discarding_ = false;
+      overflow_reported_ = false;
+      continue;  // Resume on the next line.
+    }
+    if (nl == std::string::npos) {
+      if (buffer_.size() > max_) {
+        discarding_ = true;
+        if (!overflow_reported_) {
+          overflow_reported_ = true;
+          return Pop::kOverflow;
+        }
+      }
+      return Pop::kNeedMore;
+    }
+    if (nl > max_) {
+      // Terminated line, but over the cap: drop it whole.
+      buffer_.erase(0, nl + 1);
+      return Pop::kOverflow;
+    }
+    out.assign(buffer_, 0, nl);
+    if (!out.empty() && out.back() == '\r') out.pop_back();
+    buffer_.erase(0, nl + 1);
+    return Pop::kLine;
+  }
+}
+
+std::string FormatExactDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<Contract> ParseContractSpec(std::string_view spec,
+                                   std::string* canonical) {
+  if (spec.size() > 128 || !PrintableAscii(spec)) {
+    return Status::InvalidArgument("bad-contract");
+  }
+  const size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("bad-contract");
+  }
+  const std::string_view kind = spec.substr(0, colon);
+  const std::vector<std::string_view> args =
+      SplitOn(spec.substr(colon + 1), ',');
+  std::vector<double> v(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!ParseDoubleToken(args[i], &v[i])) {
+      return Status::InvalidArgument("bad-contract");
+    }
+  }
+  const auto canonicalize = [&](std::string_view name) {
+    if (canonical == nullptr) return;
+    *canonical = std::string(name);
+    char sep = ':';
+    for (double d : v) {
+      *canonical += sep;
+      *canonical += FormatExactDouble(d);
+      sep = ',';
+    }
+  };
+  if (kind == "step" && v.size() == 1 && v[0] > 0.0) {
+    canonicalize("step");
+    return MakeTimeStepContract(v[0]);
+  }
+  if (kind == "log" && v.size() == 1 && v[0] > 0.0) {
+    canonicalize("log");
+    return MakeLogDecayContract(v[0]);
+  }
+  if (kind == "hyper" && v.size() == 2 && v[0] >= 0.0 && v[1] > 0.0) {
+    canonicalize("hyper");
+    return MakeHyperbolicDecayContract(v[0], v[1]);
+  }
+  if (kind == "card" && v.size() == 2 && v[0] > 0.0 && v[0] <= 1.0 &&
+      v[1] > 0.0) {
+    canonicalize("card");
+    return MakeCardinalityContract(v[0], v[1]);
+  }
+  if (kind == "rate" && v.size() == 2 && v[0] > 0.0 && v[1] > 0.0) {
+    canonicalize("rate");
+    return MakeRateContract(v[0], v[1]);
+  }
+  if (kind == "hybrid" && v.size() == 3 && v[0] > 0.0 && v[0] <= 1.0 &&
+      v[1] > 0.0 && v[2] > 0.0) {
+    canonicalize("hybrid");
+    return MakeHybridContract(v[0], v[1], v[2]);
+  }
+  return Status::InvalidArgument("bad-contract");
+}
+
+Result<Command> ParseCommand(std::string_view line,
+                             const ProtocolLimits& limits) {
+  if (line.size() > limits.max_line_bytes) {
+    return Status::InvalidArgument("line-too-long");
+  }
+  if (!PrintableAscii(line)) {
+    return Status::InvalidArgument("bad-byte");
+  }
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.empty()) return Status::InvalidArgument("bad-command");
+  const std::string_view verb = tokens[0];
+
+  Command command;
+  if (verb == "STATUS") {
+    if (tokens.size() != 1) return Status::InvalidArgument("bad-command");
+    command.kind = CommandKind::kStatus;
+    return command;
+  }
+  if (verb == "DRAIN") {
+    if (tokens.size() != 1) return Status::InvalidArgument("bad-command");
+    command.kind = CommandKind::kDrain;
+    return command;
+  }
+  if (verb == "STOP") {
+    if (tokens.size() != 1) return Status::InvalidArgument("bad-command");
+    command.kind = CommandKind::kStop;
+    return command;
+  }
+  if (verb == "CANCEL") {
+    if (tokens.size() != 2) return Status::InvalidArgument("bad-command");
+    int64_t id = 0;
+    if (!ParseIntToken(tokens[1], 0, 1000000000, &id)) {
+      return BadField("request-id");
+    }
+    command.kind = CommandKind::kCancel;
+    command.cancel_id = static_cast<int>(id);
+    return command;
+  }
+  if (verb != "SUBMIT") return Status::InvalidArgument("bad-command");
+
+  command.kind = CommandKind::kSubmit;
+  SubmitCommand& submit = command.submit;
+  SjQuery& query = submit.query;
+  query.priority = 1.0;
+  bool have_name = false, have_key = false, have_pref = false;
+  bool have_priority = false, have_deadline = false, have_id = false;
+  bool have_contract = false;
+
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    if (token == "CONTRACT") {
+      if (have_contract || i + 1 != tokens.size() - 1) {
+        return Status::InvalidArgument("bad-contract");
+      }
+      std::string canonical;
+      Result<Contract> contract =
+          ParseContractSpec(tokens[i + 1], &canonical);
+      CAQE_RETURN_NOT_OK(contract.status());
+      submit.contract = std::move(contract).value();
+      submit.contract_canonical = std::move(canonical);
+      have_contract = true;
+      ++i;
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("bad-command");
+    }
+    const std::string_view field = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (field == "name") {
+      if (have_name) return Status::InvalidArgument("duplicate-field name");
+      if (value.size() > limits.max_name_bytes || !ValidName(value)) {
+        return BadField("name");
+      }
+      query.name = std::string(value);
+      have_name = true;
+    } else if (field == "key") {
+      if (have_key) return Status::InvalidArgument("duplicate-field key");
+      int64_t key = 0;
+      if (!ParseIntToken(value, 0, 1023, &key)) return BadField("key");
+      query.join_key = static_cast<int>(key);
+      have_key = true;
+    } else if (field == "pref") {
+      if (have_pref) return Status::InvalidArgument("duplicate-field pref");
+      const std::vector<std::string_view> dims = SplitOn(value, ',');
+      if (dims.empty() ||
+          dims.size() > static_cast<size_t>(limits.max_preference_dims)) {
+        return BadField("pref");
+      }
+      for (std::string_view dim_token : dims) {
+        int64_t dim = 0;
+        if (!ParseIntToken(dim_token, 0, 4095, &dim)) {
+          return BadField("pref");
+        }
+        query.preference.push_back(static_cast<int>(dim));
+      }
+      std::vector<int> sorted = query.preference;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        return BadField("pref");
+      }
+      have_pref = true;
+    } else if (field == "priority") {
+      if (have_priority) {
+        return Status::InvalidArgument("duplicate-field priority");
+      }
+      double priority = 0.0;
+      if (!ParseDoubleToken(value, &priority) || priority < 0.0 ||
+          priority > 1.0) {
+        return BadField("priority");
+      }
+      query.priority = priority;
+      have_priority = true;
+    } else if (field == "deadline") {
+      if (have_deadline) {
+        return Status::InvalidArgument("duplicate-field deadline");
+      }
+      double deadline = 0.0;
+      if (!ParseDoubleToken(value, &deadline) || deadline < 0.0) {
+        return BadField("deadline");
+      }
+      submit.deadline_seconds = deadline;
+      have_deadline = true;
+    } else if (field == "id") {
+      if (have_id) return Status::InvalidArgument("duplicate-field id");
+      int64_t id = 0;
+      if (!ParseIntToken(value, 0, 1000000000, &id)) return BadField("id");
+      submit.trace_id = static_cast<int>(id);
+      have_id = true;
+    } else if (field == "sel") {
+      if (static_cast<int>(query.selections.size()) >=
+          limits.max_selections) {
+        return BadField("sel");
+      }
+      const std::vector<std::string_view> parts = SplitOn(value, ':');
+      if (parts.size() != 4 || parts[0].size() != 1 ||
+          (parts[0][0] != 'r' && parts[0][0] != 't')) {
+        return BadField("sel");
+      }
+      SelectionRange sel;
+      sel.on_r = parts[0][0] == 'r';
+      int64_t attr = 0;
+      if (!ParseIntToken(parts[1], 0, 1023, &attr)) return BadField("sel");
+      sel.attr = static_cast<int>(attr);
+      if (!ParseDoubleToken(parts[2], &sel.lo) ||
+          !ParseDoubleToken(parts[3], &sel.hi) || sel.lo > sel.hi) {
+        return BadField("sel");
+      }
+      query.selections.push_back(sel);
+    } else {
+      return BadField(field);
+    }
+  }
+  if (!have_name) return Status::InvalidArgument("missing-field name");
+  if (!have_key) return Status::InvalidArgument("missing-field key");
+  if (!have_pref) return Status::InvalidArgument("missing-field pref");
+  if (!have_contract) {
+    return Status::InvalidArgument("missing-field contract");
+  }
+  return command;
+}
+
+std::string FormatSubmitCommand(const SjQuery& query,
+                                const std::string& contract_canonical,
+                                double deadline_seconds, int id) {
+  std::string line = "SUBMIT";
+  if (id >= 0) line += " id=" + std::to_string(id);
+  line += " name=" + query.name;
+  line += " key=" + std::to_string(query.join_key);
+  line += " pref=";
+  for (size_t i = 0; i < query.preference.size(); ++i) {
+    if (i > 0) line += ',';
+    line += std::to_string(query.preference[i]);
+  }
+  line += " priority=" + FormatExactDouble(query.priority);
+  if (deadline_seconds > 0.0) {
+    line += " deadline=" + FormatExactDouble(deadline_seconds);
+  }
+  for (const SelectionRange& sel : query.selections) {
+    line += " sel=";
+    line += sel.on_r ? 'r' : 't';
+    line += ':' + std::to_string(sel.attr);
+    line += ':' + FormatExactDouble(sel.lo);
+    line += ':' + FormatExactDouble(sel.hi);
+  }
+  line += " CONTRACT " + contract_canonical;
+  return line;
+}
+
+bool LooksLikeHttp(std::string_view data) {
+  return data.rfind("GET ", 0) == 0 || data.rfind("HEAD ", 0) == 0;
+}
+
+Result<HttpRequest> ParseHttpRequestLine(std::string_view line) {
+  if (line.size() > 8192 || !PrintableAscii(line)) {
+    return Status::InvalidArgument("bad-request");
+  }
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.size() != 3 || tokens[2].rfind("HTTP/", 0) != 0 ||
+      tokens[1].empty() || tokens[1][0] != '/') {
+    return Status::InvalidArgument("bad-request");
+  }
+  HttpRequest request;
+  request.method = std::string(tokens[0]);
+  request.path = std::string(tokens[1]);
+  return request;
+}
+
+std::string HttpResponse(int status_code, const char* status_text,
+                         const char* content_type, std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status_code) + " " +
+                    status_text + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+}  // namespace net
+}  // namespace caqe

@@ -1,0 +1,158 @@
+// Wire protocol of the wall-clock serving front-end (`src/net`).
+//
+// The protocol is line-oriented plain text so any client — `nc`, a shell
+// script, a test harness — can speak it. One command per line:
+//
+//   SUBMIT name=<n> key=<k> pref=<d0,d1,...> [priority=<p>]
+//          [deadline=<seconds>] [sel=<r|t>:<attr>:<lo>:<hi>]...
+//          CONTRACT <contract-spec>
+//   STATUS
+//   CANCEL <request-id>
+//   DRAIN
+//   STOP
+//
+// Contract specs name the Table 2 classes:
+//   step:<t_hard>  log:<unit>  hyper:<t_soft>,<unit>
+//   card:<fraction>,<interval>  rate:<max>,<interval>
+//   hybrid:<fraction>,<interval>,<unit>
+//
+// Every parse function here is hostile-input hardened: inputs come off a
+// TCP socket, so malformed bytes must produce a stable error Status — never
+// a crash, unbounded allocation, or undefined behavior. Error messages
+// start with a stable kebab-case code (`bad-command`, `bad-field`,
+// `line-too-long`, ...) that the server surfaces verbatim in `ERR` replies
+// and tests assert on.
+//
+// Canonical form: FormatSubmitCommand re-serializes a parsed SUBMIT so that
+// parse(format(x)) == x exactly, doubles included (%.17g round-trips). The
+// session recorder persists canonical lines, which is what makes a recorded
+// wall-clock session replayable bit-identically on the virtual clock.
+#ifndef CAQE_NET_PROTOCOL_H_
+#define CAQE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "contracts/utility.h"
+#include "query/query.h"
+
+namespace caqe {
+namespace net {
+
+/// Hard caps applied while parsing untrusted input. Exceeding any cap is a
+/// stable error, not a crash.
+struct ProtocolLimits {
+  /// Longest accepted command line, terminator excluded (also enforced
+  /// incrementally by LineBuffer so a slow-loris cannot buffer unboundedly).
+  size_t max_line_bytes = 64 * 1024;
+  /// Longest accepted query name.
+  size_t max_name_bytes = 128;
+  /// Most preference dimensions per query.
+  int max_preference_dims = 64;
+  /// Most selection ranges per query.
+  int max_selections = 16;
+};
+
+/// Assembles complete lines from a TCP byte stream. Reads may split a line
+/// at any byte (including mid-CRLF), so the buffer accumulates until a
+/// terminator arrives. A partial line growing past `max_line_bytes` flips
+/// the buffer into discard mode: Next reports kOverflow exactly once, the
+/// oversized line's remaining bytes are dropped through the next
+/// terminator, and parsing resumes cleanly on the following line.
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line_bytes) : max_(max_line_bytes) {}
+
+  /// Appends raw socket bytes.
+  void Append(const char* data, size_t n);
+
+  enum class Pop {
+    /// `out` holds the next complete line (terminator stripped; a trailing
+    /// '\r' before the '\n' is stripped too).
+    kLine,
+    /// No complete line buffered yet.
+    kNeedMore,
+    /// The current line exceeded the cap; it is being discarded. Reported
+    /// once per oversized line.
+    kOverflow,
+  };
+  Pop Next(std::string& out);
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  size_t max_;
+  bool discarding_ = false;
+  bool overflow_reported_ = false;
+};
+
+/// Parses a contract spec (see file comment for the grammar). On success,
+/// `canonical` (when non-null) receives the canonical re-serialization
+/// whose doubles round-trip exactly.
+Result<Contract> ParseContractSpec(std::string_view spec,
+                                   std::string* canonical = nullptr);
+
+enum class CommandKind { kSubmit, kStatus, kCancel, kDrain, kStop };
+
+/// A parsed SUBMIT: the query, its contract (plus the canonical spec
+/// text), and the optional deadline.
+struct SubmitCommand {
+  SjQuery query;
+  Contract contract;
+  std::string contract_canonical;
+  double deadline_seconds = 0.0;
+  /// `id=` field value; only recorded session traces carry it (live
+  /// clients must let the server assign ids). -1 when absent.
+  int trace_id = -1;
+};
+
+struct Command {
+  CommandKind kind = CommandKind::kStatus;
+  SubmitCommand submit;  // kSubmit only.
+  int cancel_id = -1;    // kCancel only.
+};
+
+/// Parses one command line (no terminator). Stable error codes:
+/// `bad-command`, `bad-field <field>`, `missing-field <field>`,
+/// `duplicate-field <field>`, `bad-byte`, `line-too-long`, `bad-contract`.
+Result<Command> ParseCommand(std::string_view line,
+                             const ProtocolLimits& limits);
+
+/// Canonical SUBMIT serialization (see file comment). `id` < 0 omits the
+/// id= field. The result always re-parses to an identical command.
+std::string FormatSubmitCommand(const SjQuery& query,
+                                const std::string& contract_canonical,
+                                double deadline_seconds, int id = -1);
+
+/// Shortest decimal form of `v` that strtod parses back to the identical
+/// double (%.17g). Used everywhere a recorded double must survive a
+/// text round trip.
+std::string FormatExactDouble(double v);
+
+// ---- Minimal HTTP (GET-only scrape endpoints) ----
+
+/// True when the first buffered bytes look like an HTTP request rather
+/// than a protocol command (method prefix "GET " or "HEAD ").
+bool LooksLikeHttp(std::string_view data);
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+};
+
+/// Parses an HTTP request line ("GET /metrics HTTP/1.1").
+Result<HttpRequest> ParseHttpRequestLine(std::string_view line);
+
+/// Serializes a minimal HTTP/1.0 response with Content-Length and
+/// Connection: close.
+std::string HttpResponse(int status_code, const char* status_text,
+                         const char* content_type, std::string_view body);
+
+}  // namespace net
+}  // namespace caqe
+
+#endif  // CAQE_NET_PROTOCOL_H_

@@ -28,6 +28,8 @@ int LogicalThreadId() {
 }
 
 void TraceSink::Record(SpanRecord record) {
+  const uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every > 1 && record.seq % every != 0) return;
   Shard& shard = shards_[LogicalThreadId() % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.records.push_back(record);
@@ -46,6 +48,20 @@ std::vector<SpanRecord> TraceSink::Snapshot() const {
   return merged;
 }
 
+std::vector<SpanRecord> TraceSink::Drain() {
+  std::vector<SpanRecord> merged;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.insert(merged.end(), shard.records.begin(), shard.records.end());
+    shard.records.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
 size_t TraceSink::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
@@ -53,6 +69,28 @@ size_t TraceSink::size() const {
     total += shard.records.size();
   }
   return total;
+}
+
+std::string ChromeSpanJson(const SpanRecord& span) {
+  std::string event = "{\"name\":";
+  JsonAppendString(event, span.name);
+  event += ",\"cat\":";
+  JsonAppendString(event, span.category);
+  event += ",\"ph\":\"X\",\"ts\":" + JsonDouble(span.start_us);
+  event += ",\"dur\":" + JsonDouble(span.dur_us);
+  event += ",\"pid\":0,\"tid\":" + std::to_string(span.tid);
+  event += ",\"args\":{\"seq\":" + std::to_string(span.seq);
+  if (span.region >= 0) {
+    event += ",\"region\":" + std::to_string(span.region);
+  }
+  if (span.query >= 0) event += ",\"query\":" + std::to_string(span.query);
+  if (span.arg_name != nullptr) {
+    event += ',';
+    JsonAppendString(event, span.arg_name);
+    event += ':' + std::to_string(span.arg_value);
+  }
+  event += "}}";
+  return event;
 }
 
 std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
@@ -78,25 +116,7 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
   }
 
   for (const SpanRecord& span : spans) {
-    std::string event = "{\"name\":";
-    JsonAppendString(event, span.name);
-    event += ",\"cat\":";
-    JsonAppendString(event, span.category);
-    event += ",\"ph\":\"X\",\"ts\":" + JsonDouble(span.start_us);
-    event += ",\"dur\":" + JsonDouble(span.dur_us);
-    event += ",\"pid\":0,\"tid\":" + std::to_string(span.tid);
-    event += ",\"args\":{\"seq\":" + std::to_string(span.seq);
-    if (span.region >= 0) {
-      event += ",\"region\":" + std::to_string(span.region);
-    }
-    if (span.query >= 0) event += ",\"query\":" + std::to_string(span.query);
-    if (span.arg_name != nullptr) {
-      event += ',';
-      JsonAppendString(event, span.arg_name);
-      event += ':' + std::to_string(span.arg_value);
-    }
-    event += "}}";
-    append_event(event);
+    append_event(ChromeSpanJson(span));
   }
 
   if (health != nullptr) {

@@ -70,11 +70,27 @@ class TraceSink {
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
 
-  /// Records one span; safe from any thread.
+  /// Records one span; safe from any thread. When sampling is enabled
+  /// (set_sample_every > 1) only spans whose seq is a multiple of the
+  /// sampling period are kept — a deterministic rule, so two runs with the
+  /// same span stream sample identically.
   void Record(SpanRecord record);
 
   /// Merged view of every shard, sorted by `seq` (global record order).
   std::vector<SpanRecord> Snapshot() const;
+
+  /// Moves the collected records out (sorted by seq) and leaves the sink
+  /// empty. The incremental-flush trace writer drains periodically so a
+  /// long-lived wall-clock server does not accumulate spans unboundedly.
+  /// Safe against concurrent Record; records landing mid-drain are
+  /// collected by the next one.
+  std::vector<SpanRecord> Drain();
+
+  /// Keep only every `n`-th span (by seq); 1 (the default) keeps all.
+  /// Values < 1 are treated as 1.
+  void set_sample_every(int n) {
+    sample_every_.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+  }
 
   /// Total records across shards.
   size_t size() const;
@@ -92,6 +108,7 @@ class TraceSink {
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> sample_every_{1};
   Shard shards_[kShards];
 };
 
@@ -167,6 +184,11 @@ class ContractHealth;
 /// timeline. Load at ui.perfetto.dev or chrome://tracing.
 std::string ChromeTraceJson(const std::vector<SpanRecord>& spans,
                             const ContractHealth* health = nullptr);
+
+/// One span as a Chrome trace_event JSON object (the element form used
+/// inside ChromeTraceJson's traceEvents array) — the unit the streaming
+/// trace writer appends incrementally.
+std::string ChromeSpanJson(const SpanRecord& span);
 
 /// One JSON object per line per span, in seq order, following the
 /// repository's JSONL convention. By default wall timings are *excluded*,

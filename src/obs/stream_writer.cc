@@ -1,0 +1,56 @@
+#include "obs/stream_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace caqe {
+
+Result<std::unique_ptr<StreamingTraceWriter>> StreamingTraceWriter::Open(
+    const std::string& path, Format format) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("stream writer: cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  auto writer = std::unique_ptr<StreamingTraceWriter>(
+      new StreamingTraceWriter(file, format));
+  if (format == Format::kChrome) {
+    const std::string header =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"caqe wall clock\"}}";
+    std::fwrite(header.data(), 1, header.size(), file);
+    std::fflush(file);
+  }
+  return writer;
+}
+
+StreamingTraceWriter::~StreamingTraceWriter() { Close(); }
+
+void StreamingTraceWriter::Append(const std::vector<SpanRecord>& spans) {
+  if (file_ == nullptr || spans.empty()) return;
+  std::string batch;
+  for (const SpanRecord& span : spans) {
+    if (format_ == Format::kChrome) {
+      batch += ",\n";
+      batch += ChromeSpanJson(span);
+    } else {
+      batch += SpansJsonl({span}, /*include_timing=*/true);
+    }
+  }
+  std::fwrite(batch.data(), 1, batch.size(), file_);
+  std::fflush(file_);
+  spans_written_ += spans.size();
+}
+
+void StreamingTraceWriter::Close() {
+  if (file_ == nullptr) return;
+  if (format_ == Format::kChrome) {
+    const char trailer[] = "\n]}\n";
+    std::fwrite(trailer, 1, sizeof(trailer) - 1, file_);
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace caqe

@@ -1,0 +1,66 @@
+// Incremental-flush trace writer for long-lived (wall-clock) runs.
+//
+// The batch tools snapshot the TraceSink once at exit and serialize
+// everything (ChromeTraceJson). A server that runs for hours cannot do
+// that: spans would accumulate unboundedly and a crash would lose the
+// whole trace. StreamingTraceWriter instead appends drained span batches
+// to the output file as they arrive and fflushes after every batch, so
+// the file always holds a loadable prefix:
+//
+//   * kChrome — a Chrome/Perfetto trace_event file. The header and the
+//     process-name metadata are written at Open; Close writes the `]}`
+//     trailer. (Perfetto tolerates a missing trailer, so even a
+//     crash-truncated file loads.)
+//   * kJsonl — one JSON object per span per line (SpansJsonl with wall
+//     timings included); trivially tail-able and crash-safe.
+//
+// Pair with TraceSink::Drain() + TraceSink::set_sample_every() to bound
+// memory and trace size on the server's flush cadence.
+#ifndef CAQE_OBS_STREAM_WRITER_H_
+#define CAQE_OBS_STREAM_WRITER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace caqe {
+
+class StreamingTraceWriter {
+ public:
+  enum class Format { kChrome, kJsonl };
+
+  /// Opens `path` for writing and emits the format header.
+  static Result<std::unique_ptr<StreamingTraceWriter>> Open(
+      const std::string& path, Format format);
+
+  ~StreamingTraceWriter();
+
+  StreamingTraceWriter(const StreamingTraceWriter&) = delete;
+  StreamingTraceWriter& operator=(const StreamingTraceWriter&) = delete;
+
+  /// Appends a batch of spans (typically TraceSink::Drain()) and flushes.
+  void Append(const std::vector<SpanRecord>& spans);
+
+  /// Writes the trailer (kChrome) and closes the file. Idempotent; also
+  /// invoked by the destructor.
+  void Close();
+
+  /// Spans written so far.
+  size_t spans_written() const { return spans_written_; }
+
+ private:
+  StreamingTraceWriter(std::FILE* file, Format format)
+      : file_(file), format_(format) {}
+
+  std::FILE* file_ = nullptr;
+  Format format_;
+  size_t spans_written_ = 0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_OBS_STREAM_WRITER_H_

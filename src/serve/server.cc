@@ -219,6 +219,10 @@ void CaqeServer::RecordEvent(ExecEvent::Kind kind, int region, int query,
       ExecEvent{kind, clock_.Now(), region, query, count});
 }
 
+void CaqeServer::NotifyFinished(const RequestState& request) {
+  if (options_.on_finish) options_.on_finish(request.id, request.status);
+}
+
 AdmissionDecision CaqeServer::Decide(RequestState& request) {
   // Admission is control-plane: the span is wall-only and the counters are
   // observability-only, never charged to the virtual clock.
@@ -270,6 +274,10 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
       request.status = RequestStatus::kRejected;
       break;
   }
+  if (options_.on_decision) {
+    options_.on_decision(request.id, est.decision, est.reason);
+  }
+  if (est.decision == AdmissionDecision::kReject) NotifyFinished(request);
   return est.decision;
 }
 
@@ -423,6 +431,7 @@ void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
   }
   RecordEvent(ExecEvent::Kind::kQueryRetired, -1, slot,
               request.parked_dropped);
+  NotifyFinished(request);
 }
 
 void CaqeServer::HandleArrival(RequestState& request) {
@@ -436,6 +445,7 @@ void CaqeServer::HandleCancel(RequestState& request) {
     case RequestStatus::kDeferred:
       request.status = RequestStatus::kCancelled;
       request.finish_time = clock_.Now();
+      NotifyFinished(request);
       break;
     case RequestStatus::kRunning:
       Retire(request, RequestStatus::kCancelled);
@@ -473,6 +483,7 @@ void CaqeServer::CheckExpiry() {
     } else {
       request.status = RequestStatus::kExpired;
       request.finish_time = now;
+      NotifyFinished(request);
     }
   }
 }
@@ -507,6 +518,54 @@ int CaqeServer::PickRegion() {
   return -1;
 }
 
+bool CaqeServer::StepInternal() {
+  // Idle: no due or future event and no pending region. Return without
+  // touching anything — a wall-clock poll loop calls this speculatively,
+  // and an idle step that swept the control plane would inflate control_ops
+  // relative to the virtual-clock replay.
+  if (pending_count_ == 0 && cursor_ >= events_.size()) return false;
+  // Idle server with queued events: jump straight to the next arrival/
+  // cancel.
+  if (pending_count_ == 0 && cursor_ < events_.size()) {
+    clock_.AdvanceTo(events_[cursor_].time);
+  }
+  // Fire every due event in (time, submission order).
+  while (cursor_ < events_.size() && events_[cursor_].time <= clock_.Now()) {
+    const TraceEvent& event = events_[cursor_++];
+    RequestState& request = requests_[event.request_id];
+    if (event.kind == TraceEvent::Kind::kArrival) {
+      HandleArrival(request);
+    } else {
+      HandleCancel(request);
+    }
+  }
+  RetryDeferred();
+  CheckExpiry();
+  CheckCompletion();
+
+  if (pending_count_ > 0) {
+    const int rid = PickRegion();
+    pipeline_->ProcessRegion(rid);
+    if (scheduler_.has_value()) scheduler_->UpdateWeights();
+    // Contract-health trajectories, keyed by *request id* (workload slots
+    // are reused across requests; request ids are not).
+    if (options_.obs != nullptr) {
+      const double now = clock_.Now();
+      for (int slot = 0; slot < static_cast<int>(slot_request_.size());
+           ++slot) {
+        const int request_id = slot_request_[slot];
+        if (request_id < 0) continue;
+        const QuerySatisfaction& sat = tracker_->satisfaction(slot);
+        const double weight =
+            scheduler_.has_value() ? scheduler_->weight(slot) : 1.0;
+        options_.obs->health.Sample(now, request_id, sat.results,
+                                    sat.pscore, weight);
+      }
+    }
+  }
+  return true;
+}
+
 Result<ServingReport> CaqeServer::Run() {
   if (ran_) return Status::FailedPrecondition("CaqeServer::Run called twice");
   ran_ = true;
@@ -516,53 +575,117 @@ Result<ServingReport> CaqeServer::Run() {
                      if (a.time != b.time) return a.time < b.time;
                      return a.seq < b.seq;
                    });
+  while (StepInternal()) {
+  }
+  return Finish();
+}
 
-  size_t cursor = 0;
+Status CaqeServer::BeginLive() {
+  if (ran_) return Status::FailedPrecondition("server already ran");
+  if (!requests_.empty()) {
+    return Status::FailedPrecondition(
+        "BeginLive requires an empty submission queue");
+  }
+  ran_ = true;
+  live_ = true;
+  return Status::OK();
+}
+
+Result<int> CaqeServer::SubmitLive(SjQuery query, Contract contract,
+                                   double arrival_vtime,
+                                   double deadline_seconds,
+                                   ResultCallback callback) {
+  if (!live_ || finished_) {
+    return Status::FailedPrecondition("server not accepting live arrivals");
+  }
+  if (contract == nullptr) {
+    return Status::InvalidArgument("contract required");
+  }
+  // Wire input is validated, never CHECKed: a malformed query must produce
+  // an error reply, not abort the server (Workload::SetQuery aborts on
+  // out-of-range preferences).
+  if (query.preference.empty()) {
+    return Status::InvalidArgument("empty preference");
+  }
+  std::vector<int> sorted = query.preference;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] < 0 || sorted[i] >= workload_.num_output_dims()) {
+      return Status::InvalidArgument("preference dimension out of range: " +
+                                     std::to_string(sorted[i]));
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument("duplicate preference dimension: " +
+                                     std::to_string(sorted[i]));
+    }
+  }
+  if (arrival_vtime < clock_.Now() ||
+      (!events_.empty() && arrival_vtime < events_.back().time)) {
+    return Status::InvalidArgument(
+        "live arrival time must be monotone (quantize with "
+        "ArrivalQuantizer)");
+  }
+  RequestState request;
+  request.id = static_cast<int>(requests_.size());
+  request.query = std::move(query);
+  request.contract = std::move(contract);
+  request.callback = std::move(callback);
+  request.submit_time = arrival_vtime;
+  request.deadline_seconds = deadline_seconds;
+  events_.push_back(TraceEvent{request.submit_time,
+                               static_cast<int>(events_.size()),
+                               TraceEvent::Kind::kArrival, request.id});
+  requests_.push_back(std::move(request));
+  return requests_.back().id;
+}
+
+Status CaqeServer::CancelLive(int request_id, double cancel_vtime) {
+  if (!live_ || finished_) {
+    return Status::FailedPrecondition("server not accepting live events");
+  }
+  if (request_id < 0 || request_id >= static_cast<int>(requests_.size())) {
+    return Status::InvalidArgument("unknown request id: " +
+                                   std::to_string(request_id));
+  }
+  if (cancel_vtime < clock_.Now() ||
+      (!events_.empty() && cancel_vtime < events_.back().time)) {
+    return Status::InvalidArgument(
+        "live cancel time must be monotone (quantize with "
+        "ArrivalQuantizer)");
+  }
+  events_.push_back(TraceEvent{cancel_vtime,
+                               static_cast<int>(events_.size()),
+                               TraceEvent::Kind::kCancel, request_id});
+  return Status::OK();
+}
+
+bool CaqeServer::StepLive() {
+  CAQE_CHECK(live_ && !finished_);
+  return StepInternal();
+}
+
+Result<ServingReport> CaqeServer::FinishLive() {
+  if (!live_) return Status::FailedPrecondition("server not in live mode");
+  if (finished_) {
+    return Status::FailedPrecondition("CaqeServer::FinishLive called twice");
+  }
+  return Finish();
+}
+
+Result<ServingReport> CaqeServer::Finish() {
+  finished_ = true;
   while (true) {
-    // Idle server: jump straight to the next arrival/cancel.
-    if (pending_count_ == 0 && cursor < events_.size()) {
-      clock_.AdvanceTo(events_[cursor].time);
+    while (StepInternal()) {
     }
-    // Fire every due event in (time, submission order).
-    while (cursor < events_.size() &&
-           events_[cursor].time <= clock_.Now()) {
-      const TraceEvent& event = events_[cursor++];
-      RequestState& request = requests_[event.request_id];
-      if (event.kind == TraceEvent::Kind::kArrival) {
-        HandleArrival(request);
-      } else {
-        HandleCancel(request);
-      }
-    }
+    // The original Run loop's terminal iteration still swept the control
+    // plane once before discovering there was nothing left — that sweep is
+    // what completes a request whose final region was processed in the last
+    // productive step. StepInternal's idle path is deliberately
+    // mutation-free (see StepLive), so the sweep lives here.
     RetryDeferred();
     CheckExpiry();
     CheckCompletion();
-
-    if (pending_count_ > 0) {
-      const int rid = PickRegion();
-      pipeline_->ProcessRegion(rid);
-      if (scheduler_.has_value()) scheduler_->UpdateWeights();
-      // Contract-health trajectories, keyed by *request id* (workload slots
-      // are reused across requests; request ids are not).
-      if (options_.obs != nullptr) {
-        const double now = clock_.Now();
-        for (int slot = 0; slot < static_cast<int>(slot_request_.size());
-             ++slot) {
-          const int request_id = slot_request_[slot];
-          if (request_id < 0) continue;
-          const QuerySatisfaction& sat = tracker_->satisfaction(slot);
-          const double weight =
-              scheduler_.has_value() ? scheduler_->weight(slot) : 1.0;
-          options_.obs->health.Sample(now, request_id, sat.results,
-                                      sat.pscore, weight);
-        }
-      }
-      continue;
-    }
-    if (cursor < events_.size()) {
-      clock_.AdvanceTo(events_[cursor].time);
-      continue;
-    }
+    if (pending_count_ > 0 || cursor_ < events_.size()) continue;
     // No live work and no future events. Give still-deferred requests one
     // forced retry (capacity must be free now); whatever still defers —
     // e.g. a zero-capacity configuration — is rejected so the loop drains.
@@ -570,19 +693,17 @@ Result<ServingReport> CaqeServer::Run() {
     for (const RequestState& request : requests_) {
       if (request.status == RequestStatus::kDeferred) any_deferred = true;
     }
-    if (any_deferred) {
-      capacity_freed_ = true;
-      RetryDeferred();
-      for (RequestState& request : requests_) {
-        if (request.status != RequestStatus::kDeferred) continue;
-        request.decision_time = clock_.Now();
-        request.finish_time = clock_.Now();
-        request.status = RequestStatus::kRejected;
-        request.reason = "capacity";
-      }
-      continue;
+    if (!any_deferred) break;
+    capacity_freed_ = true;
+    RetryDeferred();
+    for (RequestState& request : requests_) {
+      if (request.status != RequestStatus::kDeferred) continue;
+      request.decision_time = clock_.Now();
+      request.finish_time = clock_.Now();
+      request.status = RequestStatus::kRejected;
+      request.reason = "capacity";
+      NotifyFinished(request);
     }
-    break;
   }
   CAQE_RETURN_NOT_OK(pipeline_->FinalDrain());
 

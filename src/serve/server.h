@@ -99,6 +99,70 @@ class CaqeServer {
   /// report. Callable once.
   Result<ServingReport> Run();
 
+  /// ---- Live (wall-clock) incremental serving ----
+  ///
+  /// A wall-clock front-end cannot submit-then-Run: arrivals trickle in
+  /// while the engine makes progress. BeginLive switches the server into an
+  /// incremental mode where arrivals are ingested mid-run with *quantized
+  /// virtual* timestamps (see ArrivalQuantizer) and the caller drives the
+  /// engine one step at a time. Each StepLive executes exactly one
+  /// iteration of Run()'s loop body, so a live session whose
+  /// (kind, vtime, order) event sequence is recorded and replayed through
+  /// Submit()+Run() produces a byte-identical ServingReport — the
+  /// record/replay determinism oracle the net layer byte-diffs.
+
+  /// Switches to live mode. Must be called before any Submit/Run and at
+  /// most once.
+  Status BeginLive();
+
+  /// Ingests an arrival at quantized virtual time `arrival_vtime`, which
+  /// must be >= the current virtual time and >= every previously ingested
+  /// event time (ArrivalQuantizer guarantees both). Validates the query
+  /// shape (non-empty, in-range, duplicate-free preference) instead of
+  /// CHECK-failing — hostile wire input must never abort the server.
+  Result<int> SubmitLive(SjQuery query, Contract contract,
+                         double arrival_vtime, double deadline_seconds = 0.0,
+                         ResultCallback callback = nullptr);
+
+  /// Ingests a cancellation at quantized virtual time `cancel_vtime` (same
+  /// monotonicity requirements as SubmitLive).
+  Status CancelLive(int request_id, double cancel_vtime);
+
+  /// Executes one serving-loop iteration: fire due events, run the control
+  /// sweeps, process one region if any is pending. Returns false — without
+  /// mutating anything, control_ops included — when there is no due event
+  /// and no pending work, so an idle poll loop may call it freely.
+  bool StepLive();
+
+  /// Drains remaining work (forced retry of still-deferred requests, final
+  /// emission flush) and returns the serving report. Callable once; no
+  /// SubmitLive/CancelLive/StepLive may follow.
+  Result<ServingReport> FinishLive();
+
+  /// Installs the live-mode observers after construction (ServeOptions is
+  /// copied at Create time, so a front-end built around an existing server
+  /// attaches its hooks here). Call before the first StepLive.
+  void SetLiveObservers(
+      std::function<void(int request_id, AdmissionDecision decision,
+                         const char* reason)>
+          on_decision,
+      std::function<void(int request_id, RequestStatus status)> on_finish) {
+    options_.on_decision = std::move(on_decision);
+    options_.on_finish = std::move(on_finish);
+  }
+
+  /// Current virtual time (live mode: what the quantizer stamps against).
+  double VirtualNow() const { return clock_.Now(); }
+
+  /// Lifecycle status of a submitted request.
+  RequestStatus request_status(int request_id) const {
+    return requests_[static_cast<size_t>(request_id)].status;
+  }
+
+  /// Output dimensions of the global output space (preference indices of
+  /// submitted queries must stay below this).
+  int num_output_dims() const { return workload_.num_output_dims(); }
+
   /// Tuple store backing the callbacks' tuple ids (output values).
   const PointSet& store() const { return pipeline_->store(); }
 
@@ -165,6 +229,13 @@ class CaqeServer {
                    int64_t count);
   int ActiveQueries() const;
   bool SlotAvailable() const;
+  /// One iteration of the serving loop (shared by Run and StepLive).
+  bool StepInternal();
+  /// Drain tail shared by Run and FinishLive: forced deferred retry, final
+  /// emission flush, report assembly.
+  Result<ServingReport> Finish();
+  /// Fires on_finish for a request that just reached a terminal status.
+  void NotifyFinished(const RequestState& request);
 
   ServeOptions options_;
   Table r_;
@@ -198,6 +269,13 @@ class CaqeServer {
   Histogram* ttfr_hist_ = nullptr;
   Histogram* svc_err_hist_ = nullptr;
   bool ran_ = false;
+  /// Live (wall-clock) incremental mode: events are ingested mid-run.
+  bool live_ = false;
+  /// FinishLive already produced the report.
+  bool finished_ = false;
+  /// Next unprocessed entry of events_ (Run's former local cursor; a member
+  /// so StepLive can resume).
+  size_t cursor_ = 0;
   /// Set when capacity may have freed (a slot returned); gates deferred
   /// retries so they happen exactly when something could have changed.
   bool capacity_freed_ = false;

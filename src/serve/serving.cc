@@ -1,5 +1,8 @@
 #include "serve/serving.h"
 
+#include <cmath>
+
+#include "common/macros.h"
 #include "metrics/printer.h"
 
 namespace caqe {
@@ -85,6 +88,21 @@ std::string ServingReportText(const ServingReport& report) {
     out += "\n";
   }
   return out;
+}
+
+ArrivalQuantizer::ArrivalQuantizer(double quantum) : quantum_(quantum) {
+  CAQE_CHECK(quantum > 0.0);
+}
+
+int64_t ArrivalQuantizer::Next(double virtual_now) {
+  CAQE_DCHECK(virtual_now >= 0.0);
+  int64_t index = static_cast<int64_t>(std::ceil(virtual_now / quantum_));
+  // ceil can land one quantum short when virtual_now/quantum_ rounds down
+  // to an exact integer just below the true quotient.
+  while (index * quantum_ < virtual_now) ++index;
+  if (index <= last_) index = last_ + 1;
+  last_ = index;
+  return index;
 }
 
 }  // namespace caqe

@@ -15,6 +15,7 @@
 #define CAQE_SERVE_SERVING_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,19 @@ struct ServeOptions {
   /// Optional event sink: admission/retirement/scheduling events land here
   /// with virtual timestamps (export with ExecEventsJsonl).
   std::vector<ExecEvent>* trace = nullptr;
+  /// ---- Live-mode observers (wall-clock front-end) ----
+  /// Invoked synchronously on the driver thread when a request receives an
+  /// admission verdict (including every re-evaluation of a deferred
+  /// request). Observers are write-only with respect to the engine: they
+  /// must not call back into the server, and attaching them never changes a
+  /// report byte — a recorded live session replayed without observers
+  /// produces the identical ServingReportText.
+  std::function<void(int request_id, AdmissionDecision decision,
+                     const char* reason)>
+      on_decision;
+  /// Invoked synchronously when a request reaches a terminal status
+  /// (completed/cancelled/expired/rejected). Same contract as on_decision.
+  std::function<void(int request_id, RequestStatus status)> on_finish;
   /// Tracing + metrics + contract-health bundle (see ExecOptions::obs).
   /// Admission decisions, TTFR, and service-time estimation error are
   /// recorded here; never read back — reports stay byte-identical.
@@ -182,6 +196,32 @@ std::string RequestReportLine(const RequestReport& request);
 /// data-plane stats (excluding wall times), then one RequestReportLine per
 /// request. Byte-identical across thread counts and SIMD builds.
 std::string ServingReportText(const ServingReport& report);
+
+/// Assigns quantized, strictly increasing virtual timestamps to wall-clock
+/// arrivals. A live front-end cannot use wall time for contract scoring
+/// (it would break the determinism contract), so each ingested event is
+/// stamped with the next free multiple of `quantum` at or above the
+/// engine's current virtual time. The quantum index (not the double) is
+/// what session recorders persist: `index * quantum` is re-computed
+/// bit-identically on replay, which is what makes a recorded wall-clock
+/// session byte-diffable against its virtual-clock replay.
+class ArrivalQuantizer {
+ public:
+  explicit ArrivalQuantizer(double quantum = kDefaultQuantum);
+
+  /// Smallest unused quantum index whose time is >= `virtual_now`.
+  /// Strictly increasing across calls.
+  int64_t Next(double virtual_now);
+
+  double TimeOf(int64_t index) const { return index * quantum_; }
+  double quantum() const { return quantum_; }
+
+  static constexpr double kDefaultQuantum = 1e-6;
+
+ private:
+  double quantum_;
+  int64_t last_ = -1;
+};
 
 }  // namespace caqe
 

@@ -5,12 +5,14 @@
 // or serving report.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "caqe/caqe.h"
 #include "metrics/export.h"
+#include "obs/stream_writer.h"
 #include "test_util.h"
 
 namespace caqe {
@@ -199,6 +201,112 @@ TEST(TraceExportTest, SpansJsonlExcludesTimingByDefault) {
   const std::string timed = SpansJsonl(sink.Snapshot(), true);
   EXPECT_NE(timed.find("\"ts_us\":"), std::string::npos);
   EXPECT_NE(timed.find("\"dur_us\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming obs (wall-clock serving): Drain, sampling, incremental writer.
+
+TEST(TraceSinkTest, DrainMovesRecordsOutAndResetsTheSink) {
+  TraceSink sink;
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&sink, "step", "serve");
+    span.set_region(i);
+  }
+  const std::vector<SpanRecord> first = sink.Drain();
+  ASSERT_EQ(first.size(), 5u);
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LT(first[i - 1].seq, first[i].seq);  // Seq-sorted, like Snapshot.
+  }
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(sink.Drain().empty());
+  // The sink keeps working after a drain; seq keeps advancing globally.
+  { TraceSpan span(&sink, "later", "serve"); }
+  const std::vector<SpanRecord> second = sink.Drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_GT(second[0].seq, first.back().seq);
+}
+
+TEST(TraceSinkTest, SamplingKeepsEveryNthSeqDeterministically) {
+  TraceSink sink;
+  sink.set_sample_every(3);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(&sink, "sampled", "serve");
+  }
+  const std::vector<SpanRecord> kept = sink.Snapshot();
+  // Seqs 0..9 were assigned; multiples of 3 survive: 0, 3, 6, 9.
+  ASSERT_EQ(kept.size(), 4u);
+  for (const SpanRecord& span : kept) {
+    EXPECT_EQ(span.seq % 3, 0u);
+  }
+  sink.set_sample_every(0);  // Clamped to 1: keep everything again.
+  { TraceSpan span(&sink, "all", "serve"); }
+  EXPECT_EQ(sink.size(), 5u);
+}
+
+TEST(StreamingTraceWriterTest, ChromeFormatStreamsLoadableBatches) {
+  const std::string path = ::testing::TempDir() + "/caqe_stream.trace.json";
+  TraceSink sink;
+  {
+    auto writer =
+        StreamingTraceWriter::Open(path, StreamingTraceWriter::Format::kChrome)
+            .value();
+    {
+      TraceSpan span(&sink, "batch1", "serve");
+      span.set_region(1);
+    }
+    writer->Append(sink.Drain());
+    {
+      TraceSpan span(&sink, "batch2", "serve");
+      span.set_query(2);
+    }
+    { TraceSpan span(&sink, "batch2b", "serve"); }
+    writer->Append(sink.Drain());
+    writer->Append({});  // Empty batches are fine.
+    EXPECT_EQ(writer->spans_written(), 3u);
+    writer->Close();
+    writer->Close();  // Idempotent.
+  }
+  std::string content;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) content.append(buf, n);
+  std::fclose(file);
+  EXPECT_EQ(content.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(content.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(content.find("\"batch1\""), std::string::npos);
+  EXPECT_NE(content.find("\"batch2\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"M\""), std::string::npos);  // Process name.
+  EXPECT_NE(content.find("]}"), std::string::npos);  // Trailer present.
+  std::remove(path.c_str());
+}
+
+TEST(StreamingTraceWriterTest, JsonlFormatWritesOneLinePerSpan) {
+  const std::string path = ::testing::TempDir() + "/caqe_stream.jsonl";
+  TraceSink sink;
+  {
+    auto writer =
+        StreamingTraceWriter::Open(path, StreamingTraceWriter::Format::kJsonl)
+            .value();
+    for (int i = 0; i < 3; ++i) {
+      TraceSpan span(&sink, "row", "serve");
+      span.set_region(i);
+    }
+    writer->Append(sink.Drain());
+  }  // Destructor closes.
+  std::string content;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) content.append(buf, n);
+  std::fclose(file);
+  int lines = 0;
+  for (char c : content) lines += c == '\n';
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(content.find("\"ts_us\":"), std::string::npos);  // Wall timings.
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

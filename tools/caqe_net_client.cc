@@ -1,0 +1,226 @@
+// caqe_net_client — scripted client for the caqe_serve --listen protocol.
+//
+// Keeps scripts/run_net_matrix.sh and the e2e tests free of nc/curl
+// dependencies. Two modes:
+//
+// Protocol mode (default): reads a script of protocol lines from --script
+// (or stdin), sends them in order, and prints every server line received.
+// Script directives (never sent on the wire):
+//   # comment
+//   !sleep <ms>       pause before the next line
+//   !expect <prefix>  read (and print) lines until one starts with
+//                     <prefix>; exit 2 on timeout
+// After the script, the client keeps reading until the server closes or
+// --linger_ms of silence passes.
+//
+//   caqe_net_client --port=PORT [--host=127.0.0.1] [--script=PATH]
+//                   [--timeout_ms=10000] [--linger_ms=200]
+//
+// HTTP mode: one GET, body printed to stdout, exit 0 iff the status is 200.
+//
+//   caqe_net_client --port=PORT --get=/metrics
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.h"
+
+namespace caqe {
+namespace {
+
+int Connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+int RunGet(const std::string& host, int port, const std::string& path,
+           int timeout_ms) {
+  const int fd = Connect(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "connect failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (!SendAll(fd, "GET " + path + " HTTP/1.0\r\n\r\n")) {
+    ::close(fd);
+    return 1;
+  }
+  std::string response;
+  char buf[4096];
+  pollfd pfd{fd, POLLIN, 0};
+  while (true) {
+    if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    std::fprintf(stderr, "bad http response\n");
+    return 1;
+  }
+  std::fwrite(response.data() + header_end + 4,
+              1, response.size() - header_end - 4, stdout);
+  return response.rfind("HTTP/1.0 200", 0) == 0 ? 0 : 1;
+}
+
+/// Reads one script: stdin when `path` is empty or "-".
+std::vector<std::string> ReadScript(const std::string& path) {
+  std::FILE* file = stdin;
+  if (!path.empty() && path != "-") {
+    file = std::fopen(path.c_str(), "r");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      std::exit(1);
+    }
+  }
+  std::vector<std::string> lines;
+  std::string current;
+  int c = 0;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += static_cast<char>(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  if (file != stdin) std::fclose(file);
+  return lines;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads the next server line, waiting up to `timeout_ms`. Returns false
+  /// on timeout or closed connection (`closed()` tells which).
+  bool Next(std::string& out, int timeout_ms) {
+    while (true) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        out = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (closed_) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        closed_ = true;
+        continue;  // Flush any final unterminated data.
+      }
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  bool closed() const { return closed_ && buffer_.empty(); }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool closed_ = false;
+};
+
+int RunScript(const std::string& host, int port, const std::string& path,
+              int timeout_ms, int linger_ms) {
+  const int fd = Connect(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "connect failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  LineReader reader(fd);
+  std::string line;
+
+  for (const std::string& raw : ReadScript(path)) {
+    if (raw.empty() || raw[0] == '#') continue;
+    if (raw.rfind("!sleep ", 0) == 0) {
+      const int ms = std::atoi(raw.c_str() + 7);
+      struct timespec ts {ms / 1000, (ms % 1000) * 1000000L};
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    if (raw.rfind("!expect ", 0) == 0) {
+      const std::string prefix = raw.substr(8);
+      while (true) {
+        if (!reader.Next(line, timeout_ms)) {
+          std::fprintf(stderr, "expect timeout: %s\n", prefix.c_str());
+          ::close(fd);
+          return 2;
+        }
+        std::printf("%s\n", line.c_str());
+        if (line.rfind(prefix, 0) == 0) break;
+      }
+      continue;
+    }
+    // Drain anything pending (non-blocking) so output stays ordered.
+    while (reader.Next(line, 0)) std::printf("%s\n", line.c_str());
+    if (!SendAll(fd, raw + "\n")) {
+      std::fprintf(stderr, "send failed\n");
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  // Final drain: read until the server closes or linger_ms of silence.
+  while (reader.Next(line, linger_ms)) std::printf("%s\n", line.c_str());
+  ::close(fd);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetInt("port", 0));
+  const int timeout_ms = static_cast<int>(args.GetInt("timeout_ms", 10000));
+  if (port <= 0) {
+    std::fprintf(stderr, "usage: caqe_net_client --port=PORT "
+                         "[--script=PATH | --get=/metrics]\n");
+    return 1;
+  }
+  const std::string get = args.GetString("get", "");
+  if (!get.empty()) return RunGet(host, port, get, timeout_ms);
+  return RunScript(host, port, args.GetString("script", ""), timeout_ms,
+                   static_cast<int>(args.GetInt("linger_ms", 200)));
+}
+
+}  // namespace
+}  // namespace caqe
+
+int main(int argc, char** argv) { return caqe::Main(argc, argv); }

@@ -1,7 +1,8 @@
-// caqe_serve — replay a deterministic arrival trace through the online
-// serving layer and print the serving report.
+// caqe_serve — the serving layer's CLI, in three modes.
 //
-// Usage:
+// Batch (default): replay a synthetic deterministic arrival trace through
+// the online serving layer and print the serving report.
+//
 //   caqe_serve [--rows=1000] [--sel=0.01] [--requests=12] [--rate=40]
 //              [--seed=2014] [--threads=1] [--pipeline=0]
 //              [--coarse_index=0] [--compact_layout=1]
@@ -11,78 +12,205 @@
 //              [--report-out=PATH]      # write ServingReportText to PATH
 //              [--trace-out=PATH]       # write the ExecEvent stream as JSONL
 //              [--trace_out=PATH]       # write a Chrome/Perfetto trace
-//                                       # (spans + contract-health tracks;
-//                                       # load at ui.perfetto.dev)
 //              [--metrics_out=PATH]     # write a Prometheus text snapshot
 //              [--health_out=PATH]      # write contract-health JSONL
 //
-// The trace is a pure function of (--seed, --rate, --requests), and the
-// report text excludes every non-deterministic quantity, so two invocations
-// that differ only in --threads, --pipeline, --coarse_index,
-// --compact_layout, --join_cache_entries, or the CAQE_SIMD build flag must
-// print byte-identical reports —
-// scripts/run_serving_matrix.sh diffs exactly this.
-// Attaching the observability flags never changes the report: the obs layer
-// is read-only with respect to the engine (scripts/run_obs_matrix.sh).
+// Listen (--listen): serve the line protocol of src/net/protocol.h over
+// TCP on a wall clock, recording the session for replay.
+//
+//   caqe_serve --listen=ADDR:PORT      # 127.0.0.1:0 picks an ephemeral port
+//              [--record=PATH]          # session trace (replayable)
+//              [--port_file=PATH]       # write the bound port (for scripts)
+//              [--quantum=1e-6]         # arrival quantization (vsec)
+//              [--idle_timeout_ms=30000]
+//              [--linger=1]             # keep STATUS//metrics after drain
+//              [--sample_every=1]       # span sampling period
+//              ... plus the batch data/engine flags above.
+//
+//   SIGINT/SIGTERM drain gracefully (flush emissions, final report, close
+//   the recorder); a second signal hard-stops. The exit code reflects
+//   drain success. --trace_out streams incrementally in this mode.
+//
+// Replay (--replay): load a recorded session trace and re-run it on the
+// virtual clock.
+//
+//   caqe_serve --replay=PATH [engine flags]
+//
+//   Data-shape parameters (rows, sel, seed, target-regions, policy,
+//   admit-all) come from the trace header, so a replay reconstructs the
+//   exact engine the live session ran; engine knobs that never change a
+//   report (--threads, --pipeline, --coarse_index, --compact_layout,
+//   --join_cache_entries) come from the replay's own flags. The printed
+//   report is byte-identical to the live session's —
+//   scripts/run_net_matrix.sh diffs exactly this across the knob matrix.
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "../bench/bench_util.h"
 #include "metrics/export.h"
+#include "net/net_server.h"
+#include "net/recorder.h"
+#include "obs/stream_writer.h"
 
 namespace caqe {
 namespace {
 
-int Main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  const int64_t rows = args.GetInt("rows", 1000);
-  const double selectivity = args.GetDouble("sel", 0.01);
-  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 2014));
+/// Data-shape parameters: everything a replay must reproduce exactly.
+struct DataConfig {
+  int64_t rows = 1000;
+  double selectivity = 0.01;
+  uint64_t seed = 2014;
+  int target_regions = 128;
+  std::string policy = "contract";
+  bool admit_all = false;
+};
 
+DataConfig DataConfigFromArgs(const bench::Args& args) {
+  DataConfig config;
+  config.rows = args.GetInt("rows", config.rows);
+  config.selectivity = args.GetDouble("sel", config.selectivity);
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 2014));
+  config.target_regions =
+      static_cast<int>(args.GetInt("target-regions", config.target_regions));
+  config.policy = args.GetString("policy", config.policy);
+  config.admit_all = args.GetInt("admit-all", 0) != 0;
+  return config;
+}
+
+std::vector<std::pair<std::string, std::string>> DataConfigAttrs(
+    const DataConfig& config) {
+  return {{"rows", std::to_string(config.rows)},
+          {"sel", net::FormatExactDouble(config.selectivity)},
+          {"seed", std::to_string(config.seed)},
+          {"target_regions", std::to_string(config.target_regions)},
+          {"policy", config.policy},
+          {"admit_all", config.admit_all ? "1" : "0"}};
+}
+
+DataConfig DataConfigFromTrace(const net::SessionTrace& trace) {
+  DataConfig config;
+  config.rows = std::atoll(trace.Attr("rows", "1000").c_str());
+  config.selectivity = std::atof(trace.Attr("sel", "0.01").c_str());
+  config.seed =
+      static_cast<uint64_t>(std::atoll(trace.Attr("seed", "2014").c_str()));
+  config.target_regions =
+      static_cast<int>(std::atoi(trace.Attr("target_regions", "128").c_str()));
+  config.policy = trace.Attr("policy", "contract");
+  config.admit_all = trace.Attr("admit_all", "0") == "1";
+  return config;
+}
+
+/// Builds the fixed (R, T, dims, keys) world every mode shares.
+struct ServeWorld {
+  Table r;
+  Table t;
+  std::vector<MappingFunction> dims;
+  std::vector<int> keys;
+};
+
+ServeWorld MakeWorld(const DataConfig& config) {
   GeneratorConfig cfg;
-  cfg.num_rows = rows;
+  cfg.num_rows = config.rows;
   cfg.num_attrs = 3;
-  cfg.join_selectivities = {selectivity, selectivity};
-  cfg.seed = seed;
-  const Table r = GenerateTable("R", cfg).value();
-  cfg.seed = seed + 1;
-  const Table t = GenerateTable("T", cfg).value();
-  const std::vector<MappingFunction> dims = {
-      MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
-  const std::vector<int> keys = {0, 1};
+  cfg.join_selectivities = {config.selectivity, config.selectivity};
+  cfg.seed = config.seed;
+  Table r = GenerateTable("R", cfg).value();
+  cfg.seed = config.seed + 1;
+  Table t = GenerateTable("T", cfg).value();
+  return ServeWorld{std::move(r), std::move(t),
+                    {MappingFunction{0, 0}, MappingFunction{1, 1},
+                     MappingFunction{2, 2}},
+                    {0, 1}};
+}
 
-  std::vector<ExecEvent> events;
+/// Engine knobs: free to vary between a live session and its replay.
+Result<ServeOptions> OptionsFromArgs(const bench::Args& args,
+                                     const DataConfig& config,
+                                     std::vector<ExecEvent>* events,
+                                     Observability* obs) {
   ServeOptions options;
   options.num_threads = bench::ThreadsFromArgs(args);
   options.pipeline_regions = bench::PipelineFromArgs(args);
   options.coarse_index = bench::CoarseIndexFromArgs(args);
   options.compact_layout = bench::CompactLayoutFromArgs(args);
   options.join_index_cache_entries = bench::JoinCacheEntriesFromArgs(args);
-  options.target_regions = static_cast<int>(args.GetInt("target-regions", 128));
-  options.admit_all = args.GetInt("admit-all", 0) != 0;
-  options.trace = &events;
-  const std::string obs_trace_out = args.GetString("trace_out", "");
-  const std::string metrics_out = args.GetString("metrics_out", "");
-  const std::string health_out = args.GetString("health_out", "");
-  Observability obs;
-  if (!obs_trace_out.empty() || !metrics_out.empty() ||
-      !health_out.empty()) {
-    options.obs = &obs;
-  }
-  const std::string policy = args.GetString("policy", "contract");
-  if (policy == "contract") {
+  options.target_regions = config.target_regions;
+  options.admit_all = config.admit_all;
+  options.trace = events;
+  options.obs = obs;
+  if (config.policy == "contract") {
     options.policy = SchedulePolicy::kContractDriven;
-  } else if (policy == "count") {
+  } else if (config.policy == "count") {
     options.policy = SchedulePolicy::kCountDriven;
   } else {
-    std::fprintf(stderr, "unknown policy: %s (use contract|count)\n",
-                 policy.c_str());
+    return Status::InvalidArgument("unknown policy: " + config.policy +
+                                   " (use contract|count)");
+  }
+  return options;
+}
+
+/// Writes the report and every requested artifact; returns nonzero on a
+/// write failure.
+int WriteArtifacts(const bench::Args& args, const ServingReport& report,
+                   const std::vector<ExecEvent>& events, Observability* obs) {
+  const std::string text = ServingReportText(report);
+  std::printf("%s", text.c_str());
+
+  const auto write = [](const std::string& path,
+                        const std::string& content) -> bool {
+    const Status status = WriteTextFile(path, content);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+
+  const std::string report_out = args.GetString("report-out", "");
+  if (!report_out.empty() && !write(report_out, text)) return 1;
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty() && !write(trace_out, ExecEventsJsonl(events))) {
     return 1;
   }
+  if (obs != nullptr) {
+    const std::string metrics_out = args.GetString("metrics_out", "");
+    if (!metrics_out.empty() &&
+        !write(metrics_out, obs->metrics.PrometheusText())) {
+      return 1;
+    }
+    const std::string health_out = args.GetString("health_out", "");
+    if (!health_out.empty() && !write(health_out, obs->health.Jsonl())) {
+      return 1;
+    }
+  }
+  return 0;
+}
 
-  Result<std::unique_ptr<CaqeServer>> server =
-      CaqeServer::Create(r, t, dims, keys, options);
+bool WantsObs(const bench::Args& args) {
+  return !args.GetString("trace_out", "").empty() ||
+         !args.GetString("metrics_out", "").empty() ||
+         !args.GetString("health_out", "").empty();
+}
+
+// ---- Batch mode (the original tool) ----
+
+int RunBatch(const bench::Args& args) {
+  const DataConfig config = DataConfigFromArgs(args);
+  const ServeWorld world = MakeWorld(config);
+
+  std::vector<ExecEvent> events;
+  Observability obs;
+  Result<ServeOptions> options = OptionsFromArgs(
+      args, config, &events, WantsObs(args) ? &obs : nullptr);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<CaqeServer>> server = CaqeServer::Create(
+      world.r, world.t, world.dims, world.keys, *options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
     return 1;
@@ -91,12 +219,12 @@ int Main(int argc, char** argv) {
   TraceConfig trace_config;
   trace_config.num_requests = static_cast<int>(args.GetInt("requests", 12));
   trace_config.arrival_rate = args.GetDouble("rate", 40.0);
-  trace_config.seed = seed;
+  trace_config.seed = config.seed;
   trace_config.reference_seconds = args.GetDouble("reference", 0.1);
   trace_config.deadline_fraction = args.GetDouble("deadline-fraction", 0.25);
   trace_config.cancel_fraction = args.GetDouble("cancel-fraction", 0.1);
   const std::vector<TraceRequest> trace =
-      MakeSyntheticTrace(trace_config, keys, 3);
+      MakeSyntheticTrace(trace_config, world.keys, 3);
   SubmitTrace(**server, trace);
 
   Result<ServingReport> report = (*server)->Run();
@@ -104,27 +232,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
-  const std::string text = ServingReportText(*report);
-  std::printf("%s", text.c_str());
-
-  const std::string report_out = args.GetString("report-out", "");
-  if (!report_out.empty()) {
-    const Status status = WriteTextFile(report_out, text);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", report_out.c_str());
-  }
-  const std::string trace_out = args.GetString("trace-out", "");
-  if (!trace_out.empty()) {
-    const Status status = WriteTextFile(trace_out, ExecEventsJsonl(events));
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s (%zu events)\n", trace_out.c_str(), events.size());
-  }
+  const std::string obs_trace_out = args.GetString("trace_out", "");
   if (!obs_trace_out.empty()) {
     const Status status = WriteTextFile(obs_trace_out, obs.ChromeTrace());
     if (!status.ok()) {
@@ -134,25 +242,193 @@ int Main(int argc, char** argv) {
     std::printf("wrote %s (%zu spans, %zu health samples)\n",
                 obs_trace_out.c_str(), obs.spans.size(), obs.health.size());
   }
-  if (!metrics_out.empty()) {
+  return WriteArtifacts(args, *report, events, WantsObs(args) ? &obs : nullptr);
+}
+
+// ---- Listen mode (wall-clock TCP front-end) ----
+
+net::NetServer* g_net = nullptr;
+volatile std::sig_atomic_t g_signal_count = 0;
+
+void OnSignal(int) {
+  if (g_net == nullptr) return;
+  // First signal: graceful drain. Second: hard stop. (Volatile compound
+  // increment is deprecated in C++20, so read and write separately; signal
+  // handlers never race themselves on one thread.)
+  const std::sig_atomic_t count = g_signal_count;
+  g_signal_count = count + 1;
+  if (count == 0) {
+    g_net->RequestDrain();
+  } else {
+    g_net->RequestStop();
+  }
+}
+
+int RunListen(const bench::Args& args) {
+  const std::string listen = args.GetString("listen", "127.0.0.1:0");
+  net::NetServerOptions net_options;
+  const size_t colon = listen.rfind(':');
+  if (colon == std::string::npos) {
+    net_options.port = std::atoi(listen.c_str());
+  } else {
+    if (colon > 0) net_options.bind_address = listen.substr(0, colon);
+    net_options.port = std::atoi(listen.c_str() + colon + 1);
+  }
+  net_options.quantum =
+      args.GetDouble("quantum", ArrivalQuantizer::kDefaultQuantum);
+  net_options.idle_timeout_ms =
+      static_cast<int>(args.GetInt("idle_timeout_ms", 30000));
+  net_options.linger_after_drain = args.GetInt("linger", 1) != 0;
+  net_options.record_path = args.GetString("record", "");
+
+  const DataConfig config = DataConfigFromArgs(args);
+  net_options.record_attrs = DataConfigAttrs(config);
+  const ServeWorld world = MakeWorld(config);
+
+  std::vector<ExecEvent> events;
+  Observability obs;  // Always on: the point of --listen is /metrics.
+  obs.spans.set_sample_every(
+      static_cast<int>(args.GetInt("sample_every", 1)));
+  Result<ServeOptions> options =
+      OptionsFromArgs(args, config, &events, &obs);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<CaqeServer>> server = CaqeServer::Create(
+      world.r, world.t, world.dims, world.keys, *options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  // Incremental span flushing (crash-safe trace prefix).
+  std::unique_ptr<StreamingTraceWriter> stream;
+  const std::string obs_trace_out = args.GetString("trace_out", "");
+  if (!obs_trace_out.empty()) {
+    Result<std::unique_ptr<StreamingTraceWriter>> opened =
+        StreamingTraceWriter::Open(obs_trace_out,
+                                   StreamingTraceWriter::Format::kChrome);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    stream = std::move(opened).value();
+  }
+  net_options.obs = &obs;
+  if (stream != nullptr) {
+    StreamingTraceWriter* writer = stream.get();
+    Observability* obs_ptr = &obs;
+    net_options.on_tick = [writer, obs_ptr] {
+      writer->Append(obs_ptr->spans.Drain());
+    };
+  }
+
+  Result<std::unique_ptr<net::NetServer>> net =
+      net::NetServer::Create(server->get(), std::move(net_options));
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string port_file = args.GetString("port_file", "");
+  if (!port_file.empty()) {
     const Status status =
-        WriteTextFile(metrics_out, obs.metrics.PrometheusText());
+        WriteTextFile(port_file, std::to_string((*net)->port()) + "\n");
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %s\n", metrics_out.c_str());
   }
-  if (!health_out.empty()) {
-    const Status status = WriteTextFile(health_out, obs.health.Jsonl());
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
+  std::printf("listening on %d\n", (*net)->port());
+  std::fflush(stdout);
+
+  g_net = net->get();
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const Status served = (*net)->Serve();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_net = nullptr;
+
+  if (stream != nullptr) {
+    stream->Append(obs.spans.Drain());
+    stream->Close();
+    std::printf("wrote %s (%zu spans)\n", obs_trace_out.c_str(),
+                stream->spans_written());
+  }
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.ToString().c_str());
+    return 1;
+  }
+  return WriteArtifacts(args, (*net)->report(), events, &obs);
+}
+
+// ---- Replay mode (virtual-clock re-run of a recorded session) ----
+
+int RunReplay(const bench::Args& args) {
+  const std::string path = args.GetString("replay", "");
+  Result<net::SessionTrace> trace = net::LoadSessionTrace(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const DataConfig config = DataConfigFromTrace(*trace);
+  const ServeWorld world = MakeWorld(config);
+
+  std::vector<ExecEvent> events;
+  Observability obs;
+  Result<ServeOptions> options = OptionsFromArgs(
+      args, config, &events, WantsObs(args) ? &obs : nullptr);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<CaqeServer>> server = CaqeServer::Create(
+      world.r, world.t, world.dims, world.keys, *options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  const ArrivalQuantizer quantizer(trace->quantum);
+  for (net::SessionEvent& event : trace->events) {
+    const double vtime = quantizer.TimeOf(event.tq);
+    if (event.command.kind == net::CommandKind::kSubmit) {
+      net::SubmitCommand& submit = event.command.submit;
+      const int id =
+          (*server)->Submit(std::move(submit.query),
+                            std::move(submit.contract), vtime,
+                            submit.deadline_seconds);
+      if (id != submit.trace_id) {
+        std::fprintf(stderr, "replay id mismatch: got %d want %d\n", id,
+                     submit.trace_id);
+        return 1;
+      }
+    } else {
+      const Status status =
+          (*server)->Cancel(event.command.cancel_id, vtime);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
     }
-    std::printf("wrote %s (%zu samples)\n", health_out.c_str(),
-                obs.health.size());
   }
-  return 0;
+
+  Result<ServingReport> report = (*server)->Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  return WriteArtifacts(args, *report, events,
+                        WantsObs(args) ? &obs : nullptr);
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  if (!args.GetString("listen", "").empty()) return RunListen(args);
+  if (!args.GetString("replay", "").empty()) return RunReplay(args);
+  return RunBatch(args);
 }
 
 }  // namespace
