@@ -3,13 +3,18 @@
 # end, over real TCP:
 #
 #   1. Start `caqe_serve --listen` on an ephemeral loopback port with session
-#      recording on, drive a scripted client session (submits, a cancel,
-#      STATUS, DRAIN) through caqe_net_client, scrape /metrics and /healthz
-#      over HTTP while the server lingers post-drain, then STOP it.
+#      recording and the audit ledger on, drive a scripted client session
+#      (submits, a cancel, STATUS, a TRACE lookup, DRAIN) through
+#      caqe_net_client, scrape /metrics, /healthz, /statusz, /tracez/<id>
+#      and /flightz over HTTP while the server lingers post-drain, then
+#      STOP it.
 #   2. Replay the recorded session trace on the virtual clock across the
 #      full engine-knob matrix — threads {1,8} x pipeline {0,1} x
 #      compact_layout {0,1} — and byte-diff every replayed serving report
-#      (and exec event stream) against the live session's.
+#      (and exec event stream) against the live session's. Each replay also
+#      writes its audit ledger; after stripping the wall-clock field
+#      (report_diff.sh --normalize-wall) every replayed ledger must match
+#      the live session's byte for byte.
 #   3. Diff the live /metrics scrape against the server's --metrics_out
 #      snapshot, excluding the caqe_net_* series (the scrape itself perturbs
 #      the net counters; every engine series must match exactly).
@@ -59,6 +64,8 @@ wait_for_port() {
   --report-out="${out}/live_report.txt" \
   --trace-out="${out}/live_events.jsonl" \
   --metrics_out="${out}/live_metrics.prom" \
+  --ledger_out="${out}/live_ledger.jsonl" \
+  --flight_out="${out}/live_flight.jsonl" \
   > "${out}/live_stdout.txt" 2>&1 &
 server_pid=$!
 wait_for_port "${out}/port" || { kill "${server_pid}" 2>/dev/null; exit 1; }
@@ -76,17 +83,41 @@ STATUS
 !expect STATUS
 DRAIN
 !expect DRAINED
+TRACE m0
+!expect TRACE-END
 EOF
 
 grep -q '^HELLO caqe/1' "${out}/client_transcript.txt"
 grep -q '^QUEUED 2'     "${out}/client_transcript.txt"
 grep -q '^DRAINED'      "${out}/client_transcript.txt"
+# The TRACE verb returned the named request's ledger tail.
+grep -q '^TRACE 0 records=' "${out}/client_transcript.txt"
+grep -q '"kind":"finish"'   "${out}/client_transcript.txt"
 
 # Post-drain scrapes: --linger keeps STATUS and HTTP alive, and the engine
 # stats are final once the drain produced the report.
 "${client}" --port="${port}" --get=/metrics > "${out}/scrape_metrics.prom"
 "${client}" --port="${port}" --get=/healthz > "${out}/scrape_healthz.txt"
 grep -q '^ok state=drained' "${out}/scrape_healthz.txt"
+
+# Debug introspection endpoints (same port): the live-request table, one
+# request's causal tree, and the flight-recorder ring.
+"${client}" --port="${port}" --get=/statusz > "${out}/scrape_statusz.txt"
+grep -q '^state: drained' "${out}/scrape_statusz.txt"
+grep -q '^0 m0 '          "${out}/scrape_statusz.txt"
+"${client}" --port="${port}" --get=/tracez/0 > "${out}/scrape_tracez.json"
+grep -q '"request":0'       "${out}/scrape_tracez.json"
+grep -q '"kind":"arrival"'  "${out}/scrape_tracez.json"
+"${client}" --port="${port}" --get=/flightz > "${out}/scrape_flightz.jsonl"
+grep -q '"kind":"audit"' "${out}/scrape_flightz.jsonl"
+# Hostile request ids earn stable error bodies (non-200 -> client exits 1).
+if "${client}" --port="${port}" --get=/tracez/abc \
+    > "${out}/scrape_tracez_bad.txt"; then
+  echo "FAIL: /tracez/abc returned 200" >&2
+  exit 1
+fi
+grep -q 'bad-request-id' "${out}/scrape_tracez_bad.txt"
+echo "introspection endpoints ok (/statusz /tracez /flightz TRACE)"
 
 printf 'STOP\n' | "${client}" --port="${port}" --script=- > /dev/null
 server_rc=0
@@ -112,6 +143,7 @@ grep -q '^caqe_net_connections_total' "${out}/scrape_metrics.prom"
 # ---- Replay matrix: threads x pipeline x compact_layout ------------------
 status=0
 diff_args=()
+ledger_args=()
 for threads in 1 8; do
   for pipeline in 0 1; do
     for compact in 0 1; do
@@ -120,8 +152,10 @@ for threads in 1 8; do
         --threads="${threads}" --pipeline="${pipeline}" \
         --compact_layout="${compact}" \
         --report-out="${out}/replay_${tag}.txt" \
-        --trace-out="${out}/replay_${tag}.jsonl" > /dev/null
+        --trace-out="${out}/replay_${tag}.jsonl" \
+        --ledger_out="${out}/replay_${tag}_ledger.jsonl" > /dev/null
       diff_args+=("${tag}=${out}/replay_${tag}.txt")
+      ledger_args+=("${tag}=${out}/replay_${tag}_ledger.jsonl")
       if ! cmp -s "${out}/live_events.jsonl" "${out}/replay_${tag}.jsonl"; then
         echo "FAIL: exec event stream ${tag} diverges from live session" >&2
         status=1
@@ -131,6 +165,10 @@ for threads in 1 8; do
 done
 tools/report_diff.sh "net replay vs live session" "${out}/live_report.txt" \
   "${diff_args[@]}" || status=1
+# The audit ledger reconstructs every request's causal decision history;
+# minus its wall-clock field it must replay byte-for-byte.
+tools/report_diff.sh --normalize-wall "audit ledger replay vs live" \
+  "${out}/live_ledger.jsonl" "${ledger_args[@]}" || status=1
 
 # ---- SIGTERM cell: graceful drain by signal ------------------------------
 "${serve}" --listen=127.0.0.1:0 "${DATA_ARGS[@]}" \
@@ -139,6 +177,7 @@ tools/report_diff.sh "net replay vs live session" "${out}/live_report.txt" \
   --linger=0 \
   --report-out="${out}/sig_report.txt" \
   --trace-out="${out}/sig_events.jsonl" \
+  --ledger_out="${out}/sig_ledger.jsonl" \
   > "${out}/sig_stdout.txt" 2>&1 &
 sig_pid=$!
 wait_for_port "${out}/sig_port" || { kill "${sig_pid}" 2>/dev/null; exit 1; }
@@ -163,12 +202,16 @@ echo "SIGTERM drain completed with exit 0"
 
 "${serve}" --replay="${out}/sig.trace" \
   --report-out="${out}/sig_replay.txt" \
-  --trace-out="${out}/sig_replay.jsonl" > /dev/null
+  --trace-out="${out}/sig_replay.jsonl" \
+  --ledger_out="${out}/sig_replay_ledger.jsonl" > /dev/null
 tools/report_diff.sh "SIGTERM session replay vs live" \
   "${out}/sig_report.txt" "replay=${out}/sig_replay.txt" || status=1
 cmp -s "${out}/sig_events.jsonl" "${out}/sig_replay.jsonl" || {
   echo "FAIL: SIGTERM session exec events diverge on replay" >&2
   status=1
 }
+tools/report_diff.sh --normalize-wall "SIGTERM ledger replay vs live" \
+  "${out}/sig_ledger.jsonl" "replay=${out}/sig_replay_ledger.jsonl" \
+  || status=1
 
 exit "${status}"

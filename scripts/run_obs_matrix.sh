@@ -10,6 +10,12 @@
 # coarse phase (--coarse_index=1) at 1 and 8 threads — neither the
 # pipeline nor the coarse index may move a byte, traced or not.
 #
+# A second matrix drives caqe_serve (batch mode) with --ledger_out across
+# threads {1,8} x pipeline {0,1} per build: the contract audit ledger,
+# after stripping its single wall-clock field (report_diff.sh
+# --normalize-wall), must be byte-identical down every column — the
+# DESIGN.md §15 determinism contract for per-request causal audit records.
+#
 #   scripts/run_obs_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
 # Reuses the build trees of scripts/run_simd_matrix.sh when present.
@@ -23,7 +29,11 @@ if (( $(nproc) < 2 )); then
 fi
 
 FIG9_ARGS=(--rows=2000)
+SERVE_ARGS=(--rows=400 --sel=0.02 --requests=10 --seed=2014
+            --target-regions=64)
 declare -A REPORTS
+declare -A LEDGERS
+declare -A SERVE_REPORTS
 
 for simd in OFF ON; do
   build_dir="build-simd-${simd,,}"
@@ -31,7 +41,7 @@ for simd in OFF ON; do
     -DCMAKE_BUILD_TYPE=Release \
     -DCAQE_SIMD="${simd}" \
     "$@"
-  cmake --build "${build_dir}" -j"$(nproc)" --target bench_fig9
+  cmake --build "${build_dir}" -j"$(nproc)" --target bench_fig9 caqe_serve_cli
   for tracing in off on; do
     out="${build_dir}/fig9_obs_${tracing}.txt"
     extra=()
@@ -58,6 +68,25 @@ for simd in OFF ON; do
       --threads="${threads}" --coarse_index=1 > "${out}"
     REPORTS["${simd}_coarse_t${threads}"]="${out}"
   done
+  # Audit-ledger cells: the serving layer's per-request causal records
+  # must not move a byte (wall field aside) under threads x pipeline.
+  serve_bin="./${build_dir}/tools/caqe_serve"
+  [[ -x "${serve_bin}" ]] || serve_bin="./${build_dir}/caqe_serve"
+  for threads in 1 8; do
+    for pipeline in 0 1; do
+      cell="t${threads}_p${pipeline}"
+      "${serve_bin}" "${SERVE_ARGS[@]}" \
+        --threads="${threads}" --pipeline="${pipeline}" \
+        --ledger_out="${build_dir}/ledger_${cell}.jsonl" \
+        --report-out="${build_dir}/serve_report_${cell}.txt" > /dev/null
+      LEDGERS["${simd}_${cell}"]="${build_dir}/ledger_${cell}.jsonl"
+      SERVE_REPORTS["${simd}_${cell}"]="${build_dir}/serve_report_${cell}.txt"
+    done
+  done
+  # Ledger cells must contain the full request lifecycle.
+  grep -q '"kind":"arrival"' "${build_dir}/ledger_t1_p0.jsonl"
+  grep -q '"kind":"decision"' "${build_dir}/ledger_t1_p0.jsonl"
+  grep -q '"kind":"finish"' "${build_dir}/ledger_t1_p0.jsonl"
   # The traced cell must have written real artifacts.
   grep -q '"traceEvents"' "${build_dir}/fig9_trace.json"
   grep -q '^# TYPE caqe_engine_dominance_cmps_total counter$' \
@@ -80,4 +109,18 @@ tools/report_diff.sh "fig9 stdout vs OFF_off" "${REPORTS[OFF_off]}" \
   "OFF_coarse_t8=${REPORTS[OFF_coarse_t8]}" \
   "ON_coarse_t1=${REPORTS[ON_coarse_t1]}" \
   "ON_coarse_t8=${REPORTS[ON_coarse_t8]}" || status=1
+
+# Audit ledgers (wall field stripped) must match the scalar t1/p0 baseline
+# across threads x pipeline x SIMD; the serving reports alongside them too.
+ledger_cells=()
+serve_cells=()
+for key in "${!LEDGERS[@]}"; do
+  [[ "${key}" == "OFF_t1_p0" ]] && continue
+  ledger_cells+=("${key}=${LEDGERS[${key}]}")
+  serve_cells+=("${key}=${SERVE_REPORTS[${key}]}")
+done
+tools/report_diff.sh --normalize-wall "audit ledger vs OFF_t1_p0" \
+  "${LEDGERS[OFF_t1_p0]}" "${ledger_cells[@]}" || status=1
+tools/report_diff.sh "serve report vs OFF_t1_p0" \
+  "${SERVE_REPORTS[OFF_t1_p0]}" "${serve_cells[@]}" || status=1
 exit "${status}"

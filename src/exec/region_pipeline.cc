@@ -330,6 +330,7 @@ void RegionPipeline::ProcessRegion(int rid) {
   {
     TraceSpan span(spans, "join", "pipeline", &stats.wall_join_seconds);
     span.set_region(rid);
+    span.set_parent(trace_ctx_.parent_span, trace_ctx_.root_span);
     const int64_t probes_before = stats.join_probes;
     const int64_t results_before = stats.join_results;
     if (use_speculation) {
@@ -359,6 +360,7 @@ void RegionPipeline::ProcessRegion(int rid) {
   {
     TraceSpan span(spans, "eval", "pipeline", &stats.wall_eval_seconds);
     span.set_region(rid);
+    span.set_parent(trace_ctx_.parent_span, trace_ctx_.root_span);
     // Materialize every match into the store first (ids are sequential in
     // match order, exactly as the serial append-per-match produced them);
     // rows are disjoint, so chunks project concurrently.
@@ -487,6 +489,7 @@ void RegionPipeline::ProcessRegion(int rid) {
     TraceSpan span(spans, "discard", "pipeline",
                    &stats.wall_discard_seconds);
     span.set_region(rid);
+    span.set_parent(trace_ctx_.parent_span, trace_ctx_.root_span);
     const int64_t num_regions = static_cast<int64_t>(rc_->regions.size());
     if (discard_tests_.size() < static_cast<size_t>(num_regions)) {
       discard_tests_.resize(num_regions, 0);
@@ -569,6 +572,7 @@ void RegionPipeline::ProcessRegion(int rid) {
   {
     TraceSpan span(spans, "emission", "pipeline");
     span.set_region(rid);
+    span.set_parent(trace_ctx_.parent_span, trace_ctx_.root_span);
     const int64_t emitted_before = stats.emitted_results;
     const int64_t emission_ops_before = emission_.coarse_ops();
     // Flush barrier over the sharded park set: per query, resolve this

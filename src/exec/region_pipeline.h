@@ -35,6 +35,7 @@
 #include "exec/join_kernel.h"
 #include "exec/options.h"
 #include "metrics/report.h"
+#include "obs/trace_context.h"
 #include "optimizer/scheduler.h"
 #include "partition/partitioner.h"
 #include "query/query.h"
@@ -136,6 +137,13 @@ class RegionPipeline {
     scheduler_ = scheduler;
   }
 
+  /// Causal attribution for the spans the next ProcessRegion emits: the
+  /// driver sets this to its umbrella "process_region" span so the
+  /// join/eval/discard/emission phase spans parent under it (one connected
+  /// tree per region step; see DESIGN.md §15). Observability-only — the
+  /// context never feeds a decision.
+  void set_trace_context(const RequestTraceContext& ctx) { trace_ctx_ = ctx; }
+
   /// Batch setup: builds one plan group per (predicate slot, selection key)
   /// over the workload's current queries (Section 4.1 sharing).
   Status BuildPlanGroups();
@@ -200,6 +208,7 @@ class RegionPipeline {
   ThreadPool* pool_;
   PipelineOptions options_;
   ContractDrivenScheduler* scheduler_ = nullptr;
+  RequestTraceContext trace_ctx_;
 
   std::vector<int> global_query_ids_;
   // Metrics resolved once at construction when an Observability is attached

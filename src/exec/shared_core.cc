@@ -194,7 +194,18 @@ Status RunSharedCore(const PartitionedTable& part_r,
 
     // ---- Tuple-level processing (join, project, evaluate, discard,
     // emission) — see RegionPipeline::ProcessRegion. ----
-    pipeline.ProcessRegion(rid);
+    {
+      // Umbrella span: the pipeline's phase spans (join/eval/discard/
+      // emission) parent under it, so each region step is one connected
+      // causal tree and tree-sticky sampling keeps or drops it whole.
+      TraceSpan region_span(spans, "process_region", "core");
+      region_span.set_region(rid);
+      if (spans != nullptr) {
+        pipeline.set_trace_context(RequestTraceContext{
+            /*request_id=*/-1, region_span.id(), region_span.id()});
+      }
+      pipeline.ProcessRegion(rid);
+    }
 
     // ---- Satisfaction feedback (Eq. 11). ----
     if (scheduler.has_value()) scheduler->UpdateWeights();

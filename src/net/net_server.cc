@@ -8,11 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include "common/json_util.h"
 #include "common/macros.h"
 #include "metrics/printer.h"
+#include "obs/ledger.h"
 
 namespace caqe {
 namespace net {
@@ -35,6 +39,11 @@ double SecondsBetween(std::chrono::steady_clock::time_point from,
 /// Engine steps per loop round: enough to make real progress between
 /// socket rounds, small enough to keep the loop responsive.
 constexpr int kStepsPerRound = 64;
+
+/// Audit-ledger records returned per /tracez response and per TRACE reply;
+/// bounds the bytes a hostile client can make one request queue.
+constexpr size_t kTracezMaxRecords = 256;
+constexpr size_t kTraceTailMax = 32;
 
 }  // namespace
 
@@ -165,6 +174,11 @@ void NetServer::RequestStop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
 }
 
+void NetServer::RequestFlightDump() {
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
 Status NetServer::Serve() {
   while (LoopOnce()) {
   }
@@ -201,6 +215,10 @@ bool NetServer::LoopOnce() {
 
   if (fds[0].revents & POLLIN) DrainWakePipe();
   if (hard_stop_) return false;
+  if (flight_dump_requested_) {
+    flight_dump_requested_ = false;
+    DumpFlight("signal");
+  }
   if (fds[1].revents & POLLIN) AcceptPending();
 
   for (size_t i = 2; i < fds.size(); ++i) {
@@ -239,6 +257,8 @@ void NetServer::DrainWakePipe() {
     for (ssize_t i = 0; i < n; ++i) {
       if (buf[i] == 's') {
         hard_stop_ = true;
+      } else if (buf[i] == 'q') {
+        flight_dump_requested_ = true;
       } else if (buf[i] == 'd') {
         if (state_ == State::kServing) {
           state_ = State::kDraining;
@@ -360,6 +380,21 @@ void NetServer::HandleHttp(Connection& conn) {
   } else if (request->path == "/healthz") {
     response = HttpResponse(200, "OK", "text/plain",
                             std::string("ok state=") + StateName() + "\n");
+  } else if (request->path == "/statusz") {
+    response = HttpResponse(200, "OK", "text/plain", StatuszBody());
+  } else if (request->path == "/flightz") {
+    if (options_.obs == nullptr) {
+      response = HttpResponse(404, "Not Found", "text/plain",
+                              "no-observability\n");
+    } else {
+      response = HttpResponse(200, "OK", "application/jsonl",
+                              options_.obs->flight.Jsonl());
+    }
+  } else if (request->path == "/tracez" ||
+             request->path.rfind("/tracez/", 0) == 0) {
+    std::string_view id_text(request->path);
+    id_text.remove_prefix(std::min<size_t>(id_text.size(), 8));
+    response = TracezResponse(id_text);
   } else {
     response = HttpResponse(404, "Not Found", "text/plain", "not found\n");
   }
@@ -387,6 +422,9 @@ void NetServer::HandleLine(Connection& conn, const std::string& line) {
       return;
     case CommandKind::kCancel:
       HandleCancel(conn, command.cancel_id);
+      return;
+    case CommandKind::kTrace:
+      HandleTrace(conn, command.trace_name);
       return;
     case CommandKind::kStatus:
       Reply(conn, StatusLine());
@@ -478,6 +516,145 @@ void NetServer::HandleCancel(Connection& conn, int request_id) {
   }
   if (recorder_ != nullptr) recorder_->RecordCancel(tq, request_id);
   Reply(conn, "OK " + std::to_string(request_id));
+}
+
+void NetServer::HandleTrace(Connection& conn, const std::string& name) {
+  if (options_.obs == nullptr) {
+    ReplyErr(conn, "no-observability");
+    return;
+  }
+  const int id = server_->FindRequestByName(name);
+  if (id < 0) {
+    ReplyErr(conn, "unknown-request");
+    return;
+  }
+  const std::vector<AuditRecord> records =
+      options_.obs->ledger.Tail(id, kTraceTailMax);
+  // Reply can close a slow-consumer connection mid-loop; re-check the fd.
+  const int fd = conn.fd;
+  Reply(conn, "TRACE " + std::to_string(id) +
+                  " records=" + std::to_string(records.size()));
+  for (const AuditRecord& record : records) {
+    if (conns_.count(fd) == 0) return;
+    Reply(conn, AuditRecordJson(record));
+  }
+  if (conns_.count(fd) != 0) Reply(conn, "TRACE-END");
+}
+
+std::string NetServer::StatuszBody() const {
+  std::string body = "caqe_serve statusz\n";
+  body += std::string("build: ") + __VERSION__ +
+#ifdef NDEBUG
+          " (release)"
+#else
+          " (debug)"
+#endif
+          "\n";
+  body += std::string("state: ") + StateName() + "\n";
+  body += "uptime_s: " +
+          FormatDouble(SecondsBetween(start_time_,
+                                      std::chrono::steady_clock::now()),
+                       3) +
+          "\n";
+  body += "vtime: " + FormatDouble(server_->VirtualNow(), 9) + "\n";
+  body += "connections: " + std::to_string(conns_.size()) + "\n";
+  body += "requests: " + std::to_string(server_->num_requests()) + "\n";
+  body += "flags: quantum=" + FormatDouble(options_.quantum, 9) +
+          " idle_timeout_ms=" + std::to_string(options_.idle_timeout_ms) +
+          " max_connections=" + std::to_string(options_.max_connections) +
+          " record=" +
+          (options_.record_path.empty() ? "off" : options_.record_path) + "\n";
+  if (options_.obs != nullptr) {
+    body += "ledger: records=" + std::to_string(options_.obs->ledger.size()) +
+            " dropped=" + std::to_string(options_.obs->ledger.dropped()) +
+            "\n";
+    body += "flight: entries=" + std::to_string(options_.obs->flight.total()) +
+            " capacity=" + std::to_string(options_.obs->flight.capacity()) +
+            "\n";
+  }
+  body += "id name status results pscore submit_vtime root_span\n";
+  const int n = server_->num_requests();
+  for (int i = 0; i < n; ++i) {
+    const CaqeServer::RequestBrief brief = server_->BriefOf(i);
+    body += std::to_string(brief.id) + " " + brief.name + " " +
+            RequestStatusName(brief.status) + " " +
+            std::to_string(brief.results) + " " +
+            FormatDouble(brief.pscore, 6) + " " +
+            FormatDouble(brief.submit_time, 9) + " " +
+            std::to_string(brief.root_span) + "\n";
+  }
+  return body;
+}
+
+std::string NetServer::TracezResponse(std::string_view id_text) const {
+  // Hostile ids (empty, overlong, non-digit) get a stable 400 without ever
+  // being converted — no allocation proportional to the input.
+  if (id_text.empty() || id_text.size() > 9 ||
+      id_text.find_first_not_of("0123456789") != std::string_view::npos) {
+    return HttpResponse(400, "Bad Request", "text/plain", "bad-request-id\n");
+  }
+  int id = 0;
+  for (const char c : id_text) id = id * 10 + (c - '0');
+  if (id >= server_->num_requests()) {
+    return HttpResponse(404, "Not Found", "text/plain",
+                        "unknown-request-id\n");
+  }
+  if (options_.obs == nullptr) {
+    return HttpResponse(404, "Not Found", "text/plain", "no-observability\n");
+  }
+  const CaqeServer::RequestBrief brief = server_->BriefOf(id);
+  std::string body = "{\"request\":" + std::to_string(id) + ",\"name\":";
+  JsonAppendString(body, brief.name);
+  body += ",\"status\":\"";
+  body += RequestStatusName(brief.status);
+  body += "\",\"root_span\":" + std::to_string(brief.root_span);
+  // The causal tree: audit-ledger records (always retained) plus whatever
+  // spans the incremental trace flusher has not drained yet.
+  body += ",\"records\":[";
+  const std::vector<AuditRecord> records =
+      options_.obs->ledger.Tail(id, kTracezMaxRecords);
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) body += ',';
+    body += AuditRecordJson(records[i]);
+  }
+  body += "],\"spans\":[";
+  bool first = true;
+  if (brief.root_span != 0) {
+    for (const SpanRecord& span : options_.obs->spans.Snapshot()) {
+      if (span.root != brief.root_span) continue;
+      if (!first) body += ',';
+      first = false;
+      body += "{\"name\":";
+      JsonAppendString(body, span.name);
+      body += ",\"cat\":";
+      JsonAppendString(body, span.category);
+      body += ",\"span\":" + std::to_string(span.id);
+      body += ",\"parent\":" + std::to_string(span.parent);
+      body += ",\"seq\":" + std::to_string(span.seq);
+      body += ",\"region\":" + std::to_string(span.region);
+      body += ",\"query\":" + std::to_string(span.query) + "}";
+    }
+  }
+  body += "]}\n";
+  return HttpResponse(200, "OK", "application/json", body);
+}
+
+void NetServer::DumpFlight(const char* why) {
+  if (options_.obs == nullptr) return;
+  const std::string jsonl = options_.obs->flight.Jsonl();
+  if (!options_.flight_dump_path.empty()) {
+    std::FILE* out = std::fopen(options_.flight_dump_path.c_str(), "w");
+    if (out != nullptr) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), out);
+      std::fclose(out);
+      std::fprintf(stderr, "caqe_net: flight recorder (%s) -> %s\n", why,
+                   options_.flight_dump_path.c_str());
+      return;
+    }
+  }
+  std::fprintf(stderr, "caqe_net: flight recorder (%s), %zu bytes:\n", why,
+               jsonl.size());
+  std::fwrite(jsonl.data(), 1, jsonl.size(), stderr);
 }
 
 std::string NetServer::StatusLine() const {
@@ -581,6 +758,9 @@ void NetServer::FinishDrain() {
     drain_status_ = Status::OK();
   } else {
     drain_status_ = report.status();
+    // A failed drain is exactly what the flight recorder exists for: dump
+    // the recent span/ledger tail before the state is torn down.
+    DumpFlight("drain-failure");
   }
   for (auto& [fd, conn] : conns_) {
     if (conn->awaiting_drained) {

@@ -83,6 +83,9 @@ struct NetServerOptions {
   /// Metrics/health bundle; the caqe_net_* metrics register here. May be
   /// null (endpoints then serve 404).
   Observability* obs = nullptr;
+  /// Where flight-recorder dumps land (SIGQUIT / drain failure); empty
+  /// writes the dump to stderr instead.
+  std::string flight_dump_path;
   /// After a drain, keep serving STATUS and HTTP until STOP/RequestStop
   /// instead of returning immediately.
   bool linger_after_drain = false;
@@ -116,6 +119,9 @@ class NetServer {
   void RequestDrain();
   /// Async-signal-safe: request an immediate hard stop.
   void RequestStop();
+  /// Async-signal-safe: request a flight-recorder dump (SIGQUIT handler).
+  /// The dump happens on the driver thread at the next loop round.
+  void RequestFlightDump();
 
   /// True once FinishLive produced the serving report.
   bool drained() const { return drained_; }
@@ -168,11 +174,22 @@ class NetServer {
   void HandleLine(Connection& conn, const std::string& line);
   void HandleSubmit(Connection& conn, SubmitCommand submit);
   void HandleCancel(Connection& conn, int request_id);
+  /// TRACE <name>: replies the named request's audit-ledger tail as JSONL
+  /// between "TRACE <id> records=<n>" and "TRACE-END".
+  void HandleTrace(Connection& conn, const std::string& name);
   void HandleHttp(Connection& conn);
   void Reply(Connection& conn, const std::string& line);
   void ReplyErr(Connection& conn, const std::string& code);
   std::string StatusLine() const;
   const char* StateName() const;
+  /// /statusz: build info, flags, uptime, state, live-request table.
+  std::string StatuszBody() const;
+  /// /tracez/<request-id>: the request's causal tree (ledger records plus
+  /// surviving spans) as JSON. Hostile ids produce stable kebab-case error
+  /// bodies with 400/404 codes.
+  std::string TracezResponse(std::string_view id_text) const;
+  /// Writes the flight-recorder ring to flight_dump_path (or stderr).
+  void DumpFlight(const char* why);
 
   CaqeServer* server_;
   NetServerOptions options_;
@@ -193,6 +210,10 @@ class NetServer {
   std::map<int, std::chrono::steady_clock::time_point> request_start_;
 
   State state_ = State::kServing;
+  /// Set by DrainWakePipe on a 'q' wake byte; serviced in LoopOnce.
+  bool flight_dump_requested_ = false;
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   bool engine_busy_ = false;
   bool stop_after_drain_ = false;
   bool hard_stop_ = false;

@@ -240,6 +240,17 @@ Result<Command> ParseCommand(std::string_view line,
     command.cancel_id = static_cast<int>(id);
     return command;
   }
+  if (verb == "TRACE") {
+    if (tokens.size() != 2) return Status::InvalidArgument("bad-command");
+    // Same validation as SUBMIT's name= field: length-capped printable
+    // charset, so a hostile name cannot blow up the lookup or the reply.
+    if (tokens[1].size() > limits.max_name_bytes || !ValidName(tokens[1])) {
+      return BadField("name");
+    }
+    command.kind = CommandKind::kTrace;
+    command.trace_name = std::string(tokens[1]);
+    return command;
+  }
   if (verb != "SUBMIT") return Status::InvalidArgument("bad-command");
 
   command.kind = CommandKind::kSubmit;

@@ -8,6 +8,7 @@
 //          CONTRACT <contract-spec>
 //   STATUS
 //   CANCEL <request-id>
+//   TRACE <name>
 //   DRAIN
 //   STOP
 //
@@ -96,7 +97,7 @@ class LineBuffer {
 Result<Contract> ParseContractSpec(std::string_view spec,
                                    std::string* canonical = nullptr);
 
-enum class CommandKind { kSubmit, kStatus, kCancel, kDrain, kStop };
+enum class CommandKind { kSubmit, kStatus, kCancel, kTrace, kDrain, kStop };
 
 /// A parsed SUBMIT: the query, its contract (plus the canonical spec
 /// text), and the optional deadline.
@@ -112,8 +113,9 @@ struct SubmitCommand {
 
 struct Command {
   CommandKind kind = CommandKind::kStatus;
-  SubmitCommand submit;  // kSubmit only.
-  int cancel_id = -1;    // kCancel only.
+  SubmitCommand submit;    // kSubmit only.
+  int cancel_id = -1;      // kCancel only.
+  std::string trace_name;  // kTrace only: query name to look up.
 };
 
 /// Parses one command line (no terminator). Stable error codes:

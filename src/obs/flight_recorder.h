@@ -1,0 +1,100 @@
+// Flight recorder: an always-on, fixed-capacity, lock-free ring of the most
+// recent span and audit-ledger records.
+//
+// Purpose: when a wall-clock server misbehaves (drain failure, operator
+// SIGQUIT, a hung request), the last few thousand observability events are
+// dumpable *now*, without having configured tracing up front and without
+// waiting for a drain that may never complete.
+//
+// Memory model (DESIGN.md §15): the ring is a power-of-two array of slots
+// allocated once at construction. A writer claims slot `i = head++` (one
+// atomic fetch_add), invalidates the slot's stamp, stores the entry as six
+// relaxed atomic words, then publishes stamp = i+1 with release order. A
+// reader (Dump) walks the last `capacity` indices, loads the stamp with
+// acquire order before and after copying the words, and keeps the entry
+// only if both loads observed i+1 — torn entries (a writer lapped the ring
+// mid-copy) are dropped rather than misreported. Record is wait-free and
+// performs zero allocations, so mirroring every span/ledger record through
+// the flight recorder stays inside the PR 7 steady-state alloc gate
+// (bench_alloc, <= 5 allocs/region).
+//
+// Entries carry only POD fields; `name` must be a string literal (the ring
+// stores the pointer, exactly like SpanRecord).
+#ifndef CAQE_OBS_FLIGHT_RECORDER_H_
+#define CAQE_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace caqe {
+
+/// One flight-recorder entry: a compact mirror of either a span record
+/// (kind 's') or an audit-ledger record (kind 'a').
+struct FlightEntry {
+  /// Global claim order (assigned by Record; oldest-first in Dump).
+  uint64_t seq = 0;
+  /// 's' = span, 'a' = audit record.
+  char kind = 0;
+  /// Span name or audit-kind name; must be a string literal.
+  const char* name = "";
+  int request_id = -1;
+  int region = -1;
+  /// Virtual time (audit records; 0 for spans — spans are wall-only).
+  double vtime = 0.0;
+  /// Wall microseconds against the writer's epoch.
+  double wall_us = 0.0;
+  /// Operation count / result count (kind-specific payload).
+  int64_t value = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// Capacity is rounded up to a power of two; all memory is allocated
+  /// here, never on the record path.
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one entry. Lock-free, wait-free, allocation-free; safe from
+  /// any number of threads. The entry's `seq` field is overwritten with
+  /// the claimed slot index.
+  void Record(FlightEntry entry);
+
+  /// Consistent snapshot of the surviving ring contents, oldest first.
+  /// Entries a concurrent writer was overwriting mid-copy are skipped.
+  std::vector<FlightEntry> Dump() const;
+
+  /// Dump() as one JSON object per line (the ring's export format):
+  ///   {"seq":17,"kind":"audit","name":"decision","req":3,"region":-1,
+  ///    "vtime":0.25,"value":0,"wall_us":812.4}
+  std::string Jsonl() const;
+
+  /// Total entries ever recorded (>= capacity() means the ring wrapped).
+  uint64_t total() const { return head_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  // Entry payload packed into fixed atomic words so concurrent Dump never
+  // reads a torn non-atomic field (and stays clean under TSan).
+  static constexpr int kWords = 6;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> stamp{0};  // 0 = empty/being written, else seq+1.
+    std::atomic<uint64_t> words[kWords];
+  };
+
+  size_t mask_;
+  std::atomic<uint64_t> head_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_OBS_FLIGHT_RECORDER_H_

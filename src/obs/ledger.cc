@@ -1,0 +1,186 @@
+#include "obs/ledger.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+
+namespace caqe {
+
+namespace {
+
+/// Shortest round-trip formatting: deterministic doubles (vtime, pScore)
+/// must export byte-identically between a live session and its replay.
+std::string JsonExact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) {
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+        return shorter;
+      }
+    }
+  }
+  return buf;
+}
+
+std::string JsonWall(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kArrival:
+      return "arrival";
+    case AuditKind::kDecision:
+      return "decision";
+    case AuditKind::kGraft:
+      return "graft";
+    case AuditKind::kRegionStep:
+      return "region_step";
+    case AuditKind::kFirstResult:
+      return "first_result";
+    case AuditKind::kCancel:
+      return "cancel";
+    case AuditKind::kFinish:
+      return "finish";
+  }
+  return "unknown";
+}
+
+std::string AuditRecordJson(const AuditRecord& record, bool include_wall) {
+  std::string out = "{\"seq\":" + std::to_string(record.seq);
+  out += ",\"kind\":\"";
+  out += AuditKindName(record.kind);
+  out += "\",\"req\":" + std::to_string(record.request_id);
+  out += ",\"vtime\":" + JsonExact(record.vtime);
+  out += ",\"span\":" + std::to_string(record.span);
+  out += ",\"parent\":" + std::to_string(record.parent);
+  switch (record.kind) {
+    case AuditKind::kArrival:
+      break;
+    case AuditKind::kDecision:
+      out += ",\"phase\":\"";
+      out += record.phase == nullptr ? "" : record.phase;
+      out += "\",\"reason\":\"";
+      out += record.reason == nullptr ? "" : record.reason;
+      out += "\",\"est_first\":" + JsonExact(record.est_first_seconds);
+      out += ",\"est_finish\":" + JsonExact(record.est_finish_seconds);
+      out += ",\"utility\":" + JsonExact(record.expected_utility);
+      break;
+    case AuditKind::kGraft:
+      out += ",\"lineage_regions\":" + std::to_string(record.lineage_regions);
+      break;
+    case AuditKind::kRegionStep:
+      out += ",\"region\":" + std::to_string(record.region);
+      out += ",\"results\":" + std::to_string(record.results);
+      out += ",\"pscore_before\":" + JsonExact(record.pscore_before);
+      out += ",\"pscore\":" + JsonExact(record.pscore);
+      out += ",\"weight\":" + JsonExact(record.weight);
+      break;
+    case AuditKind::kFirstResult:
+      out += ",\"results\":" + std::to_string(record.results);
+      break;
+    case AuditKind::kCancel:
+      out += ",\"phase\":\"";
+      out += record.phase == nullptr ? "" : record.phase;
+      out += "\"";
+      break;
+    case AuditKind::kFinish:
+      out += ",\"phase\":\"";
+      out += record.phase == nullptr ? "" : record.phase;
+      out += "\",\"reason\":\"";
+      out += record.reason == nullptr ? "" : record.reason;
+      out += "\",\"results\":" + std::to_string(record.results);
+      out += ",\"pscore\":" + JsonExact(record.pscore);
+      out += ",\"est_finish\":" + JsonExact(record.est_finish_seconds);
+      out += ",\"observed\":" + JsonExact(record.observed_seconds);
+      out += ",\"utility\":" + JsonExact(record.expected_utility);
+      break;
+  }
+  if (include_wall) out += ",\"wall_us\":" + JsonWall(record.wall_us);
+  out += "}";
+  return out;
+}
+
+AuditLedger::AuditLedger() : epoch_ns_(NowNs()) {
+  records_.reserve(1024);
+}
+
+void AuditLedger::Append(AuditRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  record.wall_us = (NowNs() - epoch_ns_) / 1000.0;
+  if (flight_ != nullptr) {
+    FlightEntry entry;
+    entry.kind = 'a';
+    entry.name = AuditKindName(record.kind);
+    entry.request_id = record.request_id;
+    entry.region = record.region;
+    entry.vtime = record.vtime;
+    entry.wall_us = record.wall_us;
+    entry.value = record.results;
+    flight_->Record(entry);
+  }
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(record);
+}
+
+std::vector<AuditRecord> AuditLedger::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<AuditRecord> AuditLedger::Tail(int request_id,
+                                           size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditRecord> out;
+  for (const AuditRecord& record : records_) {
+    if (record.request_id != request_id) continue;
+    out.push_back(record);
+  }
+  if (out.size() > max_records) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<ptrdiff_t>(out.size() - max_records));
+  }
+  return out;
+}
+
+std::string AuditLedger::Jsonl(bool include_wall) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const AuditRecord& record : records_) {
+    out += AuditRecordJson(record, include_wall);
+    out += "\n";
+  }
+  return out;
+}
+
+int64_t AuditLedger::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t AuditLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace caqe

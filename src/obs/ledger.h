@@ -1,0 +1,128 @@
+// Contract audit ledger: one record per contract-relevant event in a
+// request's life — arrival, admission decision, graft, per-region progress
+// (pScore before/after a weight update), first result, cancel, and the
+// terminal finish with estimate-vs-observed service time.
+//
+// Determinism contract (DESIGN.md §15): records are appended only from the
+// serial driver thread at virtual timestamps, so for a recorded session the
+// ledger — minus the `wall_us` field, which is emitted *last* in every line
+// precisely so tools can strip it — is byte-identical between the live run
+// and `caqe_serve --replay`, across threads x pipeline x compact_layout
+// (scripts/run_net_matrix.sh diffs it). Like every obs structure the ledger
+// is write-only: no engine decision may read it.
+//
+// Alloc discipline: records are PODs (phase/reason are string-literal
+// pointers; request *names* are never stored — resolve them through the
+// server), pushed into one pre-reserved vector under a mutex. Past
+// `capacity` new records are counted in dropped() instead of growing
+// unboundedly; dropped records still reach the flight recorder's ring.
+#ifndef CAQE_OBS_LEDGER_H_
+#define CAQE_OBS_LEDGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace caqe {
+
+class FlightRecorder;
+
+enum class AuditKind : uint8_t {
+  kArrival = 0,
+  kDecision,
+  kGraft,
+  kRegionStep,
+  kFirstResult,
+  kCancel,
+  kFinish,
+};
+
+/// Stable lower-case name ("arrival", "decision", ...). Returned pointer is
+/// a string literal.
+const char* AuditKindName(AuditKind kind);
+
+/// One ledger record. Field relevance depends on `kind`; irrelevant fields
+/// keep their zero values and are omitted from the JSON line. `phase` and
+/// `reason` must point to string literals (static storage duration).
+struct AuditRecord {
+  AuditKind kind = AuditKind::kArrival;
+  int request_id = -1;
+  /// Global append order; assigned by Append.
+  uint64_t seq = 0;
+  /// Causal span ids (TraceSink span ids; 0 = none). `span` is the span
+  /// recording this event, `parent` its causal parent — together with the
+  /// span stream they form the request's causal tree.
+  uint64_t span = 0;
+  uint64_t parent = 0;
+  /// Virtual time of the event (deterministic).
+  double vtime = 0.0;
+  /// Responsible region (kRegionStep) or -1.
+  int region = -1;
+  /// Decision/status name for decision/cancel/finish records.
+  const char* phase = nullptr;
+  /// Admission/termination reason, when one applies.
+  const char* reason = nullptr;
+  int64_t results = 0;
+  double pscore_before = 0.0;
+  double pscore = 0.0;
+  /// Eq. 11 satisfaction weight after the update (kRegionStep).
+  double weight = 0.0;
+  double est_first_seconds = 0.0;
+  double est_finish_seconds = 0.0;
+  /// Observed service time at completion (kFinish).
+  double observed_seconds = 0.0;
+  double expected_utility = 0.0;
+  int64_t lineage_regions = 0;
+  /// Wall microseconds against the ledger's epoch; assigned by Append.
+  /// Always the *last* JSON field so `--normalize-wall` diffs can strip it.
+  double wall_us = 0.0;
+};
+
+/// One record as a single-line JSON object (no trailing newline). With
+/// `include_wall` false the `,"wall_us":...` suffix is omitted entirely —
+/// the normalized form the replay determinism gates compare.
+std::string AuditRecordJson(const AuditRecord& record,
+                            bool include_wall = true);
+
+class AuditLedger {
+ public:
+  AuditLedger();
+
+  /// Appends one record (assigns seq + wall_us; mirrors into the flight
+  /// recorder when one is attached). Thread-safe, though the determinism
+  /// contract additionally requires all appends to come from the serial
+  /// driver thread.
+  void Append(AuditRecord record);
+
+  /// All records in append order.
+  std::vector<AuditRecord> Snapshot() const;
+
+  /// The last `max_records` records for `request_id`, in append order.
+  std::vector<AuditRecord> Tail(int request_id, size_t max_records) const;
+
+  /// One JSON object per line per record, append order.
+  std::string Jsonl(bool include_wall = true) const;
+
+  int64_t dropped() const;
+  size_t size() const;
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  /// Mirror every appended record (kept or dropped) into `flight`.
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_ = 1 << 18;
+  int64_t dropped_ = 0;
+  uint64_t next_seq_ = 0;
+  std::vector<AuditRecord> records_;
+  FlightRecorder* flight_ = nullptr;
+  // Wall epoch for wall_us (observability-only, never deterministic).
+  double epoch_ns_ = 0.0;
+};
+
+}  // namespace caqe
+
+#endif  // CAQE_OBS_LEDGER_H_

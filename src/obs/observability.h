@@ -10,7 +10,9 @@
 #ifndef CAQE_OBS_OBSERVABILITY_H_
 #define CAQE_OBS_OBSERVABILITY_H_
 
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/metrics_registry.h"
 #include "obs/span.h"
 
@@ -23,10 +25,25 @@ struct Observability {
   TraceSink spans;
   MetricsRegistry metrics;
   ContractHealth health;
+  AuditLedger ledger;
+  FlightRecorder flight;
+
+  /// The flight recorder mirrors every span and ledger record (always-on,
+  /// pre-sampling), so the ring is a complete recent-history view even
+  /// when span sampling or the ledger capacity cap is active.
+  Observability() {
+    spans.set_flight(&flight);
+    ledger.set_flight(&flight);
+  }
 
   /// Convenience: sink for spans, or nullptr when `obs` is null.
   static TraceSink* Spans(Observability* obs) {
     return obs == nullptr ? nullptr : &obs->spans;
+  }
+
+  /// Convenience: audit ledger, or nullptr when `obs` is null.
+  static AuditLedger* Ledger(Observability* obs) {
+    return obs == nullptr ? nullptr : &obs->ledger;
   }
 
   /// Chrome/Perfetto trace of everything collected (spans + health tracks).

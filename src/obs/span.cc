@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/json_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 
 namespace caqe {
@@ -28,8 +29,29 @@ int LogicalThreadId() {
 }
 
 void TraceSink::Record(SpanRecord record) {
+  // The flight recorder mirrors everything, before sampling: its ring is
+  // the always-on last-resort view and must not share the sink's blind
+  // spots.
+  if (FlightRecorder* flight = flight_.load(std::memory_order_acquire)) {
+    FlightEntry entry;
+    entry.kind = 's';
+    entry.name = record.name;
+    entry.request_id = record.query;
+    entry.region = record.region;
+    entry.wall_us = record.start_us;
+    entry.value = record.arg_value;
+    flight->Record(entry);
+  }
+  // Sticky tree sampling: keep or drop whole causal trees, keyed by the
+  // root span id, so a kept parent never loses its children. Spans with no
+  // identity (sink-less construction paths) fall back to seq.
   const uint64_t every = sample_every_.load(std::memory_order_relaxed);
-  if (every > 1 && record.seq % every != 0) return;
+  if (every > 1) {
+    const uint64_t key =
+        record.root != 0 ? record.root : (record.id != 0 ? record.id
+                                                         : record.seq);
+    if (key % every != 0) return;
+  }
   Shard& shard = shards_[LogicalThreadId() % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.records.push_back(record);
@@ -80,6 +102,10 @@ std::string ChromeSpanJson(const SpanRecord& span) {
   event += ",\"dur\":" + JsonDouble(span.dur_us);
   event += ",\"pid\":0,\"tid\":" + std::to_string(span.tid);
   event += ",\"args\":{\"seq\":" + std::to_string(span.seq);
+  if (span.id != 0) {
+    event += ",\"span\":" + std::to_string(span.id);
+    event += ",\"parent\":" + std::to_string(span.parent);
+  }
   if (span.region >= 0) {
     event += ",\"region\":" + std::to_string(span.region);
   }
@@ -151,6 +177,9 @@ std::string SpansJsonl(const std::vector<SpanRecord>& spans,
     out += ",\"cat\":";
     JsonAppendString(out, span.category);
     out += ",\"seq\":" + std::to_string(span.seq);
+    out += ",\"span\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    out += ",\"root\":" + std::to_string(span.root);
     out += ",\"region\":" + std::to_string(span.region);
     out += ",\"query\":" + std::to_string(span.query);
     if (span.arg_name != nullptr) {

@@ -36,6 +36,8 @@
 
 namespace caqe {
 
+class FlightRecorder;
+
 /// One completed span. `name`, `category`, and `arg_name` must point to
 /// string literals (static storage duration) — the sink stores the pointer.
 struct SpanRecord {
@@ -45,6 +47,12 @@ struct SpanRecord {
   /// driver thread (every current call site), seq order is deterministic,
   /// which is what makes the timing-free JSONL export byte-comparable.
   uint64_t seq = 0;
+  /// Span identity (assigned at TraceSpan *construction*, so a parent's id
+  /// is always smaller than its children's) and causal links; 0 = none.
+  /// `root` names the tree this span belongs to — the sampling unit.
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  uint64_t root = 0;
   /// Wall start/duration in microseconds against the sink's epoch.
   double start_us = 0.0;
   double dur_us = 0.0;
@@ -71,9 +79,13 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// Records one span; safe from any thread. When sampling is enabled
-  /// (set_sample_every > 1) only spans whose seq is a multiple of the
-  /// sampling period are kept — a deterministic rule, so two runs with the
-  /// same span stream sample identically.
+  /// (set_sample_every > 1) the keep/drop decision is *sticky per causal
+  /// tree*: a span is kept iff its root span id (its own id when it is the
+  /// root) is a multiple of the sampling period, so a sampled tree is kept
+  /// or dropped whole — children are never orphaned from a kept parent.
+  /// The rule is deterministic: two runs with the same span stream sample
+  /// identically. Every record is mirrored into the flight recorder (when
+  /// one is attached) *before* sampling — the ring is always-on.
   void Record(SpanRecord record);
 
   /// Merged view of every shard, sorted by `seq` (global record order).
@@ -86,10 +98,15 @@ class TraceSink {
   /// collected by the next one.
   std::vector<SpanRecord> Drain();
 
-  /// Keep only every `n`-th span (by seq); 1 (the default) keeps all.
-  /// Values < 1 are treated as 1.
+  /// Keep only every `n`-th causal tree (by root span id); 1 (the default)
+  /// keeps all. Values < 1 are treated as 1.
   void set_sample_every(int n) {
     sample_every_.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  /// Mirror every recorded span (pre-sampling) into `flight`.
+  void set_flight(FlightRecorder* flight) {
+    flight_.store(flight, std::memory_order_release);
   }
 
   /// Total records across shards.
@@ -100,6 +117,12 @@ class TraceSink {
   /// Next global sequence number (used by TraceSpan on destruction).
   uint64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Next span id (used by TraceSpan on construction). Ids start at 1 so
+  /// 0 always means "no span".
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(64) Shard {
     mutable std::mutex mu;
@@ -108,7 +131,9 @@ class TraceSink {
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> sample_every_{1};
+  std::atomic<FlightRecorder*> flight_{nullptr};
   Shard shards_[kShards];
 };
 
@@ -125,6 +150,7 @@ class TraceSpan {
                      double* wall_sink = nullptr)
       : sink_(sink), wall_sink_(wall_sink), name_(name), category_(category) {
     if (sink_ == nullptr && wall_sink_ == nullptr) return;  // Disabled.
+    if (sink_ != nullptr) id_ = sink_->NextSpanId();
     start_ = std::chrono::steady_clock::now();
   }
 
@@ -149,6 +175,10 @@ class TraceSpan {
     record.query = query_;
     record.arg_name = arg_name_;
     record.arg_value = arg_value_;
+    record.id = id_;
+    record.parent = parent_;
+    // An unparented span roots its own causal tree.
+    record.root = root_ != 0 ? root_ : id_;
     sink_->Record(record);
   }
 
@@ -162,6 +192,14 @@ class TraceSpan {
     arg_name_ = name;
     arg_value_ = value;
   }
+  /// Links this span under `parent` within the tree rooted at `root`
+  /// (pass the parent's own id as `root` when the parent is the root).
+  void set_parent(uint64_t parent, uint64_t root) {
+    parent_ = parent;
+    root_ = root;
+  }
+  /// This span's id (0 when the sink is disabled).
+  uint64_t id() const { return id_; }
 
  private:
   TraceSink* sink_;
@@ -173,6 +211,9 @@ class TraceSpan {
   int query_ = -1;
   const char* arg_name_ = nullptr;
   int64_t arg_value_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t root_ = 0;
 };
 
 class ContractHealth;

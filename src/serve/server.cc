@@ -137,9 +137,21 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
       if (ttfr_hist_ != nullptr) {
         ttfr_hist_->Observe(request.time_to_first_result);
       }
+      // Emission runs synchronously on the driver thread, so this append
+      // keeps the ledger's serial order (and replay determinism).
+      if (ledger_ != nullptr) {
+        AuditRecord record;
+        record.kind = AuditKind::kFirstResult;
+        record.request_id = request_id;
+        record.vtime = time;
+        record.parent = request.graft_span;
+        record.results = 1;
+        ledger_->Append(record);
+      }
     }
     if (request.callback) request.callback(request_id, id, time, utility);
   };
+  ledger_ = Observability::Ledger(options_.obs);
   if (options_.obs != nullptr) {
     ttfr_hist_ = &options_.obs->metrics.histogram(
         "caqe_serve_time_to_first_result_vseconds",
@@ -199,6 +211,32 @@ Status CaqeServer::Cancel(int request_id, double cancel_time) {
   return Status::OK();
 }
 
+CaqeServer::RequestBrief CaqeServer::BriefOf(int request_id) const {
+  const RequestState& request = requests_[static_cast<size_t>(request_id)];
+  RequestBrief brief;
+  brief.id = request.id;
+  brief.name = request.query.name;
+  brief.status = request.status;
+  brief.submit_time = request.submit_time;
+  brief.root_span = request.root_span;
+  if (request.slot >= 0 && tracker_.has_value()) {
+    const QuerySatisfaction& sat = tracker_->satisfaction(request.slot);
+    brief.results = sat.results;
+    brief.pscore = sat.pscore;
+  } else {
+    brief.results = request.results;
+    brief.pscore = request.pscore;
+  }
+  return brief;
+}
+
+int CaqeServer::FindRequestByName(std::string_view name) const {
+  for (int i = static_cast<int>(requests_.size()) - 1; i >= 0; --i) {
+    if (requests_[static_cast<size_t>(i)].query.name == name) return i;
+  }
+  return -1;
+}
+
 int CaqeServer::ActiveQueries() const {
   int active = 0;
   for (int request_id : slot_request_) {
@@ -220,6 +258,30 @@ void CaqeServer::RecordEvent(ExecEvent::Kind kind, int region, int query,
 }
 
 void CaqeServer::NotifyFinished(const RequestState& request) {
+  // Single point every terminal transition passes through (retire, reject,
+  // cancel-before-admission, expiry, forced drain reject): the ledger's
+  // terminal record with estimate-vs-observed service time lands here.
+  if (ledger_ != nullptr) {
+    AuditRecord record;
+    record.kind = AuditKind::kFinish;
+    record.request_id = request.id;
+    record.vtime = request.finish_time >= 0.0 ? request.finish_time
+                                              : clock_.Now();
+    record.parent = request.graft_span != 0
+                        ? request.graft_span
+                        : (request.decision_span != 0 ? request.decision_span
+                                                      : request.root_span);
+    record.phase = RequestStatusName(request.status);
+    record.reason = request.reason;
+    record.results = request.results;
+    record.pscore = request.pscore;
+    record.est_finish_seconds = request.est_finish_seconds;
+    record.observed_seconds = request.finish_time >= 0.0
+                                  ? request.finish_time - request.submit_time
+                                  : 0.0;
+    record.expected_utility = request.expected_utility;
+    ledger_->Append(record);
+  }
   if (options_.on_finish) options_.on_finish(request.id, request.status);
 }
 
@@ -228,6 +290,8 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
   // observability-only, never charged to the virtual clock.
   TraceSpan span(Observability::Spans(options_.obs), "admission", "serve");
   span.set_query(request.id);
+  span.set_parent(request.root_span, request.root_span);
+  request.decision_span = span.id();
   AdmissionInput in;
   in.rc = &rc_;
   in.part_r = &*part_r_;
@@ -254,6 +318,20 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
                  AdmissionDecisionName(est.decision) + "\",reason=\"" +
                  est.reason + "\"}")
         .Inc();
+  }
+  if (ledger_ != nullptr) {
+    AuditRecord record;
+    record.kind = AuditKind::kDecision;
+    record.request_id = request.id;
+    record.vtime = clock_.Now();
+    record.span = request.decision_span;
+    record.parent = request.root_span;
+    record.phase = AdmissionDecisionName(est.decision);
+    record.reason = est.reason;
+    record.est_first_seconds = est.est_first_seconds;
+    record.est_finish_seconds = est.est_finish_seconds;
+    record.expected_utility = est.expected_utility;
+    ledger_->Append(record);
   }
   switch (est.decision) {
     case AdmissionDecision::kAdmit: {
@@ -284,6 +362,10 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
 Status CaqeServer::Graft(RequestState& request) {
   TraceSpan span(Observability::Spans(options_.obs), "graft", "serve");
   span.set_query(request.id);
+  span.set_parent(request.decision_span != 0 ? request.decision_span
+                                             : request.root_span,
+                  request.root_span);
+  request.graft_span = span.id();
   // Stage boundary: a graft mutates lineages, pending flags, and the
   // workload, so drop any speculative join still in flight (its deferred
   // charges were never committed — the pipeline re-joins fresh).
@@ -367,6 +449,17 @@ Status CaqeServer::Graft(RequestState& request) {
     options_.obs->health.SetName(request.id, request.query.name);
   }
   span.set_arg("lineage_regions", live);
+  if (ledger_ != nullptr) {
+    AuditRecord record;
+    record.kind = AuditKind::kGraft;
+    record.request_id = request.id;
+    record.vtime = clock_.Now();
+    record.span = request.graft_span;
+    record.parent = request.decision_span != 0 ? request.decision_span
+                                               : request.root_span;
+    record.lineage_regions = live;
+    ledger_->Append(record);
+  }
   RecordEvent(ExecEvent::Kind::kQueryAdmitted, -1, slot, live);
   return Status::OK();
 }
@@ -374,6 +467,9 @@ Status CaqeServer::Graft(RequestState& request) {
 void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
   TraceSpan span(Observability::Spans(options_.obs), "retire", "serve");
   span.set_query(request.id);
+  span.set_parent(request.graft_span != 0 ? request.graft_span
+                                          : request.root_span,
+                  request.root_span);
   // Stage boundary: retirement prunes lineages and pending flags; see
   // Graft for why in-flight speculation is dropped first.
   pipeline_->CancelSpeculation();
@@ -436,10 +532,35 @@ void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
 
 void CaqeServer::HandleArrival(RequestState& request) {
   if (request.status != RequestStatus::kQueued) return;  // Pre-cancelled.
+  // Root of the request's causal tree: admission (and through it graft and
+  // the ledger's records) parents under this span. Arrivals fire at event
+  // time on the driver thread, so span ids and ledger order are identical
+  // between a live session and its replay.
+  TraceSpan root(Observability::Spans(options_.obs), "request", "serve");
+  root.set_query(request.id);
+  request.root_span = root.id();
+  if (ledger_ != nullptr) {
+    AuditRecord record;
+    record.kind = AuditKind::kArrival;
+    record.request_id = request.id;
+    record.vtime = clock_.Now();
+    record.span = request.root_span;
+    ledger_->Append(record);
+  }
   Decide(request);
 }
 
 void CaqeServer::HandleCancel(RequestState& request) {
+  if (ledger_ != nullptr) {
+    AuditRecord record;
+    record.kind = AuditKind::kCancel;
+    record.request_id = request.id;
+    record.vtime = clock_.Now();
+    record.parent = request.root_span;
+    // Status *before* the transition: what the cancel interrupted.
+    record.phase = RequestStatusName(request.status);
+    ledger_->Append(record);
+  }
   switch (request.status) {
     case RequestStatus::kQueued:
     case RequestStatus::kDeferred:
@@ -544,8 +665,42 @@ bool CaqeServer::StepInternal() {
   CheckCompletion();
 
   if (pending_count_ > 0) {
+    // Snapshot every live slot's (results, pscore, weight) so the ledger's
+    // region_step records carry before/after pairs. Scratch vectors keep
+    // their capacity across steps (alloc-gate discipline).
+    if (ledger_ != nullptr) {
+      const size_t slots = slot_request_.size();
+      if (step_results_before_.size() < slots) {
+        step_results_before_.resize(slots, 0);
+        step_pscore_before_.resize(slots, 0.0);
+        step_weight_before_.resize(slots, 0.0);
+      }
+      for (size_t slot = 0; slot < slots; ++slot) {
+        if (slot_request_[slot] < 0) continue;
+        const QuerySatisfaction& sat =
+            tracker_->satisfaction(static_cast<int>(slot));
+        step_results_before_[slot] = sat.results;
+        step_pscore_before_[slot] = sat.pscore;
+        step_weight_before_[slot] =
+            scheduler_.has_value() ? scheduler_->weight(static_cast<int>(slot))
+                                   : 1.0;
+      }
+    }
     const int rid = PickRegion();
-    pipeline_->ProcessRegion(rid);
+    {
+      // Umbrella span for this region step: the pipeline's phase spans
+      // parent under it (see RegionPipeline::set_trace_context), so the
+      // step is one connected tree and tree-sticky sampling keeps or drops
+      // it whole.
+      TraceSpan region_span(Observability::Spans(options_.obs),
+                            "process_region", "serve");
+      region_span.set_region(rid);
+      if (region_span.id() != 0) {
+        pipeline_->set_trace_context(RequestTraceContext{
+            /*request_id=*/-1, region_span.id(), region_span.id()});
+      }
+      pipeline_->ProcessRegion(rid);
+    }
     if (scheduler_.has_value()) scheduler_->UpdateWeights();
     // Contract-health trajectories, keyed by *request id* (workload slots
     // are reused across requests; request ids are not).
@@ -560,6 +715,24 @@ bool CaqeServer::StepInternal() {
             scheduler_.has_value() ? scheduler_->weight(slot) : 1.0;
         options_.obs->health.Sample(now, request_id, sat.results,
                                     sat.pscore, weight);
+        // Ledger: one region_step record per request whose contract state
+        // this region moved (same dedup triple as the health timeline).
+        if (ledger_ != nullptr &&
+            (sat.results != step_results_before_[slot] ||
+             sat.pscore != step_pscore_before_[slot] ||
+             weight != step_weight_before_[slot])) {
+          AuditRecord record;
+          record.kind = AuditKind::kRegionStep;
+          record.request_id = request_id;
+          record.vtime = now;
+          record.region = rid;
+          record.parent = requests_[request_id].graft_span;
+          record.results = sat.results;
+          record.pscore_before = step_pscore_before_[slot];
+          record.pscore = sat.pscore;
+          record.weight = weight;
+          ledger_->Append(record);
+        }
       }
     }
   }

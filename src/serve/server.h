@@ -46,6 +46,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -64,6 +65,8 @@
 #include "skyline/point_set.h"
 
 namespace caqe {
+
+class AuditLedger;
 
 class CaqeServer {
  public:
@@ -168,6 +171,26 @@ class CaqeServer {
 
   int num_requests() const { return static_cast<int>(requests_.size()); }
 
+  /// Introspection snapshot of one request for /statusz, /tracez, and the
+  /// TRACE verb. For a running request, results/pscore read the live
+  /// tracker state; for finished ones, the frozen report fields.
+  struct RequestBrief {
+    int id = -1;
+    std::string name;
+    RequestStatus status = RequestStatus::kQueued;
+    int64_t results = 0;
+    double pscore = 0.0;
+    double submit_time = 0.0;
+    /// Id of the request's root "request" span (0 before arrival fired or
+    /// without an Observability attached).
+    uint64_t root_span = 0;
+  };
+  RequestBrief BriefOf(int request_id) const;
+
+  /// Most recently submitted request whose query name is `name`; -1 when
+  /// no request matches.
+  int FindRequestByName(std::string_view name) const;
+
  private:
   struct RequestState {
     int id = -1;
@@ -194,6 +217,12 @@ class CaqeServer {
     double pscore = 0.0;
     double satisfaction = 0.0;
     const char* reason = "";
+    /// Causal span ids (0 = none yet): the root "request" span and the
+    /// latest admission/graft spans — parents for downstream spans and the
+    /// audit ledger's causal links (DESIGN.md §15).
+    uint64_t root_span = 0;
+    uint64_t decision_span = 0;
+    uint64_t graft_span = 0;
   };
 
   struct TraceEvent {
@@ -263,6 +292,17 @@ class CaqeServer {
   std::vector<RequestState> requests_;
   std::vector<TraceEvent> events_;
   int64_t control_ops_ = 0;
+  /// Audit ledger resolved once in Bootstrap (null without an
+  /// Observability). Appends happen only on the serial driver thread at
+  /// virtual timestamps, which is what makes the ledger's normalized JSONL
+  /// byte-identical between a live session and its replay.
+  AuditLedger* ledger_ = nullptr;
+  /// Per-slot (results, pscore, weight) snapshots taken immediately before
+  /// ProcessRegion, so region_step ledger records carry before/after pairs
+  /// without allocating per step.
+  std::vector<int64_t> step_results_before_;
+  std::vector<double> step_pscore_before_;
+  std::vector<double> step_weight_before_;
   // Metrics resolved once in Bootstrap when options_.obs is attached.
   // Observations are virtual-time quantities, so both histograms are
   // deterministic across thread counts.

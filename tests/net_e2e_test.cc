@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -373,6 +374,115 @@ TEST(NetE2eTest, HttpScrapeEndpoints) {
   }
 
   net->RequestDrain();
+  driver.join();
+  ASSERT_TRUE(serve_status.ok()) << serve_status.ToString();
+}
+
+/// One HTTP GET against a lingering server; returns the full response.
+std::string HttpGet(int port, const std::string& path) {
+  RawClient http(port);
+  if (!http.connected()) return "";
+  http.Send("GET " + path + " HTTP/1.0\r\n\r\n");
+  http.ReadToClose(5000);
+  return http.transcript();
+}
+
+// The debug surface: /statusz, /tracez/<id>, /flightz, and the TRACE verb.
+// Hostile request ids must earn stable kebab-case error bodies, and the
+// span tree served for an admitted request must be causally connected.
+TEST(NetE2eTest, IntrospectionEndpointsAndTraceVerb) {
+  auto [r, t] = MakeServeTables(1, 100);
+  Observability obs;
+  ServeOptions serve_options = SmallServeOptions();
+  serve_options.obs = &obs;  // Engine-side: spans + the audit ledger.
+  auto server =
+      CaqeServer::Create(std::move(r), std::move(t), ThreeDims(), {0},
+                         serve_options)
+          .value();
+
+  NetServerOptions options;
+  options.obs = &obs;
+  options.linger_after_drain = true;
+  auto net = NetServer::Create(server.get(), std::move(options)).value();
+  Status serve_status;
+  std::thread driver([&] { serve_status = net->Serve(); });
+
+  RawClient client(net->port());
+  ASSERT_TRUE(client.connected());
+  client.SendLine("SUBMIT name=q0 key=0 pref=0,1 CONTRACT step:5");
+  ASSERT_TRUE(client.ReadUntil("QUEUED 0"));
+  client.SendLine("DRAIN");
+  ASSERT_TRUE(client.ReadUntil("DRAINED"));
+
+  // TRACE <name>: the audit-ledger tail, framed for script clients.
+  client.SendLine("TRACE q0");
+  ASSERT_TRUE(client.ReadUntil("TRACE-END"));
+  const std::string& transcript = client.transcript();
+  EXPECT_NE(transcript.find("TRACE 0 records="), std::string::npos);
+  EXPECT_NE(transcript.find("\"kind\":\"arrival\""), std::string::npos);
+  EXPECT_NE(transcript.find("\"kind\":\"decision\""), std::string::npos);
+  EXPECT_NE(transcript.find("\"kind\":\"finish\""), std::string::npos);
+  client.SendLine("TRACE nope");
+  ASSERT_TRUE(client.ReadUntil("ERR unknown-request"));
+
+  // /statusz: state + the request table row for q0.
+  const std::string statusz = HttpGet(net->port(), "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(statusz.find("state: drained"), std::string::npos);
+  EXPECT_NE(statusz.find("\n0 q0 "), std::string::npos);
+
+  // /tracez/0: a connected causal tree. Every "parent" in the body must be
+  // 0 or some "span" that also appears in the body — no orphaned children.
+  const std::string tracez = HttpGet(net->port(), "/tracez/0");
+  EXPECT_NE(tracez.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(tracez.find("\"request\":0"), std::string::npos);
+  EXPECT_NE(tracez.find("\"name\":\"q0\""), std::string::npos);
+  EXPECT_NE(tracez.find("\"records\":["), std::string::npos);
+  EXPECT_EQ(tracez.find("\"root_span\":0,"), std::string::npos)
+      << "admitted request must have a root span";
+  const auto scan = [&tracez](const char* token) {
+    std::vector<uint64_t> values;
+    size_t pos = 0;
+    while ((pos = tracez.find(token, pos)) != std::string::npos) {
+      pos += std::strlen(token);
+      uint64_t value = 0;
+      while (pos < tracez.size() && tracez[pos] >= '0' &&
+             tracez[pos] <= '9') {
+        value = value * 10 + static_cast<uint64_t>(tracez[pos++] - '0');
+      }
+      values.push_back(value);
+    }
+    return values;
+  };
+  std::set<uint64_t> span_ids = {0};
+  for (const uint64_t id : scan("\"span\":")) span_ids.insert(id);
+  const std::vector<uint64_t> parent_ids = scan("\"parent\":");
+  EXPECT_GT(span_ids.size(), 1u);
+  ASSERT_FALSE(parent_ids.empty());
+  for (const uint64_t parent : parent_ids) {
+    EXPECT_NE(span_ids.count(parent), 0u) << "orphaned parent " << parent;
+  }
+
+  // Hostile /tracez inputs: stable error bodies, never a crash.
+  const std::string non_numeric = HttpGet(net->port(), "/tracez/abc");
+  EXPECT_NE(non_numeric.find("HTTP/1.0 400"), std::string::npos);
+  EXPECT_NE(non_numeric.find("bad-request-id"), std::string::npos);
+  const std::string overlong = HttpGet(net->port(), "/tracez/9999999999");
+  EXPECT_NE(overlong.find("HTTP/1.0 400"), std::string::npos);
+  const std::string bare = HttpGet(net->port(), "/tracez");
+  EXPECT_NE(bare.find("HTTP/1.0 400"), std::string::npos);
+  const std::string unknown = HttpGet(net->port(), "/tracez/57");
+  EXPECT_NE(unknown.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(unknown.find("unknown-request-id"), std::string::npos);
+
+  // /flightz: the always-on ring mirrored both spans and audit records.
+  const std::string flightz = HttpGet(net->port(), "/flightz");
+  EXPECT_NE(flightz.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(flightz.find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(flightz.find("\"kind\":\"audit\""), std::string::npos);
+
+  client.SendLine("STOP");
+  client.ReadToClose();
   driver.join();
   ASSERT_TRUE(serve_status.ok()) << serve_status.ToString();
 }

@@ -66,6 +66,29 @@ TEST(ParseCommandTest, SimpleVerbs) {
   EXPECT_EQ(cancel->cancel_id, 3);
 }
 
+TEST(ParseCommandTest, TraceVerbParsesAndHardensAgainstHostileNames) {
+  Result<Command> trace = ParseCommand("TRACE q0", Limits());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->kind, CommandKind::kTrace);
+  EXPECT_EQ(trace->trace_name, "q0");
+  // Full name charset (same as SUBMIT name=).
+  EXPECT_EQ(ParseCommand("TRACE a.b:c-d_e", Limits())->trace_name,
+            "a.b:c-d_e");
+
+  EXPECT_EQ(ParseError("TRACE").message(), "bad-command");
+  EXPECT_EQ(ParseError("TRACE a b").message(), "bad-command");
+  EXPECT_EQ(ParseError("TRACE q(0)").message(), "bad-field name");
+  EXPECT_EQ(ParseError("TRACE " + std::string(129, 'a')).message(),
+            "bad-field name");
+  // An overlong hostile name must not be echoed back into the error: the
+  // code stays the same constant-size string.
+  EXPECT_EQ(ParseError("TRACE " + std::string(60000, 'a')).message(),
+            "bad-field name");
+  EXPECT_EQ(ParseError("TRACE q\x01").message(), "bad-byte");
+  EXPECT_EQ(ParseError(std::string("TRACE q\x00z", 9)).message(),
+            "bad-byte");
+}
+
 TEST(ParseCommandTest, StableErrorCodes) {
   EXPECT_EQ(ParseError("").message(), "bad-command");
   EXPECT_EQ(ParseError("FROBNICATE").message(), "bad-command");

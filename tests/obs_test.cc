@@ -5,13 +5,19 @@
 // or serving report.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "caqe/caqe.h"
 #include "metrics/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
 #include "obs/stream_writer.h"
 #include "test_util.h"
 
@@ -226,21 +232,51 @@ TEST(TraceSinkTest, DrainMovesRecordsOutAndResetsTheSink) {
   EXPECT_GT(second[0].seq, first.back().seq);
 }
 
-TEST(TraceSinkTest, SamplingKeepsEveryNthSeqDeterministically) {
+TEST(TraceSinkTest, SamplingIsStickyPerRootDeterministically) {
   TraceSink sink;
   sink.set_sample_every(3);
   for (int i = 0; i < 10; ++i) {
     TraceSpan span(&sink, "sampled", "serve");
   }
   const std::vector<SpanRecord> kept = sink.Snapshot();
-  // Seqs 0..9 were assigned; multiples of 3 survive: 0, 3, 6, 9.
-  ASSERT_EQ(kept.size(), 4u);
+  // Span ids 1..10 were assigned; an unparented span roots its own tree,
+  // so the sampling key is the id and 3, 6, 9 survive.
+  ASSERT_EQ(kept.size(), 3u);
   for (const SpanRecord& span : kept) {
-    EXPECT_EQ(span.seq % 3, 0u);
+    EXPECT_EQ(span.root % 3, 0u);
+    EXPECT_EQ(span.id, span.root);
   }
   sink.set_sample_every(0);  // Clamped to 1: keep everything again.
   { TraceSpan span(&sink, "all", "serve"); }
-  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.size(), 4u);
+}
+
+TEST(TraceSinkTest, SamplingKeepsWholeCausalTrees) {
+  TraceSink sink;
+  sink.set_sample_every(2);
+  {
+    TraceSpan dropped_root(&sink, "root", "serve");  // id 1: dropped tree.
+    TraceSpan kept_root(&sink, "root", "serve");     // id 2: kept tree.
+    {
+      TraceSpan child(&sink, "child", "serve");  // id 3, tree 2.
+      child.set_parent(kept_root.id(), kept_root.id());
+    }
+    {
+      TraceSpan child(&sink, "child", "serve");  // id 4, tree 1.
+      child.set_parent(dropped_root.id(), dropped_root.id());
+    }
+  }
+  // The sampling unit is the root: tree 2 (root and child) survives whole,
+  // tree 1 is dropped whole — never a child without its parent.
+  const std::vector<SpanRecord> kept = sink.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  for (const SpanRecord& span : kept) {
+    EXPECT_EQ(span.root, 2u);
+  }
+  EXPECT_STREQ(kept[0].name, "child");  // Destructs (and records) first.
+  EXPECT_EQ(kept[0].parent, 2u);
+  EXPECT_STREQ(kept[1].name, "root");
+  EXPECT_EQ(kept[1].parent, 0u);
 }
 
 TEST(StreamingTraceWriterTest, ChromeFormatStreamsLoadableBatches) {
@@ -307,6 +343,167 @@ TEST(StreamingTraceWriterTest, JsonlFormatWritesOneLinePerSpan) {
   EXPECT_EQ(lines, 3);
   EXPECT_NE(content.find("\"ts_us\":"), std::string::npos);  // Wall timings.
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Contract audit ledger.
+
+TEST(AuditLedgerTest, AppendAssignsSeqAndTailFiltersByRequest) {
+  AuditLedger ledger;
+  AuditRecord a;
+  a.kind = AuditKind::kArrival;
+  a.request_id = 0;
+  a.vtime = 0.1;
+  AuditRecord b;
+  b.kind = AuditKind::kDecision;
+  b.request_id = 1;
+  b.phase = "admit";
+  b.reason = "feasible";
+  AuditRecord c;
+  c.kind = AuditKind::kFinish;
+  c.request_id = 0;
+  c.phase = "completed";
+  ledger.Append(a);
+  ledger.Append(b);
+  ledger.Append(c);
+
+  const std::vector<AuditRecord> all = ledger.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].seq, 0u);
+  EXPECT_EQ(all[1].seq, 1u);
+  EXPECT_EQ(all[2].seq, 2u);
+
+  const std::vector<AuditRecord> tail = ledger.Tail(0, 8);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].kind, AuditKind::kArrival);
+  EXPECT_EQ(tail[1].kind, AuditKind::kFinish);
+  // With a smaller cap the *latest* records win.
+  const std::vector<AuditRecord> last = ledger.Tail(0, 1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].kind, AuditKind::kFinish);
+  EXPECT_TRUE(ledger.Tail(9, 4).empty());
+}
+
+TEST(AuditLedgerTest, CapacityBoundsRecordsAndCountsDropped) {
+  AuditLedger ledger;
+  ledger.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    AuditRecord record;
+    record.kind = AuditKind::kRegionStep;
+    record.request_id = i;
+    ledger.Append(record);
+  }
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.dropped(), 3);
+}
+
+TEST(AuditLedgerTest, WallClockIsAlwaysTheLastJsonField) {
+  AuditLedger ledger;
+  AuditRecord record;
+  record.kind = AuditKind::kDecision;
+  record.request_id = 3;
+  record.vtime = 0.25;
+  record.phase = "admit";
+  record.reason = "contract-feasible";
+  record.est_first_seconds = 0.5;
+  record.est_finish_seconds = 1.5;
+  record.expected_utility = 0.75;
+  ledger.Append(record);
+
+  const std::string with_wall = ledger.Jsonl(true);
+  const std::string without = ledger.Jsonl(false);
+  // wall_us — the only nondeterministic field — is emitted last so that
+  // stripping the `,"wall_us":...` suffix yields exactly Jsonl(false),
+  // which is what the replay determinism gates byte-compare.
+  const size_t wall_pos = with_wall.find(",\"wall_us\":");
+  ASSERT_NE(wall_pos, std::string::npos);
+  EXPECT_EQ(with_wall.find('}', wall_pos), with_wall.size() - 2);
+  EXPECT_EQ(without.find("wall_us"), std::string::npos);
+  EXPECT_EQ(with_wall.substr(0, wall_pos) + "}\n", without);
+  EXPECT_NE(without.find("\"kind\":\"decision\""), std::string::npos);
+  EXPECT_NE(without.find("\"phase\":\"admit\""), std::string::npos);
+  EXPECT_NE(without.find("\"reason\":\"contract-feasible\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST(FlightRecorderTest, RingKeepsTheMostRecentEntries) {
+  FlightRecorder flight(4);
+  EXPECT_EQ(flight.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    FlightEntry entry;
+    entry.kind = 'a';
+    entry.name = "decision";
+    entry.request_id = i;
+    flight.Record(entry);
+  }
+  EXPECT_EQ(flight.total(), 10u);
+  const std::vector<FlightEntry> dump = flight.Dump();
+  ASSERT_EQ(dump.size(), 4u);
+  // Oldest first; requests 6..9 survived the wrap.
+  for (size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_EQ(dump[i].request_id, 6 + static_cast<int>(i));
+    EXPECT_EQ(dump[i].seq, 6 + i);
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearTheDump) {
+  FlightRecorder flight(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&flight, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const FlightEntry& entry : flight.Dump()) {
+        // Every surviving entry must be internally consistent — a torn
+        // read would break the request_id/value invariant the writers
+        // maintain below.
+        EXPECT_EQ(entry.kind, 'a');
+        EXPECT_EQ(entry.value, static_cast<int64_t>(entry.request_id) * 2);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&flight, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        FlightEntry entry;
+        entry.kind = 'a';
+        entry.name = "region_step";
+        entry.request_id = t * kPerThread + i;
+        entry.value = static_cast<int64_t>(entry.request_id) * 2;
+        flight.Record(entry);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(flight.total(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(FlightRecorderTest, JsonlExportsBothKinds) {
+  FlightRecorder flight(8);
+  FlightEntry span;
+  span.kind = 's';
+  span.name = "join";
+  span.region = 2;
+  flight.Record(span);
+  FlightEntry audit;
+  audit.kind = 'a';
+  audit.name = "finish";
+  audit.request_id = 1;
+  audit.vtime = 0.5;
+  flight.Record(audit);
+  const std::string jsonl = flight.Jsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"audit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"join\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"finish\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"region\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"req\":1"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -515,6 +712,81 @@ TEST(ObsServingTest, ServingReportIdenticalWithObservabilityAttached) {
     }
   }
   EXPECT_TRUE(saw_admission);
+}
+
+// The tentpole determinism gate, in-process: the audit ledger (minus wall
+// time) must be byte-identical across thread counts, and every record must
+// hang off the causal tree of its own request — no orphaned children.
+TEST(ObsServingTest, AuditLedgerIsDeterministicAndCausallyConnected) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 300;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.02, 0.02};
+  cfg.seed = 2014;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = 2015;
+  const Table t = GenerateTable("T", cfg).value();
+  const std::vector<MappingFunction> dims = {
+      MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
+  const std::vector<int> keys = {0, 1};
+
+  TraceConfig trace_config;
+  trace_config.num_requests = 8;
+  trace_config.arrival_rate = 40.0;
+  trace_config.seed = 2014;
+  trace_config.reference_seconds = 0.1;
+  trace_config.cancel_fraction = 0.1;
+  const std::vector<TraceRequest> trace =
+      MakeSyntheticTrace(trace_config, keys, 3);
+
+  auto run = [&](int threads) {
+    Observability obs;
+    ServeOptions options;
+    options.target_regions = 64;
+    options.num_threads = threads;
+    options.obs = &obs;
+    auto server = CaqeServer::Create(r, t, dims, keys, options).value();
+    SubmitTrace(*server, trace);
+    server->Run().value();
+    return std::make_pair(obs.ledger.Jsonl(/*include_wall=*/false),
+                          obs.ledger.Snapshot());
+  };
+
+  const auto [jsonl_t1, records] = run(1);
+  const auto [jsonl_t8, records_t8] = run(8);
+  EXPECT_EQ(jsonl_t1, jsonl_t8);
+  ASSERT_FALSE(records.empty());
+
+  // Connectivity: a record's parent is either 0 (the root arrival) or the
+  // span of another record of the same request.
+  std::map<int, std::set<uint64_t>> spans_of;
+  for (const AuditRecord& record : records) {
+    if (record.span != 0) spans_of[record.request_id].insert(record.span);
+  }
+  for (const AuditRecord& record : records) {
+    if (record.parent == 0) continue;
+    EXPECT_NE(spans_of[record.request_id].count(record.parent), 0u)
+        << AuditRecordJson(record);
+  }
+
+  // Every submitted request reached a single terminal finish record, and
+  // every request saw an arrival and a decision.
+  std::map<int, int> finishes;
+  std::set<int> arrived;
+  std::set<int> decided;
+  for (const AuditRecord& record : records) {
+    if (record.kind == AuditKind::kFinish) finishes[record.request_id]++;
+    if (record.kind == AuditKind::kArrival) arrived.insert(record.request_id);
+    if (record.kind == AuditKind::kDecision) {
+      decided.insert(record.request_id);
+    }
+  }
+  EXPECT_EQ(finishes.size(), trace.size());
+  for (const auto& [id, count] : finishes) {
+    EXPECT_EQ(count, 1) << "request " << id;
+  }
+  EXPECT_EQ(arrived.size(), trace.size());
+  EXPECT_EQ(decided.size(), trace.size());
 }
 
 }  // namespace

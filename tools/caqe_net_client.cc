@@ -16,9 +16,13 @@
 //   caqe_net_client --port=PORT [--host=127.0.0.1] [--script=PATH]
 //                   [--timeout_ms=10000] [--linger_ms=200]
 //
-// HTTP mode: one GET, body printed to stdout, exit 0 iff the status is 200.
+// HTTP mode: one GET, body printed to stdout, exit 0 iff the status is 200
+// (on anything else the status line goes to stderr). The server exposes
+// /metrics, /healthz, /statusz, /tracez/<request-id> and /flightz on the
+// protocol port.
 //
 //   caqe_net_client --port=PORT --get=/metrics
+//   caqe_net_client --port=PORT --get=/tracez/0
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -94,7 +98,11 @@ int RunGet(const std::string& host, int port, const std::string& path,
   }
   std::fwrite(response.data() + header_end + 4,
               1, response.size() - header_end - 4, stdout);
-  return response.rfind("HTTP/1.0 200", 0) == 0 ? 0 : 1;
+  if (response.rfind("HTTP/1.0 200", 0) == 0) return 0;
+  const size_t line_end = response.find("\r\n");
+  std::fprintf(stderr, "%s\n",
+               response.substr(0, line_end).c_str());
+  return 1;
 }
 
 /// Reads one script: stdin when `path` is empty or "-".

@@ -14,6 +14,10 @@
 //              [--trace_out=PATH]       # write a Chrome/Perfetto trace
 //              [--metrics_out=PATH]     # write a Prometheus text snapshot
 //              [--health_out=PATH]      # write contract-health JSONL
+//              [--ledger_out=PATH]      # write the contract audit ledger
+//                                       # (JSONL; wall_us is the only
+//                                       # nondeterministic field)
+//              [--flight_out=PATH]      # write the flight-recorder ring
 //
 // Listen (--listen): serve the line protocol of src/net/protocol.h over
 // TCP on a wall clock, recording the session for replay.
@@ -28,8 +32,10 @@
 //              ... plus the batch data/engine flags above.
 //
 //   SIGINT/SIGTERM drain gracefully (flush emissions, final report, close
-//   the recorder); a second signal hard-stops. The exit code reflects
-//   drain success. --trace_out streams incrementally in this mode.
+//   the recorder); a second signal hard-stops. SIGQUIT dumps the flight
+//   recorder (to --flight_out, or stderr) without disturbing the session.
+//   The exit code reflects drain success. --trace_out streams
+//   incrementally in this mode.
 //
 // Replay (--replay): load a recorded session trace and re-run it on the
 // virtual clock.
@@ -185,6 +191,14 @@ int WriteArtifacts(const bench::Args& args, const ServingReport& report,
     if (!health_out.empty() && !write(health_out, obs->health.Jsonl())) {
       return 1;
     }
+    const std::string ledger_out = args.GetString("ledger_out", "");
+    if (!ledger_out.empty() && !write(ledger_out, obs->ledger.Jsonl())) {
+      return 1;
+    }
+    const std::string flight_out = args.GetString("flight_out", "");
+    if (!flight_out.empty() && !write(flight_out, obs->flight.Jsonl())) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -192,7 +206,9 @@ int WriteArtifacts(const bench::Args& args, const ServingReport& report,
 bool WantsObs(const bench::Args& args) {
   return !args.GetString("trace_out", "").empty() ||
          !args.GetString("metrics_out", "").empty() ||
-         !args.GetString("health_out", "").empty();
+         !args.GetString("health_out", "").empty() ||
+         !args.GetString("ledger_out", "").empty() ||
+         !args.GetString("flight_out", "").empty();
 }
 
 // ---- Batch mode (the original tool) ----
@@ -264,6 +280,10 @@ void OnSignal(int) {
   }
 }
 
+void OnSigQuit(int) {
+  if (g_net != nullptr) g_net->RequestFlightDump();
+}
+
 int RunListen(const bench::Args& args) {
   const std::string listen = args.GetString("listen", "127.0.0.1:0");
   net::NetServerOptions net_options;
@@ -280,6 +300,7 @@ int RunListen(const bench::Args& args) {
       static_cast<int>(args.GetInt("idle_timeout_ms", 30000));
   net_options.linger_after_drain = args.GetInt("linger", 1) != 0;
   net_options.record_path = args.GetString("record", "");
+  net_options.flight_dump_path = args.GetString("flight_out", "");
 
   const DataConfig config = DataConfigFromArgs(args);
   net_options.record_attrs = DataConfigAttrs(config);
@@ -346,9 +367,11 @@ int RunListen(const bench::Args& args) {
   g_net = net->get();
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  std::signal(SIGQUIT, OnSigQuit);
   const Status served = (*net)->Serve();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGQUIT, SIG_DFL);
   g_net = nullptr;
 
   if (stream != nullptr) {
