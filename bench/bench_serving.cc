@@ -9,9 +9,20 @@
 // cumulative pScore: it spends the backlog where the contracts still pay.
 //
 // Flags: --rows=N --sel=SIGMA --requests=K --seed=S --threads=T
-//        --target-regions=R --out=PATH
+//        --target-regions=R --calib-requests=K2 --out=PATH
 //
 // Writes a JSON summary (default BENCH_serving.json).
+//
+// A second sweep runs several long saturated trace replicas (distinct
+// deterministic seeds) twice each through the contract-driven controller —
+// static estimates vs --calibrate — and *gates* (non-zero exit) on the
+// self-tuning loop paying for itself POOLED over the replicas: cumulative
+// pScore and admission precision (completed/admitted) must not regress,
+// and the observed-vs-estimated relative error must tighten once the
+// correction factors have learned the workload. Pooling is essential: a
+// single saturated trace is chaotic (one flipped admit cascades through
+// the shared-region schedule), so per-replica deltas are noise and only
+// the pooled comparison measures the controller.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -34,6 +45,32 @@ struct RatePoint {
   double ttfr_p50 = -1.0;
   double ttfr_p99 = -1.0;
 };
+
+/// One leg of the calibrated-vs-static sweep.
+struct CalibPoint {
+  ServingReport report;
+  /// completed / admitted (1.0 when nothing was admitted).
+  double precision = 1.0;
+  /// Mean absolute relative service-time error, whole trace and halves
+  /// (calibrated leg only; -1 without samples).
+  double raw_err = -1.0;
+  double corr_err = -1.0;
+  double raw_err_late = -1.0;
+  double corr_err_late = -1.0;
+  int64_t calib_completions = 0;
+  int64_t calib_shifts = 0;
+};
+
+double MeanRange(const std::vector<Calibrator::ErrorSample>& series,
+                 size_t begin, size_t end, bool corrected) {
+  if (end <= begin) return -1.0;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += corrected ? series[i].corrected_abs_rel_error
+                     : series[i].raw_abs_rel_error;
+  }
+  return sum / static_cast<double>(end - begin);
+}
 
 /// Nearest-rank percentile of the (sorted ascending) sample; -1 when empty.
 double Percentile(std::vector<double> samples, double p) {
@@ -157,6 +194,162 @@ int Main(int argc, char** argv) {
               count_sat.report.cumulative_pscore,
               contract_wins ? "contract wins" : "count wins");
 
+  // ---- Self-tuning sweep: calibrated vs static admission -----------------
+  // Long traces at the saturated rate, long enough for the calibrator's
+  // per-bucket EWMA factors to converge and for the deferred-queue
+  // repreviews to matter. One (static, calibrated) leg pair runs per
+  // replica trace seed and the three gates compare POOLED outcomes: a
+  // single saturated trace is chaotic (a one-request admit change cascades
+  // through the shared-region schedule), so per-seed deltas are noise and
+  // only the pooled comparison measures the controller.
+  const int calib_requests =
+      static_cast<int>(args.GetInt("calib-requests", 10 * requests));
+  const int calib_replicas =
+      static_cast<int>(args.GetInt("calib-replicas", 4));
+
+  struct CalibAggregate {
+    double static_pscore = 0.0;
+    double calib_pscore = 0.0;
+    int64_t static_completed = 0;
+    int64_t static_admitted = 0;
+    int64_t calib_completed = 0;
+    int64_t calib_admitted = 0;
+    double raw_sum = 0.0;
+    double corr_sum = 0.0;
+    int64_t samples = 0;
+    double raw_late_sum = 0.0;
+    double corr_late_sum = 0.0;
+    int64_t late_samples = 0;
+    int64_t observations = 0;
+    int64_t shifts = 0;
+  };
+  CalibAggregate agg;
+
+  TablePrinter calib_table({"replica", "controller", "admit_rate",
+                            "completed", "precision", "cum_pscore",
+                            "err_raw", "err_corrected"});
+  TraceConfig calib_config;
+  for (int replica = 0; replica < calib_replicas; ++replica) {
+    calib_config = TraceConfig{};
+    calib_config.num_requests = calib_requests;
+    calib_config.arrival_rate = 8.0 / reference_seconds;
+    // Distinct deterministic trace per replica.
+    calib_config.seed = seed + static_cast<uint64_t>(replica) * 7919;
+    calib_config.reference_seconds = reference_seconds;
+    calib_config.deadline_fraction = 0.25;
+    calib_config.cancel_fraction = 0.0;
+    const std::vector<TraceRequest> calib_trace =
+        MakeSyntheticTrace(calib_config, keys, 3);
+
+    const auto run_calib_leg = [&](bool calibrate) {
+      ServeOptions options;
+      options.num_threads = threads;
+      options.target_regions = target_regions;
+      options.policy = SchedulePolicy::kContractDriven;
+      options.calibrate = calibrate;
+      auto server = CaqeServer::Create(r, t, dims, keys, options).value();
+      SubmitTrace(*server, calib_trace);
+      CalibPoint point;
+      point.report = server->Run().value();
+      if (point.report.admitted > 0) {
+        point.precision = static_cast<double>(point.report.completed) /
+                          static_cast<double>(point.report.admitted);
+      }
+      const Calibrator* calibrator = server->calibrator();
+      if (calibrator != nullptr) {
+        const std::vector<Calibrator::ErrorSample>& series =
+            calibrator->error_series();
+        const size_t half = series.size() / 2;
+        point.raw_err = MeanRange(series, 0, series.size(), false);
+        point.corr_err = MeanRange(series, 0, series.size(), true);
+        point.raw_err_late = MeanRange(series, half, series.size(), false);
+        point.corr_err_late = MeanRange(series, half, series.size(), true);
+        point.calib_completions = calibrator->completions();
+        point.calib_shifts = calibrator->shifts();
+        for (size_t i = 0; i < series.size(); ++i) {
+          agg.raw_sum += series[i].raw_abs_rel_error;
+          agg.corr_sum += series[i].corrected_abs_rel_error;
+          ++agg.samples;
+          if (i >= half) {
+            agg.raw_late_sum += series[i].raw_abs_rel_error;
+            agg.corr_late_sum += series[i].corrected_abs_rel_error;
+            ++agg.late_samples;
+          }
+        }
+        agg.observations += calibrator->completions();
+        agg.shifts += calibrator->shifts();
+      }
+      return point;
+    };
+    const CalibPoint static_leg = run_calib_leg(false);
+    const CalibPoint calib_leg = run_calib_leg(true);
+    agg.static_pscore += static_leg.report.cumulative_pscore;
+    agg.calib_pscore += calib_leg.report.cumulative_pscore;
+    agg.static_completed += static_leg.report.completed;
+    agg.static_admitted += static_leg.report.admitted;
+    agg.calib_completed += calib_leg.report.completed;
+    agg.calib_admitted += calib_leg.report.admitted;
+
+    calib_table.AddRow({std::to_string(replica), "static",
+                        FormatDouble(static_leg.report.admission_rate, 3),
+                        std::to_string(static_leg.report.completed),
+                        FormatDouble(static_leg.precision, 3),
+                        FormatDouble(static_leg.report.cumulative_pscore, 4),
+                        "-", "-"});
+    calib_table.AddRow({std::to_string(replica), "calibrated",
+                        FormatDouble(calib_leg.report.admission_rate, 3),
+                        std::to_string(calib_leg.report.completed),
+                        FormatDouble(calib_leg.precision, 3),
+                        FormatDouble(calib_leg.report.cumulative_pscore, 4),
+                        FormatDouble(calib_leg.raw_err, 4),
+                        FormatDouble(calib_leg.corr_err, 4)});
+  }
+
+  const double static_precision =
+      agg.static_admitted > 0 ? static_cast<double>(agg.static_completed) /
+                                    static_cast<double>(agg.static_admitted)
+                              : 1.0;
+  const double calib_precision =
+      agg.calib_admitted > 0 ? static_cast<double>(agg.calib_completed) /
+                                   static_cast<double>(agg.calib_admitted)
+                             : 1.0;
+  const double pooled_raw_err =
+      agg.samples > 0 ? agg.raw_sum / static_cast<double>(agg.samples) : -1.0;
+  const double pooled_corr_err =
+      agg.samples > 0 ? agg.corr_sum / static_cast<double>(agg.samples)
+                      : -1.0;
+  const double pooled_raw_late =
+      agg.late_samples > 0
+          ? agg.raw_late_sum / static_cast<double>(agg.late_samples)
+          : -1.0;
+  const double pooled_corr_late =
+      agg.late_samples > 0
+          ? agg.corr_late_sum / static_cast<double>(agg.late_samples)
+          : -1.0;
+
+  std::printf("\nself-tuning sweep (%d replicas x %d requests at %.2f qps, "
+              "%lld completions observed, %lld shifts):\n%s\n",
+              calib_replicas, calib_requests, calib_config.arrival_rate,
+              static_cast<long long>(agg.observations),
+              static_cast<long long>(agg.shifts),
+              calib_table.Render().c_str());
+
+  // The three self-tuning gates over pooled replicas (non-zero exit on
+  // regression).
+  const bool calib_pscore_wins = agg.calib_pscore >= agg.static_pscore;
+  const bool calib_precision_wins = calib_precision >= static_precision;
+  const bool calib_error_tightens = pooled_corr_err >= 0.0 &&
+                                    pooled_corr_err < pooled_raw_err &&
+                                    pooled_corr_late < pooled_raw_late;
+  std::printf("calibration gates (pooled): pscore %.4f vs %.4f (%s), "
+              "precision %.3f vs %.3f (%s), error %.4f vs raw %.4f late "
+              "%.4f vs %.4f (%s)\n",
+              agg.calib_pscore, agg.static_pscore,
+              calib_pscore_wins ? "ok" : "FAIL", calib_precision,
+              static_precision, calib_precision_wins ? "ok" : "FAIL",
+              pooled_corr_err, pooled_raw_err, pooled_corr_late,
+              pooled_raw_late, calib_error_tightens ? "ok" : "FAIL");
+
   std::string json = "{\n";
   json += "  \"benchmark\": \"serving\",\n";
   json += "  \"rows\": " + std::to_string(rows) + ",\n";
@@ -165,6 +358,42 @@ int Main(int argc, char** argv) {
   json += "  " + JsonField("reference_seconds", reference_seconds) + ",\n";
   json += std::string("  \"contract_beats_count_at_saturation\": ") +
           (contract_wins ? "true" : "false") + ",\n";
+  json += "  \"calibration\": {\n";
+  json += "    \"replicas\": " + std::to_string(calib_replicas) + ",\n";
+  json += "    \"requests_per_replica\": " + std::to_string(calib_requests) +
+          ",\n";
+  json += "    " + JsonField("arrival_rate", calib_config.arrival_rate) +
+          ",\n";
+  json += "    \"observations\": " + std::to_string(agg.observations) +
+          ",\n";
+  json += "    \"shifts\": " + std::to_string(agg.shifts) + ",\n";
+  json += "    " +
+          JsonField("static_cumulative_pscore", agg.static_pscore) + ",\n";
+  json += "    " +
+          JsonField("calibrated_cumulative_pscore", agg.calib_pscore) +
+          ",\n";
+  json += "    " + JsonField("static_precision", static_precision) + ",\n";
+  json += "    " + JsonField("calibrated_precision", calib_precision) +
+          ",\n";
+  json += "    \"static_completed\": " +
+          std::to_string(agg.static_completed) + ",\n";
+  json += "    \"calibrated_completed\": " +
+          std::to_string(agg.calib_completed) + ",\n";
+  json += "    " + JsonField("raw_abs_rel_error", pooled_raw_err) + ",\n";
+  json += "    " + JsonField("corrected_abs_rel_error", pooled_corr_err) +
+          ",\n";
+  json += "    " + JsonField("raw_abs_rel_error_late", pooled_raw_late) +
+          ",\n";
+  json += "    " +
+          JsonField("corrected_abs_rel_error_late", pooled_corr_late) +
+          ",\n";
+  json += std::string("    \"calibrated_beats_static_pscore\": ") +
+          (calib_pscore_wins ? "true" : "false") + ",\n";
+  json += std::string("    \"calibrated_beats_static_precision\": ") +
+          (calib_precision_wins ? "true" : "false") + ",\n";
+  json += std::string("    \"error_histogram_tightens\": ") +
+          (calib_error_tightens ? "true" : "false") + "\n";
+  json += "  },\n";
   json += "  \"results\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     const RatePoint& p = points[i];
@@ -198,6 +427,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
+  if (!calib_pscore_wins || !calib_precision_wins || !calib_error_tightens) {
+    std::fprintf(stderr,
+                 "FAIL: self-tuning admission regressed a calibration "
+                 "gate\n");
+    return 1;
+  }
   return 0;
 }
 

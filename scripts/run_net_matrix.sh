@@ -36,7 +36,13 @@ cmake -B "${build_dir}" -S . \
   -DCAQE_BUILD_EXAMPLES=ON \
   "$@"
 cmake --build "${build_dir}" -j"$(nproc)" --target caqe_serve_cli \
-  caqe_net_client
+  caqe_net_client net_fuzz_test
+
+# ---- Cell 0: protocol fuzz ----------------------------------------------
+# The deterministic mutation fuzzer (tests/net_fuzz_test.cc) hammers
+# ParseCommand/LineBuffer with hostile bytes before any socket opens: a
+# parser crash would take the whole matrix down with a confusing diff.
+"./${build_dir}/tests/net_fuzz_test" --gtest_brief=1
 
 out="${build_dir}/net"
 rm -rf "${out}"
@@ -213,5 +219,51 @@ cmp -s "${out}/sig_events.jsonl" "${out}/sig_replay.jsonl" || {
 tools/report_diff.sh --normalize-wall "SIGTERM ledger replay vs live" \
   "${out}/sig_ledger.jsonl" "replay=${out}/sig_replay_ledger.jsonl" \
   || status=1
+
+# ---- Calibrated cell: self-tuning admission, live -> replay --------------
+# --calibrate is recorded in the session trace header (data-shape
+# parameter), so the replay re-runs with the identical correction loop and
+# must still byte-match the live report and event stream.
+"${serve}" --listen=127.0.0.1:0 "${DATA_ARGS[@]}" --calibrate=1 \
+  --record="${out}/calib.trace" \
+  --port_file="${out}/calib_port" \
+  --linger=0 \
+  --report-out="${out}/calib_report.txt" \
+  --trace-out="${out}/calib_events.jsonl" \
+  > "${out}/calib_stdout.txt" 2>&1 &
+calib_pid=$!
+wait_for_port "${out}/calib_port" || { kill "${calib_pid}" 2>/dev/null; exit 1; }
+calib_port=$(cat "${out}/calib_port")
+
+"${client}" --port="${calib_port}" --script=- > "${out}/calib_transcript.txt" <<'EOF'
+SUBMIT name=c0 key=0 pref=0,1 CONTRACT step:5
+!expect QUEUED 0
+SUBMIT name=c1 key=1 pref=1,2 CONTRACT log:0.1
+!expect QUEUED 1
+SUBMIT name=c2 key=0 pref=0,1,2 CONTRACT hyper:0.5,0.1
+!expect QUEUED 2
+EOF
+
+kill -TERM "${calib_pid}"
+calib_rc=0
+wait "${calib_pid}" || calib_rc=$?
+if (( calib_rc != 0 )); then
+  echo "FAIL: calibrated drain exited ${calib_rc} (want 0)" >&2
+  cat "${out}/calib_stdout.txt" >&2
+  exit 1
+fi
+grep -q 'calibrate=1' "${out}/calib.trace" || {
+  echo "FAIL: session trace header lost the calibrate flag" >&2
+  status=1
+}
+"${serve}" --replay="${out}/calib.trace" --threads=8 --pipeline=1 \
+  --report-out="${out}/calib_replay.txt" \
+  --trace-out="${out}/calib_replay.jsonl" > /dev/null
+tools/report_diff.sh "calibrated session replay vs live" \
+  "${out}/calib_report.txt" "replay=${out}/calib_replay.txt" || status=1
+cmp -s "${out}/calib_events.jsonl" "${out}/calib_replay.jsonl" || {
+  echo "FAIL: calibrated session exec events diverge on replay" >&2
+  status=1
+}
 
 exit "${status}"

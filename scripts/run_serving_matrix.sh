@@ -6,9 +6,13 @@
 # tree-indexed coarse-phase cells (--coarse_index=1 at both worker counts)
 # and one cell per build with the observability layer attached
 # (--trace_out/--metrics_out) — tracing is read-only with respect to the
-# engine, so it must not move a byte either. The report text deliberately
-# excludes every non-deterministic quantity, so any diff is a real
-# determinism bug.
+# engine, so it must not move a byte either. A composed
+# coarse-index x compact-layout-off cell checks the orthogonal knobs
+# together, and a second matrix runs the same trace with --calibrate=1:
+# self-tuning admission changes decisions by design (data-shape
+# parameter), so the calibrated cells are byte-diffed among themselves
+# across threads x pipeline x SIMD. The report text deliberately excludes
+# every non-deterministic quantity, so any diff is a real determinism bug.
 #
 #   scripts/run_serving_matrix.sh [EXTRA_CMAKE_FLAGS...]
 #
@@ -63,6 +67,27 @@ for simd in OFF ON; do
       --report-out="${out}" > /dev/null
     REPORTS["${simd}_${threads}_mapidx"]="${out}"
   done
+  # Coarse-index x compact-layout-off cell: the two orthogonal layout/index
+  # knobs composed — still byte-identical.
+  out="${build_dir}/serving_coarse_mapidx.txt"
+  "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+    --threads=8 --coarse_index=1 --compact_layout=0 \
+    --report-out="${out}" > /dev/null
+  REPORTS["${simd}_coarse_mapidx"]="${out}"
+  # Calibrated cells: --calibrate is a DATA-SHAPE parameter (it changes
+  # admission decisions by design), so calibrated cells get their own
+  # baseline and are byte-diffed among themselves across threads,
+  # pipelining, and SIMD builds — the calibrator updates on the serial
+  # driver step, so no execution axis may leak into its factors.
+  for threads in 1 8; do
+    for pipeline in 0 1; do
+      out="${build_dir}/serving_t${threads}_p${pipeline}_calib.txt"
+      "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
+        --threads="${threads}" --pipeline="${pipeline}" --calibrate=1 \
+        --report-out="${out}" > /dev/null
+      REPORTS["${simd}_${threads}_${pipeline}_calib"]="${out}"
+    done
+  done
   # Tracing-attached cell: the observability layer must not move a byte.
   out="${build_dir}/serving_traced.txt"
   "./${build_dir}/tools/caqe_serve" "${SERVE_ARGS[@]}" \
@@ -102,5 +127,17 @@ tools/report_diff.sh "serving report vs OFF_1_0" "${REPORTS[OFF_1_0]}" \
   "ON_1_mapidx=${REPORTS[ON_1_mapidx]}" \
   "ON_8_mapidx=${REPORTS[ON_8_mapidx]}" \
   "OFF_traced=${REPORTS[OFF_traced]}" \
-  "ON_traced=${REPORTS[ON_traced]}" || status=1
+  "ON_traced=${REPORTS[ON_traced]}" \
+  "OFF_coarse_mapidx=${REPORTS[OFF_coarse_mapidx]}" \
+  "ON_coarse_mapidx=${REPORTS[ON_coarse_mapidx]}" || status=1
+# Calibrated cells against the calibrated scalar baseline.
+tools/report_diff.sh "calibrated serving report vs OFF_1_0_calib" \
+  "${REPORTS[OFF_1_0_calib]}" \
+  "OFF_1_pipeline_calib=${REPORTS[OFF_1_1_calib]}" \
+  "OFF_8_calib=${REPORTS[OFF_8_0_calib]}" \
+  "OFF_8_pipeline_calib=${REPORTS[OFF_8_1_calib]}" \
+  "ON_1_calib=${REPORTS[ON_1_0_calib]}" \
+  "ON_1_pipeline_calib=${REPORTS[ON_1_1_calib]}" \
+  "ON_8_calib=${REPORTS[ON_8_0_calib]}" \
+  "ON_8_pipeline_calib=${REPORTS[ON_8_1_calib]}" || status=1
 exit "${status}"

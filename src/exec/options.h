@@ -29,6 +29,9 @@ struct ExecEvent {
     /// Serving layer: `query` was retired mid-run (`count` = parked
     /// candidates dropped with it).
     kQueryRetired,
+    /// Serving layer: a calibration shift re-previewed deferred request
+    /// `query` (`count` = 1 when the re-preview upgraded it to an admit).
+    kQueryRepreviewed,
   };
   Kind kind = Kind::kRegionScheduled;
   /// Virtual time of the event.

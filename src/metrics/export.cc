@@ -66,6 +66,8 @@ const char* ExecEventKindName(ExecEvent::Kind kind) {
       return "query_admitted";
     case ExecEvent::Kind::kQueryRetired:
       return "query_retired";
+    case ExecEvent::Kind::kQueryRepreviewed:
+      return "query_repreviewed";
   }
   return "unknown";
 }

@@ -572,6 +572,9 @@ std::string NetServer::StatuszBody() const {
             " capacity=" + std::to_string(options_.obs->flight.capacity()) +
             "\n";
   }
+  // Self-tuning admission: per-bucket correction-factor table (or a single
+  // "calibration: off" line). Deterministic — reads only calibrator state.
+  body += server_->CalibrationStatusText();
   body += "id name status results pscore submit_vtime root_span\n";
   const int n = server_->num_requests();
   for (int i = 0; i < n; ++i) {

@@ -58,6 +58,8 @@ const char* AuditKindName(AuditKind kind) {
       return "cancel";
     case AuditKind::kFinish:
       return "finish";
+    case AuditKind::kRepreview:
+      return "repreview";
   }
   return "unknown";
 }
@@ -110,6 +112,18 @@ std::string AuditRecordJson(const AuditRecord& record, bool include_wall) {
       out += ",\"est_finish\":" + JsonExact(record.est_finish_seconds);
       out += ",\"observed\":" + JsonExact(record.observed_seconds);
       out += ",\"utility\":" + JsonExact(record.expected_utility);
+      break;
+    case AuditKind::kRepreview:
+      out += ",\"phase\":\"";
+      out += record.phase == nullptr ? "" : record.phase;
+      out += "\",\"reason\":\"";
+      out += record.reason == nullptr ? "" : record.reason;
+      out += "\",\"est_first_before\":" +
+             JsonExact(record.est_first_before_seconds);
+      out += ",\"est_finish_before\":" +
+             JsonExact(record.est_finish_before_seconds);
+      out += ",\"est_first\":" + JsonExact(record.est_first_seconds);
+      out += ",\"est_finish\":" + JsonExact(record.est_finish_seconds);
       break;
   }
   if (include_wall) out += ",\"wall_us\":" + JsonWall(record.wall_us);

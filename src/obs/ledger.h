@@ -37,6 +37,9 @@ enum class AuditKind : uint8_t {
   kFirstResult,
   kCancel,
   kFinish,
+  /// A calibration shift re-previewed a deferred request (serve layer);
+  /// carries before/after admission estimates.
+  kRepreview,
 };
 
 /// Stable lower-case name ("arrival", "decision", ...). Returned pointer is
@@ -71,6 +74,10 @@ struct AuditRecord {
   double weight = 0.0;
   double est_first_seconds = 0.0;
   double est_finish_seconds = 0.0;
+  /// Pre-shift estimates of a kRepreview record (est_* hold the post-shift
+  /// values the re-decision used).
+  double est_first_before_seconds = 0.0;
+  double est_finish_before_seconds = 0.0;
   /// Observed service time at completion (kFinish).
   double observed_seconds = 0.0;
   double expected_utility = 0.0;

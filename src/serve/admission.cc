@@ -70,6 +70,7 @@ AdmissionEstimate EvaluateAdmission(const SjQuery& query,
   double own_cost = 0.0;
   double min_cost = 0.0;
   double join_total = 0.0;
+  int64_t join_total_exact = 0;
   for (const OutputRegion& region : rc.regions) {
     ++*control_ops;
     if (region.join_sizes[slot] <= 0) continue;
@@ -82,6 +83,7 @@ AdmissionEstimate EvaluateAdmission(const SjQuery& query,
     min_cost = est.lineage_regions == 0 ? region_cost
                                         : std::min(min_cost, region_cost);
     join_total += static_cast<double>(region.join_sizes[slot]);
+    join_total_exact += region.join_sizes[slot];
     ++est.lineage_regions;
   }
   if (est.lineage_regions == 0) {
@@ -109,12 +111,58 @@ AdmissionEstimate EvaluateAdmission(const SjQuery& query,
   ++*control_ops;
   est.est_first_seconds = waited + min_cost;
   est.est_finish_seconds = waited + backlog + own_cost;
+  est.raw_first_seconds = est.est_first_seconds;
+  est.raw_finish_seconds = est.est_finish_seconds;
+  est.raw_estimated_results = est.estimated_results;
+  est.raw_service_cost_seconds = backlog + own_cost;
+
+  // Estimate -> observe feedback: scale the model's *cost* terms by the
+  // workload bucket's learned time factor (the elapsed wait is known
+  // exactly and never scaled). Time corrections apply before the deadline
+  // and utility tests, so a calibration shift can flip either verdict
+  // below — that is the point of re-previewing the deferred queue. The
+  // cardinality factor deliberately does NOT feed the utility preview:
+  // the floor is a per-result (cardinality-normalized) criterion, so only
+  // the time basis answers "will results still pay when they land";
+  // corrected cardinality serves progress pacing (the graft corrects the
+  // tracker's total) and the reported estimate, applied after the preview.
+  if (in.calibrator != nullptr) {
+    const Calibrator::BucketKey bucket = Calibrator::KeyFor(
+        dims, join_total_exact, est.lineage_regions, slot,
+        !query.selections.empty());
+    est.calibration_bucket = bucket.index;
+    est.calibration_trusted = in.calibrator->Trusted(bucket);
+    est.est_first_seconds =
+        waited + in.calibrator->CorrectSeconds(bucket, min_cost);
+    est.est_finish_seconds =
+        waited + in.calibrator->CorrectSeconds(bucket, backlog + own_cost);
+    ++*control_ops;
+  }
 
   if (!options.admit_all) {
     if (in.deadline_seconds > 0.0 &&
         est.est_first_seconds >= in.deadline_seconds) {
       est.decision = AdmissionDecision::kReject;
       est.reason = "deadline";
+      return est;
+    }
+    // Completion-feasibility: expiry retires a running request that has not
+    // *finished* by its deadline, so a deadline arrival whose corrected
+    // finish estimate overshoots the deadline is destined to expire —
+    // admitting it burns a slot for a handful of decayed late results. Only
+    // a trusted (converged) bucket may fire this: the raw pessimistic
+    // finish would wholesale-reject viable deadline work, so this test is a
+    // capability the estimate->observe loop unlocks rather than a static
+    // policy tweak. The static controller (no calibrator) never reaches it.
+    // The margin keeps borderline requests in play — an admitted request
+    // still earns (decaying) utility right up to its expiry, so rejection
+    // only pays when the corrected finish overshoots the deadline by
+    // enough that those partial earnings are negligible.
+    constexpr double kInfeasibilityMargin = 1.5;
+    if (in.deadline_seconds > 0.0 && est.calibration_trusted &&
+        est.est_finish_seconds >= kInfeasibilityMargin * in.deadline_seconds) {
+      est.decision = AdmissionDecision::kReject;
+      est.reason = "infeasible";
       return est;
     }
     // Preview the contract at both ends of the service window (Eq. 8's
@@ -138,6 +186,15 @@ AdmissionEstimate EvaluateAdmission(const SjQuery& query,
       est.reason = "low-utility";
       return est;
     }
+  }
+
+  // Reported estimate picks up the cardinality correction only after the
+  // preview (see the calibration comment above).
+  if (in.calibrator != nullptr && est.calibration_bucket >= 0) {
+    Calibrator::BucketKey bucket;
+    bucket.index = est.calibration_bucket;
+    est.estimated_results =
+        in.calibrator->CorrectCardinality(bucket, est.estimated_results);
   }
 
   if (in.active_queries >= options.max_active_queries || !in.slot_available) {

@@ -27,6 +27,7 @@
 #include "partition/partitioner.h"
 #include "query/query.h"
 #include "region/region_builder.h"
+#include "serve/calibration.h"
 #include "serve/serving.h"
 
 namespace caqe {
@@ -49,6 +50,10 @@ struct AdmissionInput {
   int active_queries = 0;
   /// Whether a workload slot is available for grafting.
   bool slot_available = true;
+  /// Per-workload estimate calibrator (null = raw model estimates). The
+  /// controller applies the bucket's correction factors to the service-time
+  /// and cardinality estimates before the deadline and utility previews.
+  const Calibrator* calibrator = nullptr;
   const ServeOptions* options = nullptr;
 };
 
@@ -57,7 +62,7 @@ struct AdmissionInput {
 struct AdmissionEstimate {
   AdmissionDecision decision = AdmissionDecision::kReject;
   /// Stable short reason: "admitted", "capacity", "no-predicate",
-  /// "no-data", "deadline", "low-utility".
+  /// "no-data", "deadline", "infeasible", "low-utility".
   const char* reason = "";
   /// Expected per-result utility over the estimated service window.
   double expected_utility = 0.0;
@@ -72,6 +77,22 @@ struct AdmissionEstimate {
   /// Buchta (Eq. 9) estimate of the request's final result cardinality
   /// over its graftable join output.
   double estimated_results = 0.0;
+  /// Uncorrected model outputs (equal to the est_* fields without a
+  /// calibrator). The calibrator's completion samples compare observations
+  /// against these, never against its own corrections.
+  double raw_first_seconds = 0.0;
+  double raw_finish_seconds = 0.0;
+  double raw_estimated_results = 0.0;
+  /// Uncorrected service-window cost (backlog + own work, *excluding* the
+  /// already-elapsed wait) — the calibration target: at completion the
+  /// observed admit-to-finish time divided by this is the ratio the
+  /// bucket's time factor learns.
+  double raw_service_cost_seconds = 0.0;
+  /// Calibration bucket the estimates were corrected with (-1 = none).
+  int calibration_bucket = -1;
+  /// Whether that bucket had absorbed enough completions for its factors
+  /// to be decision-grade (gates the completion-feasibility test).
+  bool calibration_trusted = false;
 };
 
 /// Cost-model estimate (virtual seconds) of tuple-processing `region` for

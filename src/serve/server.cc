@@ -152,12 +152,25 @@ Status CaqeServer::Bootstrap(std::vector<MappingFunction> output_dims,
     if (request.callback) request.callback(request_id, id, time, utility);
   };
   ledger_ = Observability::Ledger(options_.obs);
+  if (options_.calibrate) calibrator_.emplace();
   if (options_.obs != nullptr) {
     ttfr_hist_ = &options_.obs->metrics.histogram(
         "caqe_serve_time_to_first_result_vseconds",
         ExponentialBuckets(1e-4, 4.0, 14));
     svc_err_hist_ = &options_.obs->metrics.histogram(
         "caqe_serve_service_time_relative_error", RelativeErrorBuckets());
+    if (calibrator_.has_value()) {
+      MetricsRegistry& metrics = options_.obs->metrics;
+      calib_raw_err_hist_ = &metrics.histogram(
+          "caqe_calib_raw_relative_error", RelativeErrorBuckets());
+      calib_corr_err_hist_ = &metrics.histogram(
+          "caqe_calib_corrected_relative_error", RelativeErrorBuckets());
+      calib_observations_ =
+          &metrics.counter("caqe_calib_observations_total");
+      calib_repreviews_ = &metrics.counter("caqe_calib_repreviews_total");
+      calib_upgrades_ = &metrics.counter("caqe_calib_upgrades_total");
+      calib_shifts_ = &metrics.counter("caqe_calib_shifts_total");
+    }
   }
   pipeline_ = std::make_unique<RegionPipeline>(
       &*part_r_, &*part_t_, &workload_, &rc_, &pending_, &pending_count_,
@@ -285,13 +298,7 @@ void CaqeServer::NotifyFinished(const RequestState& request) {
   if (options_.on_finish) options_.on_finish(request.id, request.status);
 }
 
-AdmissionDecision CaqeServer::Decide(RequestState& request) {
-  // Admission is control-plane: the span is wall-only and the counters are
-  // observability-only, never charged to the virtual clock.
-  TraceSpan span(Observability::Spans(options_.obs), "admission", "serve");
-  span.set_query(request.id);
-  span.set_parent(request.root_span, request.root_span);
-  request.decision_span = span.id();
+AdmissionEstimate CaqeServer::PreviewAdmission(const RequestState& request) {
   AdmissionInput in;
   in.rc = &rc_;
   in.part_r = &*part_r_;
@@ -303,14 +310,28 @@ AdmissionDecision CaqeServer::Decide(RequestState& request) {
   in.deadline_seconds = request.deadline_seconds;
   in.active_queries = ActiveQueries();
   in.slot_available = SlotAvailable();
+  in.calibrator = calibrator_.has_value() ? &*calibrator_ : nullptr;
   in.options = &options_;
-  const AdmissionEstimate est =
-      EvaluateAdmission(request.query, request.contract, in, &control_ops_);
+  return EvaluateAdmission(request.query, request.contract, in,
+                           &control_ops_);
+}
+
+AdmissionDecision CaqeServer::Decide(RequestState& request) {
+  // Admission is control-plane: the span is wall-only and the counters are
+  // observability-only, never charged to the virtual clock.
+  TraceSpan span(Observability::Spans(options_.obs), "admission", "serve");
+  span.set_query(request.id);
+  span.set_parent(request.root_span, request.root_span);
+  request.decision_span = span.id();
+  const AdmissionEstimate est = PreviewAdmission(request);
   request.expected_utility = est.expected_utility;
   request.lineage_regions = est.lineage_regions;
   request.reason = est.reason;
   request.est_first_seconds = est.est_first_seconds;
   request.est_finish_seconds = est.est_finish_seconds;
+  request.raw_service_cost_seconds = est.raw_service_cost_seconds;
+  request.raw_est_results = est.raw_estimated_results;
+  request.calibration_bucket = est.calibration_bucket;
   if (options_.obs != nullptr) {
     options_.obs->metrics
         .counter(std::string("caqe_serve_admission_decisions_total{"
@@ -433,8 +454,16 @@ Status CaqeServer::Graft(RequestState& request) {
   request.lineage_regions = live;
 
   const int dims = static_cast<int>(request.query.preference.size());
-  const double estimated_total =
+  double estimated_total =
       join_total > 0.0 ? BuchtaSkylineCardinality(join_total, dims) : 1.0;
+  // Calibrated servers graft with the corrected cardinality guess, so the
+  // tracker's Eq. 7 denominators improve together with admission.
+  if (calibrator_.has_value() && request.calibration_bucket >= 0) {
+    Calibrator::BucketKey bucket;
+    bucket.index = request.calibration_bucket;
+    estimated_total = std::max(
+        1.0, calibrator_->CorrectCardinality(bucket, estimated_total));
+  }
   tracker_->SetEstimatedTotal(slot, estimated_total);
 
   if (scheduler_.has_value()) scheduler_->AddQuery(slot);
@@ -511,6 +540,42 @@ void CaqeServer::Retire(RequestState& request, RequestStatus final_status) {
   free_slots_.insert(
       std::lower_bound(free_slots_.begin(), free_slots_.end(), slot), slot);
   capacity_freed_ = true;
+  // Estimate -> observe feedback (engine state, independent of obs): a
+  // completion folds its observed/estimated ratios into the workload
+  // bucket's correction factors. Retire runs on the serial driver thread,
+  // which is what keeps calibrated reports replay-identical.
+  if (calibrator_.has_value() && final_status == RequestStatus::kCompleted &&
+      request.calibration_bucket >= 0 &&
+      request.raw_service_cost_seconds > 0.0 &&
+      request.decision_time >= 0.0) {
+    Calibrator::BucketKey bucket;
+    bucket.index = request.calibration_bucket;
+    Calibrator::CompletionSample sample;
+    // Observed admit-to-finish service time against the admitting
+    // decision's predicted service-window cost: same basis the correction
+    // factors scale, so the EWMA converges on model error, not queue wait.
+    sample.raw_est_seconds = request.raw_service_cost_seconds;
+    sample.observed_seconds = now - request.decision_time;
+    sample.raw_est_results = request.raw_est_results;
+    sample.observed_results = request.results;
+    const int64_t shifts_before = calibrator_->shifts();
+    calibrator_->ObserveCompletion(bucket, sample);
+    if (options_.obs != nullptr && !calibrator_->error_series().empty()) {
+      const Calibrator::ErrorSample& err = calibrator_->error_series().back();
+      calib_raw_err_hist_->Observe(err.raw_abs_rel_error);
+      calib_corr_err_hist_->Observe(err.corrected_abs_rel_error);
+      calib_observations_->Inc();
+      if (calibrator_->shifts() > shifts_before) calib_shifts_->Inc();
+      const std::string label = Calibrator::BucketLabel(bucket);
+      MetricsRegistry& metrics = options_.obs->metrics;
+      metrics.gauge("caqe_calib_time_factor{bucket=\"" + label + "\"}")
+          .Set(static_cast<double>(calibrator_->time_factor(bucket)) /
+               static_cast<double>(Calibrator::kOne));
+      metrics.gauge("caqe_calib_card_factor{bucket=\"" + label + "\"}")
+          .Set(static_cast<double>(calibrator_->card_factor(bucket)) /
+               static_cast<double>(Calibrator::kOne));
+    }
+  }
   if (options_.obs != nullptr) {
     options_.obs->metrics
         .counter(std::string("caqe_serve_retired_total{status=\"") +
@@ -582,11 +647,83 @@ void CaqeServer::HandleCancel(RequestState& request) {
 void CaqeServer::RetryDeferred() {
   if (!capacity_freed_) return;
   capacity_freed_ = false;
+  if (!calibrator_.has_value()) {
+    for (RequestState& request : requests_) {
+      if (request.status != RequestStatus::kDeferred) continue;
+      ++control_ops_;
+      Decide(request);
+    }
+    return;
+  }
+  // Calibrated promotion order: with decision-grade utility previews the
+  // freed slot goes to the deferred request whose corrected expected
+  // utility is highest, not merely the oldest (FIFO is the only sane order
+  // for the static controller — its raw previews compress toward the
+  // pessimistic end and would shuffle by bias, not value). Previews are
+  // deterministic and ties break on request id, so the promotion order is
+  // identical across threads and on replay.
+  retry_order_.clear();
   for (RequestState& request : requests_) {
+    if (request.status != RequestStatus::kDeferred) continue;
+    ++control_ops_;
+    const AdmissionEstimate preview = PreviewAdmission(request);
+    retry_order_.emplace_back(preview.expected_utility, request.id);
+  }
+  std::sort(retry_order_.begin(), retry_order_.end(),
+            [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const std::pair<double, int>& entry : retry_order_) {
+    RequestState& request = requests_[static_cast<size_t>(entry.second)];
     if (request.status != RequestStatus::kDeferred) continue;
     ++control_ops_;
     Decide(request);
   }
+}
+
+void CaqeServer::RepreviewDeferred() {
+  // A calibration shift can flip an earlier defer into an admit — re-score
+  // the deferred queue in stable request-id order so the upgrade order is
+  // deterministic, and commit only the upgrades. A preview that now says
+  // reject stays deferred: the regular capacity-event retry delivers that
+  // verdict, and committing it here would let one mid-saturation shift
+  // discard requests the static controller would have served.
+  for (RequestState& request : requests_) {
+    if (request.status != RequestStatus::kDeferred) continue;
+    ++control_ops_;
+    const double before_first = request.est_first_seconds;
+    const double before_finish = request.est_finish_seconds;
+    const AdmissionEstimate preview = PreviewAdmission(request);
+    const bool upgraded = preview.decision == AdmissionDecision::kAdmit;
+    if (upgraded) {
+      const AdmissionDecision committed = Decide(request);
+      CAQE_CHECK(committed == AdmissionDecision::kAdmit);
+    }
+    RecordEvent(ExecEvent::Kind::kQueryRepreviewed, -1, request.id,
+                upgraded ? 1 : 0);
+    if (calib_repreviews_ != nullptr) calib_repreviews_->Inc();
+    if (upgraded && calib_upgrades_ != nullptr) calib_upgrades_->Inc();
+    if (ledger_ != nullptr) {
+      AuditRecord record;
+      record.kind = AuditKind::kRepreview;
+      record.request_id = request.id;
+      record.vtime = clock_.Now();
+      record.parent = request.root_span;
+      record.phase = AdmissionDecisionName(preview.decision);
+      record.reason = preview.reason;
+      record.est_first_before_seconds = before_first;
+      record.est_finish_before_seconds = before_finish;
+      record.est_first_seconds = preview.est_first_seconds;
+      record.est_finish_seconds = preview.est_finish_seconds;
+      ledger_->Append(record);
+    }
+  }
+}
+
+std::string CaqeServer::CalibrationStatusText() const {
+  if (!calibrator_.has_value()) return "calibration: off\n";
+  return calibrator_->StatusText();
 }
 
 void CaqeServer::CheckExpiry() {
@@ -660,9 +797,24 @@ bool CaqeServer::StepInternal() {
       HandleCancel(request);
     }
   }
+  // A calibration shift from the previous step's completions re-previews
+  // the deferred queue now — after this step's arrivals, before the
+  // capacity retry — so an upgrade only claims capacity the fresh arrivals
+  // left behind.
+  if (repreview_pending_) {
+    repreview_pending_ = false;
+    RepreviewDeferred();
+  }
   RetryDeferred();
   CheckExpiry();
   CheckCompletion();
+  // Completions inside CheckCompletion may have shifted the calibration
+  // factors past the hysteresis; latch the flag here, still on the serial
+  // driver step, so live and replayed runs re-preview at the same point in
+  // the event sequence.
+  if (calibrator_.has_value() && calibrator_->TakeShift()) {
+    repreview_pending_ = true;
+  }
 
   if (pending_count_ > 0) {
     // Snapshot every live slot's (results, pscore, weight) so the ledger's
@@ -858,6 +1010,15 @@ Result<ServingReport> CaqeServer::Finish() {
     RetryDeferred();
     CheckExpiry();
     CheckCompletion();
+    // The drain has no fresh arrivals to give priority to, so a shift's
+    // re-preview runs immediately instead of waiting for the next step.
+    if (calibrator_.has_value() && calibrator_->TakeShift()) {
+      repreview_pending_ = true;
+    }
+    if (repreview_pending_) {
+      repreview_pending_ = false;
+      RepreviewDeferred();
+    }
     if (pending_count_ > 0 || cursor_ < events_.size()) continue;
     // No live work and no future events. Give still-deferred requests one
     // forced retry (capacity must be free now); whatever still defers —

@@ -61,6 +61,8 @@
 #include "partition/partitioner.h"
 #include "query/query.h"
 #include "region/region_builder.h"
+#include "serve/admission.h"
+#include "serve/calibration.h"
 #include "serve/serving.h"
 #include "skyline/point_set.h"
 
@@ -191,6 +193,17 @@ class CaqeServer {
   /// no request matches.
   int FindRequestByName(std::string_view name) const;
 
+  /// The admission-estimate calibrator (null unless options.calibrate).
+  /// Read-only: the bench's tightening gate and /statusz read factors and
+  /// the error series here.
+  const Calibrator* calibrator() const {
+    return calibrator_.has_value() ? &*calibrator_ : nullptr;
+  }
+
+  /// Deterministic /statusz calibration table: "calibration: off\n" or the
+  /// calibrator's per-bucket factor table.
+  std::string CalibrationStatusText() const;
+
  private:
   struct RequestState {
     int id = -1;
@@ -208,9 +221,17 @@ class CaqeServer {
     int defers = 0;
     double expected_utility = 0.0;
     /// Admission-time service estimates (seconds from submission), kept for
-    /// the observed-vs-estimated error metric.
+    /// the observed-vs-estimated error metric. The est_* pair is corrected
+    /// when calibration is on; the raw_* pair keeps the uncorrected model
+    /// outputs the calibrator's completion samples are measured against.
     double est_first_seconds = 0.0;
     double est_finish_seconds = 0.0;
+    /// Uncorrected service-window cost of the admitting decision (see
+    /// AdmissionEstimate::raw_service_cost_seconds).
+    double raw_service_cost_seconds = 0.0;
+    double raw_est_results = 0.0;
+    /// Calibration bucket of the last admission decision (-1 = none).
+    int calibration_bucket = -1;
     int64_t lineage_regions = 0;
     int64_t parked_dropped = 0;
     int64_t results = 0;
@@ -240,8 +261,23 @@ class CaqeServer {
 
   void HandleArrival(RequestState& request);
   void HandleCancel(RequestState& request);
-  /// Re-evaluates deferred requests in id order (capacity may have freed).
+  /// Re-evaluates deferred requests when capacity may have freed. Static
+  /// controller: stable id (FIFO) order. Calibrated: corrected expected
+  /// utility order, id tie-break (the freed slot goes to the deferred
+  /// request whose contract still pays the most).
   void RetryDeferred();
+  /// Calibration-shift re-preview: re-scores the deferred queue in stable
+  /// id order under the shifted correction factors and commits only
+  /// *upgrades* (defer -> admit). A preview that now says reject is not
+  /// committed — the wait-inflated estimate will deliver that verdict at
+  /// the next genuine capacity event via RetryDeferred, and downgrading
+  /// here would let a mid-saturation shift discard requests the static
+  /// controller would have served. Emits a kQueryRepreviewed event +
+  /// kRepreview ledger record (with before/after estimates) per request.
+  void RepreviewDeferred();
+  /// Side-effect-free admission score of `request` at the current virtual
+  /// time (counts control_ops, mutates nothing else).
+  AdmissionEstimate PreviewAdmission(const RequestState& request);
   /// Retires running/deferred requests whose deadline passed.
   void CheckExpiry();
   /// Retires running requests with no live region left in their lineage.
@@ -303,11 +339,28 @@ class CaqeServer {
   std::vector<int64_t> step_results_before_;
   std::vector<double> step_pscore_before_;
   std::vector<double> step_weight_before_;
+  /// Admission-estimate calibrator (engaged by options.calibrate). Updated
+  /// only from the serial driver step — same rule as the ledger — which is
+  /// what keeps calibrated reports byte-identical across threads/pipeline/
+  /// compact_layout and live-vs-replay.
+  std::optional<Calibrator> calibrator_;
+  /// Set when a calibration shift lands; consumed at the start of the next
+  /// driver step *after* that step's arrivals have fired, so a repreview
+  /// upgrade only claims capacity fresh arrivals left behind (arrival
+  /// priority maximizes pScore — young contracts decay fastest).
+  bool repreview_pending_ = false;
   // Metrics resolved once in Bootstrap when options_.obs is attached.
   // Observations are virtual-time quantities, so both histograms are
   // deterministic across thread counts.
   Histogram* ttfr_hist_ = nullptr;
   Histogram* svc_err_hist_ = nullptr;
+  // caqe_calib_* instruments (null without obs or without calibrate).
+  Histogram* calib_raw_err_hist_ = nullptr;
+  Histogram* calib_corr_err_hist_ = nullptr;
+  Counter* calib_observations_ = nullptr;
+  Counter* calib_repreviews_ = nullptr;
+  Counter* calib_upgrades_ = nullptr;
+  Counter* calib_shifts_ = nullptr;
   bool ran_ = false;
   /// Live (wall-clock) incremental mode: events are ingested mid-run.
   bool live_ = false;
@@ -319,6 +372,10 @@ class CaqeServer {
   /// Set when capacity may have freed (a slot returned); gates deferred
   /// retries so they happen exactly when something could have changed.
   bool capacity_freed_ = false;
+  /// Scratch for the calibrated deferred-promotion order:
+  /// (corrected expected utility, request id), sorted utility-descending
+  /// with id tie-break. Member so the capacity survives across retries.
+  std::vector<std::pair<double, int>> retry_order_;
   int64_t admitted_count_ = 0;
 };
 

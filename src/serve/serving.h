@@ -101,6 +101,14 @@ struct ServeOptions {
   /// Bypass the utility/deadline rejection tests (structural rejects — an
   /// unknown join predicate — still apply). Capacity deferral still holds.
   bool admit_all = false;
+  /// Self-tuning admission (see serve/calibration.h): completed requests
+  /// feed observed-vs-estimated ratios back into per-workload correction
+  /// factors, corrected estimates drive the deadline/utility previews, and
+  /// calibration shifts re-preview the deferred queue. Changes admission
+  /// *timing* only, never emitted-result correctness; reports remain
+  /// byte-identical across threads/pipeline/compact_layout and
+  /// live-vs-replay (the calibrator updates on the serial driver step).
+  bool calibrate = false;
   /// Reject when the expected per-result utility over the request's
   /// estimated service window falls below this floor.
   double min_expected_utility = 0.05;

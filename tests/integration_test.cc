@@ -617,6 +617,7 @@ TEST(TraceTest, EventTraceIsCoherent) {
       case ExecEvent::Kind::kQueryPruned:
       case ExecEvent::Kind::kQueryAdmitted:
       case ExecEvent::Kind::kQueryRetired:
+      case ExecEvent::Kind::kQueryRepreviewed:
         break;
     }
   }

@@ -27,6 +27,8 @@
 
 #include "caqe/session.h"
 #include "query/workload_generator.h"
+#include "serve/server.h"
+#include "serve/trace.h"
 #include "test_util.h"
 
 namespace caqe {
@@ -342,6 +344,93 @@ std::vector<OracleCase> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(Randomized, OracleDifferentialTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
+
+// ---- Serving-layer oracle: calibration never changes correctness ----
+//
+// Self-tuning admission (--calibrate) may flip admit/defer/reject verdicts
+// and their timing, but the result *stream* of every request that runs to
+// completion must still be exactly its query's skyline — under both
+// controllers. In particular a request completed in both legs emits the
+// identical result set.
+TEST(ServingOracleTest, CalibrationPreservesEmittedResultSets) {
+  GeneratorConfig cfg;
+  cfg.num_rows = 250;
+  cfg.num_attrs = 3;
+  cfg.join_selectivities = {0.05, 0.05};
+  cfg.seed = 606;
+  const Table r = GenerateTable("R", cfg).value();
+  cfg.seed = 607;
+  const Table t = GenerateTable("T", cfg).value();
+  const std::vector<MappingFunction> dims = {
+      MappingFunction{0, 0}, MappingFunction{1, 1}, MappingFunction{2, 2}};
+
+  TraceConfig trace_config;
+  trace_config.num_requests = 12;
+  trace_config.arrival_rate = 30.0;
+  trace_config.seed = 606;
+  trace_config.reference_seconds = 0.05;
+  trace_config.deadline_fraction = 0.25;
+  const std::vector<TraceRequest> trace =
+      MakeSyntheticTrace(trace_config, {0, 1}, 3);
+
+  // One reference workload holding every trace query, so the naive
+  // executor and the projection helper see identical selection semantics.
+  Workload reference;
+  for (const MappingFunction& f : dims) reference.AddOutputDim(f);
+  for (const TraceRequest& request : trace) reference.AddQuery(request.query);
+
+  struct Leg {
+    ServingReport report;
+    std::vector<std::vector<std::vector<double>>> streamed;  // by request
+  };
+  const auto run_leg = [&](bool calibrate) {
+    ServeOptions options;
+    options.target_regions = 64;
+    options.calibrate = calibrate;
+    auto server =
+        CaqeServer::Create(r, t, dims, {0, 1}, options).value();
+    Leg leg;
+    leg.streamed.resize(trace.size());
+    std::vector<std::vector<int64_t>> ids(trace.size());
+    SubmitTrace(*server, trace,
+                [&](int request_id, int64_t tuple_id, double, double) {
+                  ids[static_cast<size_t>(request_id)].push_back(tuple_id);
+                });
+    leg.report = server->Run().value();
+    for (size_t q = 0; q < trace.size(); ++q) {
+      for (int64_t tuple : ids[q]) {
+        const double* values = server->store().row(tuple);
+        leg.streamed[q].push_back(::caqe::testing::ProjectReported(
+            std::vector<double>(values, values + 3), reference,
+            static_cast<int>(q)));
+      }
+      std::sort(leg.streamed[q].begin(), leg.streamed[q].end());
+    }
+    return leg;
+  };
+
+  const Leg off = run_leg(false);
+  const Leg on = run_leg(true);
+  EXPECT_GE(on.report.completed, 1);
+
+  int both_completed = 0;
+  for (size_t q = 0; q < trace.size(); ++q) {
+    SCOPED_TRACE("request " + std::to_string(q));
+    const auto naive = NaiveQueryResult(r, t, reference, static_cast<int>(q));
+    const bool off_done =
+        off.report.requests[q].status == RequestStatus::kCompleted;
+    const bool on_done =
+        on.report.requests[q].status == RequestStatus::kCompleted;
+    // Completion means the exact skyline streamed — with either controller.
+    if (off_done) EXPECT_EQ(off.streamed[q], naive);
+    if (on_done) EXPECT_EQ(on.streamed[q], naive);
+    if (off_done && on_done) {
+      ++both_completed;
+      EXPECT_EQ(off.streamed[q], on.streamed[q]);
+    }
+  }
+  EXPECT_GE(both_completed, 1);
+}
 
 }  // namespace
 }  // namespace caqe

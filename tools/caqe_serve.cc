@@ -9,6 +9,7 @@
 //              [--join_cache_entries=4096] [--target-regions=128]
 //              [--policy=contract|count] [--cancel-fraction=0.1]
 //              [--deadline-fraction=0.25] [--admit-all=0]
+//              [--calibrate=0]          # self-tuning admission estimates
 //              [--report-out=PATH]      # write ServingReportText to PATH
 //              [--trace-out=PATH]       # write the ExecEvent stream as JSONL
 //              [--trace_out=PATH]       # write a Chrome/Perfetto trace
@@ -43,8 +44,8 @@
 //   caqe_serve --replay=PATH [engine flags]
 //
 //   Data-shape parameters (rows, sel, seed, target-regions, policy,
-//   admit-all) come from the trace header, so a replay reconstructs the
-//   exact engine the live session ran; engine knobs that never change a
+//   admit-all, calibrate) come from the trace header, so a replay
+//   reconstructs the exact engine the live session ran; engine knobs that never change a
 //   report (--threads, --pipeline, --coarse_index, --compact_layout,
 //   --join_cache_entries) come from the replay's own flags. The printed
 //   report is byte-identical to the live session's —
@@ -64,6 +65,9 @@ namespace caqe {
 namespace {
 
 /// Data-shape parameters: everything a replay must reproduce exactly.
+/// --calibrate lives here (not with the engine knobs) because calibration
+/// changes admission decisions, hence the report — a replay must re-run
+/// with the live session's setting to stay byte-identical.
 struct DataConfig {
   int64_t rows = 1000;
   double selectivity = 0.01;
@@ -71,6 +75,7 @@ struct DataConfig {
   int target_regions = 128;
   std::string policy = "contract";
   bool admit_all = false;
+  bool calibrate = false;
 };
 
 DataConfig DataConfigFromArgs(const bench::Args& args) {
@@ -82,6 +87,7 @@ DataConfig DataConfigFromArgs(const bench::Args& args) {
       static_cast<int>(args.GetInt("target-regions", config.target_regions));
   config.policy = args.GetString("policy", config.policy);
   config.admit_all = args.GetInt("admit-all", 0) != 0;
+  config.calibrate = args.GetInt("calibrate", 0) != 0;
   return config;
 }
 
@@ -92,7 +98,8 @@ std::vector<std::pair<std::string, std::string>> DataConfigAttrs(
           {"seed", std::to_string(config.seed)},
           {"target_regions", std::to_string(config.target_regions)},
           {"policy", config.policy},
-          {"admit_all", config.admit_all ? "1" : "0"}};
+          {"admit_all", config.admit_all ? "1" : "0"},
+          {"calibrate", config.calibrate ? "1" : "0"}};
 }
 
 DataConfig DataConfigFromTrace(const net::SessionTrace& trace) {
@@ -105,6 +112,7 @@ DataConfig DataConfigFromTrace(const net::SessionTrace& trace) {
       static_cast<int>(std::atoi(trace.Attr("target_regions", "128").c_str()));
   config.policy = trace.Attr("policy", "contract");
   config.admit_all = trace.Attr("admit_all", "0") == "1";
+  config.calibrate = trace.Attr("calibrate", "0") == "1";
   return config;
 }
 
@@ -144,6 +152,7 @@ Result<ServeOptions> OptionsFromArgs(const bench::Args& args,
   options.join_index_cache_entries = bench::JoinCacheEntriesFromArgs(args);
   options.target_regions = config.target_regions;
   options.admit_all = config.admit_all;
+  options.calibrate = config.calibrate;
   options.trace = events;
   options.obs = obs;
   if (config.policy == "contract") {
